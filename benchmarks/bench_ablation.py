@@ -1,0 +1,104 @@
+"""ABL -- ablations over the design choices and the future-work extension.
+
+Two ablations called out in DESIGN.md:
+
+* **Reduction on/off** -- the Section 6 rewriting is the paper's key lever
+  for keeping stamps small; running the same workloads with it disabled
+  quantifies exactly what it buys.
+* **Version stamps vs. Interval Tree Clocks vs. dynamic version vectors** --
+  ITC is the authors' later answer to the same problem (Section 7 future
+  work); on identical workloads we compare accuracy (always exact for all
+  three) and metadata size.
+"""
+
+from repro.analysis.sizes import measure_trace_sizes
+from repro.sim.metrics import SweepTable
+from repro.sim.runner import LockstepRunner, default_adapters
+from repro.sim.workload import churn_trace, fixed_replica_trace, partitioned_trace
+
+
+WORKLOADS = {
+    "fixed-6x200": lambda: fixed_replica_trace(6, 200, seed=1),
+    "churn-300": lambda: churn_trace(200, seed=2, target_frontier=8),
+    "partitioned": lambda: partitioned_trace(
+        initial_replicas=6, partitions=3, phases=3, operations_per_phase=25, seed=3
+    ),
+}
+
+
+def test_ablation_reduction_on_off(benchmark, experiment):
+    def run():
+        rows = {}
+        for name, factory in WORKLOADS.items():
+            sizes = measure_trace_sizes(factory())
+            rows[name] = (
+                sizes["version-stamps"].overall_mean_bits,
+                sizes["version-stamps-nonreducing"].overall_mean_bits,
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report = experiment("ABL-reduction", "Ablation: Section 6 reduction on vs. off")
+    table = SweepTable(["workload", "reducing_bits", "nonreducing_bits", "saving"])
+    for name, (reducing, non_reducing) in rows.items():
+        saving = 1 - reducing / non_reducing if non_reducing else 0.0
+        table.add_row(
+            workload=name,
+            reducing_bits=reducing,
+            nonreducing_bits=non_reducing,
+            saving=f"{saving:.0%}",
+        )
+    report.note(table.render(title="mean stamp size (bits) per workload"))
+    report.add(
+        "reduction never hurts",
+        "reducing <= non-reducing on every workload",
+        all(reducing <= non_reducing for reducing, non_reducing in rows.values()),
+    )
+    assert all(reducing <= non_reducing for reducing, non_reducing in rows.values())
+
+
+def test_ablation_stamps_vs_itc_vs_dynamic_vv(benchmark, experiment):
+    def run():
+        accuracy = {}
+        size = {}
+        for name, factory in WORKLOADS.items():
+            trace = factory()
+            reports, sizes = LockstepRunner(default_adapters(), compare_every_step=False).run(trace)
+            accuracy[name] = {
+                mechanism: agreement.agreement_rate for mechanism, agreement in reports.items()
+            }
+            size[name] = {
+                mechanism: sizes[mechanism].final_mean_bits for mechanism in reports
+            }
+        return accuracy, size
+
+    accuracy, size = benchmark.pedantic(run, rounds=1, iterations=1)
+    report = experiment(
+        "ABL-mechanisms", "Ablation: stamps vs. ITC vs. dynamic version vectors"
+    )
+    table = SweepTable(["workload", "stamps_bits", "itc_bits", "dynamic_vv_bits"])
+    for name in WORKLOADS:
+        table.add_row(
+            workload=name,
+            stamps_bits=size[name]["version-stamps"],
+            itc_bits=size[name]["interval-tree-clocks"],
+            dynamic_vv_bits=size[name]["dynamic-version-vectors"],
+        )
+    report.note(table.render(title="final mean metadata size (bits)"))
+    for name in WORKLOADS:
+        report.add(
+            f"all mechanisms exact on {name}",
+            "100%",
+            f"{min(accuracy[name].values()):.0%}",
+            matches=min(accuracy[name].values()) == 1.0,
+        )
+    report.add(
+        "stamps cheaper than dynamic VV on the churn workload",
+        "yes",
+        size["churn-300"]["version-stamps"] < size["churn-300"]["dynamic-version-vectors"],
+    )
+    assert all(min(values.values()) == 1.0 for values in accuracy.values())
+    assert (
+        size["churn-300"]["version-stamps"]
+        < size["churn-300"]["dynamic-version-vectors"]
+    )

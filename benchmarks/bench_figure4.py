@@ -1,0 +1,17 @@
+"""FIG4 -- Figure 4: the version stamps of the Figure 2 evolution.
+
+Regenerates every stamp the paper prints (in the ``[update | id]`` notation),
+including the final join's simplification chain
+``[1 | 00+01+1] -> [1 | 0+1] -> [ε | ε]`` from Section 6.
+"""
+
+from repro.analysis.figures import FIGURE4_EXPECTED, figure4_stamps
+
+
+def test_figure4_version_stamps(benchmark, experiment):
+    result = benchmark(figure4_stamps)
+
+    report = experiment("FIG4", "Figure 4: version stamps of the Figure 2 evolution")
+    for key, expected in FIGURE4_EXPECTED.items():
+        report.add(f"stamp of {key}", expected, result.stamps.get(key, "<missing>"))
+    assert result.matches_paper(), result.mismatches()

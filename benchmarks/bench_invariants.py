@@ -1,0 +1,50 @@
+"""INV -- Invariants I1, I2, I3 (Section 4).
+
+The paper proves the three invariants hold in every reachable configuration.
+We verify them two ways: exhaustively over every execution up to a bounded
+number of operations, and statistically over large random workloads.  The
+expected violation count is zero everywhere; the benchmark times the checks
+themselves (the invariant checker is also a useful runtime debugging tool, so
+its cost matters).
+"""
+
+from repro.core.invariants import check_all
+from repro.sim.exhaustive import explore
+from repro.sim.runner import StampAdapter
+from repro.sim.workload import churn_trace, random_dynamic_trace
+
+
+def test_invariants_exhaustive_small_model(benchmark, experiment):
+    result = benchmark.pedantic(
+        lambda: explore(4, max_frontier=3, check_subsets=False),
+        rounds=1,
+        iterations=1,
+    )
+    report = experiment("INV-exhaustive", "Invariants over every small execution")
+    report.add("configurations explored", "> 100", result.configurations_checked, matches=result.configurations_checked > 100)
+    report.add("I1/I2/I3 violations", 0, result.invariant_violations)
+    report.add("order disagreements with causal histories", 0, result.pairwise_disagreements)
+    assert result.ok
+
+
+def test_invariants_on_random_workloads(benchmark, experiment):
+    def run():
+        violations = 0
+        checked = 0
+        for seed in range(3):
+            trace = random_dynamic_trace(200, seed=seed, max_frontier=10)
+            adapter = StampAdapter(reducing=True)
+            adapter.start(trace.seed)
+            for operation in trace.operations:
+                adapter.apply(operation)
+                invariant_report = check_all(adapter.frontier.stamps())
+                checked += 1
+                if not invariant_report.ok:
+                    violations += 1
+        return checked, violations
+
+    checked, violations = benchmark(run)
+    report = experiment("INV-random", "Invariants along random dynamic workloads")
+    report.add("configurations checked", "600 (3 traces x 200 ops)", checked, matches=checked == 600)
+    report.add("violations", 0, violations)
+    assert violations == 0

@@ -1,0 +1,108 @@
+"""OPS -- microbenchmarks of the stamp operations themselves.
+
+The paper reports no throughput numbers; these benchmarks document the cost
+of ``update``, ``fork``, ``join`` and ``compare`` for version stamps and the
+baselines on this implementation, and how comparison cost scales with the
+width of the frontier.  They exist so regressions in the data-structure code
+are caught and so users know what to expect.
+"""
+
+import pytest
+
+from repro.core.stamp import VersionStamp
+from repro.itc.stamp import ITCStamp
+from repro.vv.version_vector import VersionVector
+
+
+def _stamp_frontier(width: int):
+    """Build ``width`` coexisting stamps, a few of them updated."""
+    stamps = [VersionStamp.seed()]
+    while len(stamps) < width:
+        stamps.sort(key=lambda stamp: stamp.id_depth())
+        left, right = stamps.pop(0).fork()
+        stamps.extend((left, right))
+    return [
+        stamp.update() if index % 3 == 0 else stamp
+        for index, stamp in enumerate(stamps)
+    ]
+
+
+class TestStampOperations:
+    def test_update(self, benchmark):
+        stamps = _stamp_frontier(8)
+        benchmark(lambda: [stamp.update() for stamp in stamps])
+
+    def test_fork(self, benchmark):
+        stamps = _stamp_frontier(8)
+        benchmark(lambda: [stamp.fork() for stamp in stamps])
+
+    def test_join(self, benchmark):
+        stamps = _stamp_frontier(8)
+        pairs = list(zip(stamps[::2], stamps[1::2]))
+        benchmark(lambda: [a.join(b) for a, b in pairs])
+
+    def test_compare(self, benchmark):
+        stamps = _stamp_frontier(8)
+        benchmark(
+            lambda: [a.compare(b) for a in stamps for b in stamps if a is not b]
+        )
+
+    def test_sync_round_trip(self, benchmark):
+        left, right = VersionStamp.seed().fork()
+
+        def run():
+            a, b = left, right
+            for _ in range(20):
+                a = a.update()
+                a, b = a.sync(b)
+            return a
+
+        benchmark(run)
+
+
+@pytest.mark.parametrize("width", [2, 8, 32, 128])
+def test_compare_scales_with_frontier_width(benchmark, width):
+    stamps = _stamp_frontier(width)
+    sample = stamps[: min(len(stamps), 16)]
+    benchmark(lambda: [a.compare(b) for a in sample for b in sample if a is not b])
+
+
+class TestBaselineOperations:
+    def test_version_vector_increment_and_merge(self, benchmark):
+        vectors = [VersionVector({f"r{i}": i for i in range(8)}) for _ in range(8)]
+
+        def run():
+            merged = vectors[0]
+            for vector in vectors[1:]:
+                merged = merged.merge(vector.increment("r0"))
+            return merged
+
+        benchmark(run)
+
+    def test_version_vector_compare(self, benchmark):
+        vectors = [
+            VersionVector({f"r{i}": i + offset for i in range(8)}) for offset in range(8)
+        ]
+        benchmark(
+            lambda: [a.compare(b) for a in vectors for b in vectors if a is not b]
+        )
+
+    def test_itc_event_fork_join(self, benchmark):
+        def run():
+            left, right = ITCStamp.seed().fork()
+            for _ in range(20):
+                left = left.event()
+                left, right = left.sync(right)
+            return left
+
+        benchmark(run)
+
+    def test_itc_compare(self, benchmark):
+        stamps = [ITCStamp.seed()]
+        while len(stamps) < 8:
+            left, right = stamps.pop(0).fork()
+            stamps.extend((left, right))
+        stamps = [stamp.event() if index % 2 else stamp for index, stamp in enumerate(stamps)]
+        benchmark(
+            lambda: [a.compare(b) for a in stamps for b in stamps if a is not b]
+        )

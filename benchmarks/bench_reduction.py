@@ -1,0 +1,106 @@
+"""REDUCE -- the Section 6 join-simplification rewriting rule.
+
+Measures how effective the simplification is on fork/join-heavy workloads
+(how often joins reduce, how many bits they save) and checks the properties
+the paper proves: the rewriting preserves the invariants and the induced
+frontier order, and normal forms are reached in finitely many steps.
+"""
+
+from repro.core.frontier import Frontier
+from repro.core.invariants import check_all
+from repro.sim.metrics import ReductionAccumulator
+from repro.sim.runner import LockstepRunner, StampAdapter
+from repro.sim.trace import OpKind
+from repro.sim.workload import churn_trace
+
+
+def test_reduction_effectiveness_on_churn(benchmark, experiment):
+    trace = churn_trace(250, seed=7, target_frontier=8)
+
+    def run():
+        accumulator = ReductionAccumulator()
+        frontier = Frontier.initial(trace.seed, reducing=False)
+        for operation in trace.operations:
+            if operation.kind == OpKind.UPDATE:
+                frontier.update(operation.source, operation.results[0])
+            elif operation.kind == OpKind.FORK:
+                frontier.fork(operation.source, *operation.results)
+            else:
+                first = frontier.stamp_of(operation.source)
+                second = frontier.stamp_of(operation.other)
+                _joined, stats = first.join_with_stats(second)
+                accumulator.record(stats)
+                if operation.kind == OpKind.JOIN:
+                    frontier.join(operation.source, operation.other, operation.results[0])
+                else:
+                    frontier.sync(operation.source, operation.other, *operation.results)
+        return accumulator
+
+    accumulator = benchmark.pedantic(run, rounds=1, iterations=1)
+    report = experiment("REDUCE-effectiveness", "Join simplification on a churn workload")
+    report.add("joins performed", "> 50", accumulator.joins, matches=accumulator.joins > 50)
+    report.add(
+        "joins where the rewriting applied",
+        "a non-trivial fraction",
+        f"{accumulator.reduction_rate:.0%}",
+        matches=accumulator.reduction_rate > 0.1,
+    )
+    report.add(
+        "bits saved by normalization",
+        "> 5%",
+        f"{accumulator.bits_saved_fraction:.0%}",
+        matches=accumulator.bits_saved_fraction > 0.05,
+    )
+    assert accumulator.joins > 50
+    assert accumulator.reduction_rate > 0.1
+
+
+def test_reduction_preserves_order_and_invariants(benchmark, experiment):
+    trace = churn_trace(80, seed=11, target_frontier=6)
+
+    def run():
+        runner = LockstepRunner(
+            [StampAdapter(reducing=True), StampAdapter(reducing=False)],
+            compare_every_step=True,
+            check_invariants=True,
+        )
+        return runner.run(trace)
+
+    reports, sizes = benchmark.pedantic(run, rounds=1, iterations=1)
+    reducing = reports["version-stamps"]
+    non_reducing = reports["version-stamps-nonreducing"]
+
+    report = experiment(
+        "REDUCE-correctness", "Reduction preserves the frontier order (R) and I1-I3"
+    )
+    report.add("reducing stamps agreement with causal histories", "100%", f"{reducing.agreement_rate:.0%}")
+    report.add("non-reducing stamps agreement with causal histories", "100%", f"{non_reducing.agreement_rate:.0%}")
+    report.add("invariant failures (reducing)", 0, reducing.invariant_failures)
+    report.add(
+        "mean stamp size, reducing vs non-reducing",
+        "reducing <= non-reducing",
+        f"{sizes['version-stamps'].overall_mean_bits:.0f} vs "
+        f"{sizes['version-stamps-nonreducing'].overall_mean_bits:.0f} bits",
+        matches=sizes["version-stamps"].overall_mean_bits
+        <= sizes["version-stamps-nonreducing"].overall_mean_bits,
+    )
+    assert reducing.agreement_rate == 1.0
+    assert non_reducing.agreement_rate == 1.0
+    assert reducing.invariant_failures == 0
+
+
+def test_fork_join_round_trip_restores_identity(benchmark, experiment):
+    """Section 3: a fork followed by a join restores the original id."""
+    from repro.core.stamp import VersionStamp
+
+    def run():
+        stamp = VersionStamp.seed()
+        for _ in range(200):
+            left, right = stamp.fork()
+            stamp = left.join(right)
+        return stamp
+
+    stamp = benchmark(run)
+    report = experiment("REDUCE-roundtrip", "200 fork/join round trips")
+    report.add("final stamp", "[ε | ε]", str(stamp))
+    assert str(stamp) == "[ε | ε]"

@@ -1,0 +1,35 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's figures or claims.  Besides
+the timing numbers collected by pytest-benchmark, each benchmark prints an
+:class:`~repro.analysis.reporting.ExperimentReport` mapping "what the paper
+shows" to "what this run measured"; run with ``-s`` (or read the captured
+output) to see them, and see EXPERIMENTS.md for the recorded results.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.reporting import ExperimentReport
+
+
+def emit(report: ExperimentReport) -> None:
+    """Print an experiment report (visible with ``pytest -s``)."""
+    print()
+    print(report.render())
+
+
+@pytest.fixture
+def experiment():
+    """Factory fixture creating named experiment reports and printing them."""
+    reports = []
+
+    def make(experiment_id: str, title: str) -> ExperimentReport:
+        report = ExperimentReport(experiment_id, title)
+        reports.append(report)
+        return report
+
+    yield make
+    for report in reports:
+        emit(report)

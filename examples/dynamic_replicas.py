@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Dynamic replica populations: stamps vs. the identifier-based baselines.
+
+Simulates a service whose replica count changes constantly (autoscaling,
+devices joining and leaving).  The same operation trace is replayed against
+version stamps, non-reducing stamps, dynamic version vectors and Interval
+Tree Clocks, reporting (a) whether each mechanism orders the replicas exactly
+like the causal-history oracle and (b) how much metadata each one carries as
+churn accumulates.
+
+Run with::
+
+    python examples/dynamic_replicas.py
+"""
+
+from repro.analysis.sizes import measure_trace_sizes
+from repro.sim.metrics import SweepTable
+from repro.sim.runner import LockstepRunner
+from repro.sim.workload import churn_trace
+
+
+def main() -> None:
+    print("=== Dynamic replica populations under churn ===\n")
+
+    table = SweepTable(
+        ["operations", "stamps", "stamps_nonreducing", "dynamic_vv", "itc", "causal_oracle"]
+    )
+    for operations in (100, 200, 400):
+        trace = churn_trace(operations, seed=7, target_frontier=8)
+        sizes = measure_trace_sizes(trace, compare_every_step=False)
+        table.add_row(
+            operations=operations,
+            stamps=sizes["version-stamps"].final_mean_bits,
+            stamps_nonreducing=sizes["version-stamps-nonreducing"].final_mean_bits,
+            dynamic_vv=sizes["dynamic-version-vectors"].final_mean_bits,
+            itc=sizes["interval-tree-clocks"].final_mean_bits,
+            causal_oracle=sizes["causal-history"].final_mean_bits,
+        )
+    print(table.render(title="mean metadata size per replica (bits) after N churn operations"))
+
+    print("\nOrdering accuracy against the causal-history oracle (churn, 80 ops):")
+    trace = churn_trace(80, seed=11, target_frontier=8)
+    reports, _sizes = LockstepRunner(compare_every_step=True).run(trace)
+    for name, report in sorted(reports.items()):
+        print(
+            f"  {name:28s} {report.agreement_rate:7.1%} agreement "
+            f"({report.comparisons} pairwise comparisons)"
+        )
+
+    print(
+        "\nTakeaway: every exact mechanism induces the same order as causal\n"
+        "histories (Corollary 5.2); what differs is metadata size, where the\n"
+        "Section 6 reduction keeps version stamps proportional to the live\n"
+        "frontier while identifier-based vectors keep growing with churn."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Quickstart: version stamps in five minutes.
+
+Shows the whole life cycle of the mechanism on a single data item:
+
+1. start with one replica (the seed stamp ``[ε | ε]``),
+2. fork it to create a second replica -- no server, no unique-id registry,
+3. update the replicas independently,
+4. compare them (equivalent / obsolete / conflicting),
+5. join them back and watch the identities collapse to the seed.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import VersionStamp
+
+
+def main() -> None:
+    print("=== Version stamps quickstart ===\n")
+
+    # 1. A brand new data item has the seed stamp.
+    original = VersionStamp.seed()
+    print(f"seed stamp:                      {original}")
+
+    # 2. Fork it: this is how a new replica is created.  Note that no global
+    #    identifier was needed -- the two ids extend the parent's id with a
+    #    0 and a 1.  Fork once more to keep a third copy on a USB stick.
+    laptop, desktop = original.fork()
+    desktop, usb = desktop.fork()
+    print(f"after forks:  laptop  = {laptop}")
+    print(f"              desktop = {desktop}")
+    print(f"              usb     = {usb}")
+    print(f"freshly forked replicas compare as: {laptop.compare(desktop)}\n")
+
+    # 3. Update the laptop copy only.
+    laptop = laptop.update()
+    print(f"after an update on the laptop:   {laptop}")
+    print(f"laptop  vs desktop: {laptop.compare(desktop)}   (laptop dominates)")
+    print(f"desktop vs laptop : {desktop.compare(laptop)}   (desktop is obsolete)\n")
+
+    # 4. Now update the desktop too -- the copies have diverged.
+    desktop = desktop.update()
+    print(f"after an update on the desktop:  {desktop}")
+    print(f"laptop vs desktop: {laptop.compare(desktop)}   (mutually inconsistent)\n")
+
+    # 5. Reconcile laptop and desktop: join combines their knowledge and the
+    #    sibling identities collapse (Section 6 of the paper), so the merged
+    #    stamp stays small.  The inputs of a join are retired -- stamps order
+    #    *coexisting* replicas, so we compare the result against the replica
+    #    that is still around: the untouched USB copy.
+    merged = laptop.join(desktop)
+    print(f"after joining laptop and desktop: {merged}")
+    print(f"merged vs usb: {merged.compare(usb)}   (the usb copy is obsolete)")
+    print(f"usb vs merged: {usb.compare(merged)}\n")
+
+    # Synchronization of two live replicas = join followed by fork.
+    merged, usb = merged.sync(usb)
+    print("after synchronizing with the usb copy, both replicas are equivalent")
+    print(f"  merged = {merged}")
+    print(f"  usb    = {usb}")
+    print(f"  merged vs usb: {merged.compare(usb)}")
+
+
+if __name__ == "__main__":
+    main()

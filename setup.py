@@ -1,0 +1,10 @@
+"""Setuptools entry point.
+
+Kept alongside ``pyproject.toml`` so the package can be installed in
+environments without network access to build isolation wheels
+(``pip install -e . --no-use-pep517`` or ``python setup.py develop``).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,85 @@
+"""repro -- Version Stamps: decentralized version vectors.
+
+A full reproduction of *"Version Stamps — Decentralized Version Vectors"*
+(Almeida, Baquero & Fonte, ICDCS 2002): the version-stamp mechanism itself,
+the causal-history reference model it is proved equivalent to, the baseline
+mechanisms it generalizes (version vectors, vector clocks, dynamic version
+vectors, plausible clocks), the authors' later Interval Tree Clocks as the
+future-work extension, an optimistic replication substrate for partitioned
+and mobile operation, a PANASYNC-style file-copy dependency tracker, and a
+simulation/benchmark harness that regenerates every figure of the paper.
+
+Quick start
+-----------
+>>> from repro import VersionStamp
+>>> left, right = VersionStamp.seed().fork()
+>>> left = left.update()
+>>> left.compare(right).name
+'AFTER'
+>>> merged = left.join(right)
+>>> str(merged)
+'[ε | ε]'
+
+Subpackages
+-----------
+* :mod:`repro.core` -- bit strings, names, version stamps, frontiers,
+  invariants, reduction, encoding.
+* :mod:`repro.causal` -- the causal-history oracle (Section 2).
+* :mod:`repro.vv` -- version vectors, vector clocks, dynamic version vectors,
+  plausible clocks, identifier sources.
+* :mod:`repro.itc` -- Interval Tree Clocks (the future-work extension).
+* :mod:`repro.replication` -- replicas, stores, conflict policies, simulated
+  partitions/mobility, anti-entropy.
+* :mod:`repro.panasync` -- file-copy dependency tracking tools.
+* :mod:`repro.sim` -- traces, workload generators, the lockstep runner and
+  the exhaustive model checker.
+* :mod:`repro.analysis` -- figure reconstructions, size sweeps, reporting.
+"""
+
+from .causal import CausalConfiguration, CausalHistory
+from .core import (
+    BitString,
+    Frontier,
+    Name,
+    Ordering,
+    VersionStamp,
+    assert_invariants,
+    check_all,
+)
+from .itc import ITCStamp
+from .replication import (
+    AntiEntropy,
+    MobileNode,
+    PartitionedNetwork,
+    Replica,
+    StoreReplica,
+)
+from .panasync import FileCopy, Panasync
+from .vv import DynamicVVSystem, PlausibleClock, VectorClock, VersionVector
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "BitString",
+    "Name",
+    "VersionStamp",
+    "Frontier",
+    "Ordering",
+    "check_all",
+    "assert_invariants",
+    "CausalHistory",
+    "CausalConfiguration",
+    "VersionVector",
+    "VectorClock",
+    "DynamicVVSystem",
+    "PlausibleClock",
+    "ITCStamp",
+    "Replica",
+    "StoreReplica",
+    "MobileNode",
+    "AntiEntropy",
+    "PartitionedNetwork",
+    "FileCopy",
+    "Panasync",
+]

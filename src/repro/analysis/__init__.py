@@ -1,0 +1,38 @@
+"""Analysis utilities: figure reconstructions, diagrams, size sweeps and reporting."""
+
+from .diagrams import render_trace, trace_timeline
+from .figures import (
+    FIGURE1_EXPECTED,
+    FIGURE4_EXPECTED,
+    Figure1Result,
+    Figure3Result,
+    Figure4Result,
+    figure1_version_vectors,
+    figure2_frontiers,
+    figure2_trace,
+    figure3_encoding,
+    figure4_stamps,
+)
+from .reporting import ExperimentReport, ExperimentRow, render_reports
+from .sizes import churn_sweep, measure_trace_sizes, replica_count_sweep
+
+__all__ = [
+    "render_trace",
+    "trace_timeline",
+    "FIGURE1_EXPECTED",
+    "FIGURE4_EXPECTED",
+    "Figure1Result",
+    "Figure3Result",
+    "Figure4Result",
+    "figure1_version_vectors",
+    "figure2_frontiers",
+    "figure2_trace",
+    "figure3_encoding",
+    "figure4_stamps",
+    "ExperimentReport",
+    "ExperimentRow",
+    "render_reports",
+    "measure_trace_sizes",
+    "replica_count_sweep",
+    "churn_sweep",
+]

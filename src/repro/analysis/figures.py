@@ -1,0 +1,357 @@
+"""Programmatic reconstructions of the paper's figures.
+
+The paper's evaluation consists of worked figures; each function here rebuilds
+one of them with the library and returns the concrete values so tests and
+benchmarks can assert them against the values printed in the paper.
+
+* **Figure 1** -- three replicas A, B, C tracked with classic version
+  vectors: A updates, B synchronizes with A, C updates, B synchronizes with
+  C, A updates again.
+* **Figure 2** -- the dynamic fork/join evolution (elements ``a1 ... g1``)
+  and the two possible frontiers containing ``c2``.
+* **Figure 3** -- the encoding of a fixed three-replica version-vector system
+  under fork-and-join dynamics; we check that stamps and version vectors
+  induce the same order on every synchronization frontier.
+* **Figure 4** -- the version stamps of the Figure 2 evolution, including the
+  non-reduced join result ``[1 | 00+01+1]``, the intermediate simplification
+  ``[1 | 0+1]`` and the normal form ``[ε | ε]``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from ..causal.configuration import CausalConfiguration
+from ..core.frontier import Frontier
+from ..core.order import Ordering
+from ..core.reduction import normalize, rewrite_once
+from ..core.stamp import VersionStamp
+from ..sim.trace import Operation, Trace
+from ..vv.version_vector import VersionVector
+
+__all__ = [
+    "Figure1Result",
+    "figure1_version_vectors",
+    "FIGURE1_EXPECTED",
+    "figure2_trace",
+    "figure2_frontiers",
+    "Figure3Result",
+    "figure3_encoding",
+    "Figure4Result",
+    "figure4_stamps",
+    "FIGURE4_EXPECTED",
+]
+
+# ---------------------------------------------------------------------------
+# Figure 1 -- version vectors among three replicas
+# ---------------------------------------------------------------------------
+
+#: Replica order used to render vectors as fixed-length sequences.
+_FIGURE1_REPLICAS: Tuple[str, str, str] = ("A", "B", "C")
+
+#: The vector sequences printed in Figure 1, per replica, in order.
+FIGURE1_EXPECTED: Dict[str, List[Tuple[int, int, int]]] = {
+    "A": [(0, 0, 0), (1, 0, 0), (1, 0, 0), (2, 0, 0)],
+    "B": [(0, 0, 0), (1, 0, 0), (1, 0, 1)],
+    "C": [(0, 0, 0), (0, 0, 1), (1, 0, 1)],
+}
+
+
+@dataclass
+class Figure1Result:
+    """The reconstructed Figure 1: per-replica version-vector timelines."""
+
+    replicas: Tuple[str, ...]
+    timelines: Dict[str, List[Tuple[int, ...]]]
+    final_orderings: Dict[Tuple[str, str], Ordering]
+
+    def matches_paper(self) -> bool:
+        """True when every timeline equals the figure's printed vectors."""
+        return self.timelines == FIGURE1_EXPECTED
+
+
+def figure1_version_vectors() -> Figure1Result:
+    """Re-run the Figure 1 scenario with classic version vectors."""
+    vectors: Dict[str, VersionVector] = {
+        replica: VersionVector() for replica in _FIGURE1_REPLICAS
+    }
+    timelines: Dict[str, List[Tuple[int, ...]]] = {
+        replica: [vectors[replica].as_list(_FIGURE1_REPLICAS)]
+        for replica in _FIGURE1_REPLICAS
+    }
+
+    def record(replica: str) -> None:
+        timelines[replica].append(vectors[replica].as_list(_FIGURE1_REPLICAS))
+
+    # A updates.
+    vectors["A"] = vectors["A"].increment("A")
+    record("A")
+    # B synchronizes with A (pulls A's knowledge).
+    vectors["B"] = vectors["B"].merge(vectors["A"])
+    record("B")
+    record("A")
+    # C updates.
+    vectors["C"] = vectors["C"].increment("C")
+    record("C")
+    # B synchronizes with C; C receives the merged knowledge as well.
+    merged = vectors["B"].merge(vectors["C"])
+    vectors["B"] = merged
+    vectors["C"] = merged
+    record("B")
+    record("C")
+    # A updates again.
+    vectors["A"] = vectors["A"].increment("A")
+    record("A")
+
+    final_orderings = {
+        (x, y): vectors[x].compare(vectors[y])
+        for x in _FIGURE1_REPLICAS
+        for y in _FIGURE1_REPLICAS
+        if x != y
+    }
+    return Figure1Result(
+        replicas=_FIGURE1_REPLICAS,
+        timelines=timelines,
+        final_orderings=final_orderings,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 2 -- fork/join evolution and frontiers
+# ---------------------------------------------------------------------------
+
+
+def figure2_trace() -> Trace:
+    """The Figure 2 evolution as an operation trace.
+
+    Element names follow the figure: ``a1`` updates into ``a2``; ``a2`` forks
+    into ``b1`` and ``c1``; ``c1`` updates twice (``c2``, ``c3``); ``b1``
+    forks into ``d1`` and ``e1``; ``e1`` joins ``c3`` into ``f1``; ``d1``
+    joins ``f1`` into ``g1``.
+    """
+    return Trace(
+        seed="a1",
+        operations=(
+            Operation.update("a1", "a2"),
+            Operation.fork("a2", "b1", "c1"),
+            Operation.update("c1", "c2"),
+            Operation.fork("b1", "d1", "e1"),
+            Operation.update("c2", "c3"),
+            Operation.join("e1", "c3", "f1"),
+            Operation.join("d1", "f1", "g1"),
+        ),
+        name="figure-2",
+    )
+
+
+def figure2_frontiers() -> Dict[str, List[str]]:
+    """The two frontiers containing ``c2`` discussed in Section 1.2.
+
+    The single-dotted frontier occurs when ``c1`` becomes ``c2`` before
+    ``b1`` bifurcates; the double-dotted one when the bifurcation happens
+    first.
+    """
+    return {
+        "single-dotted": ["b1", "c2"],
+        "double-dotted": ["d1", "e1", "c2"],
+    }
+
+
+# ---------------------------------------------------------------------------
+# Figure 3 -- encoding a fixed replica set under fork-and-join dynamics
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Figure3Result:
+    """Result of encoding the fixed three-replica run with stamps."""
+
+    #: Orderings reported by version vectors at each checkpoint.
+    vector_orderings: List[Dict[Tuple[str, str], Ordering]]
+    #: Orderings reported by version stamps at the same checkpoints.
+    stamp_orderings: List[Dict[Tuple[str, str], Ordering]]
+    #: Orderings reported by the causal-history oracle at the checkpoints.
+    causal_orderings: List[Dict[Tuple[str, str], Ordering]]
+
+    def all_agree(self) -> bool:
+        """True when stamps and vectors agree with the oracle at every checkpoint."""
+        return (
+            self.vector_orderings == self.causal_orderings
+            and self.stamp_orderings == self.causal_orderings
+        )
+
+
+def figure3_encoding() -> Figure3Result:
+    """Run the Figure 1 scenario under fork-and-join dynamics.
+
+    The fixed replicas ``a``, ``b``, ``c`` of the figure are encoded as
+    frontier elements; every synchronization is a join followed by a fork
+    (Figure 3's "extra elements" are the transient join results).  At each of
+    the four checkpoints (after every update/synchronization batch) the
+    pairwise ordering of the three replicas is computed with version vectors,
+    with version stamps and with causal histories; the figure's point is that
+    the dynamics encode the same information, so all three must agree.
+    """
+    replicas = ("a", "b", "c")
+
+    # Version-vector world (fixed identifiers).
+    vectors = {replica: VersionVector() for replica in replicas}
+    # Stamp world (fork/join dynamics), plus the causal-history oracle.
+    frontier = Frontier.initial("a")
+    frontier.fork("a", "a", "tmp")
+    frontier.fork("tmp", "b", "c")
+    causal = CausalConfiguration.initial("a")
+    causal.fork("a", "a", "tmp")
+    causal.fork("tmp", "b", "c")
+
+    vector_orderings: List[Dict[Tuple[str, str], Ordering]] = []
+    stamp_orderings: List[Dict[Tuple[str, str], Ordering]] = []
+    causal_orderings: List[Dict[Tuple[str, str], Ordering]] = []
+
+    def checkpoint() -> None:
+        vector_orderings.append(
+            {
+                (x, y): vectors[x].compare(vectors[y])
+                for x in replicas
+                for y in replicas
+                if x != y
+            }
+        )
+        stamp_orderings.append(
+            {
+                (x, y): frontier.compare(x, y)
+                for x in replicas
+                for y in replicas
+                if x != y
+            }
+        )
+        causal_orderings.append(
+            {
+                (x, y): causal.compare(x, y)
+                for x in replicas
+                for y in replicas
+                if x != y
+            }
+        )
+
+    def update(replica: str) -> None:
+        vectors[replica] = vectors[replica].increment(replica)
+        frontier.update(replica, replica)
+        causal.update(replica, replica)
+
+    def synchronize(first: str, second: str) -> None:
+        merged = vectors[first].merge(vectors[second])
+        vectors[first] = merged
+        vectors[second] = merged
+        frontier.sync(first, second, first, second)
+        causal.sync(first, second, first, second)
+
+    update("a")
+    checkpoint()
+    synchronize("a", "b")
+    checkpoint()
+    update("c")
+    checkpoint()
+    synchronize("b", "c")
+    checkpoint()
+    update("a")
+    checkpoint()
+
+    return Figure3Result(
+        vector_orderings=vector_orderings,
+        stamp_orderings=stamp_orderings,
+        causal_orderings=causal_orderings,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 4 -- the version stamps of the Figure 2 evolution
+# ---------------------------------------------------------------------------
+
+#: The stamp values printed in Figure 4, in the paper's ``[update | id]``
+#: notation, for every element of the Figure 2 evolution.  The final join is
+#: shown in the figure both before simplification and after one rewriting
+#: step; its normal form collapses to the seed stamp.
+FIGURE4_EXPECTED: Dict[str, str] = {
+    "a1": "[ε | ε]",
+    "a2": "[ε | ε]",
+    "b1": "[ε | 0]",
+    "c1": "[ε | 1]",
+    "c2": "[1 | 1]",
+    "c3": "[1 | 1]",
+    "d1": "[ε | 00]",
+    "e1": "[ε | 01]",
+    "f1": "[1 | 01+1]",
+    "g1_unreduced": "[1 | 00+01+1]",
+    "g1_one_step": "[1 | 0+1]",
+    "g1_normal_form": "[ε | ε]",
+}
+
+
+@dataclass
+class Figure4Result:
+    """The reconstructed Figure 4 stamps, keyed like :data:`FIGURE4_EXPECTED`."""
+
+    stamps: Dict[str, str]
+
+    def matches_paper(self) -> bool:
+        """True when every reconstructed stamp equals the printed one."""
+        return all(
+            self.stamps.get(key) == expected
+            for key, expected in FIGURE4_EXPECTED.items()
+        )
+
+    def mismatches(self) -> Dict[str, Tuple[str, str]]:
+        """Mapping of key -> (expected, actual) for any differing stamp."""
+        return {
+            key: (expected, self.stamps.get(key, "<missing>"))
+            for key, expected in FIGURE4_EXPECTED.items()
+            if self.stamps.get(key) != expected
+        }
+
+
+def figure4_stamps() -> Figure4Result:
+    """Replay the Figure 2 evolution with non-reducing stamps and record
+    every stamp the figure prints, plus the simplification chain of the final
+    join."""
+    observed: Dict[str, str] = {}
+    frontier = Frontier.initial("a1", reducing=False)
+    observed["a1"] = str(frontier.stamp_of("a1"))
+
+    frontier.update("a1", "a2")
+    observed["a2"] = str(frontier.stamp_of("a2"))
+
+    frontier.fork("a2", "b1", "c1")
+    observed["b1"] = str(frontier.stamp_of("b1"))
+    observed["c1"] = str(frontier.stamp_of("c1"))
+
+    frontier.update("c1", "c2")
+    observed["c2"] = str(frontier.stamp_of("c2"))
+
+    frontier.fork("b1", "d1", "e1")
+    observed["d1"] = str(frontier.stamp_of("d1"))
+    observed["e1"] = str(frontier.stamp_of("e1"))
+
+    frontier.update("c2", "c3")
+    observed["c3"] = str(frontier.stamp_of("c3"))
+
+    frontier.join("e1", "c3", "f1")
+    observed["f1"] = str(frontier.stamp_of("f1"))
+
+    frontier.join("d1", "f1", "g1")
+    unreduced = frontier.stamp_of("g1")
+    observed["g1_unreduced"] = str(unreduced)
+
+    one_step = rewrite_once(unreduced.update_component, unreduced.identity)
+    if one_step is not None:
+        observed["g1_one_step"] = str(
+            VersionStamp(one_step[0], one_step[1], reducing=False, _validate=False)
+        )
+    normal_update, normal_identity, _steps = normalize(
+        unreduced.update_component, unreduced.identity
+    )
+    observed["g1_normal_form"] = str(
+        VersionStamp(normal_update, normal_identity, reducing=False, _validate=False)
+    )
+    return Figure4Result(stamps=observed)

@@ -1,0 +1,69 @@
+"""Plain-text experiment reporting.
+
+Each benchmark regenerates one of the paper's figures or claims and wants to
+print a small, self-describing block: what the paper shows, what we measured,
+and whether the reproduction holds.  :class:`ExperimentReport` collects those
+rows; :func:`render_reports` turns a collection of them into the text that
+also feeds EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+__all__ = ["ExperimentRow", "ExperimentReport", "render_reports"]
+
+
+@dataclass(frozen=True)
+class ExperimentRow:
+    """One paper-vs-measured comparison line."""
+
+    quantity: str
+    paper: str
+    measured: str
+    matches: bool
+
+    def render(self) -> str:
+        status = "OK " if self.matches else "DIFF"
+        return f"  [{status}] {self.quantity}: paper={self.paper} measured={self.measured}"
+
+
+@dataclass
+class ExperimentReport:
+    """All the rows of one experiment (one figure or one claim)."""
+
+    experiment_id: str
+    title: str
+    rows: List[ExperimentRow] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add(self, quantity: str, paper: object, measured: object, *, matches: Optional[bool] = None) -> None:
+        """Add a comparison row; equality of the rendered values by default."""
+        paper_text = str(paper)
+        measured_text = str(measured)
+        if matches is None:
+            matches = paper_text == measured_text
+        self.rows.append(ExperimentRow(quantity, paper_text, measured_text, matches))
+
+    def note(self, text: str) -> None:
+        """Attach a free-form note (context, caveats, parameters)."""
+        self.notes.append(text)
+
+    @property
+    def ok(self) -> bool:
+        """True when every row matches."""
+        return all(row.matches for row in self.rows)
+
+    def render(self) -> str:
+        """A readable multi-line rendering of the experiment."""
+        status = "REPRODUCED" if self.ok else "MISMATCH"
+        lines = [f"{self.experiment_id}: {self.title} [{status}]"]
+        lines.extend(row.render() for row in self.rows)
+        lines.extend(f"  note: {note}" for note in self.notes)
+        return "\n".join(lines)
+
+
+def render_reports(reports: Iterable[ExperimentReport]) -> str:
+    """Render several experiment reports separated by blank lines."""
+    return "\n\n".join(report.render() for report in reports)

@@ -1,0 +1,110 @@
+"""Size models and sweeps for the space experiments.
+
+The paper motivates version stamps partly on space: identities adapt to the
+frontier, so stamps should stay small where identifier-based mechanisms keep
+growing (every replica ever created leaves an entry behind).  This module
+packages the measurements the SPACE and ABL-ITC experiments report:
+
+* :func:`measure_trace_sizes` -- replay one trace with the lockstep runner
+  and return per-mechanism size statistics.
+* :func:`replica_count_sweep` -- metadata size as a function of the number of
+  replicas in a closed system.
+* :func:`churn_sweep` -- metadata size as a function of replica churn
+  (creation + retirement), the regime where the difference matters most.
+
+All results come back as :class:`~repro.sim.metrics.SweepTable` objects so
+the benchmarks can both assert on them and print them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ..sim.metrics import SweepTable, summarize
+from ..sim.runner import LockstepRunner, SizeSample, default_adapters
+from ..sim.trace import Trace
+from ..sim.workload import churn_trace, fixed_replica_trace
+
+__all__ = [
+    "measure_trace_sizes",
+    "replica_count_sweep",
+    "churn_sweep",
+]
+
+
+def measure_trace_sizes(
+    trace: Trace,
+    *,
+    include_plausible: bool = False,
+    compare_every_step: bool = False,
+) -> Dict[str, SizeSample]:
+    """Replay ``trace`` and return the per-mechanism size samples.
+
+    Correctness cross-checking is a by-product (the runner raises if a
+    mechanism's frontier diverges); only the size samples are returned.
+    """
+    runner = LockstepRunner(
+        default_adapters(include_plausible=include_plausible),
+        compare_every_step=compare_every_step,
+        check_invariants=False,
+    )
+    _reports, sizes = runner.run(trace)
+    return sizes
+
+
+def replica_count_sweep(
+    replica_counts: Sequence[int],
+    *,
+    operations: int = 60,
+    seed: int = 0,
+) -> SweepTable:
+    """Mean metadata size per element as the replica count grows."""
+    table = SweepTable(
+        [
+            "replicas",
+            "stamps_bits",
+            "stamps_nonreducing_bits",
+            "dynamic_vv_bits",
+            "itc_bits",
+        ]
+    )
+    for replicas in replica_counts:
+        trace = fixed_replica_trace(replicas, operations, seed=seed)
+        sizes = measure_trace_sizes(trace)
+        table.add_row(
+            replicas=replicas,
+            stamps_bits=sizes["version-stamps"].final_mean_bits,
+            stamps_nonreducing_bits=sizes["version-stamps-nonreducing"].final_mean_bits,
+            dynamic_vv_bits=sizes["dynamic-version-vectors"].final_mean_bits,
+            itc_bits=sizes["interval-tree-clocks"].final_mean_bits,
+        )
+    return table
+
+
+def churn_sweep(
+    operation_counts: Sequence[int],
+    *,
+    target_frontier: int = 8,
+    seed: int = 0,
+) -> SweepTable:
+    """Mean metadata size per element as fork/join churn accumulates."""
+    table = SweepTable(
+        [
+            "operations",
+            "stamps_bits",
+            "stamps_nonreducing_bits",
+            "dynamic_vv_bits",
+            "itc_bits",
+        ]
+    )
+    for operations in operation_counts:
+        trace = churn_trace(operations, target_frontier=target_frontier, seed=seed)
+        sizes = measure_trace_sizes(trace)
+        table.add_row(
+            operations=operations,
+            stamps_bits=sizes["version-stamps"].final_mean_bits,
+            stamps_nonreducing_bits=sizes["version-stamps-nonreducing"].final_mean_bits,
+            dynamic_vv_bits=sizes["dynamic-version-vectors"].final_mean_bits,
+            itc_bits=sizes["interval-tree-clocks"].final_mean_bits,
+        )
+    return table

@@ -1,0 +1,15 @@
+"""Causal histories -- the global-view reference model of Section 2.
+
+This subpackage is the *oracle* of the reproduction: it implements the causal
+history model exactly as the paper defines it (globally unique update events,
+set-inclusion comparison, configurations evolved by update/fork/join) and is
+used by the tests, the exhaustive model checker and the benchmarks to verify
+that version stamps induce the same order on every frontier
+(Proposition 5.1 / Corollary 5.2).
+"""
+
+from .configuration import CausalConfiguration
+from .events import EventSource, UpdateEvent
+from .history import CausalHistory
+
+__all__ = ["CausalConfiguration", "CausalHistory", "EventSource", "UpdateEvent"]

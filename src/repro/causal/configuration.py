@@ -1,0 +1,212 @@
+"""Configurations of causal histories (Definition 2.1).
+
+:class:`CausalConfiguration` mirrors :class:`~repro.core.frontier.Frontier`
+but carries causal histories instead of version stamps: it maps the labels of
+the currently coexisting elements to the set of update events each has seen,
+and evolves through the same ``update`` / ``fork`` / ``join`` transformations.
+It is the *oracle* of the reproduction: Proposition 5.1 states (and our tests
+and benchmarks verify) that the pre-order it induces on any frontier equals
+the one induced by version stamps.
+
+Unlike stamps, the oracle requires a globally shared :class:`EventSource` --
+this is exactly the "global view" the paper's mechanism eliminates.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Mapping, Optional, Tuple
+
+from ..core.errors import FrontierError
+from ..core.order import Ordering
+from .events import EventSource, UpdateEvent
+from .history import CausalHistory
+
+__all__ = ["CausalConfiguration"]
+
+
+class CausalConfiguration:
+    """A mutable configuration mapping element labels to causal histories."""
+
+    def __init__(
+        self,
+        histories: Optional[Mapping[str, CausalHistory]] = None,
+        *,
+        events: Optional[EventSource] = None,
+    ) -> None:
+        self._histories: Dict[str, CausalHistory] = dict(histories or {})
+        self._events = events if events is not None else EventSource()
+
+    # -- constructors -------------------------------------------------
+
+    @classmethod
+    def initial(
+        cls, label: str = "a", *, events: Optional[EventSource] = None
+    ) -> "CausalConfiguration":
+        """The initial configuration ``{label ↦ {}}`` of Definition 2.1."""
+        configuration = cls(events=events)
+        configuration._histories[label] = CausalHistory.empty()
+        return configuration
+
+    # -- mapping protocol -----------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._histories)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._histories)
+
+    def __contains__(self, label: object) -> bool:
+        return label in self._histories
+
+    def __getitem__(self, label: str) -> CausalHistory:
+        return self.history_of(label)
+
+    def labels(self) -> List[str]:
+        """The labels of the coexisting elements, in insertion order."""
+        return list(self._histories)
+
+    def histories(self) -> Dict[str, CausalHistory]:
+        """A copy of the label → history mapping."""
+        return dict(self._histories)
+
+    def history_of(self, label: str) -> CausalHistory:
+        """The causal history of ``label`` (raises for unknown labels)."""
+        try:
+            return self._histories[label]
+        except KeyError:
+            raise FrontierError(
+                f"element {label!r} is not part of the current configuration "
+                f"(elements: {sorted(self._histories)})"
+            ) from None
+
+    def all_events(self) -> FrozenSet[UpdateEvent]:
+        """The union of every element's history (the paper's ``E(C)``)."""
+        union: set = set()
+        for history in self._histories.values():
+            union |= history.events
+        return frozenset(union)
+
+    @property
+    def event_source(self) -> EventSource:
+        """The shared global event source (the oracle's global view)."""
+        return self._events
+
+    def __repr__(self) -> str:
+        body = ", ".join(
+            f"{label}: {sorted(str(e) for e in history.events)}"
+            for label, history in self._histories.items()
+        )
+        return f"CausalConfiguration({{{body}}})"
+
+    # -- transformations of Definition 2.1 -----------------------------------
+
+    def _fresh_label(self, base: str) -> str:
+        candidate = base
+        while candidate in self._histories:
+            candidate += "'"
+        return candidate
+
+    def update(self, label: str, new_label: Optional[str] = None) -> str:
+        """``update(label)``: add a globally fresh event to the history."""
+        history = self.history_of(label)
+        target = new_label if new_label is not None else self._fresh_label(label + "'")
+        if target != label and target in self._histories:
+            raise FrontierError(f"element {target!r} already exists")
+        event = self._events.fresh(label)
+        del self._histories[label]
+        self._histories[target] = history.with_event(event)
+        return target
+
+    def fork(
+        self,
+        label: str,
+        left_label: Optional[str] = None,
+        right_label: Optional[str] = None,
+    ) -> Tuple[str, str]:
+        """``fork(label)``: two elements, both inheriting the full history."""
+        history = self.history_of(label)
+        left = left_label if left_label is not None else self._fresh_label(label + "0")
+        del self._histories[label]
+        right = (
+            right_label if right_label is not None else self._fresh_label(label + "1")
+        )
+        if left == right:
+            raise FrontierError("fork children must have distinct labels")
+        for target in (left, right):
+            if target in self._histories:
+                raise FrontierError(f"element {target!r} already exists")
+        self._histories[left] = history
+        self._histories[right] = history
+        return left, right
+
+    def join(self, first: str, second: str, new_label: Optional[str] = None) -> str:
+        """``join(first, second)``: one element with the union of histories."""
+        if first == second:
+            raise FrontierError("cannot join an element with itself")
+        first_history = self.history_of(first)
+        second_history = self.history_of(second)
+        target = (
+            new_label
+            if new_label is not None
+            else self._fresh_label(f"{first}{second}")
+        )
+        del self._histories[first]
+        del self._histories[second]
+        if target in self._histories:
+            raise FrontierError(f"element {target!r} already exists")
+        self._histories[target] = first_history.union(second_history)
+        return target
+
+    def sync(
+        self,
+        first: str,
+        second: str,
+        left_label: Optional[str] = None,
+        right_label: Optional[str] = None,
+    ) -> Tuple[str, str]:
+        """Synchronization as join-then-fork (Section 1.1)."""
+        joined = self.join(first, second)
+        return self.fork(
+            joined,
+            left_label if left_label is not None else first,
+            right_label if right_label is not None else second,
+        )
+
+    # -- queries -----------------------------------------------------------------
+
+    def compare(self, first: str, second: str) -> Ordering:
+        """Three-way comparison of two elements by history inclusion."""
+        return self.history_of(first).compare(self.history_of(second))
+
+    def equivalent(self, first: str, second: str) -> bool:
+        """Section 2 equivalence: identical histories."""
+        return self.compare(first, second) is Ordering.EQUAL
+
+    def obsolete(self, first: str, second: str) -> bool:
+        """Section 2 obsolescence of ``first`` relative to ``second``."""
+        return self.compare(first, second) is Ordering.BEFORE
+
+    def inconsistent(self, first: str, second: str) -> bool:
+        """Section 2 mutual inconsistency."""
+        return self.compare(first, second) is Ordering.CONCURRENT
+
+    def ordering_matrix(self) -> Dict[Tuple[str, str], Ordering]:
+        """All pairwise comparisons of the current configuration."""
+        labels = self.labels()
+        matrix: Dict[Tuple[str, str], Ordering] = {}
+        for x in labels:
+            for y in labels:
+                if x != y:
+                    matrix[(x, y)] = self.compare(x, y)
+        return matrix
+
+    def dominated_by_set(self, label: str, others: Iterable[str]) -> bool:
+        """Whether ``C(label) ⊆ ∪ C[others]`` (the relation of Prop. 5.1)."""
+        union: set = set()
+        for other in others:
+            union |= self.history_of(other).events
+        return self.history_of(label).events <= union
+
+    def copy(self) -> "CausalConfiguration":
+        """A copy sharing the same event source (histories are immutable)."""
+        return CausalConfiguration(self._histories, events=self._events)

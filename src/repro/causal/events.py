@@ -1,0 +1,68 @@
+"""Globally unique update events for the causal-history reference model.
+
+The causal-history model of Section 2 assumes a *global view*: every update
+produces an event with an identity that is unique across the whole system.
+The paper uses this model only as a specification against which version
+stamps are proved correct; we mirror that role by making event generation an
+explicit, clearly non-distributed service (:class:`EventSource`), so that the
+oracle's reliance on global knowledge is visible in the code and absent from
+the version-stamp implementation.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+__all__ = ["UpdateEvent", "EventSource"]
+
+
+@dataclass(frozen=True, order=True)
+class UpdateEvent:
+    """A globally unique update event.
+
+    Attributes
+    ----------
+    sequence:
+        Monotonically increasing number assigned by the :class:`EventSource`.
+    label:
+        Optional human-readable tag (e.g. the element that was updated);
+        purely informational and excluded from equality.
+    """
+
+    sequence: int
+    label: str = field(default="", compare=False)
+
+    def __str__(self) -> str:
+        if self.label:
+            return f"e{self.sequence}({self.label})"
+        return f"e{self.sequence}"
+
+
+class EventSource:
+    """A generator of globally unique :class:`UpdateEvent` values.
+
+    This is deliberately a single, centralized object: it models the global
+    view the paper assumes for causal histories and that version stamps do
+    away with.  One source must be shared by every causal-history
+    configuration participating in the same run.
+    """
+
+    def __init__(self, start: int = 0) -> None:
+        self._counter = itertools.count(start)
+        self._issued = 0
+
+    def fresh(self, label: str = "") -> UpdateEvent:
+        """Return a brand new event, never seen before in this source."""
+        self._issued += 1
+        return UpdateEvent(next(self._counter), label)
+
+    @property
+    def issued(self) -> int:
+        """How many events this source has handed out."""
+        return self._issued
+
+    def __iter__(self) -> Iterator[UpdateEvent]:
+        while True:
+            yield self.fresh()

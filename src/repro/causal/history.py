@@ -1,0 +1,122 @@
+"""Causal histories: sets of update events and their inclusion pre-order.
+
+A causal history is simply the set of update events known to an element
+(Section 2).  Comparing two frontier elements compares their histories by set
+inclusion, which yields the three situations of interest: equivalence,
+obsolescence and mutual inconsistency.
+
+:class:`CausalHistory` is a thin immutable wrapper over a frozenset that adds
+the comparison vocabulary shared by every mechanism in the library, so the
+lockstep runner can treat the oracle and the stamps uniformly.
+"""
+
+from __future__ import annotations
+
+from typing import AbstractSet, FrozenSet, Iterable, Iterator
+
+from ..core.order import Ordering, ordering_from_sets
+from .events import UpdateEvent
+
+__all__ = ["CausalHistory"]
+
+
+class CausalHistory:
+    """An immutable set of update events with inclusion-based comparison."""
+
+    __slots__ = ("_events",)
+
+    def __init__(self, events: Iterable[UpdateEvent] = ()) -> None:
+        object.__setattr__(self, "_events", frozenset(events))
+
+    # -- constructors -------------------------------------------------
+
+    @classmethod
+    def empty(cls) -> "CausalHistory":
+        """The history of a freshly created system: no updates seen."""
+        return _EMPTY
+
+    # -- protocol -------------------------------------------------------
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("CausalHistory instances are immutable")
+
+    @property
+    def events(self) -> FrozenSet[UpdateEvent]:
+        """The underlying frozen set of events."""
+        return self._events
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[UpdateEvent]:
+        return iter(sorted(self._events))
+
+    def __contains__(self, event: object) -> bool:
+        return event in self._events
+
+    def __bool__(self) -> bool:
+        return bool(self._events)
+
+    def __hash__(self) -> int:
+        return hash(("CausalHistory", self._events))
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, CausalHistory):
+            return self._events == other._events
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        body = ", ".join(str(event) for event in sorted(self._events))
+        return f"CausalHistory({{{body}}})"
+
+    # -- evolution --------------------------------------------------------
+
+    def with_event(self, event: UpdateEvent) -> "CausalHistory":
+        """Return the history extended with one new update event."""
+        return CausalHistory(self._events | {event})
+
+    def union(self, other: "CausalHistory") -> "CausalHistory":
+        """The combined knowledge of two histories (used by ``join``)."""
+        return CausalHistory(self._events | other._events)
+
+    def __or__(self, other: "CausalHistory") -> "CausalHistory":
+        if not isinstance(other, CausalHistory):
+            return NotImplemented
+        return self.union(other)
+
+    # -- comparison --------------------------------------------------------
+
+    def leq(self, other: "CausalHistory") -> bool:
+        """Inclusion: every event of ``self`` is known to ``other``."""
+        return self._events <= other._events
+
+    def __le__(self, other: "CausalHistory") -> bool:
+        if not isinstance(other, CausalHistory):
+            return NotImplemented
+        return self.leq(other)
+
+    def __lt__(self, other: "CausalHistory") -> bool:
+        if not isinstance(other, CausalHistory):
+            return NotImplemented
+        return self._events < other._events
+
+    def compare(self, other: "CausalHistory") -> Ordering:
+        """Three-way comparison by set inclusion (the Section 2 queries)."""
+        return ordering_from_sets(self._events, other._events)
+
+    def equivalent(self, other: "CausalHistory") -> bool:
+        """Both elements have seen exactly the same updates."""
+        return self._events == other._events
+
+    def obsolete_relative_to(self, other: "CausalHistory") -> bool:
+        """``other`` has seen every update of ``self`` plus at least one more."""
+        return self._events < other._events
+
+    def inconsistent_with(self, other: "CausalHistory") -> bool:
+        """Each side has seen at least one update unknown to the other."""
+        return not (self._events <= other._events) and not (
+            other._events <= self._events
+        )
+
+
+_EMPTY = CausalHistory()

@@ -1,0 +1,344 @@
+"""Command-line interface to the version-stamp library.
+
+Installed as the ``repro`` console script (or run with ``python -m
+repro.cli``).  The CLI exposes the pieces a user reaches for first:
+
+* ``repro stamp ...``     -- manipulate stamps in the paper's ``[u | i]``
+  notation (fork, update, join, compare, normalize, inspect sizes);
+* ``repro figures``       -- regenerate Figures 1-4 and report paper-vs-measured;
+* ``repro check``         -- run the exhaustive model checker (invariants +
+  Proposition 5.1) up to a bounded number of operations;
+* ``repro simulate``      -- generate a workload, replay it against every
+  mechanism, and report ordering agreement and metadata sizes;
+* ``repro panasync ...``  -- track dependencies among file copies on disk.
+
+Every command prints plain text and exits non-zero on failure, so the CLI is
+usable from scripts and CI jobs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from . import __version__
+from .analysis.diagrams import render_trace
+from .analysis.figures import (
+    FIGURE1_EXPECTED,
+    FIGURE4_EXPECTED,
+    figure1_version_vectors,
+    figure3_encoding,
+    figure4_stamps,
+)
+from .analysis.reporting import ExperimentReport, render_reports
+from .core.encoding import encoded_size_bits, stamp_from_text
+from .core.stamp import VersionStamp
+from .panasync.tools import Panasync
+from .sim.exhaustive import explore
+from .sim.metrics import SweepTable
+from .sim.runner import LockstepRunner
+from .sim.workload import (
+    churn_trace,
+    fixed_replica_trace,
+    partitioned_trace,
+    random_dynamic_trace,
+)
+
+__all__ = ["main", "build_parser"]
+
+
+# ---------------------------------------------------------------------------
+# stamp subcommand
+# ---------------------------------------------------------------------------
+
+
+def _load_stamp(text: str, *, reducing: bool = True) -> VersionStamp:
+    return stamp_from_text(text, reducing=reducing)
+
+
+def _cmd_stamp(args: argparse.Namespace) -> int:
+    action = args.stamp_command
+    if action == "seed":
+        print(VersionStamp.seed())
+        return 0
+    if action == "parse":
+        stamp = _load_stamp(args.stamp)
+        print(f"stamp:      {stamp}")
+        print(f"update:     {stamp.update_component.to_text()}")
+        print(f"id:         {stamp.identity.to_text()}")
+        print(f"normalized: {stamp.is_normalized()}")
+        print(f"size:       {encoded_size_bits(stamp)} bits (compact binary encoding)")
+        return 0
+    if action == "update":
+        print(_load_stamp(args.stamp).update())
+        return 0
+    if action == "fork":
+        left, right = _load_stamp(args.stamp).fork()
+        print(left)
+        print(right)
+        return 0
+    if action == "join":
+        reducing = not args.no_reduce
+        first = _load_stamp(args.first, reducing=reducing)
+        second = _load_stamp(args.second, reducing=reducing)
+        print(first.join(second))
+        return 0
+    if action == "normalize":
+        print(_load_stamp(args.stamp).normalized())
+        return 0
+    if action == "compare":
+        first = _load_stamp(args.first)
+        second = _load_stamp(args.second)
+        print(first.compare(second).value)
+        return 0
+    raise AssertionError(f"unhandled stamp action {action!r}")  # pragma: no cover
+
+
+# ---------------------------------------------------------------------------
+# figures subcommand
+# ---------------------------------------------------------------------------
+
+
+def _cmd_figures(_args: argparse.Namespace) -> int:
+    reports: List[ExperimentReport] = []
+
+    figure1 = figure1_version_vectors()
+    report1 = ExperimentReport("FIG1", "Version vectors among three replicas")
+    for replica, expected in FIGURE1_EXPECTED.items():
+        report1.add(f"replica {replica} timeline", expected, figure1.timelines[replica])
+    reports.append(report1)
+
+    figure3 = figure3_encoding()
+    report3 = ExperimentReport("FIG3", "Fixed replicas under fork-and-join dynamics")
+    report3.add("stamps/vectors/causal histories agree at every checkpoint", True, figure3.all_agree())
+    reports.append(report3)
+
+    figure4 = figure4_stamps()
+    report4 = ExperimentReport("FIG4", "Version stamps of the Figure 2 evolution")
+    for key, expected in FIGURE4_EXPECTED.items():
+        report4.add(key, expected, figure4.stamps.get(key, "<missing>"))
+    reports.append(report4)
+
+    print(render_reports(reports))
+    return 0 if all(report.ok for report in reports) else 1
+
+
+# ---------------------------------------------------------------------------
+# check subcommand (exhaustive model checking)
+# ---------------------------------------------------------------------------
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    result = explore(
+        args.operations,
+        max_frontier=args.max_frontier,
+        check_subsets=args.subsets,
+    )
+    print(result)
+    for counterexample in result.counterexamples:
+        print(f"  counterexample: {counterexample}")
+    return 0 if result.ok else 1
+
+
+# ---------------------------------------------------------------------------
+# simulate subcommand
+# ---------------------------------------------------------------------------
+
+_WORKLOADS = {
+    "random": lambda args: random_dynamic_trace(
+        args.operations, seed=args.seed, max_frontier=args.max_frontier
+    ),
+    "fixed": lambda args: fixed_replica_trace(
+        args.replicas, args.operations, seed=args.seed
+    ),
+    "churn": lambda args: churn_trace(
+        args.operations, seed=args.seed, target_frontier=args.max_frontier
+    ),
+    "partitioned": lambda args: partitioned_trace(
+        initial_replicas=args.replicas,
+        partitions=max(2, args.replicas // 2),
+        phases=3,
+        operations_per_phase=max(1, args.operations // 3),
+        seed=args.seed,
+    ),
+}
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    trace = _WORKLOADS[args.workload](args)
+    runner = LockstepRunner(compare_every_step=not args.fast)
+    reports, sizes = runner.run(trace)
+
+    print(f"workload: {trace.name}")
+    print(f"operations: {len(trace)}  max frontier width: {trace.max_frontier_width()}")
+    print()
+    table = SweepTable(["mechanism", "agreement", "missed", "false", "mean_bits", "peak_bits"])
+    for name, report in sorted(reports.items()):
+        table.add_row(
+            mechanism=name,
+            agreement=f"{report.agreement_rate:.1%}",
+            missed=report.missed_conflicts,
+            false=report.false_conflicts,
+            mean_bits=sizes[name].final_mean_bits,
+            peak_bits=sizes[name].peak_bits,
+        )
+    oracle = sizes.get("causal-history")
+    if oracle is not None:
+        table.add_row(
+            mechanism="causal-history (oracle)",
+            agreement="--",
+            missed="--",
+            false="--",
+            mean_bits=oracle.final_mean_bits,
+            peak_bits=oracle.peak_bits,
+        )
+    print(table.render(title="ordering agreement with causal histories and metadata size"))
+    if args.diagram:
+        print()
+        print(render_trace(trace))
+    return 0 if all(report.agreement_rate == 1.0 for report in reports.values()) else 1
+
+
+# ---------------------------------------------------------------------------
+# panasync subcommand
+# ---------------------------------------------------------------------------
+
+
+def _panasync_for(paths: Sequence[str]) -> Panasync:
+    tool = Panasync()
+    for path in paths:
+        tool.add_repository(Path(path).name or str(path), Path(path))
+    return tool
+
+
+def _cmd_panasync(args: argparse.Namespace) -> int:
+    tool = Panasync()
+    tool.add_repository("repo", Path(args.repository))
+    action = args.panasync_command
+    if action == "create":
+        content = Path(args.source).read_text(encoding="utf-8") if args.source else ""
+        tool.create("repo", args.name, content)
+        print(f"tracking {args.name}")
+        return 0
+    if action == "edit":
+        content = Path(args.source).read_text(encoding="utf-8")
+        tool.edit("repo", args.name, content)
+        print(f"recorded an edit of {args.name}")
+        return 0
+    if action == "copy":
+        tool.add_repository("target", Path(args.target_repository))
+        tool.copy("repo", args.name, "target", args.target_name or args.name)
+        print(f"copied {args.name} to {args.target_repository}")
+        return 0
+    if action == "compare":
+        tool.add_repository("other", Path(args.other_repository))
+        relation = tool.compare("repo", args.name, "other", args.other_name or args.name)
+        print(relation.description)
+        return 0 if not relation.diverged else 2
+    if action == "merge":
+        tool.add_repository("other", Path(args.other_repository))
+        relation = tool.merge("repo", args.name, "other", args.other_name or args.name)
+        print(f"merged ({relation.description})")
+        return 0
+    if action == "status":
+        for line in tool.status():
+            print(line.render())
+        return 0
+    raise AssertionError(f"unhandled panasync action {action!r}")  # pragma: no cover
+
+
+# ---------------------------------------------------------------------------
+# parser
+# ---------------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Version stamps: decentralized version vectors (ICDCS 2002 reproduction)",
+    )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    # stamp
+    stamp = subparsers.add_parser("stamp", help="manipulate individual version stamps")
+    stamp_sub = stamp.add_subparsers(dest="stamp_command", required=True)
+    stamp_sub.add_parser("seed", help="print the seed stamp")
+    for name in ("parse", "update", "fork", "normalize"):
+        sub = stamp_sub.add_parser(name, help=f"{name} a stamp given in [u | i] notation")
+        sub.add_argument("stamp", help="stamp text, e.g. '[1 | 01+1]'")
+    join = stamp_sub.add_parser("join", help="join two stamps")
+    join.add_argument("first")
+    join.add_argument("second")
+    join.add_argument("--no-reduce", action="store_true", help="skip the Section 6 simplification")
+    compare = stamp_sub.add_parser("compare", help="compare two stamps")
+    compare.add_argument("first")
+    compare.add_argument("second")
+    stamp.set_defaults(handler=_cmd_stamp)
+
+    # figures
+    figures = subparsers.add_parser("figures", help="regenerate the paper's figures")
+    figures.set_defaults(handler=_cmd_figures)
+
+    # check
+    check = subparsers.add_parser("check", help="exhaustively model-check small executions")
+    check.add_argument("--operations", type=int, default=4, help="depth bound (default 4)")
+    check.add_argument("--max-frontier", type=int, default=3, help="frontier width cap (default 3)")
+    check.add_argument("--subsets", action="store_true", help="also check the subset form of Prop. 5.1")
+    check.set_defaults(handler=_cmd_check)
+
+    # simulate
+    simulate = subparsers.add_parser("simulate", help="replay a workload against every mechanism")
+    simulate.add_argument("--workload", choices=sorted(_WORKLOADS), default="random")
+    simulate.add_argument("--operations", type=int, default=100)
+    simulate.add_argument("--replicas", type=int, default=4)
+    simulate.add_argument("--max-frontier", type=int, default=8)
+    simulate.add_argument("--seed", type=int, default=0)
+    simulate.add_argument("--fast", action="store_true", help="compare only at the end of the trace")
+    simulate.add_argument("--diagram", action="store_true", help="print an ASCII diagram of the trace")
+    simulate.set_defaults(handler=_cmd_simulate)
+
+    # panasync
+    panasync = subparsers.add_parser("panasync", help="track dependencies among file copies")
+    panasync.add_argument("--repository", required=True, help="path of the copy repository")
+    panasync_sub = panasync.add_subparsers(dest="panasync_command", required=True)
+    create = panasync_sub.add_parser("create", help="start tracking a file")
+    create.add_argument("name")
+    create.add_argument("--source", help="file whose content seeds the copy")
+    edit = panasync_sub.add_parser("edit", help="record an edit from a source file")
+    edit.add_argument("name")
+    edit.add_argument("source")
+    copy = panasync_sub.add_parser("copy", help="duplicate a copy into another repository")
+    copy.add_argument("name")
+    copy.add_argument("target_repository")
+    copy.add_argument("--target-name")
+    compare_files = panasync_sub.add_parser("compare", help="compare two copies")
+    compare_files.add_argument("name")
+    compare_files.add_argument("other_repository")
+    compare_files.add_argument("--other-name")
+    merge_files = panasync_sub.add_parser("merge", help="merge two copies")
+    merge_files.add_argument("name")
+    merge_files.add_argument("other_repository")
+    merge_files.add_argument("--other-name")
+    panasync_sub.add_parser("status", help="list tracked copies")
+    panasync.set_defaults(handler=_cmd_panasync)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except Exception as error:  # noqa: BLE001 - the CLI boundary reports, not raises
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

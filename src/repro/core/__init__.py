@@ -1,0 +1,84 @@
+"""Core implementation of version stamps (the paper's primary contribution).
+
+The public surface of this subpackage:
+
+* :class:`~repro.core.bitstring.BitString` -- finite binary strings with the
+  prefix order (the poset *S* of Section 4).
+* :class:`~repro.core.names.Name` -- finite antichains of binary strings, the
+  join semilattice *N* used by both stamp components.
+* :class:`~repro.core.stamp.VersionStamp` -- the stamp ``(update, id)`` with
+  ``update``/``fork``/``join`` and the frontier comparison.
+* :class:`~repro.core.frontier.Frontier` -- configurations of stamped
+  elements following Definition 4.3.
+* :mod:`~repro.core.reduction` -- the Section 6 join-simplification rule.
+* :mod:`~repro.core.invariants` -- executable checks of invariants I1-I3.
+* :mod:`~repro.core.encoding` -- text/JSON/binary codecs and size accounting.
+* :class:`~repro.core.order.Ordering` -- the shared comparison vocabulary.
+"""
+
+from .bitstring import BitString, EMPTY
+from .errors import (
+    BitStringError,
+    EncodingError,
+    FrontierError,
+    InvariantViolation,
+    NameError_,
+    ReproError,
+    StampError,
+)
+from .frontier import Frontier
+from .invariants import (
+    InvariantReport,
+    Violation,
+    assert_invariants,
+    check_all,
+    check_i1,
+    check_i2,
+    check_i3,
+    check_wellformed,
+)
+from .names import Name, is_antichain, maximal_strings
+from .order import Ordering, ordering_from_leq, ordering_from_sets
+from .reduction import (
+    ReductionStats,
+    find_sibling_pair,
+    is_normal_form,
+    normalize,
+    reduce_stamp_pair,
+    rewrite_once,
+)
+from .stamp import VersionStamp
+
+__all__ = [
+    "BitString",
+    "EMPTY",
+    "Name",
+    "is_antichain",
+    "maximal_strings",
+    "VersionStamp",
+    "Frontier",
+    "Ordering",
+    "ordering_from_leq",
+    "ordering_from_sets",
+    "ReductionStats",
+    "find_sibling_pair",
+    "is_normal_form",
+    "normalize",
+    "reduce_stamp_pair",
+    "rewrite_once",
+    "InvariantReport",
+    "Violation",
+    "assert_invariants",
+    "check_all",
+    "check_i1",
+    "check_i2",
+    "check_i3",
+    "check_wellformed",
+    "ReproError",
+    "BitStringError",
+    "NameError_",
+    "StampError",
+    "InvariantViolation",
+    "FrontierError",
+    "EncodingError",
+]

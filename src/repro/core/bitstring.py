@@ -1,0 +1,282 @@
+"""Finite binary strings with the prefix order.
+
+This module implements the poset *S* of Section 4 of the paper: the set of
+all finite binary strings (sequences over ``{0, 1}``) ordered by
+
+    ``r ⊑ s  iff  r is a prefix of s``.
+
+The empty string ``ε`` is the bottom element of the order.  Two strings that
+are not related by the prefix order are *incomparable* (written ``r ∥ s`` in
+the paper).
+
+:class:`BitString` values are immutable, hashable and totally ordered
+*lexicographically* (so they can live in sorted containers and have a
+canonical display order); the *prefix* partial order of the paper is exposed
+through :meth:`BitString.is_prefix_of`, :meth:`BitString.comparable` and
+friends, not through ``<``/``>``.
+
+Examples
+--------
+>>> from repro.core.bitstring import BitString
+>>> BitString("01").is_prefix_of(BitString("011"))
+True
+>>> BitString("01").comparable(BitString("00"))
+False
+>>> BitString.empty().is_prefix_of(BitString("10"))
+True
+>>> BitString("0") + BitString("1")
+BitString('01')
+"""
+
+from __future__ import annotations
+
+from functools import total_ordering
+from typing import Iterable, Iterator, Tuple, Union
+
+from .errors import BitStringError
+
+__all__ = ["BitString", "Bit", "EMPTY"]
+
+#: A single bit, represented as the integer 0 or 1.
+Bit = int
+
+_VALID_CHARS = frozenset("01")
+
+
+@total_ordering
+class BitString:
+    """An immutable finite binary string.
+
+    Parameters
+    ----------
+    bits:
+        Either a string of ``'0'``/``'1'`` characters, an iterable of
+        integers 0/1, or another :class:`BitString` (copied).
+
+    Notes
+    -----
+    Instances are interned per-value cheaply through ``__slots__`` and a
+    cached hash; equality and hashing are by value.
+    """
+
+    __slots__ = ("_bits", "_hash")
+
+    def __init__(self, bits: Union[str, Iterable[Bit], "BitString"] = "") -> None:
+        if isinstance(bits, BitString):
+            text = bits._bits
+        elif isinstance(bits, str):
+            if not set(bits) <= _VALID_CHARS:
+                raise BitStringError(
+                    f"binary string may only contain '0' and '1': {bits!r}"
+                )
+            text = bits
+        else:
+            chars = []
+            for bit in bits:
+                if bit not in (0, 1):
+                    raise BitStringError(f"bits must be 0 or 1, got {bit!r}")
+                chars.append("1" if bit else "0")
+            text = "".join(chars)
+        object.__setattr__(self, "_bits", text)
+        object.__setattr__(self, "_hash", hash(("BitString", text)))
+
+    # -- constructors -------------------------------------------------
+
+    @classmethod
+    def empty(cls) -> "BitString":
+        """Return the empty string ``ε`` (bottom of the prefix order)."""
+        return _EMPTY
+
+    @classmethod
+    def from_bits(cls, bits: Iterable[Bit]) -> "BitString":
+        """Build a bit string from an iterable of 0/1 integers."""
+        return cls(bits)
+
+    @classmethod
+    def parse(cls, text: str) -> "BitString":
+        """Parse a textual binary string such as ``"0110"``.
+
+        The paper's ``ε`` (or an empty string) denotes the empty bit string.
+        """
+        if text in ("ε", "e", ""):
+            return cls.empty()
+        return cls(text)
+
+    # -- immutability -------------------------------------------------
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("BitString instances are immutable")
+
+    def __delattr__(self, name: str) -> None:
+        raise AttributeError("BitString instances are immutable")
+
+    # -- basic protocol -----------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._bits)
+
+    def __iter__(self) -> Iterator[Bit]:
+        return (1 if char == "1" else 0 for char in self._bits)
+
+    def __getitem__(self, index) -> Union[Bit, "BitString"]:
+        if isinstance(index, slice):
+            return BitString(self._bits[index])
+        return 1 if self._bits[index] == "1" else 0
+
+    def __bool__(self) -> bool:
+        """A bit string is falsy only when it is the empty string."""
+        return bool(self._bits)
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, BitString):
+            return self._bits == other._bits
+        return NotImplemented
+
+    def __lt__(self, other: "BitString") -> bool:
+        """Lexicographic order used only for canonical sorting and display.
+
+        This matches the paper's presentation order (``00+01+1``); it is not
+        the prefix order, which is partial and exposed through
+        :meth:`is_prefix_of` and friends.
+        """
+        if not isinstance(other, BitString):
+            return NotImplemented
+        return self._bits < other._bits
+
+    def __repr__(self) -> str:
+        return f"BitString({self._bits!r})"
+
+    def __str__(self) -> str:
+        return self._bits or "ε"
+
+    # -- concatenation ------------------------------------------------
+
+    def __add__(self, other: Union["BitString", str, int]) -> "BitString":
+        """Concatenate with another bit string, text literal or single bit."""
+        if isinstance(other, BitString):
+            return BitString(self._bits + other._bits)
+        if isinstance(other, str):
+            return BitString(self._bits + BitString(other)._bits)
+        if other in (0, 1):
+            return BitString(self._bits + ("1" if other else "0"))
+        return NotImplemented
+
+    def append(self, bit: Bit) -> "BitString":
+        """Return a new string with ``bit`` appended to the right.
+
+        This is the concatenation used by the ``fork`` operation of
+        Definition 4.3: forking appends 0 to one child id and 1 to the other.
+        """
+        if bit not in (0, 1):
+            raise BitStringError(f"bit must be 0 or 1, got {bit!r}")
+        return BitString(self._bits + ("1" if bit else "0"))
+
+    def zero(self) -> "BitString":
+        """Shorthand for :meth:`append` with bit 0."""
+        return self.append(0)
+
+    def one(self) -> "BitString":
+        """Shorthand for :meth:`append` with bit 1."""
+        return self.append(1)
+
+    # -- the prefix order ----------------------------------------------
+
+    def is_prefix_of(self, other: "BitString") -> bool:
+        """Return ``True`` iff ``self ⊑ other`` (self is a prefix of other).
+
+        The relation is reflexive: every string is a prefix of itself.
+        """
+        return other._bits.startswith(self._bits)
+
+    def is_proper_prefix_of(self, other: "BitString") -> bool:
+        """Return ``True`` iff ``self ⊑ other`` and ``self != other``."""
+        return self != other and other._bits.startswith(self._bits)
+
+    def is_extension_of(self, other: "BitString") -> bool:
+        """Return ``True`` iff ``other ⊑ self``."""
+        return self._bits.startswith(other._bits)
+
+    def comparable(self, other: "BitString") -> bool:
+        """Return ``True`` iff the two strings are related by the prefix order.
+
+        The paper writes ``r ∥ s`` for *incomparable* strings; this method is
+        the negation of that relation.
+        """
+        return self.is_prefix_of(other) or other.is_prefix_of(self)
+
+    def incomparable(self, other: "BitString") -> bool:
+        """Return ``True`` iff ``self ∥ other`` (neither is a prefix)."""
+        return not self.comparable(other)
+
+    # -- structural helpers --------------------------------------------
+
+    @property
+    def bits(self) -> Tuple[Bit, ...]:
+        """The bits as a tuple of integers."""
+        return tuple(1 if char == "1" else 0 for char in self._bits)
+
+    @property
+    def text(self) -> str:
+        """The raw ``'0'``/``'1'`` text (empty string for ``ε``)."""
+        return self._bits
+
+    def parent(self) -> "BitString":
+        """Return the string with the last bit removed.
+
+        Raises
+        ------
+        BitStringError
+            If the string is empty.
+        """
+        if not self._bits:
+            raise BitStringError("the empty string has no parent")
+        return BitString(self._bits[:-1])
+
+    def last_bit(self) -> Bit:
+        """Return the last bit of a non-empty string."""
+        if not self._bits:
+            raise BitStringError("the empty string has no last bit")
+        return 1 if self._bits[-1] == "1" else 0
+
+    def sibling(self) -> "BitString":
+        """Return the string differing only in the last bit (``s0`` <-> ``s1``).
+
+        Siblings are exactly the pairs collapsed by the Section 6 rewriting
+        rule ``{i, s0, s1} -> {i, s}``.
+        """
+        if not self._bits:
+            raise BitStringError("the empty string has no sibling")
+        flipped = "0" if self._bits[-1] == "1" else "1"
+        return BitString(self._bits[:-1] + flipped)
+
+    def is_sibling_of(self, other: "BitString") -> bool:
+        """Return ``True`` iff the two strings differ only in their last bit."""
+        if not self._bits or not other._bits:
+            return False
+        return self != other and self._bits[:-1] == other._bits[:-1]
+
+    def common_prefix(self, other: "BitString") -> "BitString":
+        """Return the longest common prefix (the meet in the prefix order)."""
+        limit = min(len(self._bits), len(other._bits))
+        index = 0
+        while index < limit and self._bits[index] == other._bits[index]:
+            index += 1
+        return BitString(self._bits[:index])
+
+    def size_in_bits(self) -> int:
+        """Size of a length-prefixed encoding of this string, in bits.
+
+        A practical encoding needs the payload bits plus a terminator or
+        length; we charge ``len + 1`` bits, matching the codec in
+        :mod:`repro.core.encoding`.
+        """
+        return len(self._bits) + 1
+
+
+_EMPTY = BitString("")
+
+#: The empty binary string ``ε``.
+EMPTY = _EMPTY

@@ -1,0 +1,270 @@
+"""Serialization of names and version stamps.
+
+The paper argues (Section 3) that an "efficient use of space is also highly
+desirable in order to support a practical use" of version stamps.  This
+module provides three interchangeable codecs plus the size accounting used by
+the space benchmarks:
+
+* **text** -- the paper's human-readable ``[update | id]`` notation with
+  ``+``-separated binary strings.
+* **JSON** -- a portable dictionary representation for interoperability.
+* **binary** -- a compact bit-level codec.  A name is an antichain, i.e. the
+  set of leaves of a binary trie; the codec walks that trie emitting one
+  "member leaf?" bit per node and one presence bit per child, which is
+  self-delimiting and close to the information-theoretic minimum for the
+  structures the mechanism produces.  Stamps concatenate the encodings of the
+  two components; the byte form pads the final byte with zeros.
+
+All functions raise :class:`~repro.core.errors.EncodingError` on malformed
+input.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Tuple
+
+from .bitstring import BitString
+from .errors import EncodingError
+from .names import Name
+from .stamp import VersionStamp
+
+__all__ = [
+    "name_to_json",
+    "name_from_json",
+    "stamp_to_json",
+    "stamp_from_json",
+    "stamp_to_text",
+    "stamp_from_text",
+    "name_to_bitstream",
+    "name_from_bitstream",
+    "stamp_to_bitstream",
+    "stamp_from_bitstream",
+    "stamp_to_bytes",
+    "stamp_from_bytes",
+    "encoded_size_bits",
+    "encoded_size_bytes",
+]
+
+
+# -- JSON codec --------------------------------------------------------------
+
+
+def name_to_json(name: Name) -> List[str]:
+    """Represent a name as a sorted list of its member strings."""
+    return [str(s) if len(s) else "" for s in name.sorted_strings()]
+
+
+def name_from_json(data: object) -> Name:
+    """Rebuild a name from :func:`name_to_json` output."""
+    if not isinstance(data, list) or not all(isinstance(item, str) for item in data):
+        raise EncodingError(f"a JSON name must be a list of strings, got {data!r}")
+    try:
+        return Name(BitString.parse(item) for item in data)
+    except Exception as exc:  # noqa: BLE001 - normalize to EncodingError
+        raise EncodingError(f"invalid name payload {data!r}: {exc}") from exc
+
+
+def stamp_to_json(stamp: VersionStamp) -> Dict[str, object]:
+    """Represent a stamp as a JSON-serializable dictionary."""
+    return {
+        "update": name_to_json(stamp.update_component),
+        "id": name_to_json(stamp.identity),
+        "reducing": stamp.reducing,
+    }
+
+
+def stamp_from_json(data: object) -> VersionStamp:
+    """Rebuild a stamp from :func:`stamp_to_json` output (or its JSON text)."""
+    if isinstance(data, str):
+        try:
+            data = json.loads(data)
+        except json.JSONDecodeError as exc:
+            raise EncodingError(f"invalid JSON: {exc}") from exc
+    if not isinstance(data, dict) or "update" not in data or "id" not in data:
+        raise EncodingError(
+            f"a JSON stamp must be an object with 'update' and 'id', got {data!r}"
+        )
+    update = name_from_json(data["update"])
+    identity = name_from_json(data["id"])
+    reducing = bool(data.get("reducing", True))
+    try:
+        return VersionStamp(update, identity, reducing=reducing)
+    except Exception as exc:  # noqa: BLE001
+        raise EncodingError(f"invalid stamp payload {data!r}: {exc}") from exc
+
+
+# -- text codec ---------------------------------------------------------------
+
+
+def stamp_to_text(stamp: VersionStamp) -> str:
+    """The paper's ``[update | id]`` notation."""
+    return str(stamp)
+
+
+def stamp_from_text(text: str, *, reducing: bool = True) -> VersionStamp:
+    """Parse the paper's ``[update | id]`` notation."""
+    try:
+        return VersionStamp.parse(text, reducing=reducing)
+    except Exception as exc:  # noqa: BLE001
+        raise EncodingError(f"invalid stamp text {text!r}: {exc}") from exc
+
+
+# -- binary (trie) codec --------------------------------------------------------
+
+
+def _trie_of(name: Name) -> dict:
+    """Build the minimal binary trie containing the member strings as leaves."""
+    root: dict = {"member": False, "children": {}}
+    for string in name.strings:
+        node = root
+        for bit in string:
+            node = node["children"].setdefault(bit, {"member": False, "children": {}})
+        node["member"] = True
+    return root
+
+
+def _emit_trie(node: dict, out: List[int]) -> None:
+    out.append(1 if node["member"] else 0)
+    if node["member"]:
+        # Members of an antichain have no descendants in the minimal trie.
+        return
+    for bit in (0, 1):
+        child = node["children"].get(bit)
+        if child is None:
+            out.append(0)
+        else:
+            out.append(1)
+            _emit_trie(child, out)
+
+
+def name_to_bitstream(name: Name) -> List[int]:
+    """Encode a name as a list of bits using the trie walk described above."""
+    bits: List[int] = []
+    _emit_trie(_trie_of(name), bits)
+    return bits
+
+
+class _BitReader:
+    """Sequential reader over a list of bits with bounds checking."""
+
+    def __init__(self, bits: Iterable[int]) -> None:
+        self._bits = list(bits)
+        self._position = 0
+
+    def read(self) -> int:
+        if self._position >= len(self._bits):
+            raise EncodingError("truncated bit stream")
+        bit = self._bits[self._position]
+        if bit not in (0, 1):
+            raise EncodingError(f"bit stream may only contain 0/1, got {bit!r}")
+        self._position += 1
+        return bit
+
+    @property
+    def position(self) -> int:
+        return self._position
+
+    def remaining(self) -> int:
+        return len(self._bits) - self._position
+
+
+def _read_trie(reader: _BitReader, prefix: BitString, strings: List[BitString]) -> None:
+    member = reader.read()
+    if member:
+        strings.append(prefix)
+        return
+    for bit in (0, 1):
+        present = reader.read()
+        if present:
+            _read_trie(reader, prefix.append(bit), strings)
+
+
+def name_from_bitstream(bits: Iterable[int]) -> Name:
+    """Decode a name produced by :func:`name_to_bitstream`."""
+    reader = _BitReader(bits)
+    name = _read_name(reader)
+    if reader.remaining():
+        raise EncodingError(
+            f"{reader.remaining()} trailing bits after decoding a name"
+        )
+    return name
+
+
+def _read_name(reader: _BitReader) -> Name:
+    strings: List[BitString] = []
+    _read_trie(reader, BitString.empty(), strings)
+    try:
+        return Name(strings)
+    except Exception as exc:  # noqa: BLE001
+        raise EncodingError(f"decoded strings are not an antichain: {exc}") from exc
+
+
+def stamp_to_bitstream(stamp: VersionStamp) -> List[int]:
+    """Encode a stamp as the concatenation of its two component encodings."""
+    return name_to_bitstream(stamp.update_component) + name_to_bitstream(stamp.identity)
+
+
+def stamp_from_bitstream(bits: Iterable[int], *, reducing: bool = True) -> VersionStamp:
+    """Decode a stamp produced by :func:`stamp_to_bitstream`."""
+    reader = _BitReader(bits)
+    update = _read_name(reader)
+    identity = _read_name(reader)
+    if reader.remaining():
+        raise EncodingError(
+            f"{reader.remaining()} trailing bits after decoding a stamp"
+        )
+    try:
+        return VersionStamp(update, identity, reducing=reducing)
+    except Exception as exc:  # noqa: BLE001
+        raise EncodingError(f"decoded components do not form a stamp: {exc}") from exc
+
+
+def stamp_to_bytes(stamp: VersionStamp) -> bytes:
+    """Encode a stamp to bytes: a 2-byte bit count followed by packed bits."""
+    bits = stamp_to_bitstream(stamp)
+    if len(bits) > 0xFFFF:
+        raise EncodingError("stamp too large for the 16-bit length prefix")
+    packed = bytearray(len(bits).to_bytes(2, "big"))
+    current = 0
+    filled = 0
+    for bit in bits:
+        current = (current << 1) | bit
+        filled += 1
+        if filled == 8:
+            packed.append(current)
+            current = 0
+            filled = 0
+    if filled:
+        packed.append(current << (8 - filled))
+    return bytes(packed)
+
+
+def stamp_from_bytes(payload: bytes, *, reducing: bool = True) -> VersionStamp:
+    """Decode a stamp produced by :func:`stamp_to_bytes`."""
+    if len(payload) < 2:
+        raise EncodingError("stamp byte payload must contain a 2-byte length prefix")
+    bit_count = int.from_bytes(payload[:2], "big")
+    body = payload[2:]
+    if len(body) * 8 < bit_count:
+        raise EncodingError(
+            f"payload declares {bit_count} bits but only carries {len(body) * 8}"
+        )
+    bits: List[int] = []
+    for index in range(bit_count):
+        byte = body[index // 8]
+        bits.append((byte >> (7 - index % 8)) & 1)
+    return stamp_from_bitstream(bits, reducing=reducing)
+
+
+# -- size accounting --------------------------------------------------------------
+
+
+def encoded_size_bits(stamp: VersionStamp) -> int:
+    """Exact size, in bits, of the compact binary encoding of ``stamp``."""
+    return len(stamp_to_bitstream(stamp))
+
+
+def encoded_size_bytes(stamp: VersionStamp) -> int:
+    """Size, in bytes, of :func:`stamp_to_bytes` output (incl. length prefix)."""
+    return len(stamp_to_bytes(stamp))

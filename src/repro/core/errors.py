@@ -1,0 +1,73 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All exceptions raised by the library derive from :class:`ReproError`, so
+callers can catch a single base class.  More specific subclasses indicate
+which part of the system rejected an input:
+
+* :class:`BitStringError` -- malformed binary strings.
+* :class:`NameError_` -- violations of the antichain well-formedness of names.
+* :class:`StampError` -- invalid version stamp construction or operations.
+* :class:`InvariantViolation` -- a configuration breaks one of the paper's
+  invariants (I1, I2 or I3); raised by the invariant checker when asked to
+  raise instead of report.
+* :class:`FrontierError` -- invalid frontier/configuration manipulation
+  (unknown element labels, joining an element with itself, ...).
+* :class:`EncodingError` -- serialization or deserialization failures.
+* :class:`ReplicationError` -- errors in the replication substrate.
+* :class:`SimulationError` -- malformed traces or workload parameters.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "BitStringError",
+    "NameError_",
+    "StampError",
+    "InvariantViolation",
+    "FrontierError",
+    "EncodingError",
+    "ReplicationError",
+    "SimulationError",
+]
+
+
+class ReproError(Exception):
+    """Base class of every exception raised by the repro library."""
+
+
+class BitStringError(ReproError, ValueError):
+    """A binary string literal or operation is malformed."""
+
+
+class NameError_(ReproError, ValueError):
+    """A name (antichain of binary strings) is not well formed."""
+
+
+class StampError(ReproError, ValueError):
+    """A version stamp is malformed or an operation on it is invalid."""
+
+
+class InvariantViolation(ReproError, AssertionError):
+    """A configuration violates one of the invariants I1, I2 or I3."""
+
+    def __init__(self, invariant: str, message: str) -> None:
+        super().__init__(f"{invariant}: {message}")
+        self.invariant = invariant
+        self.message = message
+
+
+class FrontierError(ReproError, KeyError):
+    """An operation on a frontier refers to unknown or invalid elements."""
+
+
+class EncodingError(ReproError, ValueError):
+    """A stamp, name or configuration could not be (de)serialized."""
+
+
+class ReplicationError(ReproError, RuntimeError):
+    """The replication substrate was used incorrectly."""
+
+
+class SimulationError(ReproError, ValueError):
+    """A trace or workload specification is invalid."""

@@ -1,0 +1,262 @@
+"""Frontier configurations of stamped elements.
+
+The paper describes the system as a *configuration*: a mapping from the
+labels of currently-coexisting elements (the frontier) to their version
+stamps, transformed by ``update``, ``fork`` and ``join`` (Definition 4.3).
+:class:`Frontier` implements exactly that calculus and is the basis of the
+tests, the exhaustive model checker and the figure reconstructions.
+
+Element labels are arbitrary strings supplied by the caller (e.g. ``"a"``,
+``"b1"``).  Operations return the labels of the elements they create so
+callers can follow the paper's naming (``update(a)`` produces ``a'``) or use
+their own scheme.
+
+The frontier itself never needs a global view: every transformation only
+reads and writes the stamps of the elements it names, mirroring the locality
+argument of Section 4.
+
+Examples
+--------
+>>> from repro.core.frontier import Frontier
+>>> frontier = Frontier.initial("a")
+>>> frontier.fork("a", "b", "c")
+('b', 'c')
+>>> frontier.update("c", "c'")
+"c'"
+>>> frontier.compare("b", "c'").name
+'CONCURRENT'
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Iterator, List, Mapping, Optional, Tuple
+
+from .errors import FrontierError
+from .order import Ordering
+from .stamp import VersionStamp
+
+__all__ = ["Frontier"]
+
+
+class Frontier:
+    """A mutable configuration mapping element labels to version stamps.
+
+    Parameters
+    ----------
+    stamps:
+        Initial mapping of labels to stamps.  Use :meth:`initial` to start
+        from the paper's one-element seed configuration.
+    reducing:
+        Flavour used for stamps created by :meth:`initial`; stamps supplied
+        explicitly keep their own flavour.
+    """
+
+    def __init__(
+        self,
+        stamps: Optional[Mapping[str, VersionStamp]] = None,
+        *,
+        reducing: bool = True,
+    ) -> None:
+        self._stamps: Dict[str, VersionStamp] = dict(stamps or {})
+        self._reducing = reducing
+        self._op_log: List[Tuple[str, Tuple[str, ...]]] = []
+
+    # -- constructors -------------------------------------------------
+
+    @classmethod
+    def initial(cls, label: str = "a", *, reducing: bool = True) -> "Frontier":
+        """The paper's initial configuration ``{label ↦ (ε, ε)}``."""
+        frontier = cls(reducing=reducing)
+        frontier._stamps[label] = VersionStamp.seed(reducing=reducing)
+        frontier._op_log.append(("seed", (label,)))
+        return frontier
+
+    # -- mapping protocol -----------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._stamps)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._stamps)
+
+    def __contains__(self, label: object) -> bool:
+        return label in self._stamps
+
+    def __getitem__(self, label: str) -> VersionStamp:
+        return self.stamp_of(label)
+
+    def labels(self) -> List[str]:
+        """The labels of the coexisting elements, in insertion order."""
+        return list(self._stamps)
+
+    def stamps(self) -> Dict[str, VersionStamp]:
+        """A copy of the label → stamp mapping."""
+        return dict(self._stamps)
+
+    def stamp_of(self, label: str) -> VersionStamp:
+        """The stamp of ``label``.
+
+        Raises
+        ------
+        FrontierError
+            If the label does not belong to the current frontier.
+        """
+        try:
+            return self._stamps[label]
+        except KeyError:
+            raise FrontierError(
+                f"element {label!r} is not part of the current frontier "
+                f"(elements: {sorted(self._stamps)})"
+            ) from None
+
+    def operation_log(self) -> List[Tuple[str, Tuple[str, ...]]]:
+        """The sequence of operations applied so far (for replay/debugging)."""
+        return list(self._op_log)
+
+    def __repr__(self) -> str:
+        body = ", ".join(f"{label}: {stamp}" for label, stamp in self._stamps.items())
+        return f"Frontier({{{body}}})"
+
+    # -- transformations of Definition 4.3 --------------------------------
+
+    def _fresh_label(self, base: str) -> str:
+        candidate = base
+        while candidate in self._stamps:
+            candidate += "'"
+        return candidate
+
+    def update(self, label: str, new_label: Optional[str] = None) -> str:
+        """Apply ``update(label)``; the element is renamed to ``new_label``.
+
+        When ``new_label`` is omitted a prime is appended to the old label
+        (``a`` becomes ``a'``), following the paper's convention.  Returns
+        the label of the updated element.
+        """
+        stamp = self.stamp_of(label)
+        target = new_label if new_label is not None else self._fresh_label(label + "'")
+        if target != label and target in self._stamps:
+            raise FrontierError(f"element {target!r} already exists in the frontier")
+        del self._stamps[label]
+        self._stamps[target] = stamp.update()
+        self._op_log.append(("update", (label, target)))
+        return target
+
+    def fork(
+        self,
+        label: str,
+        left_label: Optional[str] = None,
+        right_label: Optional[str] = None,
+    ) -> Tuple[str, str]:
+        """Apply ``fork(label)`` producing two elements; returns their labels."""
+        stamp = self.stamp_of(label)
+        left = left_label if left_label is not None else self._fresh_label(label + "0")
+        del self._stamps[label]
+        right = (
+            right_label if right_label is not None else self._fresh_label(label + "1")
+        )
+        if left == right:
+            raise FrontierError("fork children must have distinct labels")
+        for target in (left, right):
+            if target in self._stamps:
+                raise FrontierError(
+                    f"element {target!r} already exists in the frontier"
+                )
+        left_stamp, right_stamp = stamp.fork()
+        self._stamps[left] = left_stamp
+        self._stamps[right] = right_stamp
+        self._op_log.append(("fork", (label, left, right)))
+        return left, right
+
+    def join(
+        self, first: str, second: str, new_label: Optional[str] = None
+    ) -> str:
+        """Apply ``join(first, second)``; returns the label of the result."""
+        if first == second:
+            raise FrontierError("cannot join an element with itself")
+        first_stamp = self.stamp_of(first)
+        second_stamp = self.stamp_of(second)
+        target = (
+            new_label
+            if new_label is not None
+            else self._fresh_label(f"{first}{second}")
+        )
+        del self._stamps[first]
+        del self._stamps[second]
+        if target in self._stamps:
+            raise FrontierError(f"element {target!r} already exists in the frontier")
+        self._stamps[target] = first_stamp.join(second_stamp)
+        self._op_log.append(("join", (first, second, target)))
+        return target
+
+    def sync(
+        self,
+        first: str,
+        second: str,
+        left_label: Optional[str] = None,
+        right_label: Optional[str] = None,
+    ) -> Tuple[str, str]:
+        """Synchronize two elements (join followed by fork, Section 1.1)."""
+        joined = self.join(first, second)
+        return self.fork(
+            joined,
+            left_label if left_label is not None else first,
+            right_label if right_label is not None else second,
+        )
+
+    # -- queries ------------------------------------------------------------
+
+    def compare(self, first: str, second: str) -> Ordering:
+        """Compare two frontier elements by their update knowledge."""
+        return self.stamp_of(first).compare(self.stamp_of(second))
+
+    def equivalent(self, first: str, second: str) -> bool:
+        """True when the two elements have seen exactly the same updates."""
+        return self.compare(first, second) is Ordering.EQUAL
+
+    def obsolete(self, first: str, second: str) -> bool:
+        """True when ``first`` is obsolete relative to ``second``."""
+        return self.compare(first, second) is Ordering.BEFORE
+
+    def inconsistent(self, first: str, second: str) -> bool:
+        """True when the two elements are mutually inconsistent."""
+        return self.compare(first, second) is Ordering.CONCURRENT
+
+    def ordering_matrix(self) -> Dict[Tuple[str, str], Ordering]:
+        """All pairwise comparisons of the current frontier.
+
+        The result maps ordered pairs ``(x, y)`` with ``x != y`` to the
+        ordering of ``x`` relative to ``y``; used to cross-check whole
+        frontiers against the causal-history oracle.
+        """
+        labels = self.labels()
+        matrix: Dict[Tuple[str, str], Ordering] = {}
+        for x in labels:
+            for y in labels:
+                if x != y:
+                    matrix[(x, y)] = self.compare(x, y)
+        return matrix
+
+    def dominating_elements(self) -> List[str]:
+        """Labels of elements not strictly dominated by any other element.
+
+        These are the maximal versions of the frontier -- the candidates a
+        reconciliation procedure has to merge.
+        """
+        labels = self.labels()
+        maximal = []
+        for x in labels:
+            if not any(
+                self.compare(x, y) is Ordering.BEFORE for y in labels if y != x
+            ):
+                maximal.append(x)
+        return maximal
+
+    def total_size_in_bits(self) -> int:
+        """Sum of the encoded sizes of every stamp in the frontier."""
+        return sum(stamp.size_in_bits() for stamp in self._stamps.values())
+
+    def copy(self) -> "Frontier":
+        """An independent copy of the frontier (stamps are immutable)."""
+        clone = Frontier(self._stamps, reducing=self._reducing)
+        clone._op_log = list(self._op_log)
+        return clone

@@ -1,0 +1,187 @@
+"""Executable checks of the paper's invariants I1, I2 and I3.
+
+Section 4 establishes three invariants over every reachable configuration of
+version stamps, and Section 6 proves that the join-simplification rewriting
+preserves them.  This module turns them into runtime checks usable by tests,
+the exhaustive model checker and failure-injection experiments:
+
+* **I1** (per stamp): ``update ⊑ id``.
+* **I2** (per pair of distinct frontier elements): every string of one id is
+  incomparable with every string of the other id.
+* **I3** (per ordered pair of distinct frontier elements): for every string
+  ``r`` of ``x``'s update, ``{r} ⊑ id_y  ⇒  {r} ⊑ update_y``.
+
+The checkers accept anything shaped like a mapping from labels to stamps
+(including :class:`~repro.core.frontier.Frontier`) or a bare collection of
+stamps when labels are irrelevant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple, Union
+
+from .errors import InvariantViolation
+from .names import is_antichain
+from .stamp import VersionStamp
+
+__all__ = [
+    "Violation",
+    "InvariantReport",
+    "check_i1",
+    "check_i2",
+    "check_i3",
+    "check_wellformed",
+    "check_all",
+    "assert_invariants",
+]
+
+StampsLike = Union[Mapping[str, VersionStamp], Sequence[VersionStamp]]
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One invariant violation found in a configuration."""
+
+    invariant: str
+    elements: Tuple[str, ...]
+    detail: str
+
+    def __str__(self) -> str:
+        involved = ", ".join(self.elements)
+        return f"{self.invariant} violated by ({involved}): {self.detail}"
+
+
+@dataclass
+class InvariantReport:
+    """The outcome of checking a configuration against all invariants."""
+
+    violations: List[Violation] = field(default_factory=list)
+    checked_stamps: int = 0
+    checked_pairs: int = 0
+
+    @property
+    def ok(self) -> bool:
+        """True when no violation was found."""
+        return not self.violations
+
+    def raise_if_violated(self) -> None:
+        """Raise :class:`InvariantViolation` for the first violation, if any."""
+        if self.violations:
+            first = self.violations[0]
+            raise InvariantViolation(first.invariant, str(first))
+
+    def __str__(self) -> str:
+        if self.ok:
+            return (
+                f"all invariants hold over {self.checked_stamps} stamps "
+                f"and {self.checked_pairs} pairs"
+            )
+        lines = [f"{len(self.violations)} invariant violation(s):"]
+        lines.extend(f"  - {violation}" for violation in self.violations)
+        return "\n".join(lines)
+
+
+def _as_mapping(stamps: StampsLike) -> Dict[str, VersionStamp]:
+    if isinstance(stamps, Mapping):
+        return dict(stamps)
+    return {f"#{index}": stamp for index, stamp in enumerate(stamps)}
+
+
+def check_wellformed(stamps: StampsLike) -> List[Violation]:
+    """Check that every stamp component is a well-formed name (an antichain)."""
+    violations = []
+    for label, stamp in _as_mapping(stamps).items():
+        for component_name, component in (
+            ("update", stamp.update_component),
+            ("id", stamp.identity),
+        ):
+            if not is_antichain(component.strings):
+                violations.append(
+                    Violation(
+                        "wellformedness",
+                        (label,),
+                        f"{component_name} component {component} is not an antichain",
+                    )
+                )
+    return violations
+
+
+def check_i1(stamps: StampsLike) -> List[Violation]:
+    """I1: in every stamp the update component is dominated by the id."""
+    violations = []
+    for label, stamp in _as_mapping(stamps).items():
+        if not stamp.update_component.dominated_by(stamp.identity):
+            violations.append(
+                Violation(
+                    "I1",
+                    (label,),
+                    f"update {stamp.update_component} ⋢ id {stamp.identity}",
+                )
+            )
+    return violations
+
+
+def check_i2(stamps: StampsLike) -> List[Violation]:
+    """I2: id strings of distinct frontier elements are pairwise incomparable."""
+    mapping = _as_mapping(stamps)
+    labels = list(mapping)
+    violations = []
+    for index, first in enumerate(labels):
+        for second in labels[index + 1:]:
+            id_first = mapping[first].identity
+            id_second = mapping[second].identity
+            for r in id_first.strings:
+                for s in id_second.strings:
+                    if r.comparable(s):
+                        violations.append(
+                            Violation(
+                                "I2",
+                                (first, second),
+                                f"id strings {r} and {s} are comparable",
+                            )
+                        )
+    return violations
+
+
+def check_i3(stamps: StampsLike) -> List[Violation]:
+    """I3: update strings covered by another element's id are covered by its update."""
+    mapping = _as_mapping(stamps)
+    labels = list(mapping)
+    violations = []
+    for x in labels:
+        for y in labels:
+            if x == y:
+                continue
+            update_x = mapping[x].update_component
+            update_y = mapping[y].update_component
+            id_y = mapping[y].identity
+            for r in update_x.strings:
+                if id_y.covers_string(r) and not update_y.covers_string(r):
+                    violations.append(
+                        Violation(
+                            "I3",
+                            (x, y),
+                            f"string {r} of update({x}) is below id({y}) "
+                            f"but not below update({y})",
+                        )
+                    )
+    return violations
+
+
+def check_all(stamps: StampsLike) -> InvariantReport:
+    """Run every invariant check and return a consolidated report."""
+    mapping = _as_mapping(stamps)
+    report = InvariantReport(checked_stamps=len(mapping))
+    count = len(mapping)
+    report.checked_pairs = count * (count - 1) // 2
+    report.violations.extend(check_wellformed(mapping))
+    report.violations.extend(check_i1(mapping))
+    report.violations.extend(check_i2(mapping))
+    report.violations.extend(check_i3(mapping))
+    return report
+
+
+def assert_invariants(stamps: StampsLike) -> None:
+    """Raise :class:`InvariantViolation` unless all invariants hold."""
+    check_all(stamps).raise_if_violated()

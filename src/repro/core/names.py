@@ -1,0 +1,340 @@
+"""Names: finite antichains of binary strings (Definition 4.1 of the paper).
+
+A *name* is a finite antichain in the prefix-ordered set of binary strings.
+Names form a partial order under
+
+    ``n1 ⊑ n2  iff  ∀ r ∈ n1 . ∃ s ∈ n2 . r ⊑ s``
+
+which, because names are antichains, is a genuine partial order (not merely a
+pre-order) and a join semilattice (Proposition 4.2).  The join of two names
+is the set of maximal strings of their union:
+
+    ``n1 ⊔ n2 = { s ∈ n1 ∪ n2 | (s ⊑ r ∈ n1 ∪ n2) ⇒ s = r }``
+
+Intuitively a name denotes the down-set of its strings; the order is down-set
+inclusion and the join is down-set union.
+
+Both components of a version stamp (``update`` and ``id``) are names.
+
+Examples
+--------
+>>> from repro.core.names import Name
+>>> Name.parse("00+011") <= Name.parse("000+011+1")
+True
+>>> (Name.parse("00+011") | Name.parse("000+01+1")).to_text()
+'000+011+1'
+>>> Name.seed()          # the singleton {ε}, the initial identity
+Name('ε')
+"""
+
+from __future__ import annotations
+
+from typing import AbstractSet, FrozenSet, Iterable, Iterator, List, Optional, Tuple
+
+from .bitstring import BitString
+from .errors import NameError_
+
+__all__ = ["Name", "is_antichain", "maximal_strings"]
+
+
+def is_antichain(strings: Iterable[BitString]) -> bool:
+    """Return ``True`` iff no string in ``strings`` is a prefix of another.
+
+    The empty collection and singletons are trivially antichains.
+    """
+    items = list(strings)
+    for index, first in enumerate(items):
+        for second in items[index + 1:]:
+            if first.comparable(second):
+                return False
+    return True
+
+
+def maximal_strings(strings: Iterable[BitString]) -> FrozenSet[BitString]:
+    """Return the maximal elements of ``strings`` under the prefix order.
+
+    This is the normalization used by the name join: the result is always an
+    antichain representing the same down-set as the input.
+    """
+    items = set(strings)
+    maximal = set()
+    for candidate in items:
+        dominated = any(
+            candidate != other and candidate.is_prefix_of(other) for other in items
+        )
+        if not dominated:
+            maximal.add(candidate)
+    return frozenset(maximal)
+
+
+class Name:
+    """A finite antichain of binary strings, ordered as a down-set.
+
+    Instances are immutable and hashable.  Construction validates the
+    antichain property unless the input is already known to be normalized
+    (internal fast path used by :meth:`join`).
+
+    Parameters
+    ----------
+    strings:
+        The member binary strings.  They must form an antichain; pass the
+        output of :func:`maximal_strings` (or use :meth:`from_down_set`) if
+        the input may contain comparable strings.
+    """
+
+    __slots__ = ("_strings", "_hash")
+
+    def __init__(self, strings: Iterable[BitString] = (), *, _trusted: bool = False):
+        items = frozenset(
+            s if isinstance(s, BitString) else BitString(s) for s in strings
+        )
+        if not _trusted and not is_antichain(items):
+            raise NameError_(
+                f"strings do not form an antichain: "
+                f"{sorted(str(s) for s in items)}"
+            )
+        object.__setattr__(self, "_strings", items)
+        object.__setattr__(self, "_hash", hash(("Name", items)))
+
+    # -- constructors -------------------------------------------------
+
+    @classmethod
+    def seed(cls) -> "Name":
+        """The initial name ``{ε}`` given to the first element of a system."""
+        return _SEED
+
+    @classmethod
+    def empty(cls) -> "Name":
+        """The empty name ``{}`` (bottom of the name order).
+
+        The paper's initial stamp is ``({ε}, {ε})``; the empty name appears
+        only as a neutral element for joins and in degenerate encodings.
+        """
+        return _BOTTOM
+
+    @classmethod
+    def of(cls, *strings: str) -> "Name":
+        """Build a name from textual binary strings, e.g. ``Name.of("0", "11")``."""
+        return cls(BitString.parse(text) for text in strings)
+
+    @classmethod
+    def from_down_set(cls, strings: Iterable[BitString]) -> "Name":
+        """Build a name from arbitrary strings by keeping the maximal ones."""
+        return cls(maximal_strings(strings), _trusted=True)
+
+    @classmethod
+    def parse(cls, text: str) -> "Name":
+        """Parse the paper's ``+``-separated notation, e.g. ``"00+01+1"``.
+
+        ``"ε"`` (or an empty string) parses to the seed name ``{ε}`` and the
+        literal ``"{}"`` parses to the empty name.
+        """
+        text = text.strip()
+        if text == "{}":
+            return cls.empty()
+        if text in ("", "ε", "e"):
+            return cls.seed()
+        parts = [part.strip() for part in text.split("+")]
+        return cls(BitString.parse(part) for part in parts)
+
+    # -- immutability -------------------------------------------------
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("Name instances are immutable")
+
+    def __delattr__(self, name: str) -> None:
+        raise AttributeError("Name instances are immutable")
+
+    # -- basic protocol -----------------------------------------------
+
+    @property
+    def strings(self) -> FrozenSet[BitString]:
+        """The member binary strings as a frozen set."""
+        return self._strings
+
+    def __len__(self) -> int:
+        return len(self._strings)
+
+    def __iter__(self) -> Iterator[BitString]:
+        return iter(sorted(self._strings))
+
+    def __contains__(self, item: object) -> bool:
+        if isinstance(item, str):
+            item = BitString.parse(item)
+        return item in self._strings
+
+    def __bool__(self) -> bool:
+        return bool(self._strings)
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Name):
+            return self._strings == other._strings
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        return f"Name({self.to_text()!r})"
+
+    def __str__(self) -> str:
+        return self.to_text()
+
+    def to_text(self) -> str:
+        """Render in the paper's ``+``-separated notation (``'{}'`` if empty)."""
+        if not self._strings:
+            return "{}"
+        return "+".join(str(s) for s in sorted(self._strings))
+
+    def sorted_strings(self) -> List[BitString]:
+        """The member strings in canonical (length, lexicographic) order."""
+        return sorted(self._strings)
+
+    # -- the partial order ---------------------------------------------
+
+    def dominated_by(self, other: "Name") -> bool:
+        """Return ``True`` iff ``self ⊑ other`` in the name order.
+
+        Every string of ``self`` must be a prefix of some string of ``other``.
+        The empty name is below every name.
+        """
+        return all(
+            any(mine.is_prefix_of(theirs) for theirs in other._strings)
+            for mine in self._strings
+        )
+
+    def dominates(self, other: "Name") -> bool:
+        """Return ``True`` iff ``other ⊑ self``."""
+        return other.dominated_by(self)
+
+    def __le__(self, other: "Name") -> bool:
+        if not isinstance(other, Name):
+            return NotImplemented
+        return self.dominated_by(other)
+
+    def __ge__(self, other: "Name") -> bool:
+        if not isinstance(other, Name):
+            return NotImplemented
+        return other.dominated_by(self)
+
+    def __lt__(self, other: "Name") -> bool:
+        if not isinstance(other, Name):
+            return NotImplemented
+        return self != other and self.dominated_by(other)
+
+    def __gt__(self, other: "Name") -> bool:
+        if not isinstance(other, Name):
+            return NotImplemented
+        return self != other and other.dominated_by(self)
+
+    def comparable(self, other: "Name") -> bool:
+        """Return ``True`` iff the names are related in either direction."""
+        return self.dominated_by(other) or other.dominated_by(self)
+
+    def incomparable(self, other: "Name") -> bool:
+        """Return ``True`` iff neither name dominates the other."""
+        return not self.comparable(other)
+
+    def string_dominated_by(self, string: BitString, other: "Name") -> bool:
+        """Return ``True`` iff ``{string} ⊑ other`` (helper for invariant I3)."""
+        return any(string.is_prefix_of(theirs) for theirs in other._strings)
+
+    def covers_string(self, string: BitString) -> bool:
+        """Return ``True`` iff ``{string} ⊑ self``."""
+        return any(string.is_prefix_of(mine) for mine in self._strings)
+
+    def disjoint_ids(self, other: "Name") -> bool:
+        """Return ``True`` iff every string of ``self`` is incomparable to
+        every string of ``other``.
+
+        This is the pairwise relation required of distinct ids in a frontier
+        by invariant I2.
+        """
+        return all(
+            mine.incomparable(theirs)
+            for mine in self._strings
+            for theirs in other._strings
+        )
+
+    # -- the join semilattice -------------------------------------------
+
+    def join(self, other: "Name") -> "Name":
+        """The least upper bound ``self ⊔ other`` (Proposition 4.2).
+
+        The result is the antichain of maximal strings in the union of the
+        two names; it represents the union of the corresponding down-sets.
+        """
+        return Name.from_down_set(self._strings | other._strings)
+
+    def __or__(self, other: "Name") -> "Name":
+        if not isinstance(other, Name):
+            return NotImplemented
+        return self.join(other)
+
+    @classmethod
+    def join_all(cls, names: Iterable["Name"]) -> "Name":
+        """Join an arbitrary collection of names (``⊔`` over a set).
+
+        The join of the empty collection is the empty name.
+        """
+        strings: set = set()
+        for name in names:
+            strings |= name._strings
+        return cls.from_down_set(strings)
+
+    # -- fork support ----------------------------------------------------
+
+    def concat(self, bit: int) -> "Name":
+        """Append ``bit`` to every member string (``n·x`` in Definition 4.3).
+
+        Forking an element with id ``i`` produces children with ids ``i0``
+        and ``i1``; this is the lifting of single-bit concatenation to names.
+        Concatenation preserves the antichain property.
+        """
+        return Name((s.append(bit) for s in self._strings), _trusted=True)
+
+    def fork(self) -> Tuple["Name", "Name"]:
+        """Return the pair ``(self·0, self·1)`` of child identities."""
+        return self.concat(0), self.concat(1)
+
+    # -- down-set semantics ----------------------------------------------
+
+    def down_set(self) -> FrozenSet[BitString]:
+        """Materialize the down-set denoted by this name.
+
+        The down-set of ``{s1, ..., sk}`` is the set of all prefixes of the
+        member strings (including ``ε`` whenever the name is non-empty).
+        This is exponential-free (linear in total string length) and is used
+        by tests to check that the order on names is down-set inclusion and
+        the join is down-set union.
+        """
+        prefixes = set()
+        for string in self._strings:
+            text = string.text
+            for length in range(len(text) + 1):
+                prefixes.add(BitString(text[:length]))
+        return frozenset(prefixes)
+
+    # -- size accounting --------------------------------------------------
+
+    def total_bits(self) -> int:
+        """Total number of payload bits across member strings."""
+        return sum(len(s) for s in self._strings)
+
+    def size_in_bits(self) -> int:
+        """Size of a length-prefixed encoding of this name, in bits.
+
+        Matches the accounting of :mod:`repro.core.encoding`: each string
+        costs ``len + 1`` bits and the name itself costs one terminator.
+        """
+        return sum(s.size_in_bits() for s in self._strings) + 1
+
+    def max_depth(self) -> int:
+        """Length of the longest member string (0 for the seed/empty name)."""
+        if not self._strings:
+            return 0
+        return max(len(s) for s in self._strings)
+
+
+_SEED = Name((BitString.empty(),), _trusted=True)
+_BOTTOM = Name((), _trusted=True)

@@ -1,0 +1,154 @@
+"""Simplification of version stamps upon joins (Section 6 of the paper).
+
+After a ``join`` the frontier has fewer elements, so shorter identities
+suffice to keep them distinct.  The paper captures this with a rewriting rule
+on stamps ``(u, i)``:
+
+    ``(u, {i, s0, s1})  →  (u', {i, s})``
+
+where ``s0`` and ``s1`` are the two one-bit extensions of some string ``s``
+both present in the id, and
+
+    ``u' = u \\ {s0, s1} ∪ {s}``  if ``s0 ∈ u`` or ``s1 ∈ u``, else ``u' = u``.
+
+The rule is applied repeatedly until no sibling pair remains; because the
+name order is well founded and the rule is confluent, every stamp has a
+unique *normal form*.  The paper proves (and our tests re-check) that the
+rewriting preserves well-formedness, the invariants I1-I3 and the frontier
+relation ``R``.
+
+The functions in this module operate on pairs of :class:`~repro.core.names.Name`
+so they can be used both by :class:`~repro.core.stamp.VersionStamp` and by
+lower-level tooling (e.g. the exhaustive model checker explores both the
+reduced and the non-reduced variants of the mechanism).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Set, Tuple
+
+from .bitstring import BitString
+from .names import Name
+
+__all__ = [
+    "find_sibling_pair",
+    "rewrite_once",
+    "normalize",
+    "reduce_stamp_pair",
+    "ReductionStats",
+    "is_normal_form",
+]
+
+
+def find_sibling_pair(identity: Name) -> Optional[Tuple[BitString, BitString]]:
+    """Find a pair ``(s0, s1)`` of sibling strings in ``identity``.
+
+    Returns ``None`` when the id contains no two strings differing only in
+    their last bit, i.e. when the stamp is already in normal form with
+    respect to the Section 6 rewriting rule.  When several pairs exist an
+    arbitrary (but deterministic) one is returned; confluence of the rule
+    makes the choice irrelevant for the final normal form.
+    """
+    strings = identity.sorted_strings()
+    seen: Set[BitString] = set(strings)
+    for string in strings:
+        if len(string) == 0:
+            continue
+        sibling = string.sibling()
+        if sibling in seen:
+            zero, one = sorted((string, sibling))
+            return zero, one
+    return None
+
+
+def rewrite_once(update: Name, identity: Name) -> Optional[Tuple[Name, Name]]:
+    """Apply the rewriting rule once, if possible.
+
+    Returns the rewritten ``(update, identity)`` pair, or ``None`` when no
+    sibling pair exists in the id.
+    """
+    pair = find_sibling_pair(identity)
+    if pair is None:
+        return None
+    zero, one = pair
+    parent = zero.parent()
+
+    new_id_strings = (identity.strings - {zero, one}) | {parent}
+    new_identity = Name(new_id_strings, _trusted=True)
+
+    if zero in update.strings or one in update.strings:
+        new_update_strings = (update.strings - {zero, one}) | {parent}
+        new_update = Name(new_update_strings, _trusted=True)
+    else:
+        new_update = update
+    return new_update, new_identity
+
+
+def normalize(update: Name, identity: Name) -> Tuple[Name, Name, int]:
+    """Rewrite ``(update, identity)`` to its unique normal form.
+
+    Returns ``(update', identity', steps)`` where ``steps`` is the number of
+    rewriting-rule applications performed.  The rule strictly decreases the
+    total length of the id, so termination is guaranteed.
+    """
+    steps = 0
+    while True:
+        rewritten = rewrite_once(update, identity)
+        if rewritten is None:
+            return update, identity, steps
+        update, identity = rewritten
+        steps += 1
+
+
+def is_normal_form(identity: Name) -> bool:
+    """Return ``True`` iff the id contains no collapsible sibling pair."""
+    return find_sibling_pair(identity) is None
+
+
+@dataclass(frozen=True)
+class ReductionStats:
+    """Book-keeping about one normalization, used by the benchmarks.
+
+    Attributes
+    ----------
+    steps:
+        Number of rewriting-rule applications.
+    id_bits_before / id_bits_after:
+        Encoded size (bits) of the id component before and after.
+    update_bits_before / update_bits_after:
+        Encoded size (bits) of the update component before and after.
+    """
+
+    steps: int
+    id_bits_before: int
+    id_bits_after: int
+    update_bits_before: int
+    update_bits_after: int
+
+    @property
+    def bits_saved(self) -> int:
+        """Total encoded bits removed by the normalization."""
+        before = self.id_bits_before + self.update_bits_before
+        after = self.id_bits_after + self.update_bits_after
+        return before - after
+
+    @property
+    def reduced(self) -> bool:
+        """True when at least one rewriting step was applied."""
+        return self.steps > 0
+
+
+def reduce_stamp_pair(update: Name, identity: Name) -> Tuple[Name, Name, ReductionStats]:
+    """Normalize a stamp pair and report :class:`ReductionStats` about it."""
+    before_id_bits = identity.size_in_bits()
+    before_update_bits = update.size_in_bits()
+    new_update, new_identity, steps = normalize(update, identity)
+    stats = ReductionStats(
+        steps=steps,
+        id_bits_before=before_id_bits,
+        id_bits_after=new_identity.size_in_bits(),
+        update_bits_before=before_update_bits,
+        update_bits_after=new_update.size_in_bits(),
+    )
+    return new_update, new_identity, stats

@@ -1,0 +1,332 @@
+"""Version stamps -- the paper's decentralized replacement for version vectors.
+
+A version stamp is a pair ``(update, id)`` of :class:`~repro.core.names.Name`
+values (Section 4).  The ``id`` component distinguishes the element from all
+other coexisting elements of the frontier; the ``update`` component records
+which updates are known to the element.  The three operations of
+Definition 4.3 are:
+
+* ``update``:  ``(u, i) → (i, i)`` -- the id is copied into the update.
+* ``fork``:    ``(u, i) → (u, i·0), (u, i·1)`` -- each child appends one bit
+  to every string of the id; the update component is unchanged.
+* ``join``:    ``(ua, ia), (ub, ib) → (ua ⊔ ub, ia ⊔ ib)`` -- both components
+  are joined in the name semilattice.
+
+Comparing two stamps compares only their ``update`` components (the first
+projection), exactly as the paper's frontier pre-order
+``a ≼V b  iff  fst(V(a)) ⊑ fst(V(b))``.
+
+Stamps come in two flavours:
+
+* **non-reducing** (Section 4) -- joins keep every string;
+* **reducing** (Section 6) -- after a join the stamp is rewritten to its
+  normal form, collapsing sibling id strings; this is what a real
+  implementation uses to keep stamps small.
+
+The flavour is chosen per-stamp with the ``reducing`` flag and is sticky
+across the derived stamps, so a whole system run can be carried out in either
+model (the simulation runner exercises both and checks they induce the same
+order).
+
+Examples
+--------
+>>> from repro.core.stamp import VersionStamp
+>>> seed = VersionStamp.seed()
+>>> left, right = seed.fork()
+>>> left2 = left.update()
+>>> merged = left2.join(right)
+>>> merged.compare(left2).name
+'AFTER'
+>>> str(merged)
+'[ε | ε]'
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Tuple
+
+from .errors import StampError
+from .names import Name
+from .order import Ordering, ordering_from_leq
+from .reduction import ReductionStats, is_normal_form, reduce_stamp_pair
+
+__all__ = ["VersionStamp"]
+
+
+class VersionStamp:
+    """An immutable version stamp ``(update, id)``.
+
+    Parameters
+    ----------
+    update:
+        The update component; a :class:`Name` (or parseable text).
+    identity:
+        The id component; a :class:`Name` (or parseable text).
+    reducing:
+        When ``True`` (the default) joins normalize the resulting stamp with
+        the Section 6 rewriting rule.  When ``False`` the stamp behaves as
+        the non-reducing model of Section 4.
+
+    Raises
+    ------
+    StampError
+        If ``update`` is not dominated by ``identity`` (invariant I1 must
+        hold for any individually well-formed stamp).
+    """
+
+    __slots__ = ("_update", "_identity", "_reducing", "_hash")
+
+    def __init__(
+        self,
+        update: Name,
+        identity: Name,
+        *,
+        reducing: bool = True,
+        _validate: bool = True,
+    ) -> None:
+        if isinstance(update, str):
+            update = Name.parse(update)
+        if isinstance(identity, str):
+            identity = Name.parse(identity)
+        if not isinstance(update, Name) or not isinstance(identity, Name):
+            raise StampError("update and identity must be Name values")
+        if _validate and not update.dominated_by(identity):
+            raise StampError(
+                f"invariant I1 violated at construction: update {update} "
+                f"is not dominated by id {identity}"
+            )
+        object.__setattr__(self, "_update", update)
+        object.__setattr__(self, "_identity", identity)
+        object.__setattr__(self, "_reducing", bool(reducing))
+        object.__setattr__(self, "_hash", hash(("VersionStamp", update, identity)))
+
+    # -- constructors -------------------------------------------------
+
+    @classmethod
+    def seed(cls, *, reducing: bool = True) -> "VersionStamp":
+        """The initial stamp ``({ε}, {ε})`` of a brand new system.
+
+        A dynamic replication system starts from a single element holding
+        the seed stamp; every other stamp is derived from it through
+        ``update``, ``fork`` and ``join``.
+        """
+        return cls(Name.seed(), Name.seed(), reducing=reducing, _validate=False)
+
+    @classmethod
+    def parse(cls, text: str, *, reducing: bool = True) -> "VersionStamp":
+        """Parse the paper's ``[update | id]`` notation.
+
+        Examples
+        --------
+        >>> VersionStamp.parse("[0 | 0+1]").identity.to_text()
+        '0+1'
+        """
+        stripped = text.strip()
+        if not (stripped.startswith("[") and stripped.endswith("]")):
+            raise StampError(f"stamp text must be wrapped in brackets: {text!r}")
+        body = stripped[1:-1]
+        if "|" not in body:
+            raise StampError(f"stamp text must contain '|': {text!r}")
+        update_text, identity_text = body.split("|", 1)
+        return cls(
+            Name.parse(update_text.strip()),
+            Name.parse(identity_text.strip()),
+            reducing=reducing,
+        )
+
+    # -- immutability / protocol ---------------------------------------
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("VersionStamp instances are immutable")
+
+    def __delattr__(self, name: str) -> None:
+        raise AttributeError("VersionStamp instances are immutable")
+
+    @property
+    def update_component(self) -> Name:
+        """The ``update`` component (the paper's ``fst``)."""
+        return self._update
+
+    @property
+    def identity(self) -> Name:
+        """The ``id`` component (the paper's ``snd``)."""
+        return self._identity
+
+    @property
+    def reducing(self) -> bool:
+        """Whether joins of this stamp normalize their result."""
+        return self._reducing
+
+    def components(self) -> Tuple[Name, Name]:
+        """Return the ``(update, id)`` pair."""
+        return self._update, self._identity
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other: object) -> bool:
+        """Structural equality of the two components.
+
+        Note that *version equivalence* (having seen the same updates) is a
+        different, coarser relation exposed by :meth:`equivalent`.
+        """
+        if isinstance(other, VersionStamp):
+            return self._update == other._update and self._identity == other._identity
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        flavour = "" if self._reducing else ", reducing=False"
+        return f"VersionStamp.parse({str(self)!r}{flavour})"
+
+    def __str__(self) -> str:
+        return f"[{self._update.to_text()} | {self._identity.to_text()}]"
+
+    # -- the three operations of Definition 4.3 -------------------------
+
+    def update(self) -> "VersionStamp":
+        """Record an update: ``(u, i) → (i, i)``.
+
+        After an update the stamp's knowledge equals its identity, so further
+        updates without intervening forks or joins leave the stamp unchanged
+        -- information irrelevant to frontier comparison is deliberately
+        discarded (Section 3).
+        """
+        return VersionStamp(
+            self._identity, self._identity, reducing=self._reducing, _validate=False
+        )
+
+    def fork(self) -> Tuple["VersionStamp", "VersionStamp"]:
+        """Split into two stamps with distinct, autonomous identities.
+
+        ``(u, i) → (u, i·0), (u, i·1)``.  No communication or identifier
+        authority is needed: the two children extend the parent's id with a
+        0 and a 1 respectively, which keeps all frontier ids pairwise
+        incomparable (invariant I2).
+        """
+        zero_id, one_id = self._identity.fork()
+        left = VersionStamp(
+            self._update, zero_id, reducing=self._reducing, _validate=False
+        )
+        right = VersionStamp(
+            self._update, one_id, reducing=self._reducing, _validate=False
+        )
+        return left, right
+
+    def join(self, other: "VersionStamp") -> "VersionStamp":
+        """Merge with ``other``: ``(ua ⊔ ub, ia ⊔ ib)``.
+
+        In the reducing model the result is rewritten to its normal form
+        (Section 6), collapsing sibling id strings so that ids stay
+        proportional to the size of the frontier.
+        """
+        if not isinstance(other, VersionStamp):
+            raise StampError(f"cannot join a stamp with {type(other).__name__}")
+        update = self._update.join(other._update)
+        identity = self._identity.join(other._identity)
+        if self._reducing or other._reducing:
+            update, identity, _stats = reduce_stamp_pair(update, identity)
+        return VersionStamp(
+            update,
+            identity,
+            reducing=self._reducing or other._reducing,
+            _validate=False,
+        )
+
+    def join_with_stats(
+        self, other: "VersionStamp"
+    ) -> Tuple["VersionStamp", ReductionStats]:
+        """Like :meth:`join` but also report the reduction statistics.
+
+        Used by the benchmarks to measure how effective the Section 6
+        simplification is on different workloads.  The join is always
+        normalized, regardless of the ``reducing`` flag.
+        """
+        update = self._update.join(other._update)
+        identity = self._identity.join(other._identity)
+        update, identity, stats = reduce_stamp_pair(update, identity)
+        joined = VersionStamp(
+            update,
+            identity,
+            reducing=self._reducing or other._reducing,
+            _validate=False,
+        )
+        return joined, stats
+
+    # -- derived operations ----------------------------------------------
+
+    def sync(self, other: "VersionStamp") -> Tuple["VersionStamp", "VersionStamp"]:
+        """Synchronize two replicas: join then fork (Section 1.1).
+
+        Synchronization in the fork/join model is represented by joining the
+        two replicas and forking the result, which leaves both participants
+        with the combined knowledge and fresh, distinct identities.
+        """
+        return self.join(other).fork()
+
+    def normalized(self) -> "VersionStamp":
+        """Return the Section 6 normal form of this stamp."""
+        update, identity, _stats = reduce_stamp_pair(self._update, self._identity)
+        return VersionStamp(
+            update, identity, reducing=self._reducing, _validate=False
+        )
+
+    def is_normalized(self) -> bool:
+        """Return ``True`` iff no rewriting-rule step applies to this stamp."""
+        return is_normal_form(self._identity)
+
+    def non_reducing(self) -> "VersionStamp":
+        """Return the same stamp with the non-reducing behaviour selected."""
+        return VersionStamp(
+            self._update, self._identity, reducing=False, _validate=False
+        )
+
+    def as_reducing(self) -> "VersionStamp":
+        """Return the same stamp with the reducing behaviour selected."""
+        return VersionStamp(
+            self._update, self._identity, reducing=True, _validate=False
+        )
+
+    # -- comparison --------------------------------------------------------
+
+    def leq(self, other: "VersionStamp") -> bool:
+        """The frontier pre-order: ``fst(self) ⊑ fst(other)``."""
+        return self._update.dominated_by(other._update)
+
+    def compare(self, other: "VersionStamp") -> Ordering:
+        """Three-way comparison of the update knowledge of two stamps.
+
+        Returns :class:`~repro.core.order.Ordering` describing ``self``
+        relative to ``other``; by Corollary 5.2 this matches the comparison
+        of the underlying causal histories for any two frontier elements.
+        """
+        return ordering_from_leq(self, other, VersionStamp.leq)
+
+    def equivalent(self, other: "VersionStamp") -> bool:
+        """True when both stamps have seen exactly the same updates."""
+        return self.compare(other) is Ordering.EQUAL
+
+    def dominates(self, other: "VersionStamp") -> bool:
+        """True when ``self`` has seen every update known to ``other``."""
+        return other.leq(self)
+
+    def strictly_dominates(self, other: "VersionStamp") -> bool:
+        """True when ``self`` dominates ``other`` and they are not equivalent."""
+        return self.compare(other) is Ordering.AFTER
+
+    def obsolete_relative_to(self, other: "VersionStamp") -> bool:
+        """The paper's obsolescence: ``other`` strictly dominates ``self``."""
+        return self.compare(other) is Ordering.BEFORE
+
+    def concurrent(self, other: "VersionStamp") -> bool:
+        """True when the stamps are mutually inconsistent (in conflict)."""
+        return self.compare(other) is Ordering.CONCURRENT
+
+    # -- size accounting -----------------------------------------------------
+
+    def size_in_bits(self) -> int:
+        """Encoded size of the stamp (both components), in bits."""
+        return self._update.size_in_bits() + self._identity.size_in_bits()
+
+    def id_depth(self) -> int:
+        """Length of the longest string in the id component."""
+        return self._identity.max_depth()

@@ -1,0 +1,52 @@
+"""Interval Tree Clocks -- the paper's future-work extension, implemented.
+
+Section 7 of the paper calls for "a more compact (possibly bound) form of
+version vectors"; the same authors later answered it with Interval Tree
+Clocks (2008).  We include an ITC implementation as the extension feature so
+the ablation benchmarks can compare version stamps with their successor on
+identical workloads.
+"""
+
+from .event_tree import (
+    EventTree,
+    event_leq,
+    event_max,
+    event_min,
+    event_size_in_nodes,
+    fill,
+    grow,
+    join_events,
+    normalize_event,
+    validate_event,
+)
+from .id_tree import (
+    IdTree,
+    id_size_in_nodes,
+    is_leaf_id,
+    normalize_id,
+    split_id,
+    sum_ids,
+    validate_id,
+)
+from .stamp import ITCStamp
+
+__all__ = [
+    "ITCStamp",
+    "IdTree",
+    "EventTree",
+    "validate_id",
+    "normalize_id",
+    "split_id",
+    "sum_ids",
+    "id_size_in_nodes",
+    "is_leaf_id",
+    "validate_event",
+    "normalize_event",
+    "event_min",
+    "event_max",
+    "event_leq",
+    "join_events",
+    "fill",
+    "grow",
+    "event_size_in_nodes",
+]

@@ -1,0 +1,217 @@
+"""Event trees for Interval Tree Clocks.
+
+An ITC event component maps every point of the unit interval to a number of
+observed events, encoded compactly as a tree:
+
+* ``n`` -- the whole subinterval has seen ``n`` events,
+* ``(n, l, r)`` -- ``n`` events everywhere, plus whatever ``l``/``r`` add on
+  the two halves.
+
+This plays the role of the version-stamp ``update`` component.  The functions
+here implement the standard ITC algebra: normalization, the partial order
+``leq``, ``join`` (least upper bound), and the ``fill``/``grow`` pair used by
+the ``event`` operation to record a new update as cheaply as possible inside
+the replica's own interval.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple, Union
+
+from ..core.errors import StampError
+from .id_tree import IdTree
+
+__all__ = [
+    "EventTree",
+    "validate_event",
+    "normalize_event",
+    "event_min",
+    "event_max",
+    "event_leq",
+    "join_events",
+    "fill",
+    "grow",
+    "event_size_in_nodes",
+]
+
+#: An event tree: a non-negative int or a triple ``(n, left, right)``.
+EventTree = Union[int, Tuple[int, "EventTree", "EventTree"]]
+
+#: Cost penalty for growing in depth rather than in value (from the ITC paper).
+_GROW_DEPTH_PENALTY = 1000
+
+
+def validate_event(event: EventTree) -> None:
+    """Raise :class:`StampError` unless ``event`` is a well-formed event tree."""
+    if isinstance(event, int) and not isinstance(event, bool):
+        if event < 0:
+            raise StampError(f"event counters must be non-negative: {event!r}")
+        return
+    if isinstance(event, tuple) and len(event) == 3:
+        base, left, right = event
+        if not isinstance(base, int) or isinstance(base, bool) or base < 0:
+            raise StampError(f"event node base must be a non-negative int: {base!r}")
+        validate_event(left)
+        validate_event(right)
+        return
+    raise StampError(f"malformed ITC event tree: {event!r}")
+
+
+def _is_leaf(event: EventTree) -> bool:
+    return isinstance(event, int)
+
+
+def _lift(event: EventTree, amount: int) -> EventTree:
+    """Add ``amount`` to the root of ``event``."""
+    if _is_leaf(event):
+        return event + amount
+    base, left, right = event
+    return (base + amount, left, right)
+
+
+def _sink(event: EventTree, amount: int) -> EventTree:
+    """Subtract ``amount`` from the root of ``event``."""
+    if _is_leaf(event):
+        return event - amount
+    base, left, right = event
+    return (base - amount, left, right)
+
+
+def event_min(event: EventTree) -> int:
+    """The minimum number of events seen anywhere in the interval."""
+    if _is_leaf(event):
+        return event
+    base, left, right = event
+    return base + min(event_min(left), event_min(right))
+
+
+def event_max(event: EventTree) -> int:
+    """The maximum number of events seen anywhere in the interval."""
+    if _is_leaf(event):
+        return event
+    base, left, right = event
+    return base + max(event_max(left), event_max(right))
+
+
+def normalize_event(event: EventTree) -> EventTree:
+    """Normalize: equal leaves merge into their parent, minima sink to the root."""
+    if _is_leaf(event):
+        return event
+    base, left, right = event
+    left = normalize_event(left)
+    right = normalize_event(right)
+    if _is_leaf(left) and _is_leaf(right) and left == right:
+        return base + left
+    shift = min(event_min(left), event_min(right))
+    return (base + shift, _sink(left, shift), _sink(right, shift))
+
+
+def event_leq(first: EventTree, second: EventTree) -> bool:
+    """The ITC partial order: ``first`` has seen no event ``second`` has not."""
+    if _is_leaf(first) and _is_leaf(second):
+        return first <= second
+    if _is_leaf(first):
+        base2, _, _ = second
+        return first <= base2
+    base1, left1, right1 = first
+    if _is_leaf(second):
+        return (
+            base1 <= second
+            and event_leq(_lift(left1, base1), second)
+            and event_leq(_lift(right1, base1), second)
+        )
+    base2, left2, right2 = second
+    return (
+        base1 <= base2
+        and event_leq(_lift(left1, base1), _lift(left2, base2))
+        and event_leq(_lift(right1, base1), _lift(right2, base2))
+    )
+
+
+def join_events(first: EventTree, second: EventTree) -> EventTree:
+    """Least upper bound of two event trees (pointwise maximum)."""
+    if _is_leaf(first) and _is_leaf(second):
+        return max(first, second)
+    if _is_leaf(first):
+        return join_events((first, 0, 0), second)
+    if _is_leaf(second):
+        return join_events(first, (second, 0, 0))
+    base1, left1, right1 = first
+    base2, left2, right2 = second
+    if base1 > base2:
+        return join_events(second, first)
+    delta = base2 - base1
+    joined = (
+        base1,
+        join_events(left1, _lift(left2, delta)),
+        join_events(right1, _lift(right2, delta)),
+    )
+    return normalize_event(joined)
+
+
+def fill(identity: IdTree, event: EventTree) -> EventTree:
+    """Inflate the event tree inside the owned interval without new information.
+
+    ``fill`` simplifies the event tree by raising the counters of the parts
+    of the interval the replica owns up to the level already implied by the
+    rest of the tree; it never records genuinely new events.
+    """
+    if identity == 0:
+        return event
+    if identity == 1:
+        return event_max(event)
+    if _is_leaf(event):
+        return event
+    id_left, id_right = identity
+    base, ev_left, ev_right = event
+    if id_left == 1:
+        filled_right = fill(id_right, ev_right)
+        new_left = max(event_max(ev_left), event_min(filled_right))
+        return normalize_event((base, new_left, filled_right))
+    if id_right == 1:
+        filled_left = fill(id_left, ev_left)
+        new_right = max(event_max(ev_right), event_min(filled_left))
+        return normalize_event((base, filled_left, new_right))
+    return normalize_event((base, fill(id_left, ev_left), fill(id_right, ev_right)))
+
+
+def grow(identity: IdTree, event: EventTree) -> Tuple[EventTree, int]:
+    """Record one new event in the owned interval, minimizing tree growth.
+
+    Returns the grown event tree and an integer cost used to pick the
+    cheapest spot (incrementing an existing counter is cheaper than
+    deepening the tree).
+    """
+    if identity == 1 and _is_leaf(event):
+        return event + 1, 0
+    if _is_leaf(event):
+        if identity == 0:
+            raise StampError("an anonymous stamp (id 0) cannot record events")
+        grown, cost = grow(identity, (event, 0, 0))
+        return grown, cost + _GROW_DEPTH_PENALTY
+    base, ev_left, ev_right = event
+    if identity == 0:
+        raise StampError("an anonymous stamp (id 0) cannot record events")
+    if identity == 1:
+        # Owning everything, bump the cheaper side.
+        identity = (1, 1)
+    id_left, id_right = identity
+    if id_left == 0:
+        grown_right, cost = grow(id_right, ev_right)
+        return (base, ev_left, grown_right), cost + 1
+    if id_right == 0:
+        grown_left, cost = grow(id_left, ev_left)
+        return (base, grown_left, ev_right), cost + 1
+    grown_left, cost_left = grow(id_left, ev_left)
+    grown_right, cost_right = grow(id_right, ev_right)
+    if cost_left < cost_right:
+        return (base, grown_left, ev_right), cost_left + 1
+    return (base, ev_left, grown_right), cost_right + 1
+
+
+def event_size_in_nodes(event: EventTree) -> int:
+    """Number of tree nodes, the natural size measure for ITC event trees."""
+    if _is_leaf(event):
+        return 1
+    _, left, right = event
+    return 1 + event_size_in_nodes(left) + event_size_in_nodes(right)

@@ -1,0 +1,118 @@
+"""Identity trees for Interval Tree Clocks.
+
+Interval Tree Clocks (Almeida, Baquero & Fonte, 2008) are the authors' own
+successor to version stamps and realize the "more compact forms" future work
+of Section 7 of the paper we reproduce.  An ITC identity is a binary tree
+describing which *interval* of the unit segment a replica owns:
+
+* ``0`` -- owns nothing (an anonymous stamp),
+* ``1`` -- owns the whole subinterval,
+* ``(l, r)`` -- the left/right halves are described recursively.
+
+The identity plays the same role as the version-stamp ``id`` component: it is
+created autonomously by ``fork`` (splitting the owned interval) and collapsed
+by ``join`` (summing intervals), with normalization merging adjacent halves,
+the analogue of the Section 6 rewriting rule.
+
+Identities are represented as plain nested structures (``0``, ``1`` or a
+2-tuple) to keep the recursive algorithms readable; the functions here
+validate, normalize, split and sum them.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple, Union
+
+from ..core.errors import StampError
+
+__all__ = [
+    "IdTree",
+    "validate_id",
+    "normalize_id",
+    "split_id",
+    "sum_ids",
+    "id_size_in_nodes",
+    "is_leaf_id",
+]
+
+#: An identity tree: 0, 1 or a pair of identity trees.
+IdTree = Union[int, Tuple["IdTree", "IdTree"]]
+
+
+def is_leaf_id(identity: IdTree) -> bool:
+    """True when the identity is one of the leaves ``0`` or ``1``."""
+    return identity == 0 or identity == 1
+
+
+def validate_id(identity: IdTree) -> None:
+    """Raise :class:`StampError` unless ``identity`` is a well-formed id tree."""
+    if identity == 0 or identity == 1:
+        return
+    if isinstance(identity, tuple) and len(identity) == 2:
+        validate_id(identity[0])
+        validate_id(identity[1])
+        return
+    raise StampError(f"malformed ITC identity: {identity!r}")
+
+
+def normalize_id(identity: IdTree) -> IdTree:
+    """Collapse ``(0, 0)`` to ``0`` and ``(1, 1)`` to ``1``, recursively."""
+    if is_leaf_id(identity):
+        return identity
+    left = normalize_id(identity[0])
+    right = normalize_id(identity[1])
+    if left == 0 and right == 0:
+        return 0
+    if left == 1 and right == 1:
+        return 1
+    return (left, right)
+
+
+def split_id(identity: IdTree) -> Tuple[IdTree, IdTree]:
+    """Split an identity into two disjoint identities covering the same interval.
+
+    This is the ITC analogue of the version-stamp ``fork`` on ids: the two
+    results are non-overlapping, their sum is the original, and splitting an
+    anonymous identity (``0``) yields two anonymous identities.
+    """
+    if identity == 0:
+        return 0, 0
+    if identity == 1:
+        return (1, 0), (0, 1)
+    left, right = identity
+    if left == 0:
+        first, second = split_id(right)
+        return (0, first), (0, second)
+    if right == 0:
+        first, second = split_id(left)
+        return (first, 0), (second, 0)
+    return (left, 0), (0, right)
+
+
+def sum_ids(first: IdTree, second: IdTree) -> IdTree:
+    """Combine two disjoint identities (the ITC analogue of joining ids).
+
+    Raises
+    ------
+    StampError
+        If the identities overlap (both own some common subinterval), which
+        can only happen through misuse (e.g. joining a stamp with itself).
+    """
+    if first == 0:
+        return second
+    if second == 0:
+        return first
+    if first == 1 or second == 1:
+        raise StampError(
+            f"cannot sum overlapping ITC identities {first!r} and {second!r}"
+        )
+    left = sum_ids(first[0], second[0])
+    right = sum_ids(first[1], second[1])
+    return normalize_id((left, right))
+
+
+def id_size_in_nodes(identity: IdTree) -> int:
+    """Number of tree nodes, the natural size measure for ITC identities."""
+    if is_leaf_id(identity):
+        return 1
+    return 1 + id_size_in_nodes(identity[0]) + id_size_in_nodes(identity[1])

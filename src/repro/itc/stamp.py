@@ -1,0 +1,158 @@
+"""Interval Tree Clock stamps (the paper's future-work direction, realized).
+
+An ITC stamp pairs an identity tree with an event tree and supports the same
+fork/event/join calculus as version stamps:
+
+* ``fork``  -- split the identity; both children keep the full event tree.
+* ``event`` -- record an update inside the owned interval (``fill``/``grow``).
+* ``join``  -- sum identities and join event trees.
+* ``peek``  -- produce an anonymous (id ``0``) read-only copy, useful for
+  shipping causal metadata on messages.
+
+The comparison (``leq`` / :meth:`compare`) looks only at the event component,
+exactly as version stamps compare only their ``update`` components, so the
+lockstep runner can check ITC against the causal-history oracle with the same
+machinery.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..core.errors import StampError
+from ..core.order import Ordering, ordering_from_leq
+from .event_tree import (
+    EventTree,
+    event_leq,
+    event_size_in_nodes,
+    fill,
+    grow,
+    join_events,
+    normalize_event,
+    validate_event,
+)
+from .id_tree import (
+    IdTree,
+    id_size_in_nodes,
+    normalize_id,
+    split_id,
+    sum_ids,
+    validate_id,
+)
+
+__all__ = ["ITCStamp"]
+
+
+class ITCStamp:
+    """An immutable Interval Tree Clock stamp ``(identity, events)``."""
+
+    __slots__ = ("_identity", "_events")
+
+    def __init__(self, identity: IdTree = 1, events: EventTree = 0) -> None:
+        validate_id(identity)
+        validate_event(events)
+        object.__setattr__(self, "_identity", normalize_id(identity))
+        object.__setattr__(self, "_events", normalize_event(events))
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("ITCStamp instances are immutable")
+
+    # -- constructors -------------------------------------------------
+
+    @classmethod
+    def seed(cls) -> "ITCStamp":
+        """The initial stamp ``(1, 0)``: owns everything, has seen nothing."""
+        return cls(1, 0)
+
+    # -- accessors ------------------------------------------------------
+
+    @property
+    def identity(self) -> IdTree:
+        """The identity tree (which interval this replica owns)."""
+        return self._identity
+
+    @property
+    def events(self) -> EventTree:
+        """The event tree (which updates this replica has seen)."""
+        return self._events
+
+    @property
+    def is_anonymous(self) -> bool:
+        """True for stamps that own nothing and therefore cannot record events."""
+        return self._identity == 0
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, ITCStamp):
+            return self._identity == other._identity and self._events == other._events
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(("ITCStamp", repr(self._identity), repr(self._events)))
+
+    def __repr__(self) -> str:
+        return f"ITCStamp(identity={self._identity!r}, events={self._events!r})"
+
+    # -- the core operations -----------------------------------------------
+
+    def fork(self) -> Tuple["ITCStamp", "ITCStamp"]:
+        """Split into two stamps with disjoint identities and equal knowledge."""
+        left_id, right_id = split_id(self._identity)
+        return ITCStamp(left_id, self._events), ITCStamp(right_id, self._events)
+
+    def peek(self) -> "ITCStamp":
+        """An anonymous copy carrying only the event component."""
+        return ITCStamp(0, self._events)
+
+    def event(self) -> "ITCStamp":
+        """Record one update inside the owned interval.
+
+        Raises
+        ------
+        StampError
+            If the stamp is anonymous (identity ``0``).
+        """
+        if self.is_anonymous:
+            raise StampError("an anonymous ITC stamp cannot record events")
+        filled = fill(self._identity, self._events)
+        if filled != self._events:
+            return ITCStamp(self._identity, filled)
+        grown, _cost = grow(self._identity, self._events)
+        return ITCStamp(self._identity, grown)
+
+    def join(self, other: "ITCStamp") -> "ITCStamp":
+        """Merge with another stamp (sum identities, join event trees)."""
+        if not isinstance(other, ITCStamp):
+            raise StampError(f"cannot join an ITC stamp with {type(other).__name__}")
+        identity = sum_ids(self._identity, other._identity)
+        events = join_events(self._events, other._events)
+        return ITCStamp(identity, events)
+
+    def sync(self, other: "ITCStamp") -> Tuple["ITCStamp", "ITCStamp"]:
+        """Synchronize two replicas: join then fork."""
+        return self.join(other).fork()
+
+    # -- comparison --------------------------------------------------------
+
+    def leq(self, other: "ITCStamp") -> bool:
+        """True when this stamp has seen no event unknown to ``other``."""
+        return event_leq(self._events, other._events)
+
+    def compare(self, other: "ITCStamp") -> Ordering:
+        """Three-way comparison of the two stamps' event knowledge."""
+        return ordering_from_leq(self, other, ITCStamp.leq)
+
+    def concurrent(self, other: "ITCStamp") -> bool:
+        """True when the stamps are mutually inconsistent."""
+        return self.compare(other) is Ordering.CONCURRENT
+
+    # -- size accounting -----------------------------------------------------
+
+    def size_in_nodes(self) -> int:
+        """Total number of tree nodes across both components."""
+        return id_size_in_nodes(self._identity) + event_size_in_nodes(self._events)
+
+    def size_in_bits(self, *, counter_bits: int = 32) -> int:
+        """A simple encoded-size model: 2 structure bits + counters per node."""
+        id_nodes = id_size_in_nodes(self._identity)
+        event_nodes = event_size_in_nodes(self._events)
+        return id_nodes * 2 + event_nodes * (2 + counter_bits)

@@ -1,0 +1,14 @@
+"""PANASYNC re-implementation: dependency tracking among file copies.
+
+The paper's Section 7 points to PANASYNC, the authors' application of version
+stamps to file replication.  This subpackage provides a Python equivalent:
+stamped file copies (:mod:`~repro.panasync.filecopy`), on-disk repositories
+with stamp sidecars (:mod:`~repro.panasync.repository`), and a command-style
+façade mirroring the original tool set (:mod:`~repro.panasync.tools`).
+"""
+
+from .filecopy import CopyRelation, FileCopy
+from .repository import CopyRepository
+from .tools import Panasync, StatusLine
+
+__all__ = ["FileCopy", "CopyRelation", "CopyRepository", "Panasync", "StatusLine"]

@@ -1,0 +1,178 @@
+"""Stamped file copies, in the spirit of the PANASYNC project.
+
+Section 7 of the paper mentions PANASYNC, the authors' application of version
+stamps to dependency tracking among copies of a single file (a C++/STL
+library plus command-line tools).  We re-implement the concept in Python:
+
+* a :class:`FileCopy` is one copy of a logical file, carrying its content,
+  a content digest, and a version stamp;
+* copies are created by :meth:`FileCopy.duplicate` (a fork of the stamp),
+  edited with :meth:`FileCopy.edit` (an update), and reconciled with
+  :meth:`FileCopy.merge` (a join);
+* comparing two copies answers the user-facing question PANASYNC answers:
+  are these copies the same version, is one outdated, or have they diverged?
+
+The copies are in-memory objects; :mod:`repro.panasync.repository` persists
+them in a directory layout similar to the original tool's sidecar files.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..core.order import Ordering
+from ..core.stamp import VersionStamp
+
+__all__ = ["FileCopy", "CopyRelation"]
+
+_copy_counter = itertools.count(1)
+
+
+def _digest(content: str) -> str:
+    """A short, stable digest of the file content."""
+    return hashlib.sha256(content.encode("utf-8")).hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class CopyRelation:
+    """The human-facing verdict of comparing two file copies."""
+
+    ordering: Ordering
+    description: str
+
+    @property
+    def diverged(self) -> bool:
+        """True when the copies hold conflicting edits."""
+        return self.ordering is Ordering.CONCURRENT
+
+
+class FileCopy:
+    """One copy of a logical file, tracked with a version stamp."""
+
+    def __init__(
+        self,
+        logical_name: str,
+        content: str = "",
+        *,
+        stamp: Optional[VersionStamp] = None,
+        copy_name: Optional[str] = None,
+    ) -> None:
+        self.logical_name = logical_name
+        self.copy_name = copy_name if copy_name is not None else f"copy-{next(_copy_counter)}"
+        self._content = content
+        self._stamp = stamp if stamp is not None else VersionStamp.seed()
+        self._edits = 0
+
+    # -- inspection ------------------------------------------------------
+
+    @property
+    def content(self) -> str:
+        """The current file content."""
+        return self._content
+
+    @property
+    def stamp(self) -> VersionStamp:
+        """The version stamp of this copy."""
+        return self._stamp
+
+    @property
+    def digest(self) -> str:
+        """Digest of the current content."""
+        return _digest(self._content)
+
+    @property
+    def edits(self) -> int:
+        """Number of local edits made to this copy."""
+        return self._edits
+
+    def __repr__(self) -> str:
+        return (
+            f"FileCopy({self.logical_name!r}, copy={self.copy_name!r}, "
+            f"digest={self.digest}, stamp={self._stamp})"
+        )
+
+    # -- operations ----------------------------------------------------------
+
+    def edit(self, new_content: str) -> None:
+        """Modify the file locally; the edit is recorded in the stamp."""
+        self._content = new_content
+        self._stamp = self._stamp.update()
+        self._edits += 1
+
+    def append(self, text: str) -> None:
+        """Convenience: append text as a local edit."""
+        self.edit(self._content + text)
+
+    def duplicate(self, copy_name: Optional[str] = None) -> "FileCopy":
+        """Create a new copy of this file (e.g. `cp` onto a laptop).
+
+        The stamp is forked, so both copies keep autonomous identities and
+        future edits on either side are tracked independently -- no server or
+        registry is consulted, which is the PANASYNC use case.
+        """
+        mine, theirs = self._stamp.fork()
+        self._stamp = mine
+        clone = FileCopy(
+            self.logical_name,
+            self._content,
+            stamp=theirs,
+            copy_name=copy_name,
+        )
+        return clone
+
+    def compare(self, other: "FileCopy") -> CopyRelation:
+        """How this copy relates to another copy of the same logical file."""
+        ordering = self._stamp.compare(other._stamp)
+        if ordering is Ordering.EQUAL:
+            description = "the copies hold the same version"
+        elif ordering is Ordering.BEFORE:
+            description = f"{self.copy_name} is outdated relative to {other.copy_name}"
+        elif ordering is Ordering.AFTER:
+            description = f"{other.copy_name} is outdated relative to {self.copy_name}"
+        else:
+            description = "the copies have diverged (conflicting edits)"
+        return CopyRelation(ordering, description)
+
+    def merge(
+        self,
+        other: "FileCopy",
+        *,
+        resolver: Optional[callable] = None,
+    ) -> CopyRelation:
+        """Reconcile with another copy; both end up with identical content.
+
+        Causally ordered copies merge silently (the newer content wins).  For
+        diverged copies the ``resolver`` callable receives both contents and
+        must return the merged content; without one, the two contents are
+        concatenated with conflict markers so no edit is silently lost.
+        """
+        relation = self.compare(other)
+        if relation.ordering is Ordering.BEFORE:
+            merged_content = other._content
+        elif relation.ordering in (Ordering.AFTER, Ordering.EQUAL):
+            merged_content = self._content
+        elif resolver is not None:
+            merged_content = resolver(self._content, other._content)
+        else:
+            merged_content = (
+                f"<<<<<<< {self.copy_name}\n{self._content}\n"
+                f"=======\n{other._content}\n>>>>>>> {other.copy_name}\n"
+            )
+
+        joined = self._stamp.join(other._stamp)
+        if relation.ordering is Ordering.CONCURRENT:
+            # The merge result is a new version dominating both inputs.
+            joined = joined.update()
+        mine, theirs = joined.fork()
+        self._stamp = mine
+        other._stamp = theirs
+        self._content = merged_content
+        other._content = merged_content
+        return relation
+
+    def metadata_size_in_bits(self) -> int:
+        """Encoded size of this copy's stamp."""
+        return self._stamp.size_in_bits()

@@ -1,0 +1,150 @@
+"""On-disk repositories of stamped file copies.
+
+PANASYNC tracked dependencies among copies of a file living in ordinary
+directories, keeping the version stamp in a sidecar.  :class:`CopyRepository`
+does the same with :mod:`pathlib`: each managed copy is a regular file plus a
+``<name>.stamp.json`` sidecar holding the serialized version stamp and the
+logical file name.  Repositories can exchange copies with each other (a
+"floppy disk" or "laptop" transfer) and reconcile them later, all without a
+central registry.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from ..core.encoding import stamp_from_json, stamp_to_json
+from ..core.errors import ReplicationError
+from .filecopy import CopyRelation, FileCopy
+
+__all__ = ["CopyRepository"]
+
+_SIDECAR_SUFFIX = ".stamp.json"
+
+
+class CopyRepository:
+    """A directory of version-stamped file copies."""
+
+    def __init__(self, root: Path) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    # -- sidecar handling ------------------------------------------------------
+
+    def _sidecar_path(self, name: str) -> Path:
+        return self.root / f"{name}{_SIDECAR_SUFFIX}"
+
+    def _file_path(self, name: str) -> Path:
+        return self.root / name
+
+    def _save(self, name: str, copy: FileCopy) -> None:
+        self._file_path(name).write_text(copy.content, encoding="utf-8")
+        sidecar = {
+            "logical_name": copy.logical_name,
+            "copy_name": copy.copy_name,
+            "stamp": stamp_to_json(copy.stamp),
+        }
+        self._sidecar_path(name).write_text(json.dumps(sidecar, indent=2), encoding="utf-8")
+
+    def _load(self, name: str) -> FileCopy:
+        file_path = self._file_path(name)
+        sidecar_path = self._sidecar_path(name)
+        if not file_path.exists() or not sidecar_path.exists():
+            raise ReplicationError(
+                f"{name!r} is not a tracked copy in repository {self.root}"
+            )
+        sidecar = json.loads(sidecar_path.read_text(encoding="utf-8"))
+        copy = FileCopy(
+            sidecar["logical_name"],
+            file_path.read_text(encoding="utf-8"),
+            stamp=stamp_from_json(sidecar["stamp"]),
+            copy_name=sidecar["copy_name"],
+        )
+        return copy
+
+    # -- public API ------------------------------------------------------
+
+    def tracked_copies(self) -> List[str]:
+        """Names of the copies tracked in this repository."""
+        names = []
+        for sidecar in sorted(self.root.glob(f"*{_SIDECAR_SUFFIX}")):
+            names.append(sidecar.name[: -len(_SIDECAR_SUFFIX)])
+        return names
+
+    def create(self, name: str, content: str = "", *, logical_name: Optional[str] = None) -> FileCopy:
+        """Start tracking a brand new logical file as copy ``name``."""
+        if name in self.tracked_copies():
+            raise ReplicationError(f"copy {name!r} already exists in {self.root}")
+        copy = FileCopy(logical_name or name, content, copy_name=name)
+        self._save(name, copy)
+        return copy
+
+    def load(self, name: str) -> FileCopy:
+        """Load a tracked copy (content + stamp)."""
+        return self._load(name)
+
+    def store(self, name: str, copy: FileCopy) -> None:
+        """Persist a (possibly modified) copy under ``name``."""
+        self._save(name, copy)
+
+    def edit(self, name: str, new_content: str) -> FileCopy:
+        """Edit a tracked copy in place (records an update in its stamp)."""
+        copy = self._load(name)
+        copy.edit(new_content)
+        self._save(name, copy)
+        return copy
+
+    def duplicate(
+        self,
+        source_name: str,
+        target_name: str,
+        *,
+        target_repository: Optional["CopyRepository"] = None,
+    ) -> FileCopy:
+        """Copy a tracked file, possibly into another repository.
+
+        Both the source stamp and the new copy's stamp are re-written, since
+        duplication forks the source identity.
+        """
+        target_repo = target_repository if target_repository is not None else self
+        if target_name in target_repo.tracked_copies():
+            raise ReplicationError(
+                f"copy {target_name!r} already exists in {target_repo.root}"
+            )
+        source = self._load(source_name)
+        clone = source.duplicate(copy_name=target_name)
+        self._save(source_name, source)
+        target_repo._save(target_name, clone)
+        return clone
+
+    def compare(
+        self,
+        first_name: str,
+        second_name: str,
+        *,
+        second_repository: Optional["CopyRepository"] = None,
+    ) -> CopyRelation:
+        """Compare two tracked copies without modifying them."""
+        second_repo = second_repository if second_repository is not None else self
+        first = self._load(first_name)
+        second = second_repo._load(second_name)
+        return first.compare(second)
+
+    def merge(
+        self,
+        first_name: str,
+        second_name: str,
+        *,
+        second_repository: Optional["CopyRepository"] = None,
+        resolver: Optional[callable] = None,
+    ) -> CopyRelation:
+        """Reconcile two tracked copies; both files end up identical."""
+        second_repo = second_repository if second_repository is not None else self
+        first = self._load(first_name)
+        second = second_repo._load(second_name)
+        relation = first.merge(second, resolver=resolver)
+        self._save(first_name, first)
+        second_repo._save(second_name, second)
+        return relation

@@ -1,0 +1,152 @@
+"""Command-style operations mirroring the PANASYNC tool set.
+
+The original PANASYNC project shipped small command-line tools to copy,
+update, compare and merge file copies while maintaining their version stamps.
+:class:`Panasync` packages the same verbs behind one object so the examples
+(and a downstream CLI, if desired) can drive whole multi-repository scenarios
+with a few readable calls.  Every verb returns plain data (strings, relations,
+reports) rather than printing, so it is equally usable from tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from ..core.order import Ordering
+from .filecopy import CopyRelation
+from .repository import CopyRepository
+
+__all__ = ["Panasync", "StatusLine"]
+
+
+@dataclass(frozen=True)
+class StatusLine:
+    """One row of :meth:`Panasync.status`: a copy and how it relates to a reference."""
+
+    repository: str
+    copy_name: str
+    digest: str
+    relation_to_reference: Optional[Ordering]
+
+    def render(self) -> str:
+        """A human-readable one-line summary."""
+        relation = (
+            self.relation_to_reference.value
+            if self.relation_to_reference is not None
+            else "reference"
+        )
+        return f"{self.repository}:{self.copy_name}  digest={self.digest}  {relation}"
+
+
+class Panasync:
+    """A façade over one or more copy repositories."""
+
+    def __init__(self) -> None:
+        self._repositories: Dict[str, CopyRepository] = {}
+
+    # -- repository management ------------------------------------------------
+
+    def add_repository(self, alias: str, root: Path) -> CopyRepository:
+        """Register (and create, if needed) a repository under ``alias``."""
+        repository = CopyRepository(root)
+        self._repositories[alias] = repository
+        return repository
+
+    def repository(self, alias: str) -> CopyRepository:
+        """Look up a registered repository."""
+        try:
+            return self._repositories[alias]
+        except KeyError:
+            raise KeyError(
+                f"unknown repository {alias!r}; registered: {sorted(self._repositories)}"
+            ) from None
+
+    def repositories(self) -> List[str]:
+        """Aliases of every registered repository."""
+        return sorted(self._repositories)
+
+    # -- the PANASYNC verbs ------------------------------------------------------
+
+    def create(self, repository: str, name: str, content: str = "") -> None:
+        """``panasync create``: start tracking a new logical file."""
+        self.repository(repository).create(name, content)
+
+    def edit(self, repository: str, name: str, content: str) -> None:
+        """``panasync edit``: modify a copy, recording the update."""
+        self.repository(repository).edit(name, content)
+
+    def copy(
+        self,
+        source: str,
+        source_name: str,
+        target: str,
+        target_name: Optional[str] = None,
+    ) -> None:
+        """``panasync cp``: duplicate a copy, possibly across repositories."""
+        self.repository(source).duplicate(
+            source_name,
+            target_name if target_name is not None else source_name,
+            target_repository=self.repository(target),
+        )
+
+    def compare(
+        self, first: str, first_name: str, second: str, second_name: str
+    ) -> CopyRelation:
+        """``panasync cmp``: how do two copies relate?"""
+        return self.repository(first).compare(
+            first_name, second_name, second_repository=self.repository(second)
+        )
+
+    def merge(
+        self,
+        first: str,
+        first_name: str,
+        second: str,
+        second_name: str,
+        *,
+        resolver: Optional[callable] = None,
+    ) -> CopyRelation:
+        """``panasync merge``: reconcile two copies of the same logical file."""
+        return self.repository(first).merge(
+            first_name,
+            second_name,
+            second_repository=self.repository(second),
+            resolver=resolver,
+        )
+
+    def status(
+        self,
+        *,
+        reference: Optional[tuple] = None,
+    ) -> List[StatusLine]:
+        """``panasync status``: list every tracked copy everywhere.
+
+        When ``reference=(repository, name)`` is given, each line reports how
+        that copy relates to the reference copy.
+        """
+        reference_copy = None
+        if reference is not None:
+            reference_alias, reference_name = reference
+            reference_copy = self.repository(reference_alias).load(reference_name)
+
+        lines: List[StatusLine] = []
+        for alias in self.repositories():
+            repository = self.repository(alias)
+            for name in repository.tracked_copies():
+                copy = repository.load(name)
+                relation = None
+                if reference_copy is not None and not (
+                    alias == reference[0] and name == reference[1]
+                ):
+                    relation = copy.compare(reference_copy).ordering
+                lines.append(
+                    StatusLine(
+                        repository=alias,
+                        copy_name=name,
+                        digest=copy.digest,
+                        relation_to_reference=relation,
+                    )
+                )
+        return lines

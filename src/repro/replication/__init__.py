@@ -1,0 +1,62 @@
+"""Optimistic replication substrate exercised by the end-to-end scenarios.
+
+The paper targets update tracking for optimistic replication in mobile,
+partition-prone environments.  This subpackage builds that environment:
+
+* :mod:`~repro.replication.tracker` -- pluggable causality trackers (version
+  stamps by default, ITC and dynamic version vectors for comparison).
+* :mod:`~repro.replication.replica` -- single-item replicas with local
+  writes, coordination-free forking and pairwise synchronization.
+* :mod:`~repro.replication.store` -- a multi-value key-value store replica.
+* :mod:`~repro.replication.conflict` -- conflict resolution policies.
+* :mod:`~repro.replication.network` -- simulated partitions and mobility.
+* :mod:`~repro.replication.node` / :mod:`~repro.replication.synchronizer` --
+  mobile nodes and anti-entropy gossip on top of all of the above.
+"""
+
+from .conflict import ConflictPolicy, KeepBoth, MergeWith, PreferNewest
+from .network import (
+    FullyConnectedNetwork,
+    NodePosition,
+    PartitionSchedule,
+    PartitionedNetwork,
+    ProximityNetwork,
+    ScheduledNetwork,
+    SimulatedNetwork,
+)
+from .node import MobileNode
+from .replica import Replica, SyncOutcome, Version
+from .store import MergeReport, StoreReplica
+from .synchronizer import AntiEntropy, RoundReport
+from .tracker import (
+    CausalityTracker,
+    DynamicVVTracker,
+    ITCTracker,
+    StampTracker,
+)
+
+__all__ = [
+    "CausalityTracker",
+    "StampTracker",
+    "ITCTracker",
+    "DynamicVVTracker",
+    "Replica",
+    "Version",
+    "SyncOutcome",
+    "StoreReplica",
+    "MergeReport",
+    "ConflictPolicy",
+    "KeepBoth",
+    "MergeWith",
+    "PreferNewest",
+    "SimulatedNetwork",
+    "FullyConnectedNetwork",
+    "PartitionedNetwork",
+    "ScheduledNetwork",
+    "PartitionSchedule",
+    "ProximityNetwork",
+    "NodePosition",
+    "MobileNode",
+    "AntiEntropy",
+    "RoundReport",
+]

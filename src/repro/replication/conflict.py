@@ -1,0 +1,97 @@
+"""Conflict resolution policies for optimistic replication.
+
+Version stamps (like version vectors) *detect* mutual inconsistency; what to
+do about it is a policy decision of the application.  A policy receives the
+sibling values of a key after a synchronization has found the two replicas'
+versions to be concurrent, and returns the values that survive:
+
+* :class:`KeepBoth` -- keep every concurrent value as a sibling and let a
+  later write or an explicit merge resolve them (the Dynamo/Coda style).
+* :class:`MergeWith` -- collapse the siblings with a caller-supplied merge
+  function (state-based merge).
+* :class:`PreferNewest` -- pick a single survivor deterministically using a
+  tie-break key (a pragmatic last-writer-wins; causality information is still
+  what decides whether a conflict exists at all).
+
+Policies operate on plain values; causal metadata is handled by the store,
+which joins the two replicas' stamps regardless of what the policy keeps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Sequence
+
+__all__ = ["ConflictPolicy", "KeepBoth", "MergeWith", "PreferNewest"]
+
+
+class ConflictPolicy:
+    """Decides which values survive when concurrent versions of a key meet."""
+
+    def resolve(self, values: Sequence[object]) -> List[object]:
+        """Return the surviving values (never empty for non-empty input)."""
+        raise NotImplementedError
+
+    @property
+    def collapses(self) -> bool:
+        """Whether the policy always returns a single value."""
+        return False
+
+
+class KeepBoth(ConflictPolicy):
+    """Keep every concurrent value as a sibling (no data loss)."""
+
+    def resolve(self, values: Sequence[object]) -> List[object]:
+        unique: List[object] = []
+        for value in values:
+            if not any(value == existing for existing in unique):
+                unique.append(value)
+        return unique
+
+
+@dataclass
+class MergeWith(ConflictPolicy):
+    """Collapse conflicting values with ``merge_function``.
+
+    The function receives the list of sibling values and must return the
+    merged value.
+    """
+
+    merge_function: Callable[[Sequence[object]], object]
+
+    def resolve(self, values: Sequence[object]) -> List[object]:
+        if len(values) <= 1:
+            return list(values)
+        return [self.merge_function(list(values))]
+
+    @property
+    def collapses(self) -> bool:
+        return True
+
+
+@dataclass
+class PreferNewest(ConflictPolicy):
+    """Keep a single value chosen by a tie-break key (last-writer-wins).
+
+    ``key`` extracts a comparable value from each sibling; the sibling with
+    the largest key survives.  Ties keep the earliest sibling, which makes
+    the policy deterministic for a fixed input order.
+    """
+
+    key: Callable[[object], object] = field(default=lambda value: value)
+
+    def resolve(self, values: Sequence[object]) -> List[object]:
+        if len(values) <= 1:
+            return list(values)
+        best = values[0]
+        best_key = self.key(best)
+        for value in values[1:]:
+            candidate_key = self.key(value)
+            if candidate_key > best_key:
+                best = value
+                best_key = candidate_key
+        return [best]
+
+    @property
+    def collapses(self) -> bool:
+        return True

@@ -1,0 +1,119 @@
+"""Mobile nodes: a store replica plus a position in the simulated network.
+
+A :class:`MobileNode` is the unit of the end-to-end scenarios: it owns one
+:class:`~repro.replication.store.StoreReplica`, knows its own network
+identifier, accepts local writes at any time (optimistic operation) and can
+only synchronize with peers the network currently lets it reach.  New nodes
+are created by forking an existing node's replica -- with version stamps this
+needs no identifier authority, so it works inside any partition.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from ..core.errors import ReplicationError
+from .conflict import ConflictPolicy
+from .network import SimulatedNetwork
+from .store import MergeReport, StoreReplica
+from .tracker import CausalityTracker
+
+__all__ = ["MobileNode"]
+
+
+class MobileNode:
+    """A node of the mobile replication scenario.
+
+    Parameters
+    ----------
+    node_id:
+        Unique node identifier used by the network model.
+    store:
+        The node's store replica; use :meth:`spawn_peer` to derive further
+        nodes so the causal identities stay consistent.
+    network:
+        The shared connectivity oracle.
+    """
+
+    def __init__(
+        self,
+        node_id: str,
+        store: StoreReplica,
+        network: SimulatedNetwork,
+    ) -> None:
+        self.node_id = node_id
+        self.store = store
+        self.network = network
+        self.sync_attempts = 0
+        self.sync_failures = 0
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def first(
+        cls,
+        node_id: str,
+        network: SimulatedNetwork,
+        *,
+        tracker_factory=None,
+        policy: Optional[ConflictPolicy] = None,
+    ) -> "MobileNode":
+        """Create the first node of a system (seed replica)."""
+        if tracker_factory is not None:
+            store = StoreReplica(node_id, tracker_factory=tracker_factory, policy=policy)
+        else:
+            store = StoreReplica(node_id, policy=policy)
+        return cls(node_id, store, network)
+
+    def spawn_peer(self, node_id: str, *, connected: Optional[bool] = None) -> "MobileNode":
+        """Create a new node by forking this node's replica.
+
+        ``connected`` describes whether this node can currently reach an
+        identifier authority; it defaults to whether the network reports any
+        reachable peer, and it only matters for identifier-dependent trackers
+        (the dynamic-version-vector baseline).
+        """
+        if connected is None:
+            connected = True
+        store = self.store.fork(node_id, connected=connected)
+        return MobileNode(node_id, store, self.network)
+
+    # -- operation ----------------------------------------------------------
+
+    def write(self, key: str, value: object) -> None:
+        """Accept a local write (always possible, regardless of connectivity)."""
+        self.store.put(key, value)
+
+    def read(self, key: str) -> List[object]:
+        """Read all sibling values of ``key`` held locally."""
+        return self.store.get(key)
+
+    def can_reach(self, other: "MobileNode") -> bool:
+        """Whether the network currently lets this node talk to ``other``."""
+        return self.network.can_communicate(self.node_id, other.node_id)
+
+    def sync_with(self, other: "MobileNode") -> MergeReport:
+        """Synchronize stores with ``other`` if the network allows it.
+
+        Raises
+        ------
+        ReplicationError
+            If the two nodes are currently partitioned from each other.
+        """
+        self.sync_attempts += 1
+        if not self.can_reach(other):
+            self.sync_failures += 1
+            raise ReplicationError(
+                f"nodes {self.node_id!r} and {other.node_id!r} are partitioned"
+            )
+        return self.store.sync_with(other.store)
+
+    def try_sync_with(self, other: "MobileNode") -> Optional[MergeReport]:
+        """Like :meth:`sync_with` but returns ``None`` instead of raising."""
+        try:
+            return self.sync_with(other)
+        except ReplicationError:
+            return None
+
+    def __repr__(self) -> str:
+        return f"MobileNode({self.node_id!r})"

@@ -1,0 +1,223 @@
+"""Replicas: data values paired with causality trackers.
+
+A :class:`Version` is an immutable pairing of an application value with the
+causal metadata describing which updates produced it.  A :class:`Replica` is
+one autonomously-operating copy of a logical data item: it can be written
+locally, forked into a new replica *without any coordination* (the paper's
+central capability), and synchronized with another replica, detecting
+whether the two copies are equivalent, one is obsolete, or they conflict.
+
+The causality mechanism is pluggable through
+:class:`~repro.replication.tracker.CausalityTracker`; version stamps are the
+default.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+from ..core.errors import ReplicationError
+from ..core.order import Ordering
+from .conflict import ConflictPolicy, KeepBoth
+from .tracker import CausalityTracker, StampTracker
+
+__all__ = ["Version", "Replica", "SyncOutcome"]
+
+_replica_counter = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class Version:
+    """An immutable (value, causal metadata) pair."""
+
+    value: object
+    tracker: CausalityTracker
+
+    def compare(self, other: "Version") -> Ordering:
+        """Compare the causal knowledge behind two versions."""
+        return self.tracker.compare(other.tracker)
+
+    def conflicts_with(self, other: "Version") -> bool:
+        """True when neither version dominates the other."""
+        return self.compare(other) is Ordering.CONCURRENT
+
+
+@dataclass(frozen=True)
+class SyncOutcome:
+    """What a pairwise synchronization observed and produced.
+
+    Attributes
+    ----------
+    relation:
+        How the two replicas compared before synchronizing.
+    conflict:
+        True when the relation was :attr:`Ordering.CONCURRENT`.
+    value:
+        The value both replicas hold after the synchronization.
+    """
+
+    relation: Ordering
+    conflict: bool
+    value: object
+
+
+class Replica:
+    """One autonomously operating copy of a logical data item.
+
+    Parameters
+    ----------
+    name:
+        Human-readable replica name (used in logs and test assertions).
+    value:
+        Initial application value.
+    tracker:
+        Causality tracker; defaults to a fresh version-stamp tracker, which
+        is only appropriate for the *first* replica of an item -- create
+        further replicas with :meth:`fork` so identities stay distinct.
+    """
+
+    def __init__(
+        self,
+        name: Optional[str] = None,
+        value: object = None,
+        tracker: Optional[CausalityTracker] = None,
+    ) -> None:
+        self.name = name if name is not None else f"replica-{next(_replica_counter)}"
+        self._version = Version(value, tracker if tracker is not None else StampTracker())
+        self._writes = 0
+        self._syncs = 0
+        self._conflicts_seen = 0
+
+    # -- inspection ------------------------------------------------------
+
+    @property
+    def version(self) -> Version:
+        """The current (value, tracker) pair."""
+        return self._version
+
+    @property
+    def value(self) -> object:
+        """The current application value."""
+        return self._version.value
+
+    @property
+    def tracker(self) -> CausalityTracker:
+        """The current causality tracker."""
+        return self._version.tracker
+
+    @property
+    def writes(self) -> int:
+        """Number of local writes performed."""
+        return self._writes
+
+    @property
+    def syncs(self) -> int:
+        """Number of synchronizations performed."""
+        return self._syncs
+
+    @property
+    def conflicts_seen(self) -> int:
+        """Number of synchronizations that found a conflict."""
+        return self._conflicts_seen
+
+    def __repr__(self) -> str:
+        return f"Replica({self.name!r}, value={self.value!r}, tracker={self.tracker!r})"
+
+    # -- operations ----------------------------------------------------------
+
+    def write(self, value: object) -> Version:
+        """Perform a local update, recording it in the causal metadata."""
+        self._version = Version(value, self._version.tracker.updated())
+        self._writes += 1
+        return self._version
+
+    def fork(self, name: Optional[str] = None, *, connected: bool = True) -> "Replica":
+        """Create a new replica of the same item, entirely locally.
+
+        With version stamps this always succeeds -- the new identity is built
+        by extending the local one.  With the dynamic-version-vector tracker
+        it may raise when the identifier authority is unreachable
+        (``connected=False``), reproducing the failure mode of Section 1.
+        """
+        mine, theirs = self._version.tracker.forked(connected=connected)
+        self._version = Version(self._version.value, mine)
+        return Replica(
+            name if name is not None else f"{self.name}-fork",
+            self._version.value,
+            theirs,
+        )
+
+    def compare(self, other: "Replica") -> Ordering:
+        """How this replica's version relates to another replica's version."""
+        return self._version.compare(other._version)
+
+    def conflicts_with(self, other: "Replica") -> bool:
+        """True when the two replicas hold mutually inconsistent versions."""
+        return self.compare(other) is Ordering.CONCURRENT
+
+    def sync_with(
+        self,
+        other: "Replica",
+        *,
+        resolve: Optional[Callable[[object, object], object]] = None,
+    ) -> SyncOutcome:
+        """Synchronize with ``other``: both end with the same value and
+        combined causal knowledge (join followed by fork, Section 1.1).
+
+        The surviving value is chosen by causality when possible: the
+        dominating side wins.  On a genuine conflict, ``resolve`` is called
+        with both values (``resolve(self.value, other.value)``); without a
+        resolver the local value wins and the outcome records the conflict.
+        """
+        relation = self.compare(other)
+        conflict = relation is Ordering.CONCURRENT
+        if relation is Ordering.BEFORE:
+            value = other.value
+        elif relation in (Ordering.AFTER, Ordering.EQUAL):
+            value = self.value
+        elif resolve is not None:
+            value = resolve(self.value, other.value)
+        else:
+            value = self.value
+
+        joined = self._version.tracker.joined(other._version.tracker)
+        if conflict and resolve is not None:
+            # A resolved conflict is a new update: record it so later
+            # comparisons see the merged value as dominating both inputs.
+            joined = joined.updated()
+        mine, theirs = joined.forked()
+        self._version = Version(value, mine)
+        other._version = Version(value, theirs)
+
+        self._syncs += 1
+        other._syncs += 1
+        if conflict:
+            self._conflicts_seen += 1
+            other._conflicts_seen += 1
+        return SyncOutcome(relation=relation, conflict=conflict, value=value)
+
+    def absorb(self, other: "Replica") -> None:
+        """One-way merge: retire ``other`` into this replica (join only).
+
+        The other replica's identity is consumed by the join -- in the
+        paper's model the join inputs leave the frontier -- so ``other`` must
+        be discarded after this call; keeping it alive (or comparing against
+        it) is outside the mechanism's frontier-ordering guarantees.  Use
+        :meth:`sync_with` when both replicas remain in service.
+        """
+        relation = self.compare(other)
+        if relation is Ordering.BEFORE:
+            value = other.value
+        else:
+            value = self.value
+        joined = self._version.tracker.joined(other._version.tracker)
+        self._version = Version(value, joined)
+        self._syncs += 1
+        if relation is Ordering.CONCURRENT:
+            self._conflicts_seen += 1
+
+    def metadata_size_in_bits(self) -> int:
+        """Encoded size of the causal metadata currently held."""
+        return self._version.tracker.size_in_bits()

@@ -1,0 +1,260 @@
+"""A replicated multi-value key-value store built on version stamps.
+
+This is the kind of optimistic data store the paper's motivation describes:
+every node holds a copy, writes are accepted locally without coordination,
+and reconciliation happens whenever two copies meet.  Because writes can
+race, a key may hold several *sibling* values after a synchronization; the
+causal metadata is what distinguishes stale values (safe to drop) from
+genuinely concurrent ones (application conflicts).
+
+Design notes (how the store stays inside the paper's frontier model)
+---------------------------------------------------------------------
+Version stamps order *coexisting* elements; comparing a live stamp against a
+stale snapshot from an earlier frontier is outside the model.  The store
+therefore keeps **one live tracker per key per replica** and only ever
+compares the live trackers of the two replicas being synchronized:
+
+* a local ``put`` records an update on that key's tracker;
+* replicating a key to a replica that does not hold it yet *forks* the key's
+  tracker (exactly like creating a new replica of a file);
+* a pairwise synchronization compares the two live trackers, moves values in
+  the direction causality dictates (or keeps both as siblings on a genuine
+  conflict), and then joins-and-forks the trackers so both replicas continue
+  with combined knowledge and distinct identities (Section 1.1).
+
+Sibling values carry no stamps of their own -- they are simply the set of
+candidate values for the key; the next causally-dominating write supersedes
+all of them everywhere it propagates.
+
+One consequence (shared with PANASYNC file copies): a logical key should be
+*created* at one replica and spread by synchronization.  Two replicas
+independently creating the same key cannot be causally related -- the store
+flags that situation as a conflict of independent origins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..core.errors import ReplicationError
+from ..core.order import Ordering
+from .conflict import ConflictPolicy, KeepBoth
+from .tracker import CausalityTracker, StampTracker
+
+__all__ = ["StoreReplica", "MergeReport", "KeyState"]
+
+
+@dataclass
+class MergeReport:
+    """Statistics produced by one pairwise store synchronization."""
+
+    keys_examined: int = 0
+    values_taken: int = 0
+    values_dropped_stale: int = 0
+    conflicts_detected: int = 0
+    conflicts_resolved: int = 0
+    keys_replicated: int = 0
+
+    def __iadd__(self, other: "MergeReport") -> "MergeReport":
+        self.keys_examined += other.keys_examined
+        self.values_taken += other.values_taken
+        self.values_dropped_stale += other.values_dropped_stale
+        self.conflicts_detected += other.conflicts_detected
+        self.conflicts_resolved += other.conflicts_resolved
+        self.keys_replicated += other.keys_replicated
+        return self
+
+
+@dataclass
+class KeyState:
+    """The live state of one key at one replica: sibling values + tracker."""
+
+    values: List[object]
+    tracker: CausalityTracker
+    independently_created: bool = False
+
+
+class StoreReplica:
+    """One replica of a multi-value key-value store.
+
+    Parameters
+    ----------
+    name:
+        Replica name used in logs and reports.
+    tracker_factory:
+        Callable producing the causality tracker used for keys first created
+        at this replica; defaults to version-stamp trackers.
+    policy:
+        Conflict policy applied when concurrent versions of a key meet;
+        defaults to keeping all siblings.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        *,
+        tracker_factory=StampTracker,
+        policy: Optional[ConflictPolicy] = None,
+    ) -> None:
+        self.name = name
+        self._tracker_factory = tracker_factory
+        self._policy = policy if policy is not None else KeepBoth()
+        self._keys: Dict[str, KeyState] = {}
+
+    # -- inspection ------------------------------------------------------
+
+    def keys(self) -> List[str]:
+        """All keys currently holding at least one value."""
+        return sorted(self._keys)
+
+    def get(self, key: str) -> List[object]:
+        """All sibling values currently stored under ``key`` (may be empty)."""
+        state = self._keys.get(key)
+        return list(state.values) if state is not None else []
+
+    def get_one(self, key: str) -> object:
+        """The single value of ``key``.
+
+        Raises
+        ------
+        ReplicationError
+            If the key is missing or currently holds conflicting siblings.
+        """
+        state = self._keys.get(key)
+        if state is None or not state.values:
+            raise ReplicationError(f"key {key!r} has no value on replica {self.name!r}")
+        if len(state.values) > 1:
+            raise ReplicationError(
+                f"key {key!r} holds {len(state.values)} conflicting siblings on "
+                f"replica {self.name!r}; resolve them before reading one value"
+            )
+        return state.values[0]
+
+    def tracker_of(self, key: str) -> CausalityTracker:
+        """The live causality tracker of ``key`` at this replica."""
+        state = self._keys.get(key)
+        if state is None:
+            raise ReplicationError(f"key {key!r} is not stored on replica {self.name!r}")
+        return state.tracker
+
+    def has_conflict(self, key: str) -> bool:
+        """True when ``key`` currently holds more than one sibling."""
+        return len(self.get(key)) > 1
+
+    def conflicted_keys(self) -> List[str]:
+        """All keys currently holding conflicting siblings."""
+        return [key for key in self.keys() if self.has_conflict(key)]
+
+    def metadata_size_in_bits(self) -> int:
+        """Encoded size of every causal tracker held by this replica."""
+        return sum(state.tracker.size_in_bits() for state in self._keys.values())
+
+    def __repr__(self) -> str:
+        return f"StoreReplica({self.name!r}, keys={self.keys()})"
+
+    # -- local operations ------------------------------------------------------
+
+    def put(self, key: str, value: object) -> None:
+        """Write ``value`` under ``key``, superseding every local sibling.
+
+        A key written for the first time at this replica starts a fresh
+        causal lineage (it is "created" here); the key then spreads to other
+        replicas through synchronization.
+        """
+        state = self._keys.get(key)
+        if state is None:
+            state = KeyState(values=[], tracker=self._tracker_factory(), independently_created=True)
+            self._keys[key] = state
+        state.values = [value]
+        state.tracker = state.tracker.updated()
+
+    def delete(self, key: str) -> None:
+        """Remove ``key`` locally (modelled as writing a tombstone value)."""
+        self.put(key, None)
+
+    def fork(self, name: str, *, connected: bool = True) -> "StoreReplica":
+        """Create a new store replica holding the same data, entirely locally.
+
+        Every key's tracker is forked so both replicas keep distinct,
+        autonomous identities per key.
+        """
+        clone = StoreReplica(name, tracker_factory=self._tracker_factory, policy=self._policy)
+        for key, state in self._keys.items():
+            mine, theirs = state.tracker.forked(connected=connected)
+            state.tracker = mine
+            clone._keys[key] = KeyState(
+                values=list(state.values),
+                tracker=theirs,
+                independently_created=False,
+            )
+            state.independently_created = False
+        return clone
+
+    # -- reconciliation ------------------------------------------------------
+
+    def _sync_key(self, key: str, other: "StoreReplica", report: MergeReport) -> None:
+        mine = self._keys.get(key)
+        theirs = other._keys.get(key)
+        report.keys_examined += 1
+
+        if mine is None and theirs is None:
+            return
+        if mine is None or theirs is None:
+            # Replicate towards the side that does not hold the key yet by
+            # forking the holder's tracker.
+            holder, receiver = (self, other) if theirs is None else (other, self)
+            state = holder._keys[key]
+            local, remote = state.tracker.forked()
+            state.tracker = local
+            receiver._keys[key] = KeyState(values=list(state.values), tracker=remote)
+            state.independently_created = False
+            report.keys_replicated += 1
+            report.values_taken += len(state.values)
+            return
+
+        relation = mine.tracker.compare(theirs.tracker)
+        independent_origins = (
+            mine.independently_created
+            and theirs.independently_created
+            and relation is not Ordering.CONCURRENT
+        )
+        if relation is Ordering.CONCURRENT or independent_origins:
+            report.conflicts_detected += 1
+            combined = self._policy.resolve(list(mine.values) + list(theirs.values))
+            if len(combined) < len(mine.values) + len(theirs.values):
+                report.conflicts_resolved += 1
+            mine.values = list(combined)
+            theirs.values = list(combined)
+            report.values_taken += len(combined)
+        elif relation is Ordering.BEFORE:
+            report.values_dropped_stale += len(mine.values)
+            mine.values = list(theirs.values)
+            report.values_taken += len(theirs.values)
+        elif relation is Ordering.AFTER:
+            report.values_dropped_stale += len(theirs.values)
+            theirs.values = list(mine.values)
+            report.values_taken += len(mine.values)
+        # EQUAL: both sides already hold the same version; nothing to move.
+
+        joined = mine.tracker.joined(theirs.tracker)
+        if relation is Ordering.CONCURRENT and self._policy.collapses:
+            # A resolved conflict is a new version that must dominate both
+            # inputs in later comparisons with third replicas.
+            joined = joined.updated()
+        local, remote = joined.forked()
+        mine.tracker = local
+        theirs.tracker = remote
+        mine.independently_created = False
+        theirs.independently_created = False
+
+    def sync_with(self, other: "StoreReplica") -> MergeReport:
+        """Two-way reconciliation: both replicas end with the same keys and
+        values, with combined causal knowledge per key (Section 1.1).
+        """
+        if other is self:
+            raise ReplicationError("a store replica cannot synchronize with itself")
+        report = MergeReport()
+        for key in sorted(set(self._keys) | set(other._keys)):
+            self._sync_key(key, other, report)
+        return report

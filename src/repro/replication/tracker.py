@@ -1,0 +1,181 @@
+"""Pluggable causality trackers for the replication substrate.
+
+The replication layer (replicas, stores, synchronizers) only needs four
+capabilities from whatever mechanism tracks update causality:
+
+* record a local update,
+* fork when a new replica is created from an existing one,
+* join when two replicas reconcile,
+* compare two versions (:class:`~repro.core.order.Ordering`).
+
+:class:`CausalityTracker` captures that contract; the adapters wrap version
+stamps (the paper's mechanism and the default), Interval Tree Clocks (the
+extension) and dynamic version vectors (the identifier-dependent baseline).
+Having the baselines behind the same interface is what lets the end-to-end
+replication benchmarks swap the mechanism without touching the scenario.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ..core.order import Ordering
+from ..core.stamp import VersionStamp
+from ..itc.stamp import ITCStamp
+from ..vv.dynamic_vv import DynamicVVElement
+from ..vv.id_source import IdSource, CentralIdSource
+from ..vv.version_vector import VersionVector
+
+__all__ = [
+    "CausalityTracker",
+    "StampTracker",
+    "ITCTracker",
+    "DynamicVVTracker",
+]
+
+
+class CausalityTracker:
+    """Abstract interface of a causality tracking mechanism.
+
+    Implementations are immutable: every operation returns new tracker
+    instances, matching the value semantics of the underlying mechanisms.
+    """
+
+    def updated(self) -> "CausalityTracker":
+        """Return the tracker after recording one local update."""
+        raise NotImplementedError
+
+    def forked(self, *, connected: bool = True) -> Tuple["CausalityTracker", "CausalityTracker"]:
+        """Return two trackers for the two sides of a replica creation."""
+        raise NotImplementedError
+
+    def joined(self, other: "CausalityTracker") -> "CausalityTracker":
+        """Return the tracker holding the combined knowledge of both."""
+        raise NotImplementedError
+
+    def compare(self, other: "CausalityTracker") -> Ordering:
+        """Compare update knowledge with another tracker of the same kind."""
+        raise NotImplementedError
+
+    def size_in_bits(self) -> int:
+        """Approximate encoded size, for the space benchmarks."""
+        raise NotImplementedError
+
+    @property
+    def requires_identifier_authority(self) -> bool:
+        """Whether forking may fail without connectivity to an id authority."""
+        return False
+
+
+class StampTracker(CausalityTracker):
+    """Causality tracking with version stamps (the paper's mechanism)."""
+
+    def __init__(self, stamp: Optional[VersionStamp] = None, *, reducing: bool = True) -> None:
+        self.stamp = stamp if stamp is not None else VersionStamp.seed(reducing=reducing)
+
+    def updated(self) -> "StampTracker":
+        return StampTracker(self.stamp.update())
+
+    def forked(self, *, connected: bool = True) -> Tuple["StampTracker", "StampTracker"]:
+        left, right = self.stamp.fork()
+        return StampTracker(left), StampTracker(right)
+
+    def joined(self, other: "CausalityTracker") -> "StampTracker":
+        if not isinstance(other, StampTracker):
+            raise TypeError("cannot join trackers of different kinds")
+        return StampTracker(self.stamp.join(other.stamp))
+
+    def compare(self, other: "CausalityTracker") -> Ordering:
+        if not isinstance(other, StampTracker):
+            raise TypeError("cannot compare trackers of different kinds")
+        return self.stamp.compare(other.stamp)
+
+    def size_in_bits(self) -> int:
+        return self.stamp.size_in_bits()
+
+    def __repr__(self) -> str:
+        return f"StampTracker({self.stamp})"
+
+
+class ITCTracker(CausalityTracker):
+    """Causality tracking with Interval Tree Clocks (the extension)."""
+
+    def __init__(self, stamp: Optional[ITCStamp] = None) -> None:
+        self.stamp = stamp if stamp is not None else ITCStamp.seed()
+
+    def updated(self) -> "ITCTracker":
+        return ITCTracker(self.stamp.event())
+
+    def forked(self, *, connected: bool = True) -> Tuple["ITCTracker", "ITCTracker"]:
+        left, right = self.stamp.fork()
+        return ITCTracker(left), ITCTracker(right)
+
+    def joined(self, other: "CausalityTracker") -> "ITCTracker":
+        if not isinstance(other, ITCTracker):
+            raise TypeError("cannot join trackers of different kinds")
+        return ITCTracker(self.stamp.join(other.stamp))
+
+    def compare(self, other: "CausalityTracker") -> Ordering:
+        if not isinstance(other, ITCTracker):
+            raise TypeError("cannot compare trackers of different kinds")
+        return self.stamp.compare(other.stamp)
+
+    def size_in_bits(self) -> int:
+        return self.stamp.size_in_bits()
+
+    def __repr__(self) -> str:
+        return f"ITCTracker({self.stamp!r})"
+
+
+class DynamicVVTracker(CausalityTracker):
+    """Causality tracking with dynamic version vectors (the baseline).
+
+    Forking needs a fresh replica identifier from the shared
+    :class:`IdSource`; with a central source this fails when the requesting
+    node is partitioned away from the authority -- the precise limitation the
+    paper's mechanism removes.
+    """
+
+    def __init__(
+        self,
+        element: Optional[DynamicVVElement] = None,
+        *,
+        id_source: Optional[IdSource] = None,
+    ) -> None:
+        self.id_source = id_source if id_source is not None else CentralIdSource()
+        if element is None:
+            element = DynamicVVElement(self.id_source.allocate(), VersionVector())
+        self.element = element
+
+    def updated(self) -> "DynamicVVTracker":
+        return DynamicVVTracker(self.element.update(), id_source=self.id_source)
+
+    def forked(self, *, connected: bool = True) -> Tuple["DynamicVVTracker", "DynamicVVTracker"]:
+        new_id = self.id_source.allocate(connected=connected)
+        left = DynamicVVTracker(self.element, id_source=self.id_source)
+        right = DynamicVVTracker(
+            DynamicVVElement(new_id, self.element.vector), id_source=self.id_source
+        )
+        return left, right
+
+    def joined(self, other: "CausalityTracker") -> "DynamicVVTracker":
+        if not isinstance(other, DynamicVVTracker):
+            raise TypeError("cannot join trackers of different kinds")
+        return DynamicVVTracker(
+            self.element.merge_from(other.element), id_source=self.id_source
+        )
+
+    def compare(self, other: "CausalityTracker") -> Ordering:
+        if not isinstance(other, DynamicVVTracker):
+            raise TypeError("cannot compare trackers of different kinds")
+        return self.element.compare(other.element)
+
+    def size_in_bits(self) -> int:
+        return self.element.size_in_bits()
+
+    @property
+    def requires_identifier_authority(self) -> bool:
+        return self.id_source.requires_connectivity
+
+    def __repr__(self) -> str:
+        return f"DynamicVVTracker({self.element!r})"

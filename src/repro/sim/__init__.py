@@ -1,0 +1,61 @@
+"""Simulation and evaluation harness.
+
+* :mod:`~repro.sim.trace` -- the trace language shared by every experiment.
+* :mod:`~repro.sim.workload` -- parameterized random workload generators.
+* :mod:`~repro.sim.runner` -- lockstep replay of one trace against the
+  causal-history oracle and every mechanism, with agreement and size reports.
+* :mod:`~repro.sim.exhaustive` -- exhaustive model checking of all small
+  executions (invariants + Proposition 5.1).
+* :mod:`~repro.sim.metrics` -- statistics containers used by the benchmarks.
+"""
+
+from .exhaustive import ExhaustiveReport, explore
+from .metrics import ReductionAccumulator, Summary, summarize, SweepTable
+from .runner import (
+    AgreementReport,
+    CausalAdapter,
+    DynamicVVAdapter,
+    ITCAdapter,
+    LamportAdapter,
+    LockstepRunner,
+    MechanismAdapter,
+    PlausibleAdapter,
+    SizeSample,
+    StampAdapter,
+    default_adapters,
+)
+from .trace import OpKind, Operation, Trace, validate_trace
+from .workload import (
+    churn_trace,
+    fixed_replica_trace,
+    partitioned_trace,
+    random_dynamic_trace,
+)
+
+__all__ = [
+    "OpKind",
+    "Operation",
+    "Trace",
+    "validate_trace",
+    "random_dynamic_trace",
+    "fixed_replica_trace",
+    "partitioned_trace",
+    "churn_trace",
+    "LockstepRunner",
+    "MechanismAdapter",
+    "CausalAdapter",
+    "StampAdapter",
+    "DynamicVVAdapter",
+    "ITCAdapter",
+    "PlausibleAdapter",
+    "LamportAdapter",
+    "AgreementReport",
+    "SizeSample",
+    "default_adapters",
+    "ExhaustiveReport",
+    "explore",
+    "Summary",
+    "summarize",
+    "ReductionAccumulator",
+    "SweepTable",
+]

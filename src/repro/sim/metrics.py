@@ -1,0 +1,139 @@
+"""Aggregation helpers for the experiments.
+
+The benchmarks sweep parameters (replica counts, operation counts, partition
+schedules) and need small, dependency-free statistics containers: summarizing
+a list of numbers, accumulating reduction effectiveness, and tabulating
+per-mechanism results across a sweep.  They live here so benchmark files stay
+declarative.
+"""
+
+from __future__ import annotations
+
+import math
+import statistics
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+from ..core.reduction import ReductionStats
+
+__all__ = ["Summary", "summarize", "ReductionAccumulator", "SweepTable"]
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number summary of a sample of measurements."""
+
+    count: int
+    mean: float
+    minimum: float
+    maximum: float
+    stdev: float
+
+    def __str__(self) -> str:
+        return (
+            f"n={self.count} mean={self.mean:.2f} min={self.minimum:.2f} "
+            f"max={self.maximum:.2f} stdev={self.stdev:.2f}"
+        )
+
+
+def summarize(values: Iterable[float]) -> Summary:
+    """Summarize a sample; an empty sample yields an all-zero summary."""
+    sample = [float(value) for value in values]
+    if not sample:
+        return Summary(count=0, mean=0.0, minimum=0.0, maximum=0.0, stdev=0.0)
+    mean = statistics.fmean(sample)
+    stdev = statistics.pstdev(sample) if len(sample) > 1 else 0.0
+    return Summary(
+        count=len(sample),
+        mean=mean,
+        minimum=min(sample),
+        maximum=max(sample),
+        stdev=stdev,
+    )
+
+
+@dataclass
+class ReductionAccumulator:
+    """Accumulates :class:`ReductionStats` over many joins."""
+
+    joins: int = 0
+    joins_reduced: int = 0
+    total_steps: int = 0
+    total_bits_before: int = 0
+    total_bits_after: int = 0
+
+    def record(self, stats: ReductionStats) -> None:
+        """Fold one join's reduction statistics into the accumulator."""
+        self.joins += 1
+        if stats.reduced:
+            self.joins_reduced += 1
+        self.total_steps += stats.steps
+        self.total_bits_before += stats.id_bits_before + stats.update_bits_before
+        self.total_bits_after += stats.id_bits_after + stats.update_bits_after
+
+    @property
+    def reduction_rate(self) -> float:
+        """Fraction of joins where at least one rewriting step applied."""
+        return self.joins_reduced / self.joins if self.joins else 0.0
+
+    @property
+    def mean_steps(self) -> float:
+        """Average number of rewriting steps per join."""
+        return self.total_steps / self.joins if self.joins else 0.0
+
+    @property
+    def bits_saved_fraction(self) -> float:
+        """Fraction of encoded bits removed by normalization."""
+        if self.total_bits_before == 0:
+            return 0.0
+        return 1.0 - self.total_bits_after / self.total_bits_before
+
+
+class SweepTable:
+    """A tiny column-oriented table for sweep results.
+
+    Rows are added as dictionaries; :meth:`render` produces an aligned
+    plain-text table suitable for benchmark output and EXPERIMENTS.md.
+    """
+
+    def __init__(self, columns: Sequence[str]) -> None:
+        self.columns: List[str] = list(columns)
+        self.rows: List[Dict[str, object]] = []
+
+    def add_row(self, **values: object) -> None:
+        """Append one row; missing columns render as empty cells."""
+        unknown = set(values) - set(self.columns)
+        if unknown:
+            raise KeyError(f"unknown columns: {sorted(unknown)}")
+        self.rows.append(dict(values))
+
+    @staticmethod
+    def _format(value: object) -> str:
+        if isinstance(value, float):
+            return f"{value:.3f}"
+        if value is None:
+            return ""
+        return str(value)
+
+    def render(self, *, title: Optional[str] = None) -> str:
+        """An aligned, plain-text rendering of the table."""
+        cells = [[self._format(row.get(column)) for column in self.columns] for row in self.rows]
+        widths = [
+            max(len(column), *(len(row[index]) for row in cells)) if cells else len(column)
+            for index, column in enumerate(self.columns)
+        ]
+        lines = []
+        if title:
+            lines.append(title)
+        header = "  ".join(column.ljust(width) for column, width in zip(self.columns, widths))
+        lines.append(header)
+        lines.append("  ".join("-" * width for width in widths))
+        for row in cells:
+            lines.append("  ".join(cell.ljust(width) for cell, width in zip(row, widths)))
+        return "\n".join(lines)
+
+    def column(self, name: str) -> List[object]:
+        """All values of one column, in row order."""
+        if name not in self.columns:
+            raise KeyError(f"unknown column {name!r}")
+        return [row.get(name) for row in self.rows]

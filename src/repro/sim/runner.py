@@ -1,0 +1,544 @@
+"""Lockstep execution of one trace against every causality mechanism.
+
+Proposition 5.1 is an equivalence between the orders induced by causal
+histories and by version stamps *for the same system execution*.  The
+:class:`LockstepRunner` makes that statement executable: it replays a single
+:class:`~repro.sim.trace.Trace` simultaneously against
+
+* the causal-history oracle (:class:`CausalAdapter`),
+* version stamps, reducing and non-reducing (:class:`StampAdapter`),
+* dynamic version vectors (:class:`DynamicVVAdapter`),
+* Interval Tree Clocks (:class:`ITCAdapter`),
+* plausible clocks (:class:`PlausibleAdapter`),
+
+and after every step compares each mechanism's pairwise ordering of the
+current frontier with the oracle's.  The per-mechanism
+:class:`AgreementReport` records exact agreement counts plus the two
+interesting error kinds: *missed conflicts* (mechanism says ordered, oracle
+says concurrent -- expected only for plausible clocks) and *false conflicts*
+(the reverse).  Size statistics are collected at the same time so a single
+trace replay feeds both the correctness and the space experiments.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..causal.configuration import CausalConfiguration
+from ..core.frontier import Frontier
+from ..core.invariants import check_all
+from ..core.order import Ordering
+from ..core.stamp import VersionStamp
+from ..itc.stamp import ITCStamp
+from ..vv.dynamic_vv import DynamicVVSystem
+from ..vv.id_source import CentralIdSource, IdSource
+from ..vv.lamport import LamportClock
+from ..vv.plausible import PlausibleClock
+from ..core.errors import SimulationError
+from .trace import OpKind, Operation, Trace
+
+__all__ = [
+    "MechanismAdapter",
+    "CausalAdapter",
+    "StampAdapter",
+    "DynamicVVAdapter",
+    "ITCAdapter",
+    "PlausibleAdapter",
+    "LamportAdapter",
+    "AgreementReport",
+    "SizeSample",
+    "LockstepRunner",
+    "default_adapters",
+]
+
+
+class MechanismAdapter:
+    """Uniform driver interface: replay trace operations, answer comparisons."""
+
+    #: Short name used in reports and benchmark tables.
+    name = "mechanism"
+
+    def start(self, seed: str) -> None:
+        """Initialize with a single element labelled ``seed``."""
+        raise NotImplementedError
+
+    def apply(self, operation: Operation) -> None:
+        """Apply one trace operation."""
+        raise NotImplementedError
+
+    def labels(self) -> List[str]:
+        """Labels of the currently coexisting elements."""
+        raise NotImplementedError
+
+    def compare(self, first: str, second: str) -> Ordering:
+        """Pairwise comparison of two live elements."""
+        raise NotImplementedError
+
+    def size_in_bits(self, label: str) -> int:
+        """Metadata size of one live element (0 when not meaningful)."""
+        return 0
+
+    def check_invariants(self) -> bool:
+        """Mechanism-specific self-check (True when nothing is violated)."""
+        return True
+
+
+class CausalAdapter(MechanismAdapter):
+    """The causal-history oracle (global view)."""
+
+    name = "causal-history"
+
+    def __init__(self) -> None:
+        self._configuration: Optional[CausalConfiguration] = None
+
+    @property
+    def configuration(self) -> CausalConfiguration:
+        if self._configuration is None:
+            raise SimulationError("adapter not started")
+        return self._configuration
+
+    def start(self, seed: str) -> None:
+        self._configuration = CausalConfiguration.initial(seed)
+
+    def apply(self, operation: Operation) -> None:
+        configuration = self.configuration
+        if operation.kind == OpKind.UPDATE:
+            configuration.update(operation.source, operation.results[0])
+        elif operation.kind == OpKind.FORK:
+            configuration.fork(operation.source, *operation.results)
+        elif operation.kind == OpKind.JOIN:
+            configuration.join(operation.source, operation.other, operation.results[0])
+        else:
+            configuration.sync(operation.source, operation.other, *operation.results)
+
+    def labels(self) -> List[str]:
+        return self.configuration.labels()
+
+    def compare(self, first: str, second: str) -> Ordering:
+        return self.configuration.compare(first, second)
+
+    def size_in_bits(self, label: str) -> int:
+        # One event identifier is modelled as a 64-bit value.
+        return 64 * len(self.configuration.history_of(label).events)
+
+
+class StampAdapter(MechanismAdapter):
+    """Version stamps, in either the reducing or the non-reducing flavour."""
+
+    def __init__(self, *, reducing: bool = True) -> None:
+        self._reducing = reducing
+        self.name = "version-stamps" if reducing else "version-stamps-nonreducing"
+        self._frontier: Optional[Frontier] = None
+
+    @property
+    def frontier(self) -> Frontier:
+        if self._frontier is None:
+            raise SimulationError("adapter not started")
+        return self._frontier
+
+    def start(self, seed: str) -> None:
+        self._frontier = Frontier.initial(seed, reducing=self._reducing)
+
+    def apply(self, operation: Operation) -> None:
+        frontier = self.frontier
+        if operation.kind == OpKind.UPDATE:
+            frontier.update(operation.source, operation.results[0])
+        elif operation.kind == OpKind.FORK:
+            frontier.fork(operation.source, *operation.results)
+        elif operation.kind == OpKind.JOIN:
+            frontier.join(operation.source, operation.other, operation.results[0])
+        else:
+            frontier.sync(operation.source, operation.other, *operation.results)
+
+    def labels(self) -> List[str]:
+        return self.frontier.labels()
+
+    def compare(self, first: str, second: str) -> Ordering:
+        return self.frontier.compare(first, second)
+
+    def size_in_bits(self, label: str) -> int:
+        return self.frontier.stamp_of(label).size_in_bits()
+
+    def check_invariants(self) -> bool:
+        return check_all(self.frontier.stamps()).ok
+
+
+class DynamicVVAdapter(MechanismAdapter):
+    """Dynamic version vectors driven by an identifier source."""
+
+    name = "dynamic-version-vectors"
+
+    def __init__(self, id_source: Optional[IdSource] = None) -> None:
+        self._id_source = id_source
+        self._system: Optional[DynamicVVSystem] = None
+
+    @property
+    def system(self) -> DynamicVVSystem:
+        if self._system is None:
+            raise SimulationError("adapter not started")
+        return self._system
+
+    def start(self, seed: str) -> None:
+        source = self._id_source if self._id_source is not None else CentralIdSource()
+        self._system = DynamicVVSystem.initial(seed, id_source=source)
+
+    def apply(self, operation: Operation) -> None:
+        system = self.system
+        if operation.kind == OpKind.UPDATE:
+            system.update(operation.source, operation.results[0])
+        elif operation.kind == OpKind.FORK:
+            system.fork(operation.source, *operation.results)
+        elif operation.kind == OpKind.JOIN:
+            system.join(operation.source, operation.other, operation.results[0])
+        else:
+            joined = system.join(operation.source, operation.other)
+            system.fork(joined, *operation.results)
+
+    def labels(self) -> List[str]:
+        return self.system.labels()
+
+    def compare(self, first: str, second: str) -> Ordering:
+        return self.system.compare(first, second)
+
+    def size_in_bits(self, label: str) -> int:
+        return self.system.element(label).size_in_bits()
+
+
+class ITCAdapter(MechanismAdapter):
+    """Interval Tree Clocks (the extension mechanism)."""
+
+    name = "interval-tree-clocks"
+
+    def __init__(self) -> None:
+        self._stamps: Dict[str, ITCStamp] = {}
+
+    def start(self, seed: str) -> None:
+        self._stamps = {seed: ITCStamp.seed()}
+
+    def _take(self, label: str) -> ITCStamp:
+        try:
+            return self._stamps.pop(label)
+        except KeyError:
+            raise SimulationError(f"ITC adapter has no element {label!r}") from None
+
+    def apply(self, operation: Operation) -> None:
+        if operation.kind == OpKind.UPDATE:
+            stamp = self._take(operation.source)
+            self._stamps[operation.results[0]] = stamp.event()
+        elif operation.kind == OpKind.FORK:
+            stamp = self._take(operation.source)
+            left, right = stamp.fork()
+            self._stamps[operation.results[0]] = left
+            self._stamps[operation.results[1]] = right
+        elif operation.kind == OpKind.JOIN:
+            first = self._take(operation.source)
+            second = self._take(operation.other)
+            self._stamps[operation.results[0]] = first.join(second)
+        else:
+            first = self._take(operation.source)
+            second = self._take(operation.other)
+            left, right = first.join(second).fork()
+            self._stamps[operation.results[0]] = left
+            self._stamps[operation.results[1]] = right
+
+    def labels(self) -> List[str]:
+        return list(self._stamps)
+
+    def compare(self, first: str, second: str) -> Ordering:
+        return self._stamps[first].compare(self._stamps[second])
+
+    def size_in_bits(self, label: str) -> int:
+        return self._stamps[label].size_in_bits()
+
+
+class PlausibleAdapter(MechanismAdapter):
+    """Plausible clocks: constant size, approximate ordering."""
+
+    def __init__(self, entries: int = 4) -> None:
+        self.name = f"plausible-clocks-{entries}"
+        self._entries = entries
+        self._clocks: Dict[str, PlausibleClock] = {}
+        self._next_replica = 0
+
+    def _fresh_replica_id(self) -> str:
+        identifier = f"p{self._next_replica}"
+        self._next_replica += 1
+        return identifier
+
+    def start(self, seed: str) -> None:
+        self._clocks = {seed: PlausibleClock(self._entries, self._fresh_replica_id())}
+
+    def _take(self, label: str) -> PlausibleClock:
+        try:
+            return self._clocks.pop(label)
+        except KeyError:
+            raise SimulationError(f"plausible adapter has no element {label!r}") from None
+
+    def apply(self, operation: Operation) -> None:
+        if operation.kind == OpKind.UPDATE:
+            clock = self._take(operation.source)
+            self._clocks[operation.results[0]] = clock.update()
+        elif operation.kind == OpKind.FORK:
+            clock = self._take(operation.source)
+            self._clocks[operation.results[0]] = clock
+            self._clocks[operation.results[1]] = clock.for_replica(self._fresh_replica_id())
+        elif operation.kind == OpKind.JOIN:
+            first = self._take(operation.source)
+            second = self._take(operation.other)
+            self._clocks[operation.results[0]] = first.merge(second)
+        else:
+            first = self._take(operation.source)
+            second = self._take(operation.other)
+            merged = first.merge(second)
+            self._clocks[operation.results[0]] = merged
+            self._clocks[operation.results[1]] = merged.for_replica(
+                self._fresh_replica_id()
+            )
+
+    def labels(self) -> List[str]:
+        return list(self._clocks)
+
+    def compare(self, first: str, second: str) -> Ordering:
+        return self._clocks[first].compare(self._clocks[second])
+
+    def size_in_bits(self, label: str) -> int:
+        return self._clocks[label].size_in_bits()
+
+
+class LamportAdapter(MechanismAdapter):
+    """Scalar Lamport clocks: causality-consistent but blind to concurrency.
+
+    Included purely as a contrast baseline -- every pair the oracle reports
+    as concurrent is (arbitrarily) ordered by a scalar clock, so the
+    agreement rate quantifies how much information the single integer loses.
+    """
+
+    name = "lamport-clocks"
+
+    def __init__(self) -> None:
+        self._clocks: Dict[str, LamportClock] = {}
+        self._next_process = 0
+
+    def _fresh_process(self) -> str:
+        identifier = f"l{self._next_process}"
+        self._next_process += 1
+        return identifier
+
+    def start(self, seed: str) -> None:
+        self._clocks = {seed: LamportClock(0, self._fresh_process())}
+
+    def _take(self, label: str) -> LamportClock:
+        try:
+            return self._clocks.pop(label)
+        except KeyError:
+            raise SimulationError(f"lamport adapter has no element {label!r}") from None
+
+    def apply(self, operation: Operation) -> None:
+        if operation.kind == OpKind.UPDATE:
+            clock = self._take(operation.source)
+            self._clocks[operation.results[0]] = clock.tick()
+        elif operation.kind == OpKind.FORK:
+            clock = self._take(operation.source)
+            self._clocks[operation.results[0]] = clock
+            self._clocks[operation.results[1]] = LamportClock(
+                clock.counter, self._fresh_process()
+            )
+        elif operation.kind == OpKind.JOIN:
+            first = self._take(operation.source)
+            second = self._take(operation.other)
+            self._clocks[operation.results[0]] = LamportClock(
+                max(first.counter, second.counter), first.process
+            )
+        else:
+            first = self._take(operation.source)
+            second = self._take(operation.other)
+            merged = max(first.counter, second.counter)
+            self._clocks[operation.results[0]] = LamportClock(merged, first.process)
+            self._clocks[operation.results[1]] = LamportClock(merged, second.process)
+
+    def labels(self) -> List[str]:
+        return list(self._clocks)
+
+    def compare(self, first: str, second: str) -> Ordering:
+        mine = self._clocks[first]
+        theirs = self._clocks[second]
+        if mine.counter == theirs.counter:
+            return Ordering.EQUAL
+        return Ordering.BEFORE if mine.counter < theirs.counter else Ordering.AFTER
+
+    def size_in_bits(self, label: str) -> int:
+        return self._clocks[label].size_in_bits()
+
+
+@dataclass
+class AgreementReport:
+    """How one mechanism's frontier order compares with the oracle's."""
+
+    mechanism: str
+    comparisons: int = 0
+    agreements: int = 0
+    missed_conflicts: int = 0
+    false_conflicts: int = 0
+    other_disagreements: int = 0
+    invariant_failures: int = 0
+
+    @property
+    def agreement_rate(self) -> float:
+        """Fraction of pairwise comparisons that matched the oracle exactly."""
+        if self.comparisons == 0:
+            return 1.0
+        return self.agreements / self.comparisons
+
+    def record(self, oracle: Ordering, observed: Ordering) -> None:
+        """Fold one pairwise comparison into the report."""
+        self.comparisons += 1
+        if oracle is observed:
+            self.agreements += 1
+        elif oracle is Ordering.CONCURRENT and observed is not Ordering.CONCURRENT:
+            self.missed_conflicts += 1
+        elif oracle is not Ordering.CONCURRENT and observed is Ordering.CONCURRENT:
+            self.false_conflicts += 1
+        else:
+            self.other_disagreements += 1
+
+    def __str__(self) -> str:
+        return (
+            f"{self.mechanism}: {self.agreements}/{self.comparisons} agree "
+            f"({self.agreement_rate:.1%}), missed={self.missed_conflicts}, "
+            f"false={self.false_conflicts}, other={self.other_disagreements}, "
+            f"invariant failures={self.invariant_failures}"
+        )
+
+
+@dataclass
+class SizeSample:
+    """Metadata-size statistics of one mechanism over one trace replay."""
+
+    mechanism: str
+    per_step_mean_bits: List[float] = field(default_factory=list)
+    per_step_max_bits: List[int] = field(default_factory=list)
+
+    def record(self, sizes: Sequence[int]) -> None:
+        """Record the per-element sizes observed after one trace step."""
+        if not sizes:
+            return
+        self.per_step_mean_bits.append(sum(sizes) / len(sizes))
+        self.per_step_max_bits.append(max(sizes))
+
+    @property
+    def final_mean_bits(self) -> float:
+        """Mean element size after the last step (0.0 for empty traces)."""
+        return self.per_step_mean_bits[-1] if self.per_step_mean_bits else 0.0
+
+    @property
+    def peak_bits(self) -> int:
+        """Largest single element observed anywhere in the trace."""
+        return max(self.per_step_max_bits, default=0)
+
+    @property
+    def overall_mean_bits(self) -> float:
+        """Mean of the per-step means (a trace-level size summary)."""
+        if not self.per_step_mean_bits:
+            return 0.0
+        return statistics.fmean(self.per_step_mean_bits)
+
+
+def default_adapters(*, include_plausible: bool = False) -> List[MechanismAdapter]:
+    """The standard set of non-oracle mechanisms used by the experiments."""
+    adapters: List[MechanismAdapter] = [
+        StampAdapter(reducing=True),
+        StampAdapter(reducing=False),
+        DynamicVVAdapter(),
+        ITCAdapter(),
+    ]
+    if include_plausible:
+        adapters.append(PlausibleAdapter())
+    return adapters
+
+
+class LockstepRunner:
+    """Replay one trace against the oracle and a set of mechanisms.
+
+    Parameters
+    ----------
+    adapters:
+        Mechanisms to compare against the causal-history oracle; defaults to
+        :func:`default_adapters`.
+    compare_every_step:
+        When ``True`` (default) the full pairwise ordering of the frontier is
+        cross-checked after every operation; when ``False`` only after the
+        final operation (cheaper for very long traces).
+    check_invariants:
+        When ``True`` each adapter's self-check runs after every step.
+    """
+
+    def __init__(
+        self,
+        adapters: Optional[Sequence[MechanismAdapter]] = None,
+        *,
+        compare_every_step: bool = True,
+        check_invariants: bool = True,
+    ) -> None:
+        self.oracle = CausalAdapter()
+        self.adapters: List[MechanismAdapter] = (
+            list(adapters) if adapters is not None else default_adapters()
+        )
+        self._compare_every_step = compare_every_step
+        self._check_invariants = check_invariants
+
+    def run(self, trace: Trace) -> Tuple[Dict[str, AgreementReport], Dict[str, SizeSample]]:
+        """Replay ``trace``; return per-mechanism agreement and size reports."""
+        reports = {
+            adapter.name: AgreementReport(adapter.name) for adapter in self.adapters
+        }
+        sizes = {adapter.name: SizeSample(adapter.name) for adapter in self.adapters}
+        sizes[self.oracle.name] = SizeSample(self.oracle.name)
+
+        self.oracle.start(trace.seed)
+        for adapter in self.adapters:
+            adapter.start(trace.seed)
+
+        steps = list(trace.operations)
+        for index, operation in enumerate(steps):
+            self.oracle.apply(operation)
+            for adapter in self.adapters:
+                adapter.apply(operation)
+            last_step = index == len(steps) - 1
+            if self._compare_every_step or last_step:
+                self._cross_check(reports, sizes)
+        if not steps:
+            self._cross_check(reports, sizes)
+        return reports, sizes
+
+    def _cross_check(
+        self,
+        reports: Dict[str, AgreementReport],
+        sizes: Dict[str, SizeSample],
+    ) -> None:
+        labels = self.oracle.labels()
+        oracle_matrix: Dict[Tuple[str, str], Ordering] = {}
+        for x in labels:
+            for y in labels:
+                if x != y:
+                    oracle_matrix[(x, y)] = self.oracle.compare(x, y)
+        sizes[self.oracle.name].record(
+            [self.oracle.size_in_bits(label) for label in labels]
+        )
+
+        for adapter in self.adapters:
+            adapter_labels = set(adapter.labels())
+            if adapter_labels != set(labels):
+                raise SimulationError(
+                    f"{adapter.name} diverged from the oracle: frontier "
+                    f"{sorted(adapter_labels)} vs {sorted(labels)}"
+                )
+            report = reports[adapter.name]
+            for (x, y), oracle_ordering in oracle_matrix.items():
+                report.record(oracle_ordering, adapter.compare(x, y))
+            if self._check_invariants and not adapter.check_invariants():
+                report.invariant_failures += 1
+            sizes[adapter.name].record(
+                [adapter.size_in_bits(label) for label in labels]
+            )

@@ -1,0 +1,197 @@
+"""Operation traces: the common language of the simulation harness.
+
+A trace is a sequence of frontier operations (``update``, ``fork``, ``join``,
+``sync``) over named elements, starting from a single seed element.  Traces
+are the lingua franca of the evaluation: the workload generators produce
+them, the lockstep runner replays them simultaneously against every
+mechanism (causal histories, version stamps, version vectors, ITC, ...), and
+the figure reconstructions are simply hand-written traces copied from the
+paper.
+
+Traces are plain data (dataclasses) so they can be stored, pretty-printed and
+shrunk by hypothesis during property-based testing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from ..core.errors import SimulationError
+
+__all__ = ["OpKind", "Operation", "Trace", "validate_trace"]
+
+
+class OpKind:
+    """The four kinds of trace operations (plain string constants)."""
+
+    UPDATE = "update"
+    FORK = "fork"
+    JOIN = "join"
+    SYNC = "sync"
+
+    ALL = (UPDATE, FORK, JOIN, SYNC)
+
+
+@dataclass(frozen=True)
+class Operation:
+    """One step of a trace.
+
+    Attributes
+    ----------
+    kind:
+        One of :class:`OpKind`'s constants.
+    source:
+        The element operated upon (for ``join``/``sync``: the first element).
+    other:
+        The second element for ``join``/``sync``; unused otherwise.
+    results:
+        Labels of the produced elements: one for ``update``/``join``, two for
+        ``fork``/``sync``.
+    """
+
+    kind: str
+    source: str
+    other: Optional[str] = None
+    results: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.kind not in OpKind.ALL:
+            raise SimulationError(f"unknown operation kind {self.kind!r}")
+        expected = 2 if self.kind in (OpKind.FORK, OpKind.SYNC) else 1
+        if len(self.results) != expected:
+            raise SimulationError(
+                f"{self.kind} must produce {expected} element(s), "
+                f"got {len(self.results)}"
+            )
+        needs_other = self.kind in (OpKind.JOIN, OpKind.SYNC)
+        if needs_other and self.other is None:
+            raise SimulationError(f"{self.kind} needs a second element")
+        if not needs_other and self.other is not None:
+            raise SimulationError(f"{self.kind} takes a single element")
+
+    # -- convenience constructors ------------------------------------------------
+
+    @classmethod
+    def update(cls, source: str, result: str) -> "Operation":
+        """An ``update(source)`` producing ``result``."""
+        return cls(OpKind.UPDATE, source, None, (result,))
+
+    @classmethod
+    def fork(cls, source: str, left: str, right: str) -> "Operation":
+        """A ``fork(source)`` producing ``left`` and ``right``."""
+        return cls(OpKind.FORK, source, None, (left, right))
+
+    @classmethod
+    def join(cls, source: str, other: str, result: str) -> "Operation":
+        """A ``join(source, other)`` producing ``result``."""
+        return cls(OpKind.JOIN, source, other, (result,))
+
+    @classmethod
+    def sync(cls, source: str, other: str, left: str, right: str) -> "Operation":
+        """A synchronization (join + fork) leaving ``left`` and ``right``."""
+        return cls(OpKind.SYNC, source, other, (left, right))
+
+    def consumed(self) -> Tuple[str, ...]:
+        """The element labels removed from the frontier by this operation."""
+        if self.other is not None:
+            return (self.source, self.other)
+        return (self.source,)
+
+    def __str__(self) -> str:
+        if self.other is not None:
+            call = f"{self.kind}({self.source}, {self.other})"
+        else:
+            call = f"{self.kind}({self.source})"
+        return f"{call} -> {', '.join(self.results)}"
+
+
+@dataclass(frozen=True)
+class Trace:
+    """A complete run: a seed element plus a sequence of operations."""
+
+    seed: str
+    operations: Tuple[Operation, ...]
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        validate_trace(self)
+
+    def __len__(self) -> int:
+        return len(self.operations)
+
+    def __iter__(self) -> Iterator[Operation]:
+        return iter(self.operations)
+
+    def update_count(self) -> int:
+        """Number of update operations in the trace."""
+        return sum(1 for op in self.operations if op.kind == OpKind.UPDATE)
+
+    def fork_count(self) -> int:
+        """Number of fork operations (syncs count as one fork)."""
+        return sum(1 for op in self.operations if op.kind in (OpKind.FORK, OpKind.SYNC))
+
+    def join_count(self) -> int:
+        """Number of join operations (syncs count as one join)."""
+        return sum(1 for op in self.operations if op.kind in (OpKind.JOIN, OpKind.SYNC))
+
+    def final_frontier(self) -> Set[str]:
+        """The element labels alive after replaying the whole trace."""
+        alive = {self.seed}
+        for operation in self.operations:
+            for label in operation.consumed():
+                alive.discard(label)
+            alive.update(operation.results)
+        return alive
+
+    def max_frontier_width(self) -> int:
+        """The largest number of coexisting elements at any point of the trace."""
+        alive = {self.seed}
+        widest = 1
+        for operation in self.operations:
+            for label in operation.consumed():
+                alive.discard(label)
+            alive.update(operation.results)
+            widest = max(widest, len(alive))
+        return widest
+
+    def describe(self) -> str:
+        """A multi-line human-readable rendering of the trace."""
+        header = self.name or f"trace over {len(self.operations)} operations"
+        lines = [header, f"  seed: {self.seed}"]
+        lines.extend(f"  {index}: {op}" for index, op in enumerate(self.operations))
+        return "\n".join(lines)
+
+
+def validate_trace(trace: Trace) -> None:
+    """Check that every operation only touches live elements and that labels
+    produced are fresh.
+
+    Raises
+    ------
+    SimulationError
+        Describing the first ill-formed operation found.
+    """
+    alive: Set[str] = {trace.seed}
+    used: Set[str] = {trace.seed}
+    for index, operation in enumerate(trace.operations):
+        for label in operation.consumed():
+            if label not in alive:
+                raise SimulationError(
+                    f"operation {index} ({operation}) uses {label!r} which is not "
+                    f"alive (alive: {sorted(alive)})"
+                )
+        if operation.other is not None and operation.other == operation.source:
+            raise SimulationError(
+                f"operation {index} ({operation}) uses the same element twice"
+            )
+        for label in operation.consumed():
+            alive.discard(label)
+        for label in operation.results:
+            if label in alive or (label in used and label not in operation.consumed()):
+                raise SimulationError(
+                    f"operation {index} ({operation}) produces label {label!r} "
+                    f"which was already used"
+                )
+            alive.add(label)
+            used.add(label)

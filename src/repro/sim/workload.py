@@ -1,0 +1,339 @@
+"""Parameterized workload generators producing operation traces.
+
+The paper's evaluation artefacts are worked examples; the behaviours it
+*claims* (order equivalence with causal histories, ids that adapt to the
+frontier, operation under partitions without an identifier authority) need
+whole families of executions to be demonstrated convincingly.  These
+generators produce them:
+
+* :func:`random_dynamic_trace` -- the general fork/join/update soup with a
+  configurable operation mix and frontier-width cap; this is the workhorse of
+  the equivalence and reduction experiments.
+* :func:`fixed_replica_trace` -- a closed set of replicas doing updates and
+  pairwise synchronizations, i.e. the classic version-vector setting of
+  Figure 1/Figure 3 encoded with fork-and-join dynamics.
+* :func:`partitioned_trace` -- replicas split into partitions for a number of
+  phases: updates and syncs happen only within a partition, *new replicas are
+  created inside partitions* (the operation version vectors cannot support
+  without an authority), and partitions merge at the end.
+* :func:`churn_trace` -- aggressive replica creation and retirement, the
+  worst case for identifier-based mechanisms.
+
+All generators are deterministic given a seed and return
+:class:`~repro.sim.trace.Trace` objects.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence, Tuple
+
+from ..core.errors import SimulationError
+from .trace import Operation, Trace
+
+__all__ = [
+    "random_dynamic_trace",
+    "fixed_replica_trace",
+    "partitioned_trace",
+    "churn_trace",
+]
+
+
+class _LabelFactory:
+    """Generates fresh, readable element labels (``n1``, ``n2``, ...)."""
+
+    def __init__(self, prefix: str = "n") -> None:
+        self._prefix = prefix
+        self._next = 0
+
+    def fresh(self) -> str:
+        self._next += 1
+        return f"{self._prefix}{self._next}"
+
+
+def random_dynamic_trace(
+    operations: int,
+    *,
+    seed: int = 0,
+    update_weight: float = 0.5,
+    fork_weight: float = 0.25,
+    join_weight: float = 0.25,
+    max_frontier: int = 16,
+    name: str = "",
+) -> Trace:
+    """A random fork/join/update execution.
+
+    Parameters
+    ----------
+    operations:
+        Number of operations to generate.
+    seed:
+        RNG seed (the trace is a pure function of the parameters).
+    update_weight / fork_weight / join_weight:
+        Relative probabilities of each operation kind.  Joins are only
+        possible with at least two live elements and forks are suppressed at
+        ``max_frontier`` width, with the probability mass redistributed.
+    max_frontier:
+        Upper bound on the number of coexisting elements.
+    """
+    if operations < 0:
+        raise SimulationError("operation count must be non-negative")
+    if min(update_weight, fork_weight, join_weight) < 0:
+        raise SimulationError("operation weights must be non-negative")
+    if update_weight + fork_weight + join_weight <= 0:
+        raise SimulationError("at least one operation weight must be positive")
+    if max_frontier < 1:
+        raise SimulationError("max_frontier must be at least 1")
+
+    rng = random.Random(seed)
+    labels = _LabelFactory()
+    seed_label = labels.fresh()
+    alive: List[str] = [seed_label]
+    trace_operations: List[Operation] = []
+
+    for _ in range(operations):
+        choices: List[str] = []
+        weights: List[float] = []
+        if update_weight > 0:
+            choices.append("update")
+            weights.append(update_weight)
+        if fork_weight > 0 and len(alive) < max_frontier:
+            choices.append("fork")
+            weights.append(fork_weight)
+        if join_weight > 0 and len(alive) >= 2:
+            choices.append("join")
+            weights.append(join_weight)
+        kind = rng.choices(choices, weights=weights, k=1)[0]
+
+        if kind == "update":
+            source = rng.choice(alive)
+            result = labels.fresh()
+            trace_operations.append(Operation.update(source, result))
+            alive.remove(source)
+            alive.append(result)
+        elif kind == "fork":
+            source = rng.choice(alive)
+            left, right = labels.fresh(), labels.fresh()
+            trace_operations.append(Operation.fork(source, left, right))
+            alive.remove(source)
+            alive.extend((left, right))
+        else:
+            source, other = rng.sample(alive, 2)
+            result = labels.fresh()
+            trace_operations.append(Operation.join(source, other, result))
+            alive.remove(source)
+            alive.remove(other)
+            alive.append(result)
+
+    return Trace(
+        seed=seed_label,
+        operations=tuple(trace_operations),
+        name=name or f"random-dynamic(ops={operations}, seed={seed})",
+    )
+
+
+def fixed_replica_trace(
+    replicas: int,
+    operations: int,
+    *,
+    seed: int = 0,
+    update_probability: float = 0.6,
+    name: str = "",
+) -> Trace:
+    """A closed system of ``replicas`` replicas doing updates and pair syncs.
+
+    The trace starts by forking the seed element ``replicas - 1`` times (the
+    Figure 3 encoding of a fixed replica set), then performs ``operations``
+    steps, each either an update of a random replica (with probability
+    ``update_probability``) or a synchronization of a random pair.
+    """
+    if replicas < 1:
+        raise SimulationError("need at least one replica")
+    if not 0.0 <= update_probability <= 1.0:
+        raise SimulationError("update_probability must be within [0, 1]")
+
+    rng = random.Random(seed)
+    labels = _LabelFactory()
+    seed_label = labels.fresh()
+    trace_operations: List[Operation] = []
+
+    alive = [seed_label]
+    while len(alive) < replicas:
+        source = alive.pop(0)
+        left, right = labels.fresh(), labels.fresh()
+        trace_operations.append(Operation.fork(source, left, right))
+        alive.extend((left, right))
+
+    for _ in range(operations):
+        if len(alive) < 2 or rng.random() < update_probability:
+            source = rng.choice(alive)
+            result = labels.fresh()
+            trace_operations.append(Operation.update(source, result))
+            alive.remove(source)
+            alive.append(result)
+        else:
+            source, other = rng.sample(alive, 2)
+            left, right = labels.fresh(), labels.fresh()
+            trace_operations.append(Operation.sync(source, other, left, right))
+            alive.remove(source)
+            alive.remove(other)
+            alive.extend((left, right))
+
+    return Trace(
+        seed=seed_label,
+        operations=tuple(trace_operations),
+        name=name or f"fixed-replicas(n={replicas}, ops={operations}, seed={seed})",
+    )
+
+
+def partitioned_trace(
+    *,
+    initial_replicas: int = 4,
+    partitions: int = 2,
+    phases: int = 3,
+    operations_per_phase: int = 20,
+    creation_probability: float = 0.2,
+    update_probability: float = 0.6,
+    seed: int = 0,
+    name: str = "",
+) -> Trace:
+    """Partitioned operation with in-partition replica creation.
+
+    The trace builds ``initial_replicas`` replicas, splits them round-robin
+    into ``partitions`` groups and then runs ``phases`` phases.  Within a
+    phase every operation stays inside one partition: a new replica is forked
+    from a partition member (probability ``creation_probability``), a member
+    is updated (``update_probability``), or two members synchronize.  Between
+    phases the partition membership is reshuffled (nodes move between
+    clusters), and after the last phase all replicas of each partition are
+    joined and the partition representatives are synchronized -- the "heal"
+    that lets every mechanism be compared on one final frontier.
+    """
+    if partitions < 1:
+        raise SimulationError("need at least one partition")
+    if initial_replicas < partitions:
+        raise SimulationError("need at least one replica per partition")
+
+    rng = random.Random(seed)
+    labels = _LabelFactory()
+    seed_label = labels.fresh()
+    trace_operations: List[Operation] = []
+
+    alive = [seed_label]
+    while len(alive) < initial_replicas:
+        source = alive.pop(0)
+        left, right = labels.fresh(), labels.fresh()
+        trace_operations.append(Operation.fork(source, left, right))
+        alive.extend((left, right))
+
+    for _phase in range(phases):
+        rng.shuffle(alive)
+        groups: List[List[str]] = [alive[index::partitions] for index in range(partitions)]
+        groups = [group for group in groups if group]
+        for _ in range(operations_per_phase):
+            group = rng.choice(groups)
+            roll = rng.random()
+            if roll < creation_probability:
+                source = rng.choice(group)
+                left, right = labels.fresh(), labels.fresh()
+                trace_operations.append(Operation.fork(source, left, right))
+                group.remove(source)
+                group.extend((left, right))
+            elif roll < creation_probability + update_probability or len(group) < 2:
+                source = rng.choice(group)
+                result = labels.fresh()
+                trace_operations.append(Operation.update(source, result))
+                group.remove(source)
+                group.append(result)
+            else:
+                source, other = rng.sample(group, 2)
+                left, right = labels.fresh(), labels.fresh()
+                trace_operations.append(Operation.sync(source, other, left, right))
+                group.remove(source)
+                group.remove(other)
+                group.extend((left, right))
+        alive = [label for group in groups for label in group]
+
+    # Heal: collapse each partition to one element, then synchronize the
+    # representatives in a chain so the first one ends up with the combined
+    # knowledge of the whole system while every partition keeps one element.
+    rng.shuffle(alive)
+    groups = [alive[index::partitions] for index in range(partitions)]
+    groups = [group for group in groups if group]
+    representatives: List[str] = []
+    for group in groups:
+        representative = group[0]
+        for other in group[1:]:
+            result = labels.fresh()
+            trace_operations.append(Operation.join(representative, other, result))
+            representative = result
+        representatives.append(representative)
+    carrier = representatives[0]
+    for other in representatives[1:]:
+        left, right = labels.fresh(), labels.fresh()
+        trace_operations.append(Operation.sync(carrier, other, left, right))
+        carrier = left
+
+    return Trace(
+        seed=seed_label,
+        operations=tuple(trace_operations),
+        name=name
+        or (
+            f"partitioned(replicas={initial_replicas}, partitions={partitions}, "
+            f"phases={phases}, seed={seed})"
+        ),
+    )
+
+
+def churn_trace(
+    operations: int,
+    *,
+    seed: int = 0,
+    target_frontier: int = 8,
+    update_probability: float = 0.3,
+    name: str = "",
+) -> Trace:
+    """Aggressive replica creation and retirement around a target width.
+
+    Below ``target_frontier`` live elements the generator prefers forks,
+    above it joins, with updates sprinkled in -- a steady stream of identity
+    creation and retirement that is the worst case for mechanisms that never
+    recycle identifiers.
+    """
+    if target_frontier < 1:
+        raise SimulationError("target_frontier must be at least 1")
+
+    rng = random.Random(seed)
+    labels = _LabelFactory()
+    seed_label = labels.fresh()
+    alive = [seed_label]
+    trace_operations: List[Operation] = []
+
+    for _ in range(operations):
+        if rng.random() < update_probability:
+            source = rng.choice(alive)
+            result = labels.fresh()
+            trace_operations.append(Operation.update(source, result))
+            alive.remove(source)
+            alive.append(result)
+            continue
+        want_fork = len(alive) < target_frontier or len(alive) < 2
+        if want_fork:
+            source = rng.choice(alive)
+            left, right = labels.fresh(), labels.fresh()
+            trace_operations.append(Operation.fork(source, left, right))
+            alive.remove(source)
+            alive.extend((left, right))
+        else:
+            source, other = rng.sample(alive, 2)
+            result = labels.fresh()
+            trace_operations.append(Operation.join(source, other, result))
+            alive.remove(source)
+            alive.remove(other)
+            alive.append(result)
+
+    return Trace(
+        seed=seed_label,
+        operations=tuple(trace_operations),
+        name=name or f"churn(ops={operations}, target={target_frontier}, seed={seed})",
+    )

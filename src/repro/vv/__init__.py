@@ -1,0 +1,43 @@
+"""Baseline causality mechanisms the paper compares against or builds upon.
+
+* :class:`~repro.vv.version_vector.VersionVector` -- classic version vectors
+  (Parker et al.), the mechanism of Figure 1.
+* :class:`~repro.vv.vector_clock.VectorClock` -- Fidge/Mattern vector clocks
+  for whole-computation event ordering.
+* :class:`~repro.vv.dynamic_vv.DynamicVVSystem` -- dynamic version-vector
+  maintenance (Ratner et al.): replica creation/retirement with explicit
+  identifier allocation.
+* :class:`~repro.vv.plausible.PlausibleClock` -- plausible clocks
+  (Torres-Rojas & Ahamad): constant size, approximate ordering.
+* :mod:`~repro.vv.id_source` -- the identifier allocation strategies these
+  baselines depend on (and version stamps do not).
+"""
+
+from .dynamic_vv import DynamicVVElement, DynamicVVSystem
+from .lamport import LamportClock, LamportProcess
+from .id_source import (
+    CentralIdSource,
+    IdAllocationError,
+    IdSource,
+    PreassignedIdSource,
+    RandomIdSource,
+)
+from .plausible import PlausibleClock
+from .vector_clock import ClockedProcess, VectorClock
+from .version_vector import VersionVector
+
+__all__ = [
+    "VersionVector",
+    "VectorClock",
+    "LamportClock",
+    "LamportProcess",
+    "ClockedProcess",
+    "DynamicVVElement",
+    "DynamicVVSystem",
+    "PlausibleClock",
+    "IdSource",
+    "IdAllocationError",
+    "CentralIdSource",
+    "RandomIdSource",
+    "PreassignedIdSource",
+]

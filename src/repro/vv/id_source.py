@@ -1,0 +1,159 @@
+"""Replica-identifier allocation strategies for the baseline mechanisms.
+
+Version vectors and vector clocks need globally unique replica identifiers
+(the mapping ``I → ℕ`` of Section 1).  The paper's central observation is
+that producing such identifiers requires either connectivity to an authority
+or probabilistic uniqueness -- both of which it rejects for partitioned,
+mobile operation.  To make this requirement explicit (and measurable in the
+benchmarks) the baselines in :mod:`repro.vv` obtain their identifiers from an
+:class:`IdSource`, of which we provide three flavours:
+
+* :class:`CentralIdSource` -- a counter behind a single authority; allocation
+  fails while the requesting node is partitioned away from it.
+* :class:`RandomIdSource` -- fixed-width random identifiers; allocation always
+  succeeds but uniqueness is only probabilistic (collisions are possible and
+  are reported so experiments can count them).
+* :class:`PreassignedIdSource` -- identifiers are fixed up front, modelling a
+  classic closed system with a known replica set.
+
+Version stamps use none of these: their identities are created autonomously
+by ``fork``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, List, Optional, Set
+
+from ..core.errors import ReplicationError
+
+__all__ = [
+    "IdAllocationError",
+    "IdSource",
+    "CentralIdSource",
+    "RandomIdSource",
+    "PreassignedIdSource",
+]
+
+
+class IdAllocationError(ReplicationError):
+    """Raised when a replica identifier cannot be allocated."""
+
+
+class IdSource:
+    """Abstract interface of a replica-identifier allocator."""
+
+    def allocate(self, *, connected: bool = True) -> str:
+        """Return a new replica identifier.
+
+        Parameters
+        ----------
+        connected:
+            Whether the requesting node can currently reach the identifier
+            authority.  Decentralized sources ignore the flag; the central
+            source refuses to allocate when it is ``False``.
+        """
+        raise NotImplementedError
+
+    def release(self, identifier: str) -> None:
+        """Return an identifier to the source (used on replica retirement)."""
+        # Most sources never reuse identifiers; releasing is a no-op.
+
+    @property
+    def requires_connectivity(self) -> bool:
+        """Whether allocation can fail under partition."""
+        return False
+
+    @property
+    def collisions(self) -> int:
+        """Number of identifier collisions produced so far (0 if impossible)."""
+        return 0
+
+
+class CentralIdSource(IdSource):
+    """A single authority handing out sequential identifiers.
+
+    This models the "request a unique identifier from a server" option the
+    paper mentions for well-connected environments; it is exactly what
+    partitioned operation rules out.
+    """
+
+    def __init__(self, prefix: str = "r") -> None:
+        self._prefix = prefix
+        self._next = 0
+        self._refused = 0
+
+    def allocate(self, *, connected: bool = True) -> str:
+        if not connected:
+            self._refused += 1
+            raise IdAllocationError(
+                "the identifier authority is unreachable under the current partition"
+            )
+        identifier = f"{self._prefix}{self._next}"
+        self._next += 1
+        return identifier
+
+    @property
+    def requires_connectivity(self) -> bool:
+        return True
+
+    @property
+    def refused(self) -> int:
+        """How many allocations were refused because of partitions."""
+        return self._refused
+
+
+class RandomIdSource(IdSource):
+    """Fixed-width random identifiers with only probabilistic uniqueness."""
+
+    def __init__(self, bits: int = 32, *, rng: Optional[random.Random] = None) -> None:
+        if bits <= 0:
+            raise ValueError("identifier width must be positive")
+        self._bits = bits
+        self._rng = rng if rng is not None else random.Random()
+        self._seen: Set[str] = set()
+        self._collisions = 0
+
+    def allocate(self, *, connected: bool = True) -> str:
+        value = self._rng.getrandbits(self._bits)
+        identifier = f"x{value:0{(self._bits + 3) // 4}x}"
+        if identifier in self._seen:
+            self._collisions += 1
+        self._seen.add(identifier)
+        return identifier
+
+    @property
+    def collisions(self) -> int:
+        return self._collisions
+
+    @property
+    def bits(self) -> int:
+        """Identifier width in bits (relevant for size accounting)."""
+        return self._bits
+
+
+class PreassignedIdSource(IdSource):
+    """A fixed pool of identifiers known in advance (the classic closed system)."""
+
+    def __init__(self, identifiers: Iterable[str]) -> None:
+        self._available: List[str] = list(identifiers)
+        self._initial = list(self._available)
+        if len(set(self._available)) != len(self._available):
+            raise ValueError("preassigned identifiers must be distinct")
+
+    def allocate(self, *, connected: bool = True) -> str:
+        if not self._available:
+            raise IdAllocationError(
+                "the preassigned identifier pool is exhausted; a closed system "
+                "cannot create replicas beyond its fixed set"
+            )
+        return self._available.pop(0)
+
+    def release(self, identifier: str) -> None:
+        if identifier in self._initial and identifier not in self._available:
+            self._available.append(identifier)
+
+    @property
+    def remaining(self) -> int:
+        """How many identifiers are still available."""
+        return len(self._available)

@@ -1,0 +1,95 @@
+"""Lamport scalar clocks (Lamport 1978), the simplest causality baseline.
+
+The paper roots version vectors and vector clocks in Lamport's happened-before
+relation.  Scalar Lamport clocks are the cheapest mechanism of the family:
+one integer per process, ticked on every event and maximized on receipt.
+They are *consistent* with causality (``a → b  ⇒  L(a) < L(b)``) but cannot
+detect concurrency -- two concurrent events simply get arbitrarily ordered
+numbers.  We include them to make that contrast executable: the benchmarks
+show scalar clocks produce orderings for pairs the causal-history oracle
+reports as concurrent, which is exactly why update tracking needs version
+vectors or version stamps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..core.errors import ReplicationError
+from ..core.order import Ordering
+
+__all__ = ["LamportClock", "LamportProcess"]
+
+
+@dataclass(frozen=True)
+class LamportClock:
+    """An immutable scalar Lamport clock value.
+
+    The ``process`` field is used only to break ties deterministically when a
+    total order is requested (the classic ``(counter, process)`` pair); it
+    plays no role in the causality-consistency property.
+    """
+
+    counter: int = 0
+    process: str = ""
+
+    def tick(self) -> "LamportClock":
+        """Advance the clock for a local event."""
+        return LamportClock(self.counter + 1, self.process)
+
+    def merge(self, other: "LamportClock") -> "LamportClock":
+        """Receive a message stamped with ``other``: max then tick."""
+        return LamportClock(max(self.counter, other.counter) + 1, self.process)
+
+    def happened_before_or_equal(self, other: "LamportClock") -> bool:
+        """The only sound conclusion a scalar clock supports: ``<=`` on counters."""
+        return self.counter <= other.counter
+
+    def compare(self, other: "LamportClock") -> Ordering:
+        """Three-way comparison.
+
+        Scalar clocks cannot represent concurrency: the result is never
+        :attr:`Ordering.CONCURRENT`, so conflicts are silently ordered.  This
+        is the documented weakness the benchmarks quantify.
+        """
+        if self.counter == other.counter and self.process == other.process:
+            return Ordering.EQUAL
+        if (self.counter, self.process) < (other.counter, other.process):
+            return Ordering.BEFORE
+        return Ordering.AFTER
+
+    def total_order_key(self) -> Tuple[int, str]:
+        """The classic ``(counter, process)`` total-order key."""
+        return (self.counter, self.process)
+
+    def size_in_bits(self, *, counter_bits: int = 64) -> int:
+        """Encoded size: one counter, independent of the number of replicas."""
+        return counter_bits
+
+
+class LamportProcess:
+    """A process holding a scalar clock, for the message-passing simulations."""
+
+    def __init__(self, identifier: str) -> None:
+        if not identifier:
+            raise ReplicationError("a process needs a non-empty identifier")
+        self.identifier = identifier
+        self.clock = LamportClock(0, identifier)
+
+    def local_event(self) -> LamportClock:
+        """Record an internal event; returns the new clock value."""
+        self.clock = self.clock.tick()
+        return self.clock
+
+    def send_event(self) -> LamportClock:
+        """Record a send; returns the clock value to attach to the message."""
+        return self.local_event()
+
+    def receive_event(self, message_clock: LamportClock) -> LamportClock:
+        """Record the receipt of a message stamped with ``message_clock``."""
+        self.clock = self.clock.merge(message_clock)
+        return self.clock
+
+    def __repr__(self) -> str:
+        return f"LamportProcess({self.identifier!r}, {self.clock!r})"

@@ -1,0 +1,156 @@
+"""Plausible clocks (Torres-Rojas & Ahamad 1999) -- a constant-size baseline.
+
+The paper cites plausible clocks as the known answer to the *size* problem of
+vector clocks: a fixed number ``R`` of entries is shared by all processes
+(each process hashes to an entry).  Plausible clocks never contradict
+causality -- if ``a`` happened before ``b`` they order ``a`` before ``b`` --
+but they may order events that are actually concurrent.  In the update
+tracking setting this means *missed conflicts*, which is why they are not a
+substitute for version vectors or stamps; the benchmarks quantify exactly
+that: constant size, non-zero conflict-miss rate.
+
+The implementation is the "R-entries vector" (REV) strategy from the original
+paper, driven by the same fork/join/update vocabulary as the other
+mechanisms.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ..core.errors import ReplicationError
+from ..core.order import Ordering, ordering_from_leq
+
+__all__ = ["PlausibleClock"]
+
+
+def _slot_for(replica_id: str, entries: int) -> int:
+    """Deterministically map a replica identifier to one of ``entries`` slots."""
+    # A small stable hash (Python's hash() is salted per process).
+    value = 0
+    for char in replica_id:
+        value = (value * 131 + ord(char)) % (2**31 - 1)
+    return value % entries
+
+
+class PlausibleClock:
+    """A fixed-width plausible clock (REV strategy).
+
+    Parameters
+    ----------
+    entries:
+        Number of counter slots shared by every replica.
+    counters:
+        Initial slot values (defaults to all-zero).
+    replica_id:
+        Identifier of the replica holding this clock; it determines which
+        slot local updates increment.
+    """
+
+    __slots__ = ("_entries", "_counters", "_replica_id")
+
+    def __init__(
+        self,
+        entries: int,
+        replica_id: str,
+        counters: Optional[Tuple[int, ...]] = None,
+    ) -> None:
+        if entries <= 0:
+            raise ReplicationError("a plausible clock needs at least one entry")
+        if counters is None:
+            counters = (0,) * entries
+        if len(counters) != entries:
+            raise ReplicationError(
+                f"expected {entries} counters, got {len(counters)}"
+            )
+        object.__setattr__(self, "_entries", entries)
+        object.__setattr__(self, "_counters", tuple(counters))
+        object.__setattr__(self, "_replica_id", replica_id)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("PlausibleClock instances are immutable")
+
+    # -- accessors --------------------------------------------------------
+
+    @property
+    def entries(self) -> int:
+        """The fixed number of slots."""
+        return self._entries
+
+    @property
+    def counters(self) -> Tuple[int, ...]:
+        """The slot values."""
+        return self._counters
+
+    @property
+    def replica_id(self) -> str:
+        """The identifier of the replica holding this clock."""
+        return self._replica_id
+
+    @property
+    def slot(self) -> int:
+        """The slot local updates of this replica increment."""
+        return _slot_for(self._replica_id, self._entries)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, PlausibleClock):
+            return (
+                self._entries == other._entries
+                and self._counters == other._counters
+            )
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(("PlausibleClock", self._entries, self._counters))
+
+    def __repr__(self) -> str:
+        return (
+            f"PlausibleClock(entries={self._entries}, replica_id={self._replica_id!r}, "
+            f"counters={self._counters})"
+        )
+
+    # -- evolution --------------------------------------------------------
+
+    def update(self) -> "PlausibleClock":
+        """Record a local update (increment this replica's slot)."""
+        counters = list(self._counters)
+        counters[self.slot] += 1
+        return PlausibleClock(self._entries, self._replica_id, tuple(counters))
+
+    def merge(self, other: "PlausibleClock") -> "PlausibleClock":
+        """Slot-wise maximum (combined knowledge)."""
+        if self._entries != other._entries:
+            raise ReplicationError(
+                "cannot merge plausible clocks with different widths"
+            )
+        counters = tuple(
+            max(mine, theirs)
+            for mine, theirs in zip(self._counters, other._counters)
+        )
+        return PlausibleClock(self._entries, self._replica_id, counters)
+
+    def for_replica(self, replica_id: str) -> "PlausibleClock":
+        """The same knowledge viewed from another replica identity."""
+        return PlausibleClock(self._entries, replica_id, self._counters)
+
+    # -- comparison --------------------------------------------------------
+
+    def leq(self, other: "PlausibleClock") -> bool:
+        """Slot-wise less-or-equal (the plausible, possibly lossy order)."""
+        if self._entries != other._entries:
+            raise ReplicationError(
+                "cannot compare plausible clocks with different widths"
+            )
+        return all(
+            mine <= theirs for mine, theirs in zip(self._counters, other._counters)
+        )
+
+    def compare(self, other: "PlausibleClock") -> Ordering:
+        """Three-way comparison; may report an ordering for concurrent versions."""
+        return ordering_from_leq(self, other, PlausibleClock.leq)
+
+    # -- size accounting -----------------------------------------------------
+
+    def size_in_bits(self, *, counter_bits: int = 32) -> int:
+        """Encoded size: a fixed number of counters, independent of replicas."""
+        return self._entries * counter_bits

@@ -1,0 +1,173 @@
+"""Classic version vectors (Parker et al. 1983).
+
+A version vector maps replica identifiers to update counters.  Replica ``r``
+increments its own entry on every local update; reconciliation takes the
+entry-wise maximum.  Two versions are compared entry-wise: equality, strict
+dominance either way, or mutual inconsistency (conflict).
+
+This is the baseline the paper generalizes: it assumes a replica set that is
+known (or at least centrally extensible) and globally unique identifiers.
+The implementation supports both the *fixed* flavour (a closed set of
+replicas known up front, as in Figure 1) and the open flavour used by the
+dynamic baseline in :mod:`repro.vv.dynamic_vv`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, Mapping, Optional, Tuple
+
+from ..core.errors import ReplicationError
+from ..core.order import Ordering, ordering_from_leq
+
+__all__ = ["VersionVector"]
+
+
+class VersionVector:
+    """An immutable mapping from replica identifiers to update counters.
+
+    Missing entries are treated as zero, so vectors over different replica
+    sets can still be compared and merged -- this is what allows the dynamic
+    baseline to add replicas over time.
+    """
+
+    __slots__ = ("_counters", "_hash")
+
+    def __init__(self, counters: Optional[Mapping[str, int]] = None) -> None:
+        cleaned: Dict[str, int] = {}
+        for replica, counter in (counters or {}).items():
+            if not isinstance(counter, int) or counter < 0:
+                raise ReplicationError(
+                    f"counter for replica {replica!r} must be a non-negative "
+                    f"integer, got {counter!r}"
+                )
+            if counter > 0:
+                cleaned[replica] = counter
+        object.__setattr__(self, "_counters", dict(cleaned))
+        object.__setattr__(
+            self, "_hash", hash(("VersionVector", frozenset(cleaned.items())))
+        )
+
+    # -- constructors -------------------------------------------------
+
+    @classmethod
+    def zero(cls, replicas: Iterable[str] = ()) -> "VersionVector":
+        """The all-zero vector (optionally naming the replica set up front)."""
+        return cls({replica: 0 for replica in replicas})
+
+    # -- protocol -------------------------------------------------------
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("VersionVector instances are immutable")
+
+    @property
+    def counters(self) -> Dict[str, int]:
+        """A copy of the non-zero entries."""
+        return dict(self._counters)
+
+    def get(self, replica: str) -> int:
+        """The counter of ``replica`` (zero when absent)."""
+        return self._counters.get(replica, 0)
+
+    def __getitem__(self, replica: str) -> int:
+        return self.get(replica)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._counters)
+
+    def __len__(self) -> int:
+        return len(self._counters)
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, VersionVector):
+            return self._counters == other._counters
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        body = ", ".join(
+            f"{replica}: {counter}"
+            for replica, counter in sorted(self._counters.items())
+        )
+        return f"VersionVector({{{body}}})"
+
+    def as_list(self, replicas: Iterable[str]) -> Tuple[int, ...]:
+        """Render against an explicit replica ordering (Figure 1 style)."""
+        return tuple(self.get(replica) for replica in replicas)
+
+    # -- evolution --------------------------------------------------------
+
+    def increment(self, replica: str) -> "VersionVector":
+        """Record a local update at ``replica``."""
+        counters = dict(self._counters)
+        counters[replica] = counters.get(replica, 0) + 1
+        return VersionVector(counters)
+
+    def merge(self, other: "VersionVector") -> "VersionVector":
+        """Entry-wise maximum: the combined knowledge of both versions."""
+        counters = dict(self._counters)
+        for replica, counter in other._counters.items():
+            if counter > counters.get(replica, 0):
+                counters[replica] = counter
+        return VersionVector(counters)
+
+    def __or__(self, other: "VersionVector") -> "VersionVector":
+        if not isinstance(other, VersionVector):
+            return NotImplemented
+        return self.merge(other)
+
+    def without(self, replica: str) -> "VersionVector":
+        """Drop one replica's entry (used by retirement protocols)."""
+        counters = dict(self._counters)
+        counters.pop(replica, None)
+        return VersionVector(counters)
+
+    # -- comparison --------------------------------------------------------
+
+    def leq(self, other: "VersionVector") -> bool:
+        """Entry-wise less-or-equal: ``other`` has seen every update we have."""
+        return all(
+            counter <= other.get(replica)
+            for replica, counter in self._counters.items()
+        )
+
+    def __le__(self, other: "VersionVector") -> bool:
+        if not isinstance(other, VersionVector):
+            return NotImplemented
+        return self.leq(other)
+
+    def __lt__(self, other: "VersionVector") -> bool:
+        if not isinstance(other, VersionVector):
+            return NotImplemented
+        return self.leq(other) and self != other
+
+    def compare(self, other: "VersionVector") -> Ordering:
+        """Three-way comparison (dominance / equality / conflict)."""
+        return ordering_from_leq(self, other, VersionVector.leq)
+
+    def dominates(self, other: "VersionVector") -> bool:
+        """True when this vector has seen every update known to ``other``."""
+        return other.leq(self)
+
+    def concurrent(self, other: "VersionVector") -> bool:
+        """True when the two versions are in conflict."""
+        return self.compare(other) is Ordering.CONCURRENT
+
+    # -- size accounting -----------------------------------------------------
+
+    def total_updates(self) -> int:
+        """Sum of all counters (the number of updates reflected)."""
+        return sum(self._counters.values())
+
+    def size_in_bits(self, *, id_bits: int = 64, counter_bits: int = 32) -> int:
+        """Encoded size under an explicit cost model.
+
+        Version vectors must carry globally unique replica identifiers
+        (``id_bits`` each, 64 by default to reflect uuid-like identifiers
+        shortened by a directory) and one counter per replica.  The paper's
+        size comparison against version stamps is sensitive to this model, so
+        the benchmarks expose both knobs.
+        """
+        entries = len(self._counters)
+        return entries * (id_bits + counter_bits)

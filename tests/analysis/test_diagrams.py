@@ -1,0 +1,68 @@
+"""Tests for the ASCII trace diagrams."""
+
+import pytest
+
+from repro.analysis.diagrams import render_trace, trace_timeline
+from repro.analysis.figures import figure2_trace
+from repro.sim.trace import Operation, Trace
+from repro.sim.workload import random_dynamic_trace
+
+
+class TestTraceTimeline:
+    def test_seed_lifetime(self):
+        trace = Trace(seed="a", operations=(Operation.update("a", "a2"),))
+        lifetimes = {label: (born, died) for label, born, died, _origin in trace_timeline(trace)}
+        assert lifetimes["a"] == (0, 1)
+        assert lifetimes["a2"][0] == 1
+
+    def test_origins_recorded(self):
+        trace = figure2_trace()
+        origins = {label: origin for label, _born, _died, origin in trace_timeline(trace)}
+        assert origins["a1"] is None
+        assert origins["b1"] == "a2"
+        assert origins["g1"] == "d1"
+
+    def test_survivors_die_after_last_step(self):
+        trace = figure2_trace()
+        lifetimes = {label: died for label, _born, died, _origin in trace_timeline(trace)}
+        assert lifetimes["g1"] == len(trace.operations) + 1
+
+
+class TestRenderTrace:
+    def test_contains_every_operation(self):
+        text = render_trace(figure2_trace())
+        assert "fork" in text
+        assert "join" in text
+        assert "final frontier: g1" in text
+
+    def test_stamp_annotations_present(self):
+        text = render_trace(figure2_trace(), annotate="stamps-nonreducing")
+        assert "[1 | 00+01+1]" in text
+
+    def test_reducing_annotations(self):
+        text = render_trace(figure2_trace(), annotate="stamps")
+        assert "g1=[ε | ε]" in text
+
+    def test_no_annotations(self):
+        text = render_trace(figure2_trace(), annotate="none")
+        assert "[ε" not in text
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            render_trace(figure2_trace(), annotate="vectors")
+
+    def test_width_limit_respected(self):
+        trace = random_dynamic_trace(60, seed=3)
+        text = render_trace(trace, width=80)
+        assert all(len(line) <= 80 for line in text.splitlines())
+
+    def test_handles_sync_operations(self):
+        trace = Trace(
+            seed="a",
+            operations=(
+                Operation.fork("a", "b", "c"),
+                Operation.sync("b", "c", "b2", "c2"),
+            ),
+        )
+        text = render_trace(trace)
+        assert "sync" in text

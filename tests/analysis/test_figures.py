@@ -1,0 +1,103 @@
+"""Tests asserting that the figure reconstructions match the paper."""
+
+import pytest
+
+from repro.analysis.figures import (
+    FIGURE1_EXPECTED,
+    FIGURE4_EXPECTED,
+    figure1_version_vectors,
+    figure2_frontiers,
+    figure2_trace,
+    figure3_encoding,
+    figure4_stamps,
+)
+from repro.core.frontier import Frontier
+from repro.core.order import Ordering
+from repro.sim.runner import LockstepRunner
+
+
+class TestFigure1:
+    def test_timelines_match_paper(self):
+        result = figure1_version_vectors()
+        assert result.matches_paper()
+        assert result.timelines == FIGURE1_EXPECTED
+
+    def test_final_orderings(self):
+        result = figure1_version_vectors()
+        # A ([2,0,0]) conflicts with B and C ([1,0,1]) at the end of the run.
+        assert result.final_orderings[("A", "B")] is Ordering.CONCURRENT
+        assert result.final_orderings[("B", "C")] is Ordering.EQUAL
+
+    def test_replica_order(self):
+        assert figure1_version_vectors().replicas == ("A", "B", "C")
+
+
+class TestFigure2:
+    def test_trace_is_valid_and_named(self):
+        trace = figure2_trace()
+        assert trace.name == "figure-2"
+        assert trace.final_frontier() == {"g1"}
+
+    def test_trace_runs_cleanly_under_lockstep(self):
+        reports, _sizes = LockstepRunner().run(figure2_trace())
+        for report in reports.values():
+            assert report.agreement_rate == 1.0
+
+    def test_frontiers_contain_c2(self):
+        frontiers = figure2_frontiers()
+        assert frontiers["single-dotted"] == ["b1", "c2"]
+        assert frontiers["double-dotted"] == ["d1", "e1", "c2"]
+
+    def test_both_frontiers_are_reachable(self):
+        # Single-dotted: c updates before b forks.
+        first = Frontier.initial("a1")
+        first.update("a1", "a2")
+        first.fork("a2", "b1", "c1")
+        first.update("c1", "c2")
+        assert set(first.labels()) == set(figure2_frontiers()["single-dotted"])
+
+        # Double-dotted: b forks before c updates.
+        second = Frontier.initial("a1")
+        second.update("a1", "a2")
+        second.fork("a2", "b1", "c1")
+        second.fork("b1", "d1", "e1")
+        second.update("c1", "c2")
+        assert set(second.labels()) == set(figure2_frontiers()["double-dotted"])
+
+
+class TestFigure3:
+    def test_all_mechanisms_agree_at_every_checkpoint(self):
+        result = figure3_encoding()
+        assert result.all_agree()
+
+    def test_checkpoints_cover_the_run(self):
+        result = figure3_encoding()
+        assert len(result.vector_orderings) == 5
+        assert len(result.stamp_orderings) == 5
+
+    def test_final_checkpoint_shows_conflict(self):
+        result = figure3_encoding()
+        final = result.stamp_orderings[-1]
+        # After A's second isolated update, A conflicts with B and C.
+        assert final[("a", "b")] is Ordering.CONCURRENT
+        assert final[("b", "c")] is Ordering.EQUAL
+
+
+class TestFigure4:
+    def test_stamps_match_paper(self):
+        result = figure4_stamps()
+        assert result.matches_paper(), result.mismatches()
+
+    def test_every_expected_value_is_produced(self):
+        result = figure4_stamps()
+        for key in FIGURE4_EXPECTED:
+            assert key in result.stamps
+
+    def test_simplification_chain(self):
+        stamps = figure4_stamps().stamps
+        assert stamps["g1_unreduced"] == "[1 | 00+01+1]"
+        assert stamps["g1_one_step"] == "[1 | 0+1]"
+        assert stamps["g1_normal_form"] == "[ε | ε]"
+
+    def test_mismatches_empty_when_matching(self):
+        assert figure4_stamps().mismatches() == {}

@@ -1,0 +1,47 @@
+"""Tests for the experiment reporting helpers."""
+
+from repro.analysis.reporting import ExperimentReport, ExperimentRow, render_reports
+
+
+class TestExperimentReport:
+    def test_add_with_default_match(self):
+        report = ExperimentReport("FIG1", "Figure 1")
+        report.add("vectors", [1, 2], [1, 2])
+        assert report.ok
+        assert report.rows[0].matches
+
+    def test_add_with_explicit_match(self):
+        report = ExperimentReport("SPACE", "Space usage")
+        report.add("stamps smaller than vectors", "yes", "120 < 340 bits", matches=True)
+        assert report.ok
+
+    def test_mismatch_detected(self):
+        report = ExperimentReport("FIG4", "Figure 4")
+        report.add("g1", "[1 | 00+01+1]", "[1 | 0+1]")
+        assert not report.ok
+        assert "DIFF" in report.rows[0].render()
+
+    def test_render_includes_status_and_notes(self):
+        report = ExperimentReport("FIG1", "Figure 1")
+        report.add("value", 1, 1)
+        report.note("run with default parameters")
+        text = report.render()
+        assert "REPRODUCED" in text
+        assert "note: run with default parameters" in text
+
+    def test_render_reports_joins_blocks(self):
+        first = ExperimentReport("A", "first")
+        second = ExperimentReport("B", "second")
+        text = render_reports([first, second])
+        assert "A: first" in text
+        assert "B: second" in text
+
+
+class TestExperimentRow:
+    def test_render_ok(self):
+        row = ExperimentRow("quantity", "1", "1", True)
+        assert "[OK ]" in row.render()
+
+    def test_render_diff(self):
+        row = ExperimentRow("quantity", "1", "2", False)
+        assert "[DIFF]" in row.render()

@@ -1,0 +1,54 @@
+"""Tests for the size sweeps backing the SPACE experiment."""
+
+import pytest
+
+from repro.analysis.sizes import churn_sweep, measure_trace_sizes, replica_count_sweep
+from repro.sim.workload import churn_trace, random_dynamic_trace
+
+
+class TestMeasureTraceSizes:
+    def test_reports_every_mechanism(self):
+        sizes = measure_trace_sizes(random_dynamic_trace(40, seed=1))
+        assert {
+            "version-stamps",
+            "version-stamps-nonreducing",
+            "dynamic-version-vectors",
+            "interval-tree-clocks",
+            "causal-history",
+        } <= set(sizes)
+
+    def test_reducing_stamps_never_larger_than_non_reducing(self):
+        trace = churn_trace(150, seed=2)
+        sizes = measure_trace_sizes(trace)
+        reducing = sizes["version-stamps"].overall_mean_bits
+        non_reducing = sizes["version-stamps-nonreducing"].overall_mean_bits
+        assert reducing <= non_reducing
+
+    def test_causal_history_dominates_everything(self):
+        # The oracle stores every event explicitly; it must be the largest.
+        trace = churn_trace(100, seed=3, update_probability=0.5)
+        sizes = measure_trace_sizes(trace)
+        assert sizes["causal-history"].final_mean_bits >= sizes["version-stamps"].final_mean_bits
+
+
+class TestSweeps:
+    def test_replica_count_sweep_shape(self):
+        table = replica_count_sweep([2, 4, 8], operations=30, seed=1)
+        assert table.column("replicas") == [2, 4, 8]
+        assert all(value > 0 for value in table.column("stamps_bits"))
+
+    def test_dynamic_vv_grows_with_replicas(self):
+        table = replica_count_sweep([2, 8], operations=40, seed=2)
+        dynamic = table.column("dynamic_vv_bits")
+        assert dynamic[-1] > dynamic[0]
+
+    def test_churn_sweep_shape(self):
+        table = churn_sweep([50, 150], seed=3)
+        assert table.column("operations") == [50, 150]
+        assert all(value > 0 for value in table.column("itc_bits"))
+
+    def test_churn_hurts_identifier_based_mechanisms_most(self):
+        table = churn_sweep([200], target_frontier=6, seed=4)
+        stamps = table.column("stamps_bits")[0]
+        dynamic = table.column("dynamic_vv_bits")[0]
+        assert dynamic > stamps

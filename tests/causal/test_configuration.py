@@ -1,0 +1,109 @@
+"""Unit tests for causal-history configurations (Definition 2.1)."""
+
+import pytest
+
+from repro.causal.configuration import CausalConfiguration
+from repro.core.errors import FrontierError
+from repro.core.order import Ordering
+
+
+class TestLifecycle:
+    def test_initial_configuration(self):
+        configuration = CausalConfiguration.initial("a")
+        assert configuration.labels() == ["a"]
+        assert len(configuration.history_of("a")) == 0
+
+    def test_update_adds_fresh_event(self):
+        configuration = CausalConfiguration.initial("a")
+        configuration.update("a", "a2")
+        assert len(configuration.history_of("a2")) == 1
+
+    def test_update_default_label_gets_prime(self):
+        configuration = CausalConfiguration.initial("a")
+        assert configuration.update("a") == "a'"
+
+    def test_fork_copies_history(self):
+        configuration = CausalConfiguration.initial("a")
+        configuration.update("a", "a2")
+        configuration.fork("a2", "b", "c")
+        assert configuration.history_of("b") == configuration.history_of("c")
+
+    def test_join_unions_histories(self):
+        configuration = CausalConfiguration.initial("a")
+        configuration.fork("a", "b", "c")
+        configuration.update("b", "b2")
+        configuration.update("c", "c2")
+        configuration.join("b2", "c2", "d")
+        assert len(configuration.history_of("d")) == 2
+
+    def test_sync_is_join_then_fork(self):
+        configuration = CausalConfiguration.initial("a")
+        configuration.fork("a", "b", "c")
+        configuration.update("b", "b")
+        configuration.sync("b", "c")
+        assert configuration.compare("b", "c") is Ordering.EQUAL
+
+    def test_all_events_union(self):
+        configuration = CausalConfiguration.initial("a")
+        configuration.fork("a", "b", "c")
+        configuration.update("b", "b")
+        configuration.update("c", "c")
+        assert len(configuration.all_events()) == 2
+
+    def test_unknown_label_raises(self):
+        configuration = CausalConfiguration.initial("a")
+        with pytest.raises(FrontierError):
+            configuration.history_of("nope")
+
+    def test_self_join_rejected(self):
+        configuration = CausalConfiguration.initial("a")
+        with pytest.raises(FrontierError):
+            configuration.join("a", "a")
+
+    def test_duplicate_labels_rejected(self):
+        configuration = CausalConfiguration.initial("a")
+        configuration.fork("a", "b", "c")
+        with pytest.raises(FrontierError):
+            configuration.update("b", "c")
+
+    def test_copy_shares_event_source(self):
+        configuration = CausalConfiguration.initial("a")
+        clone = configuration.copy()
+        configuration.update("a", "a2")
+        clone.update("a", "a3")
+        # Distinct events even across copies: the global view is shared.
+        assert configuration.history_of("a2") != clone.history_of("a3")
+
+
+class TestQueries:
+    @pytest.fixture
+    def diverged(self):
+        configuration = CausalConfiguration.initial("a")
+        configuration.fork("a", "b", "c")
+        configuration.update("b", "b")
+        configuration.update("c", "c")
+        return configuration
+
+    def test_equivalence(self):
+        configuration = CausalConfiguration.initial("a")
+        configuration.fork("a", "b", "c")
+        assert configuration.equivalent("b", "c")
+
+    def test_obsolescence(self):
+        configuration = CausalConfiguration.initial("a")
+        configuration.fork("a", "b", "c")
+        configuration.update("b", "b")
+        assert configuration.obsolete("c", "b")
+
+    def test_inconsistency(self, diverged):
+        assert diverged.inconsistent("b", "c")
+
+    def test_ordering_matrix(self, diverged):
+        matrix = diverged.ordering_matrix()
+        assert matrix[("b", "c")] is Ordering.CONCURRENT
+        assert matrix[("c", "b")] is Ordering.CONCURRENT
+
+    def test_dominated_by_set(self, diverged):
+        # b's history is not inside c's, but it is inside {b, c}'s union.
+        assert not diverged.dominated_by_set("b", ["c"])
+        assert diverged.dominated_by_set("b", ["b", "c"])

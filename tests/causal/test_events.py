@@ -1,0 +1,45 @@
+"""Unit tests for globally unique update events."""
+
+from repro.causal.events import EventSource, UpdateEvent
+
+
+class TestUpdateEvent:
+    def test_equality_ignores_label(self):
+        assert UpdateEvent(3, "a") == UpdateEvent(3, "b")
+        assert UpdateEvent(3) != UpdateEvent(4)
+
+    def test_ordering_by_sequence(self):
+        assert UpdateEvent(1) < UpdateEvent(2)
+
+    def test_str_includes_label(self):
+        assert str(UpdateEvent(2, "a")) == "e2(a)"
+        assert str(UpdateEvent(2)) == "e2"
+
+    def test_hashable(self):
+        assert len({UpdateEvent(1), UpdateEvent(1, "x"), UpdateEvent(2)}) == 2
+
+
+class TestEventSource:
+    def test_fresh_events_are_unique(self):
+        source = EventSource()
+        events = [source.fresh() for _ in range(100)]
+        assert len(set(events)) == 100
+
+    def test_issued_counter(self):
+        source = EventSource()
+        source.fresh()
+        source.fresh()
+        assert source.issued == 2
+
+    def test_custom_start(self):
+        source = EventSource(start=10)
+        assert source.fresh().sequence == 10
+
+    def test_iteration_yields_fresh_events(self):
+        source = EventSource()
+        iterator = iter(source)
+        assert next(iterator) != next(iterator)
+
+    def test_labels_are_attached(self):
+        source = EventSource()
+        assert source.fresh("replica-a").label == "replica-a"

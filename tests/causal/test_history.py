@@ -1,0 +1,74 @@
+"""Unit tests for causal histories (sets of update events)."""
+
+import pytest
+
+from repro.causal.events import EventSource, UpdateEvent
+from repro.causal.history import CausalHistory
+from repro.core.order import Ordering
+
+
+@pytest.fixture
+def events():
+    source = EventSource()
+    return [source.fresh() for _ in range(4)]
+
+
+class TestBasics:
+    def test_empty_history(self):
+        history = CausalHistory.empty()
+        assert len(history) == 0
+        assert not history
+
+    def test_with_event(self, events):
+        history = CausalHistory.empty().with_event(events[0])
+        assert events[0] in history
+        assert len(history) == 1
+
+    def test_union(self, events):
+        left = CausalHistory([events[0]])
+        right = CausalHistory([events[1]])
+        assert set((left | right).events) == {events[0], events[1]}
+
+    def test_immutable(self, events):
+        history = CausalHistory([events[0]])
+        with pytest.raises(AttributeError):
+            history.events = frozenset()
+
+    def test_equality_and_hash(self, events):
+        assert CausalHistory([events[0]]) == CausalHistory([events[0]])
+        assert hash(CausalHistory([events[0]])) == hash(CausalHistory([events[0]]))
+
+    def test_iteration_is_sorted(self, events):
+        history = CausalHistory([events[2], events[0]])
+        assert list(history) == [events[0], events[2]]
+
+    def test_repr(self, events):
+        assert "e0" in repr(CausalHistory([events[0]]))
+
+
+class TestComparison:
+    def test_equivalence(self, events):
+        left = CausalHistory([events[0]])
+        right = CausalHistory([events[0]])
+        assert left.compare(right) is Ordering.EQUAL
+        assert left.equivalent(right)
+
+    def test_obsolescence(self, events):
+        old = CausalHistory([events[0]])
+        new = CausalHistory([events[0], events[1]])
+        assert old.compare(new) is Ordering.BEFORE
+        assert old.obsolete_relative_to(new)
+        assert old <= new
+        assert old < new
+
+    def test_mutual_inconsistency(self, events):
+        left = CausalHistory([events[0], events[1]])
+        right = CausalHistory([events[0], events[2]])
+        assert left.compare(right) is Ordering.CONCURRENT
+        assert left.inconsistent_with(right)
+
+    def test_leq(self, events):
+        left = CausalHistory([events[0]])
+        right = CausalHistory([events[0], events[1]])
+        assert left.leq(right)
+        assert not right.leq(left)

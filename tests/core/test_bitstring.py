@@ -1,0 +1,173 @@
+"""Unit tests for binary strings and the prefix order."""
+
+import pytest
+
+from repro.core.bitstring import EMPTY, BitString
+from repro.core.errors import BitStringError
+
+
+class TestConstruction:
+    def test_from_text(self):
+        assert BitString("0110").text == "0110"
+
+    def test_from_bits(self):
+        assert BitString.from_bits([0, 1, 1]).text == "011"
+
+    def test_from_bitstring_copies_value(self):
+        original = BitString("10")
+        assert BitString(original) == original
+
+    def test_empty_singleton(self):
+        assert BitString.empty() == BitString("")
+        assert EMPTY == BitString("")
+
+    def test_parse_epsilon(self):
+        assert BitString.parse("ε") == BitString.empty()
+        assert BitString.parse("") == BitString.empty()
+
+    def test_rejects_non_binary_text(self):
+        with pytest.raises(BitStringError):
+            BitString("012")
+
+    def test_rejects_non_binary_bits(self):
+        with pytest.raises(BitStringError):
+            BitString([0, 2])
+
+    def test_immutable(self):
+        string = BitString("01")
+        with pytest.raises(AttributeError):
+            string.text = "11"
+        with pytest.raises(AttributeError):
+            del string._bits
+
+
+class TestProtocol:
+    def test_length(self):
+        assert len(BitString("0101")) == 4
+        assert len(BitString.empty()) == 0
+
+    def test_iteration_yields_ints(self):
+        assert list(BitString("011")) == [0, 1, 1]
+
+    def test_indexing(self):
+        string = BitString("011")
+        assert string[0] == 0
+        assert string[2] == 1
+
+    def test_slicing_returns_bitstring(self):
+        assert BitString("0110")[1:3] == BitString("11")
+
+    def test_bool(self):
+        assert not BitString.empty()
+        assert BitString("0")
+
+    def test_equality_and_hash(self):
+        assert BitString("01") == BitString("01")
+        assert BitString("01") != BitString("10")
+        assert hash(BitString("01")) == hash(BitString("01"))
+
+    def test_str_of_empty_is_epsilon(self):
+        assert str(BitString.empty()) == "ε"
+        assert str(BitString("10")) == "10"
+
+    def test_repr_round_trips(self):
+        string = BitString("101")
+        assert eval(repr(string)) == string
+
+    def test_sort_order_is_lexicographic(self):
+        strings = [BitString("1"), BitString("01"), BitString("00"), BitString("")]
+        assert [str(s) for s in sorted(strings)] == ["ε", "00", "01", "1"]
+
+
+class TestConcatenation:
+    def test_add_bitstring(self):
+        assert BitString("0") + BitString("1") == BitString("01")
+
+    def test_add_text(self):
+        assert BitString("0") + "11" == BitString("011")
+
+    def test_add_single_bit(self):
+        assert BitString("0") + 1 == BitString("01")
+
+    def test_append(self):
+        assert BitString("0").append(1) == BitString("01")
+
+    def test_append_rejects_bad_bit(self):
+        with pytest.raises(BitStringError):
+            BitString("0").append(2)
+
+    def test_zero_and_one_shorthands(self):
+        assert BitString("1").zero() == BitString("10")
+        assert BitString("1").one() == BitString("11")
+
+
+class TestPrefixOrder:
+    def test_prefix_reflexive(self):
+        assert BitString("01").is_prefix_of(BitString("01"))
+
+    def test_prefix_of_longer(self):
+        assert BitString("01").is_prefix_of(BitString("011"))
+        assert not BitString("01").is_prefix_of(BitString("001"))
+
+    def test_empty_is_bottom(self):
+        assert BitString.empty().is_prefix_of(BitString("10"))
+        assert BitString.empty().is_prefix_of(BitString.empty())
+
+    def test_proper_prefix(self):
+        assert BitString("0").is_proper_prefix_of(BitString("01"))
+        assert not BitString("01").is_proper_prefix_of(BitString("01"))
+
+    def test_extension(self):
+        assert BitString("011").is_extension_of(BitString("01"))
+        assert not BitString("011").is_extension_of(BitString("1"))
+
+    def test_comparable_examples_from_paper(self):
+        # The paper's examples: 01 ⊑ 011 and 01 ∥ 00.
+        assert BitString("01").comparable(BitString("011"))
+        assert BitString("01").incomparable(BitString("00"))
+
+    def test_comparable_is_symmetric(self):
+        a, b = BitString("0"), BitString("01")
+        assert a.comparable(b) == b.comparable(a)
+
+
+class TestStructuralHelpers:
+    def test_bits_property(self):
+        assert BitString("011").bits == (0, 1, 1)
+
+    def test_parent(self):
+        assert BitString("011").parent() == BitString("01")
+
+    def test_parent_of_empty_fails(self):
+        with pytest.raises(BitStringError):
+            BitString.empty().parent()
+
+    def test_last_bit(self):
+        assert BitString("010").last_bit() == 0
+        assert BitString("011").last_bit() == 1
+
+    def test_last_bit_of_empty_fails(self):
+        with pytest.raises(BitStringError):
+            BitString.empty().last_bit()
+
+    def test_sibling(self):
+        assert BitString("010").sibling() == BitString("011")
+        assert BitString("011").sibling() == BitString("010")
+
+    def test_sibling_of_empty_fails(self):
+        with pytest.raises(BitStringError):
+            BitString.empty().sibling()
+
+    def test_is_sibling_of(self):
+        assert BitString("010").is_sibling_of(BitString("011"))
+        assert not BitString("010").is_sibling_of(BitString("010"))
+        assert not BitString("010").is_sibling_of(BitString("01"))
+        assert not BitString("0").is_sibling_of(BitString.empty())
+
+    def test_common_prefix(self):
+        assert BitString("0110").common_prefix(BitString("0101")) == BitString("01")
+        assert BitString("00").common_prefix(BitString("11")) == BitString.empty()
+
+    def test_size_in_bits(self):
+        assert BitString.empty().size_in_bits() == 1
+        assert BitString("0101").size_in_bits() == 5

@@ -1,0 +1,127 @@
+"""Unit tests for the text/JSON/binary codecs."""
+
+import json
+
+import pytest
+
+from repro.core.encoding import (
+    encoded_size_bits,
+    encoded_size_bytes,
+    name_from_bitstream,
+    name_from_json,
+    name_to_bitstream,
+    name_to_json,
+    stamp_from_bitstream,
+    stamp_from_bytes,
+    stamp_from_json,
+    stamp_from_text,
+    stamp_to_bitstream,
+    stamp_to_bytes,
+    stamp_to_json,
+    stamp_to_text,
+)
+from repro.core.errors import EncodingError
+from repro.core.names import Name
+from repro.core.stamp import VersionStamp
+
+
+SAMPLE_STAMPS = [
+    "[ε | ε]",
+    "[ε | 0]",
+    "[1 | 1]",
+    "[1 | 01+1]",
+    "[1 | 00+01+1]",
+    "[0+10 | 0+10+11]",
+]
+
+
+class TestJsonCodec:
+    @pytest.mark.parametrize("text", SAMPLE_STAMPS)
+    def test_stamp_round_trip(self, text):
+        stamp = VersionStamp.parse(text, reducing=False)
+        assert stamp_from_json(stamp_to_json(stamp)) == stamp
+
+    def test_stamp_round_trip_through_json_text(self):
+        stamp = VersionStamp.parse("[1 | 01+1]")
+        payload = json.dumps(stamp_to_json(stamp))
+        assert stamp_from_json(payload) == stamp
+
+    def test_name_round_trip(self):
+        name = Name.parse("00+01+1")
+        assert name_from_json(name_to_json(name)) == name
+
+    def test_reducing_flag_preserved(self):
+        stamp = VersionStamp.seed(reducing=False)
+        decoded = stamp_from_json(stamp_to_json(stamp))
+        assert decoded.reducing is False
+
+    def test_rejects_malformed_payloads(self):
+        with pytest.raises(EncodingError):
+            stamp_from_json({"update": ["0"]})
+        with pytest.raises(EncodingError):
+            stamp_from_json("not json {")
+        with pytest.raises(EncodingError):
+            name_from_json("not-a-list")
+        with pytest.raises(EncodingError):
+            name_from_json(["0", "01"])  # not an antichain
+
+
+class TestTextCodec:
+    @pytest.mark.parametrize("text", SAMPLE_STAMPS)
+    def test_round_trip(self, text):
+        stamp = VersionStamp.parse(text, reducing=False)
+        assert stamp_from_text(stamp_to_text(stamp), reducing=False) == stamp
+
+    def test_rejects_garbage(self):
+        with pytest.raises(EncodingError):
+            stamp_from_text("garbage")
+
+
+class TestBinaryCodec:
+    @pytest.mark.parametrize("text", SAMPLE_STAMPS)
+    def test_bitstream_round_trip(self, text):
+        stamp = VersionStamp.parse(text, reducing=False)
+        assert stamp_from_bitstream(stamp_to_bitstream(stamp), reducing=False) == stamp
+
+    @pytest.mark.parametrize("text", SAMPLE_STAMPS)
+    def test_bytes_round_trip(self, text):
+        stamp = VersionStamp.parse(text, reducing=False)
+        assert stamp_from_bytes(stamp_to_bytes(stamp), reducing=False) == stamp
+
+    def test_name_bitstream_round_trip(self):
+        name = Name.parse("000+001+01+1")
+        assert name_from_bitstream(name_to_bitstream(name)) == name
+
+    def test_empty_name_round_trip(self):
+        assert name_from_bitstream(name_to_bitstream(Name.empty())) == Name.empty()
+
+    def test_truncated_stream_rejected(self):
+        bits = stamp_to_bitstream(VersionStamp.parse("[1 | 01+1]"))
+        with pytest.raises(EncodingError):
+            stamp_from_bitstream(bits[:-2])
+
+    def test_trailing_bits_rejected(self):
+        bits = stamp_to_bitstream(VersionStamp.seed())
+        with pytest.raises(EncodingError):
+            stamp_from_bitstream(bits + [0, 1])
+
+    def test_invalid_bit_values_rejected(self):
+        with pytest.raises(EncodingError):
+            name_from_bitstream([2])
+
+    def test_truncated_bytes_rejected(self):
+        with pytest.raises(EncodingError):
+            stamp_from_bytes(b"\x00")
+        payload = stamp_to_bytes(VersionStamp.parse("[1 | 01+1]"))
+        with pytest.raises(EncodingError):
+            stamp_from_bytes(payload[:3])
+
+    def test_seed_stamp_is_tiny(self):
+        # [ε | ε] encodes to two single-bit tries: 2 bits total.
+        assert encoded_size_bits(VersionStamp.seed()) == 2
+        assert encoded_size_bytes(VersionStamp.seed()) == 3  # 2-byte length + 1
+
+    def test_binary_encoding_grows_with_id_complexity(self):
+        small = VersionStamp.parse("[ε | 0]")
+        large = VersionStamp.parse("[ε | 000+001+01+1]", reducing=False)
+        assert encoded_size_bits(large) > encoded_size_bits(small)

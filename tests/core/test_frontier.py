@@ -1,0 +1,151 @@
+"""Unit tests for frontier configurations (Definition 4.3 as a calculus)."""
+
+import pytest
+
+from repro.core.errors import FrontierError
+from repro.core.frontier import Frontier
+from repro.core.order import Ordering
+from repro.core.stamp import VersionStamp
+
+
+class TestConstruction:
+    def test_initial_has_seed_stamp(self):
+        frontier = Frontier.initial("a")
+        assert frontier.labels() == ["a"]
+        assert frontier["a"] == VersionStamp.seed()
+
+    def test_len_iter_contains(self):
+        frontier = Frontier.initial("a")
+        frontier.fork("a", "b", "c")
+        assert len(frontier) == 2
+        assert set(frontier) == {"b", "c"}
+        assert "b" in frontier and "a" not in frontier
+
+    def test_unknown_label_raises(self):
+        frontier = Frontier.initial("a")
+        with pytest.raises(FrontierError):
+            frontier.stamp_of("zzz")
+
+    def test_copy_is_independent(self):
+        frontier = Frontier.initial("a")
+        clone = frontier.copy()
+        frontier.update("a", "a2")
+        assert "a" in clone
+        assert "a2" not in clone
+
+
+class TestUpdate:
+    def test_update_renames_with_prime_by_default(self):
+        frontier = Frontier.initial("a")
+        new_label = frontier.update("a")
+        assert new_label == "a'"
+        assert frontier.labels() == ["a'"]
+
+    def test_update_with_explicit_label(self):
+        frontier = Frontier.initial("a")
+        assert frontier.update("a", "a2") == "a2"
+
+    def test_update_can_keep_same_label(self):
+        frontier = Frontier.initial("a")
+        frontier.fork("a", "x", "y")
+        frontier.update("x", "x")
+        assert "x" in frontier
+
+    def test_update_rejects_existing_label(self):
+        frontier = Frontier.initial("a")
+        frontier.fork("a", "x", "y")
+        with pytest.raises(FrontierError):
+            frontier.update("x", "y")
+
+
+class TestFork:
+    def test_fork_produces_two_elements(self):
+        frontier = Frontier.initial("a")
+        left, right = frontier.fork("a")
+        assert set(frontier.labels()) == {left, right}
+
+    def test_fork_with_explicit_labels(self):
+        frontier = Frontier.initial("a")
+        assert frontier.fork("a", "b", "c") == ("b", "c")
+
+    def test_fork_rejects_duplicate_child_labels(self):
+        frontier = Frontier.initial("a")
+        with pytest.raises(FrontierError):
+            frontier.fork("a", "b", "b")
+
+    def test_fork_rejects_existing_label(self):
+        frontier = Frontier.initial("a")
+        frontier.fork("a", "b", "c")
+        with pytest.raises(FrontierError):
+            frontier.fork("b", "c", "d")
+
+    def test_fork_child_can_reuse_parent_label(self):
+        frontier = Frontier.initial("a")
+        frontier.fork("a", "a", "b")
+        assert set(frontier.labels()) == {"a", "b"}
+
+
+class TestJoinAndSync:
+    def test_join_removes_inputs(self):
+        frontier = Frontier.initial("a")
+        frontier.fork("a", "b", "c")
+        joined = frontier.join("b", "c", "d")
+        assert joined == "d"
+        assert frontier.labels() == ["d"]
+
+    def test_join_rejects_self_join(self):
+        frontier = Frontier.initial("a")
+        with pytest.raises(FrontierError):
+            frontier.join("a", "a")
+
+    def test_join_default_label(self):
+        frontier = Frontier.initial("a")
+        frontier.fork("a", "b", "c")
+        assert frontier.join("b", "c") == "bc"
+
+    def test_sync_keeps_both_labels_by_default(self):
+        frontier = Frontier.initial("a")
+        frontier.fork("a", "b", "c")
+        frontier.update("b", "b")
+        frontier.sync("b", "c")
+        assert set(frontier.labels()) == {"b", "c"}
+        assert frontier.compare("b", "c") is Ordering.EQUAL
+
+    def test_operation_log_records_everything(self):
+        frontier = Frontier.initial("a")
+        frontier.update("a", "a2")
+        frontier.fork("a2", "b", "c")
+        frontier.join("b", "c", "d")
+        kinds = [entry[0] for entry in frontier.operation_log()]
+        assert kinds == ["seed", "update", "fork", "join"]
+
+
+class TestQueries:
+    def test_compare_matches_paper_semantics(self, figure2_frontier):
+        # d1 has seen no updates, c3 has seen the update on c; d1 is obsolete.
+        assert figure2_frontier.compare("d1", "c3") is Ordering.BEFORE
+        assert figure2_frontier.obsolete("d1", "c3")
+        assert figure2_frontier.compare("c3", "d1") is Ordering.AFTER
+
+    def test_equivalent_elements(self, figure2_frontier):
+        assert figure2_frontier.equivalent("d1", "e1")
+
+    def test_inconsistent_detection(self):
+        frontier = Frontier.initial("a")
+        frontier.fork("a", "b", "c")
+        frontier.update("b", "b")
+        frontier.update("c", "c")
+        assert frontier.inconsistent("b", "c")
+
+    def test_ordering_matrix_covers_all_pairs(self, figure2_frontier):
+        matrix = figure2_frontier.ordering_matrix()
+        labels = figure2_frontier.labels()
+        assert len(matrix) == len(labels) * (len(labels) - 1)
+        assert matrix[("d1", "c3")] is Ordering.BEFORE
+
+    def test_dominating_elements(self, figure2_frontier):
+        # c3 saw the only update; d1 and e1 are both dominated by it.
+        assert figure2_frontier.dominating_elements() == ["c3"]
+
+    def test_total_size_in_bits_positive(self, figure2_frontier):
+        assert figure2_frontier.total_size_in_bits() > 0

@@ -1,0 +1,108 @@
+"""Unit tests for the executable invariant checks (I1, I2, I3)."""
+
+import pytest
+
+from repro.core.errors import InvariantViolation
+from repro.core.frontier import Frontier
+from repro.core.invariants import (
+    assert_invariants,
+    check_all,
+    check_i1,
+    check_i2,
+    check_i3,
+    check_wellformed,
+)
+from repro.core.names import Name
+from repro.core.stamp import VersionStamp
+
+
+def _raw_stamp(update: str, identity: str) -> VersionStamp:
+    """Build a stamp bypassing the constructor's I1 validation (for failure
+    injection tests)."""
+    return VersionStamp(
+        Name.parse(update), Name.parse(identity), reducing=False, _validate=False
+    )
+
+
+class TestHealthyConfigurations:
+    def test_seed_configuration(self):
+        report = check_all({"a": VersionStamp.seed()})
+        assert report.ok
+        assert report.checked_stamps == 1
+        assert report.checked_pairs == 0
+
+    def test_figure2_configuration(self, figure2_frontier):
+        report = check_all(figure2_frontier.stamps())
+        assert report.ok
+
+    def test_accepts_sequences_of_stamps(self):
+        left, right = VersionStamp.seed().fork()
+        assert check_all([left, right]).ok
+
+    def test_report_str_mentions_counts(self):
+        report = check_all({"a": VersionStamp.seed()})
+        assert "1 stamps" in str(report)
+
+    def test_assert_invariants_passes_silently(self, figure2_frontier):
+        assert_invariants(figure2_frontier.stamps())
+
+    def test_long_run_keeps_invariants(self):
+        frontier = Frontier.initial("a")
+        frontier.fork("a", "a", "b")
+        frontier.fork("b", "b", "c")
+        for round_number in range(10):
+            frontier.update("a", "a")
+            frontier.sync("a", "b", "a", "b")
+            frontier.update("c", "c")
+            frontier.sync("b", "c", "b", "c")
+            assert check_all(frontier.stamps()).ok
+
+
+class TestSeededViolations:
+    def test_i1_violation_detected(self):
+        bad = _raw_stamp("1", "0")
+        violations = check_i1({"x": bad})
+        assert violations and violations[0].invariant == "I1"
+
+    def test_i2_violation_detected(self):
+        # Two frontier elements with comparable id strings.
+        stamps = {"x": _raw_stamp("ε", "0"), "y": _raw_stamp("ε", "01")}
+        violations = check_i2(stamps)
+        assert violations and violations[0].invariant == "I2"
+
+    def test_i3_violation_detected(self):
+        # y's id covers x's update string 0, but y's update does not.
+        stamps = {"x": _raw_stamp("0", "10"), "y": _raw_stamp("ε", "0+11")}
+        violations = check_i3(stamps)
+        assert violations and violations[0].invariant == "I3"
+
+    def test_wellformedness_violation_detected(self):
+        broken_name = Name((), _trusted=True)
+        # Build a "name" whose strings are comparable by going through the
+        # trusted constructor.
+        from repro.core.bitstring import BitString
+
+        comparable = Name([BitString("0"), BitString("01")], _trusted=True)
+        bad = VersionStamp(broken_name, comparable, reducing=False, _validate=False)
+        violations = check_wellformed({"x": bad})
+        assert violations and violations[0].invariant == "wellformedness"
+
+    def test_check_all_aggregates_violations(self):
+        stamps = {"x": _raw_stamp("1", "0"), "y": _raw_stamp("ε", "01")}
+        report = check_all(stamps)
+        assert not report.ok
+        assert len(report.violations) >= 2
+        assert "violation" in str(report)
+
+    def test_raise_if_violated(self):
+        report = check_all({"x": _raw_stamp("1", "0")})
+        with pytest.raises(InvariantViolation):
+            report.raise_if_violated()
+
+    def test_assert_invariants_raises(self):
+        with pytest.raises(InvariantViolation):
+            assert_invariants({"x": _raw_stamp("1", "0")})
+
+    def test_violation_str_names_elements(self):
+        report = check_all({"x": _raw_stamp("1", "0")})
+        assert "x" in str(report.violations[0])

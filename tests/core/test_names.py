@@ -1,0 +1,209 @@
+"""Unit tests for names (antichains of binary strings) and their semilattice."""
+
+import pytest
+
+from repro.core.bitstring import BitString
+from repro.core.errors import NameError_
+from repro.core.names import Name, is_antichain, maximal_strings
+
+
+class TestAntichainHelpers:
+    def test_is_antichain_accepts_incomparable(self):
+        assert is_antichain([BitString("00"), BitString("01"), BitString("1")])
+
+    def test_is_antichain_rejects_prefix_pairs(self):
+        assert not is_antichain([BitString("0"), BitString("01")])
+
+    def test_is_antichain_trivial_cases(self):
+        assert is_antichain([])
+        assert is_antichain([BitString("0")])
+
+    def test_maximal_strings_drops_prefixes(self):
+        result = maximal_strings([BitString("0"), BitString("01"), BitString("1")])
+        assert result == frozenset({BitString("01"), BitString("1")})
+
+    def test_maximal_strings_keeps_incomparable(self):
+        strings = [BitString("00"), BitString("11")]
+        assert maximal_strings(strings) == frozenset(strings)
+
+
+class TestConstruction:
+    def test_paper_invalid_example_rejected(self):
+        # The paper: {0, 01} is not a valid element of N.
+        with pytest.raises(NameError_):
+            Name([BitString("0"), BitString("01")])
+
+    def test_of_builds_from_text(self):
+        assert Name.of("0", "11").strings == frozenset({BitString("0"), BitString("11")})
+
+    def test_from_down_set_normalizes(self):
+        name = Name.from_down_set([BitString("0"), BitString("01")])
+        assert name == Name.of("01")
+
+    def test_parse_plus_notation(self):
+        assert Name.parse("00+01+1") == Name.of("00", "01", "1")
+
+    def test_parse_epsilon_and_empty(self):
+        assert Name.parse("ε") == Name.seed()
+        assert Name.parse("") == Name.seed()
+        assert Name.parse("{}") == Name.empty()
+
+    def test_seed_contains_only_epsilon(self):
+        assert Name.seed().strings == frozenset({BitString.empty()})
+
+    def test_immutable(self):
+        name = Name.of("0")
+        with pytest.raises(AttributeError):
+            name.strings = frozenset()
+
+
+class TestProtocol:
+    def test_len_iter_contains(self):
+        name = Name.of("00", "1")
+        assert len(name) == 2
+        assert list(name) == [BitString("00"), BitString("1")]
+        assert BitString("00") in name
+        assert "1" in name
+        assert "01" not in name
+
+    def test_bool(self):
+        assert not Name.empty()
+        assert Name.seed()
+
+    def test_to_text(self):
+        assert Name.of("1", "00", "01").to_text() == "00+01+1"
+        assert Name.empty().to_text() == "{}"
+        assert Name.seed().to_text() == "ε"
+
+    def test_equality_and_hash(self):
+        assert Name.of("0", "1") == Name.of("1", "0")
+        assert hash(Name.of("0", "1")) == hash(Name.of("1", "0"))
+
+    def test_repr_mentions_text(self):
+        assert "00+1" in repr(Name.of("00", "1"))
+
+
+class TestOrder:
+    def test_paper_example_dominated(self):
+        # {00, 011} ⊑ {000, 011, 1}
+        assert Name.parse("00+011") <= Name.parse("000+011+1")
+
+    def test_paper_example_not_dominated(self):
+        # {00, 10} ⋢ {000, 011, 1}
+        assert not Name.parse("00+10") <= Name.parse("000+011+1")
+
+    def test_empty_name_below_everything(self):
+        assert Name.empty() <= Name.seed()
+        assert Name.empty() <= Name.of("01")
+
+    def test_seed_below_any_nonempty_name(self):
+        assert Name.seed() <= Name.of("0", "1")
+        assert Name.seed() <= Name.of("0110")
+
+    def test_reflexive_and_antisymmetric(self):
+        name = Name.of("00", "1")
+        other = Name.of("00", "1")
+        assert name <= other and other <= name
+        assert name == other
+
+    def test_strict_order(self):
+        assert Name.of("0") < Name.of("00", "01")
+        assert not Name.of("0") < Name.of("0")
+
+    def test_incomparable(self):
+        left = Name.of("00")
+        right = Name.of("01")
+        assert left.incomparable(right)
+        assert not left.comparable(right)
+
+    def test_covers_string(self):
+        name = Name.of("011", "1")
+        assert name.covers_string(BitString("01"))
+        assert name.covers_string(BitString("1"))
+        assert not name.covers_string(BitString("00"))
+
+    def test_disjoint_ids(self):
+        assert Name.of("00").disjoint_ids(Name.of("01", "1"))
+        assert not Name.of("0").disjoint_ids(Name.of("01"))
+
+    def test_order_is_down_set_inclusion(self):
+        left = Name.parse("00+011")
+        right = Name.parse("000+011+1")
+        assert left <= right
+        assert left.down_set() <= right.down_set()
+
+
+class TestJoin:
+    def test_paper_join_example(self):
+        # {00, 011} ⊔ {000, 01, 1} = {000, 011, 1}
+        joined = Name.parse("00+011") | Name.parse("000+01+1")
+        assert joined == Name.parse("000+011+1")
+
+    def test_join_is_least_upper_bound(self):
+        left = Name.of("00")
+        right = Name.of("01", "1")
+        joined = left | right
+        assert left <= joined and right <= joined
+
+    def test_join_idempotent_commutative_associative(self):
+        a, b, c = Name.of("00"), Name.of("01"), Name.of("1")
+        assert a | a == a
+        assert a | b == b | a
+        assert (a | b) | c == a | (b | c)
+
+    def test_join_with_empty_is_identity(self):
+        name = Name.of("01", "1")
+        assert name | Name.empty() == name
+
+    def test_join_is_down_set_union(self):
+        left = Name.of("00", "1")
+        right = Name.of("01")
+        joined = left | right
+        assert joined.down_set() == left.down_set() | right.down_set()
+
+    def test_join_all(self):
+        names = [Name.of("00"), Name.of("01"), Name.of("1")]
+        assert Name.join_all(names) == Name.of("00", "01", "1")
+
+    def test_join_all_empty_collection(self):
+        assert Name.join_all([]) == Name.empty()
+
+
+class TestForkSupport:
+    def test_concat_appends_to_every_string(self):
+        assert Name.of("0", "10").concat(1) == Name.of("01", "101")
+
+    def test_concat_on_seed(self):
+        assert Name.seed().concat(0) == Name.of("0")
+
+    def test_fork_produces_disjoint_children(self):
+        zero, one = Name.of("0", "11").fork()
+        assert zero == Name.of("00", "110")
+        assert one == Name.of("01", "111")
+        assert zero.disjoint_ids(one)
+
+    def test_fork_children_rejoin_to_parent_downset(self):
+        parent = Name.of("0", "11")
+        zero, one = parent.fork()
+        joined = zero | one
+        # The join of the children denotes the strict extensions of the
+        # parent's strings; collapsing siblings (the Section 6 rule) would
+        # recover the parent exactly.  Here we check domination.
+        assert parent.down_set() <= joined.down_set() | parent.down_set()
+        assert zero <= joined and one <= joined
+
+
+class TestSizes:
+    def test_total_bits(self):
+        assert Name.of("00", "1").total_bits() == 3
+        assert Name.seed().total_bits() == 0
+
+    def test_size_in_bits(self):
+        # Each string costs len+1 bits, plus one terminator for the name.
+        assert Name.of("00", "1").size_in_bits() == (3 + 2) + 1
+        assert Name.empty().size_in_bits() == 1
+
+    def test_max_depth(self):
+        assert Name.of("00", "1").max_depth() == 2
+        assert Name.seed().max_depth() == 0
+        assert Name.empty().max_depth() == 0

@@ -1,0 +1,58 @@
+"""Unit tests for the shared Ordering vocabulary."""
+
+import pytest
+
+from repro.core.order import Ordering, ordering_from_leq, ordering_from_sets
+
+
+class TestOrdering:
+    def test_flipped(self):
+        assert Ordering.BEFORE.flipped() is Ordering.AFTER
+        assert Ordering.AFTER.flipped() is Ordering.BEFORE
+        assert Ordering.EQUAL.flipped() is Ordering.EQUAL
+        assert Ordering.CONCURRENT.flipped() is Ordering.CONCURRENT
+
+    def test_is_ordered(self):
+        assert Ordering.EQUAL.is_ordered
+        assert Ordering.BEFORE.is_ordered
+        assert Ordering.AFTER.is_ordered
+        assert not Ordering.CONCURRENT.is_ordered
+
+    def test_dominates_and_dominated(self):
+        assert Ordering.AFTER.dominates
+        assert Ordering.EQUAL.dominates
+        assert not Ordering.BEFORE.dominates
+        assert Ordering.BEFORE.dominated
+        assert Ordering.EQUAL.dominated
+        assert not Ordering.CONCURRENT.dominated
+
+    def test_str_value(self):
+        assert str(Ordering.CONCURRENT) == "concurrent"
+
+
+class TestOrderingFromLeq:
+    def test_all_four_outcomes(self):
+        leq = lambda a, b: a <= b  # noqa: E731 - tiny test lambda
+        assert ordering_from_leq(1, 1, leq) is Ordering.EQUAL
+        assert ordering_from_leq(1, 2, leq) is Ordering.BEFORE
+        assert ordering_from_leq(2, 1, leq) is Ordering.AFTER
+
+    def test_concurrent_with_set_inclusion(self):
+        leq = lambda a, b: a <= b  # noqa: E731
+        assert ordering_from_leq({1}, {2}, leq) is Ordering.CONCURRENT
+
+
+class TestOrderingFromSets:
+    def test_equal(self):
+        assert ordering_from_sets(frozenset({1}), frozenset({1})) is Ordering.EQUAL
+
+    def test_before_and_after(self):
+        small = frozenset({1})
+        large = frozenset({1, 2})
+        assert ordering_from_sets(small, large) is Ordering.BEFORE
+        assert ordering_from_sets(large, small) is Ordering.AFTER
+
+    def test_concurrent(self):
+        assert (
+            ordering_from_sets(frozenset({1}), frozenset({2})) is Ordering.CONCURRENT
+        )

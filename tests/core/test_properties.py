@@ -1,0 +1,232 @@
+"""Property-based tests (hypothesis) for the core data structures.
+
+These check the algebraic laws the paper relies on: the name order is a
+partial order, the join is a least upper bound, fork produces disjoint
+identities, the Section 6 rewriting preserves order and normal forms are
+unique, and the codecs are faithful.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bitstring import BitString
+from repro.core.encoding import (
+    name_from_bitstream,
+    name_to_bitstream,
+    stamp_from_bytes,
+    stamp_from_json,
+    stamp_to_bytes,
+    stamp_to_json,
+)
+from repro.core.names import Name, is_antichain
+from repro.core.reduction import normalize, rewrite_once
+from repro.core.stamp import VersionStamp
+
+from ..conftest import bitstrings, names
+
+
+# ---------------------------------------------------------------------------
+# Bit strings
+# ---------------------------------------------------------------------------
+
+
+class TestBitStringProperties:
+    @given(bitstrings(), bitstrings())
+    def test_prefix_order_antisymmetric(self, a, b):
+        if a.is_prefix_of(b) and b.is_prefix_of(a):
+            assert a == b
+
+    @given(bitstrings(), bitstrings(), bitstrings())
+    def test_prefix_order_transitive(self, a, b, c):
+        if a.is_prefix_of(b) and b.is_prefix_of(c):
+            assert a.is_prefix_of(c)
+
+    @given(bitstrings(), st.integers(min_value=0, max_value=1))
+    def test_append_extends(self, a, bit):
+        extended = a.append(bit)
+        assert a.is_proper_prefix_of(extended)
+        assert extended.parent() == a
+
+    @given(bitstrings())
+    def test_sibling_is_involutive(self, a):
+        if len(a):
+            assert a.sibling().sibling() == a
+            assert a.is_sibling_of(a.sibling())
+
+    @given(bitstrings(), bitstrings())
+    def test_common_prefix_is_lower_bound(self, a, b):
+        common = a.common_prefix(b)
+        assert common.is_prefix_of(a)
+        assert common.is_prefix_of(b)
+
+
+# ---------------------------------------------------------------------------
+# Names
+# ---------------------------------------------------------------------------
+
+
+class TestNameProperties:
+    @given(names())
+    def test_members_form_an_antichain(self, name):
+        assert is_antichain(name.strings)
+
+    @given(names(), names())
+    def test_join_is_least_upper_bound(self, a, b):
+        joined = a | b
+        assert a <= joined
+        assert b <= joined
+        # Least: the join's down-set is exactly the union of the down-sets.
+        assert joined.down_set() == a.down_set() | b.down_set()
+
+    @given(names(), names())
+    def test_join_commutative(self, a, b):
+        assert a | b == b | a
+
+    @given(names(), names(), names())
+    def test_join_associative(self, a, b, c):
+        assert (a | b) | c == a | (b | c)
+
+    @given(names())
+    def test_join_idempotent(self, a):
+        assert a | a == a
+
+    @given(names(), names())
+    def test_order_equals_down_set_inclusion(self, a, b):
+        assert (a <= b) == (a.down_set() <= b.down_set())
+
+    @given(names(), names())
+    def test_order_antisymmetric(self, a, b):
+        if a <= b and b <= a:
+            assert a == b
+
+    @given(names())
+    def test_fork_children_are_disjoint_and_cover_parent(self, a):
+        zero, one = a.fork()
+        assert zero.disjoint_ids(one)
+        # Collapsing the children's sibling strings recovers the parent (up
+        # to the parent's own normal form, in case it already contained
+        # collapsible siblings).
+        _update, identity, _steps = normalize(Name.empty(), zero | one)
+        _update, expected, _steps = normalize(Name.empty(), a)
+        assert identity == expected
+
+    @given(names())
+    def test_bitstream_round_trip(self, a):
+        assert name_from_bitstream(name_to_bitstream(a)) == a
+
+
+# ---------------------------------------------------------------------------
+# Stamps and the rewriting rule
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def stamp_pairs(draw):
+    """A well-formed (update, id) pair: update ⊑ id with id an antichain."""
+    identity = draw(names(max_strings=4, max_length=5))
+    if not identity:
+        identity = Name.seed()
+    subset = draw(
+        st.lists(st.sampled_from(sorted(identity.strings)), unique=True, max_size=len(identity))
+        if len(identity)
+        else st.just([])
+    )
+    # Any subset of an antichain is an antichain and is dominated by it;
+    # optionally truncate some strings, which preserves domination.
+    update_strings = []
+    for string in subset:
+        cut = draw(st.integers(min_value=0, max_value=len(string)))
+        update_strings.append(BitString(string.text[:cut]))
+    update = Name.from_down_set(update_strings)
+    return update, identity
+
+
+class TestStampProperties:
+    @given(stamp_pairs())
+    def test_constructed_stamps_satisfy_i1(self, pair):
+        update, identity = pair
+        stamp = VersionStamp(update, identity, reducing=False)
+        assert stamp.update_component.dominated_by(stamp.identity)
+
+    @given(stamp_pairs())
+    def test_update_is_idempotent(self, pair):
+        update, identity = pair
+        stamp = VersionStamp(update, identity, reducing=False)
+        assert stamp.update().update() == stamp.update()
+
+    @given(stamp_pairs())
+    def test_fork_then_join_restores_stamp(self, pair):
+        update, identity = pair
+        stamp = VersionStamp(update, identity)  # reducing
+        left, right = stamp.fork()
+        # The reducing join collapses the forked siblings, recovering the
+        # stamp's own normal form (equal to the stamp itself whenever the
+        # original id had no collapsible siblings, e.g. any id produced by
+        # the mechanism's operations).
+        assert left.join(right) == stamp.normalized()
+
+    @given(stamp_pairs(), stamp_pairs())
+    def test_join_commutative(self, first, second):
+        a = VersionStamp(*first, reducing=False)
+        b = VersionStamp(*second, reducing=False)
+        assert a.join(b) == b.join(a)
+
+    @given(stamp_pairs())
+    def test_comparison_consistent_with_flip(self, pair):
+        update, identity = pair
+        stamp = VersionStamp(update, identity, reducing=False)
+        other = stamp.update()
+        assert stamp.compare(other) is other.compare(stamp).flipped()
+
+    @given(stamp_pairs())
+    def test_json_and_bytes_round_trips(self, pair):
+        update, identity = pair
+        stamp = VersionStamp(update, identity, reducing=False)
+        assert stamp_from_json(stamp_to_json(stamp)) == stamp
+        assert stamp_from_bytes(stamp_to_bytes(stamp), reducing=False) == stamp
+
+
+class TestRewritingProperties:
+    @given(stamp_pairs())
+    def test_rewriting_never_increases_components(self, pair):
+        update, identity = pair
+        rewritten = rewrite_once(update, identity)
+        if rewritten is not None:
+            new_update, new_identity = rewritten
+            assert new_update <= update
+            assert new_identity <= identity
+
+    @given(stamp_pairs())
+    def test_normal_form_is_unique_regardless_of_strategy(self, pair):
+        update, identity = pair
+        # Normalize once via the library and once by a different (reversed)
+        # pair-selection strategy; confluence says the results must agree.
+        expected_update, expected_identity, _ = normalize(update, identity)
+
+        current_update, current_identity = update, identity
+        while True:
+            strings = sorted(current_identity.strings, reverse=True)
+            pair_found = None
+            seen = set(strings)
+            for string in strings:
+                if len(string) and string.sibling() in seen:
+                    pair_found = tuple(sorted((string, string.sibling())))
+                    break
+            if pair_found is None:
+                break
+            zero, one = pair_found
+            parent = zero.parent()
+            id_strings = (current_identity.strings - {zero, one}) | {parent}
+            current_identity = Name.from_down_set(id_strings)
+            if zero in current_update.strings or one in current_update.strings:
+                current_update = Name.from_down_set(
+                    (current_update.strings - {zero, one}) | {parent}
+                )
+        assert current_identity == expected_identity
+        assert current_update == expected_update
+
+    @given(stamp_pairs())
+    def test_normalization_preserves_i1(self, pair):
+        update, identity = pair
+        new_update, new_identity, _ = normalize(update, identity)
+        assert new_update <= new_identity

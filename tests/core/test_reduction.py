@@ -1,0 +1,130 @@
+"""Unit tests for the Section 6 join-simplification rewriting rule."""
+
+import pytest
+
+from repro.core.bitstring import BitString
+from repro.core.names import Name
+from repro.core.reduction import (
+    ReductionStats,
+    find_sibling_pair,
+    is_normal_form,
+    normalize,
+    reduce_stamp_pair,
+    rewrite_once,
+)
+
+
+class TestFindSiblingPair:
+    def test_finds_pair(self):
+        pair = find_sibling_pair(Name.of("00", "01", "1"))
+        assert pair == (BitString("00"), BitString("01"))
+
+    def test_no_pair_in_normal_form(self):
+        assert find_sibling_pair(Name.of("00", "1")) is None
+
+    def test_no_pair_in_seed(self):
+        assert find_sibling_pair(Name.seed()) is None
+
+    def test_no_pair_in_empty(self):
+        assert find_sibling_pair(Name.empty()) is None
+
+    def test_returns_sorted_pair(self):
+        zero, one = find_sibling_pair(Name.of("11", "10"))
+        assert zero == BitString("10")
+        assert one == BitString("11")
+
+
+class TestRewriteOnce:
+    def test_paper_rule_id_only(self):
+        # (u, {i, s0, s1}) -> (u, {i, s}) when neither s0 nor s1 is in u.
+        update, identity = rewrite_once(Name.of("1"), Name.of("00", "01", "1"))
+        assert identity == Name.of("0", "1")
+        assert update == Name.of("1")
+
+    def test_paper_rule_updates_update_component(self):
+        # When s0 or s1 is in u, they are replaced by s.
+        update, identity = rewrite_once(Name.of("00", "1"), Name.of("00", "01", "1"))
+        assert identity == Name.of("0", "1")
+        assert update == Name.of("0", "1")
+
+    def test_returns_none_when_not_applicable(self):
+        assert rewrite_once(Name.seed(), Name.of("00", "1")) is None
+
+    def test_result_components_are_wellformed(self):
+        update, identity = rewrite_once(Name.of("010"), Name.of("010", "011", "1"))
+        # Both results must remain antichains (checked by Name construction).
+        assert isinstance(update, Name)
+        assert isinstance(identity, Name)
+
+    def test_rewrite_decreases_both_components(self):
+        before_update, before_id = Name.of("00"), Name.of("00", "01")
+        after_update, after_id = rewrite_once(before_update, before_id)
+        assert after_id <= before_id
+        assert after_update <= before_update
+
+
+class TestNormalize:
+    def test_normalizes_to_fixpoint(self):
+        update, identity, steps = normalize(Name.of("1"), Name.of("00", "01", "1"))
+        assert identity == Name.seed()
+        assert update == Name.seed()
+        assert steps == 2
+
+    def test_already_normal(self):
+        update, identity, steps = normalize(Name.of("0"), Name.of("0", "11"))
+        assert steps == 0
+        assert identity == Name.of("0", "11")
+
+    def test_figure4_chain(self):
+        # [1 | 00+01+1] -> [1 | 0+1] -> [ε | ε]
+        first = rewrite_once(Name.of("1"), Name.of("00", "01", "1"))
+        assert first is not None
+        assert first[0] == Name.of("1")
+        assert first[1] == Name.of("0", "1")
+        second = rewrite_once(*first)
+        assert second is not None
+        assert second[0] == Name.seed()
+        assert second[1] == Name.seed()
+
+    def test_confluence_on_multiple_pairs(self):
+        # Two disjoint sibling pairs: collapsing in any order gives the same
+        # normal form.
+        update = Name.empty()
+        identity = Name.of("00", "01", "10", "11")
+        _update, normal, steps = normalize(update, identity)
+        assert normal == Name.seed()
+        assert steps == 3
+
+    def test_normalize_terminates_on_deep_ids(self):
+        identity = Name.seed()
+        for _ in range(12):
+            identity = identity.concat(0) | identity.concat(1)
+        _update, normal, _steps = normalize(Name.empty(), identity)
+        assert normal == Name.seed()
+
+    def test_is_normal_form(self):
+        assert is_normal_form(Name.of("00", "1"))
+        assert not is_normal_form(Name.of("00", "01"))
+
+
+class TestReduceStampPair:
+    def test_stats_account_bits(self):
+        update, identity, stats = reduce_stamp_pair(
+            Name.of("1"), Name.of("00", "01", "1")
+        )
+        assert isinstance(stats, ReductionStats)
+        assert stats.steps == 2
+        assert stats.id_bits_before > stats.id_bits_after
+        assert stats.update_bits_before > stats.update_bits_after
+        assert stats.bits_saved == (
+            stats.id_bits_before
+            + stats.update_bits_before
+            - stats.id_bits_after
+            - stats.update_bits_after
+        )
+        assert stats.reduced
+
+    def test_noop_reduction_has_zero_savings(self):
+        _update, _identity, stats = reduce_stamp_pair(Name.of("0"), Name.of("0", "11"))
+        assert not stats.reduced
+        assert stats.bits_saved == 0

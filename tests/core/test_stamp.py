@@ -1,0 +1,208 @@
+"""Unit tests for version stamps (Definition 4.3 plus the reducing flavour)."""
+
+import pytest
+
+from repro.core.errors import StampError
+from repro.core.names import Name
+from repro.core.order import Ordering
+from repro.core.stamp import VersionStamp
+
+
+class TestConstruction:
+    def test_seed_is_epsilon_pair(self):
+        seed = VersionStamp.seed()
+        assert seed.update_component == Name.seed()
+        assert seed.identity == Name.seed()
+
+    def test_parse_round_trip(self):
+        stamp = VersionStamp.parse("[1 | 01+1]")
+        assert str(stamp) == "[1 | 01+1]"
+
+    def test_parse_accepts_text_components(self):
+        stamp = VersionStamp("0", "0+1")
+        assert stamp.update_component == Name.of("0")
+        assert stamp.identity == Name.of("0", "1")
+
+    def test_parse_rejects_missing_brackets(self):
+        with pytest.raises(StampError):
+            VersionStamp.parse("1 | 1")
+
+    def test_parse_rejects_missing_separator(self):
+        with pytest.raises(StampError):
+            VersionStamp.parse("[1, 1]")
+
+    def test_construction_enforces_i1(self):
+        with pytest.raises(StampError):
+            VersionStamp(Name.of("1"), Name.of("0"))
+
+    def test_construction_rejects_non_names(self):
+        with pytest.raises(StampError):
+            VersionStamp(42, Name.seed())
+
+    def test_immutable(self):
+        seed = VersionStamp.seed()
+        with pytest.raises(AttributeError):
+            seed.identity = Name.empty()
+
+    def test_structural_equality(self):
+        assert VersionStamp.parse("[0 | 0]") == VersionStamp.parse("[0 | 0]")
+        assert VersionStamp.parse("[0 | 0]") != VersionStamp.parse("[ε | 0]")
+
+    def test_components_accessor(self):
+        stamp = VersionStamp.parse("[0 | 0+1]")
+        update, identity = stamp.components()
+        assert update == Name.of("0")
+        assert identity == Name.of("0", "1")
+
+
+class TestUpdate:
+    def test_update_copies_id_into_update(self):
+        stamp = VersionStamp.parse("[ε | 01]")
+        assert str(stamp.update()) == "[01 | 01]"
+
+    def test_update_is_idempotent_on_stamp_value(self):
+        # After an update, subsequent updates do not change the stamp
+        # (Section 3: irrelevant information is discarded).
+        stamp = VersionStamp.parse("[ε | 01]").update()
+        assert stamp.update() == stamp
+
+    def test_update_on_seed_is_invisible(self):
+        # With a single-element frontier the update has no expression.
+        assert VersionStamp.seed().update() == VersionStamp.seed()
+
+
+class TestFork:
+    def test_fork_appends_zero_and_one(self):
+        left, right = VersionStamp.parse("[ε | 1]").fork()
+        assert str(left) == "[ε | 10]"
+        assert str(right) == "[ε | 11]"
+
+    def test_fork_preserves_update_component(self):
+        left, right = VersionStamp.parse("[0 | 0]").fork()
+        assert left.update_component == Name.of("0")
+        assert right.update_component == Name.of("0")
+
+    def test_fork_children_have_disjoint_ids(self):
+        left, right = VersionStamp.seed().fork()
+        assert left.identity.disjoint_ids(right.identity)
+
+    def test_fork_on_multi_string_id(self):
+        left, right = VersionStamp.parse("[ε | 0+1]").fork()
+        assert left.identity == Name.of("00", "10")
+        assert right.identity == Name.of("01", "11")
+
+
+class TestJoin:
+    def test_join_joins_both_components(self):
+        left = VersionStamp.parse("[ε | 01]", reducing=False)
+        right = VersionStamp.parse("[1 | 1]", reducing=False)
+        assert str(left.join(right)) == "[1 | 01+1]"
+
+    def test_join_is_commutative(self):
+        left = VersionStamp.parse("[ε | 01]", reducing=False)
+        right = VersionStamp.parse("[1 | 1]", reducing=False)
+        assert left.join(right) == right.join(left)
+
+    def test_reducing_join_collapses_siblings(self):
+        left, right = VersionStamp.seed().fork()
+        assert left.join(right) == VersionStamp.seed()
+
+    def test_non_reducing_join_keeps_siblings(self):
+        left, right = VersionStamp.seed(reducing=False).fork()
+        joined = left.join(right)
+        assert joined.identity == Name.of("0", "1")
+
+    def test_join_with_non_stamp_fails(self):
+        with pytest.raises(StampError):
+            VersionStamp.seed().join("not a stamp")
+
+    def test_join_with_stats_reports_reduction(self):
+        left, right = VersionStamp.seed(reducing=False).fork()
+        joined, stats = left.join_with_stats(right)
+        assert joined == VersionStamp.seed()
+        assert stats.reduced
+        assert stats.steps == 1
+        assert stats.bits_saved > 0
+
+    def test_fork_then_join_recovers_original_id(self):
+        # "A fork followed by a join of the resulting elements should result
+        # in an element with the original id." (Section 3)
+        original = VersionStamp.parse("[ε | 01]")
+        left, right = original.fork()
+        assert left.join(right).identity == original.identity
+
+
+class TestSyncAndFlavours:
+    def test_sync_is_join_then_fork(self):
+        left, right = VersionStamp.seed().fork()
+        left = left.update()
+        new_left, new_right = left.sync(right)
+        assert new_left.equivalent(new_right)
+        assert new_left.identity.disjoint_ids(new_right.identity)
+
+    def test_normalized_and_is_normalized(self):
+        stamp = VersionStamp(Name.of("0"), Name.of("00", "01"), reducing=False)
+        assert not stamp.is_normalized()
+        assert stamp.normalized().identity == Name.of("0")
+        assert stamp.normalized().is_normalized()
+
+    def test_flavour_switchers(self):
+        stamp = VersionStamp.seed()
+        assert stamp.reducing
+        assert not stamp.non_reducing().reducing
+        assert stamp.non_reducing().as_reducing().reducing
+
+    def test_reducing_flag_is_sticky_across_operations(self):
+        stamp = VersionStamp.seed(reducing=False)
+        left, right = stamp.fork()
+        assert not left.reducing
+        assert not left.update().reducing
+        assert not left.join(right).reducing
+
+
+class TestComparison:
+    def test_fresh_forks_are_equivalent(self):
+        left, right = VersionStamp.seed().fork()
+        assert left.compare(right) is Ordering.EQUAL
+        assert left.equivalent(right)
+
+    def test_update_dominates_sibling(self):
+        left, right = VersionStamp.seed().fork()
+        updated = left.update()
+        assert updated.compare(right) is Ordering.AFTER
+        assert right.compare(updated) is Ordering.BEFORE
+        assert updated.dominates(right)
+        assert right.obsolete_relative_to(updated)
+
+    def test_concurrent_updates_conflict(self):
+        left, right = VersionStamp.seed().fork()
+        assert left.update().compare(right.update()) is Ordering.CONCURRENT
+        assert left.update().concurrent(right.update())
+
+    def test_join_dominates_both_inputs(self):
+        left, right = VersionStamp.seed().fork()
+        left = left.update()
+        right = right.update()
+        joined = left.join(right)
+        assert joined.dominates(left)
+        assert joined.dominates(right)
+        assert joined.strictly_dominates(left)
+
+    def test_leq_matches_compare(self):
+        left, right = VersionStamp.seed().fork()
+        updated = left.update()
+        assert right.leq(updated)
+        assert not updated.leq(right)
+
+
+class TestSizes:
+    def test_size_in_bits_counts_both_components(self):
+        stamp = VersionStamp.parse("[0 | 0+1]")
+        assert stamp.size_in_bits() == stamp.update_component.size_in_bits() + stamp.identity.size_in_bits()
+
+    def test_id_depth(self):
+        assert VersionStamp.parse("[ε | 0+11]").id_depth() == 2
+        assert VersionStamp.seed().id_depth() == 0
+
+    def test_repr_is_informative(self):
+        assert "[ε | ε]" in repr(VersionStamp.seed())

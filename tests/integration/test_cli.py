@@ -1,0 +1,128 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestStampCommands:
+    def test_seed(self, capsys):
+        assert main(["stamp", "seed"]) == 0
+        assert "[ε | ε]" in capsys.readouterr().out
+
+    def test_parse_reports_components_and_size(self, capsys):
+        assert main(["stamp", "parse", "[1 | 01+1]"]) == 0
+        output = capsys.readouterr().out
+        assert "update:     1" in output
+        assert "id:         01+1" in output
+        assert "bits" in output
+
+    def test_update(self, capsys):
+        assert main(["stamp", "update", "[ε | 01]"]) == 0
+        assert "[01 | 01]" in capsys.readouterr().out
+
+    def test_fork(self, capsys):
+        assert main(["stamp", "fork", "[ε | 1]"]) == 0
+        output = capsys.readouterr().out
+        assert "[ε | 10]" in output
+        assert "[ε | 11]" in output
+
+    def test_join_reducing_and_not(self, capsys):
+        assert main(["stamp", "join", "[ε | 0]", "[ε | 1]"]) == 0
+        assert "[ε | ε]" in capsys.readouterr().out
+        assert main(["stamp", "join", "--no-reduce", "[ε | 0]", "[ε | 1]"]) == 0
+        assert "[ε | 0+1]" in capsys.readouterr().out
+
+    def test_normalize(self, capsys):
+        assert main(["stamp", "normalize", "[1 | 00+01+1]"]) == 0
+        assert "[ε | ε]" in capsys.readouterr().out
+
+    def test_compare(self, capsys):
+        assert main(["stamp", "compare", "[ε | 0]", "[1 | 1]"]) == 0
+        assert "before" in capsys.readouterr().out
+
+    def test_invalid_stamp_reports_error(self, capsys):
+        assert main(["stamp", "parse", "garbage"]) == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestAnalysisCommands:
+    def test_figures_reproduce(self, capsys):
+        assert main(["figures"]) == 0
+        output = capsys.readouterr().out
+        assert "FIG1" in output and "FIG4" in output
+        assert "MISMATCH" not in output
+
+    def test_check(self, capsys):
+        assert main(["check", "--operations", "3", "--max-frontier", "3"]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_simulate(self, capsys):
+        assert (
+            main(
+                [
+                    "simulate",
+                    "--workload",
+                    "churn",
+                    "--operations",
+                    "40",
+                    "--seed",
+                    "2",
+                    "--fast",
+                    "--diagram",
+                ]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "version-stamps" in output
+        assert "final frontier" in output
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+
+
+class TestPanasyncCommands:
+    def test_full_workflow(self, tmp_path, capsys):
+        repo = tmp_path / "desktop"
+        other = tmp_path / "laptop"
+        source = tmp_path / "draft.txt"
+        source.write_text("v1", encoding="utf-8")
+
+        assert main(["panasync", "--repository", str(repo), "create", "draft.txt", "--source", str(source)]) == 0
+        assert main(["panasync", "--repository", str(repo), "copy", "draft.txt", str(other)]) == 0
+
+        source.write_text("v2", encoding="utf-8")
+        assert main(["panasync", "--repository", str(repo), "edit", "draft.txt", str(source)]) == 0
+
+        # The laptop copy is now outdated but not diverged -> exit code 0.
+        assert main(["panasync", "--repository", str(other), "compare", "draft.txt", str(repo)]) == 0
+        assert main(["panasync", "--repository", str(other), "merge", "draft.txt", str(repo)]) == 0
+        assert main(["panasync", "--repository", str(other), "status"]) == 0
+        output = capsys.readouterr().out
+        assert "draft.txt" in output
+
+    def test_compare_exit_code_signals_divergence(self, tmp_path, capsys):
+        repo = tmp_path / "a"
+        other = tmp_path / "b"
+        source = tmp_path / "f.txt"
+        source.write_text("base", encoding="utf-8")
+        main(["panasync", "--repository", str(repo), "create", "f.txt", "--source", str(source)])
+        main(["panasync", "--repository", str(repo), "copy", "f.txt", str(other)])
+        source.write_text("left", encoding="utf-8")
+        main(["panasync", "--repository", str(repo), "edit", "f.txt", str(source)])
+        source.write_text("right", encoding="utf-8")
+        main(["panasync", "--repository", str(other), "edit", "f.txt", str(source)])
+        assert main(["panasync", "--repository", str(repo), "compare", "f.txt", str(other)]) == 2
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])

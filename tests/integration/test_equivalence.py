@@ -1,0 +1,104 @@
+"""Integration + property tests for the paper's central result.
+
+Corollary 5.2: for any execution and any two frontier elements, the version
+stamp order equals the causal-history order.  We check it on random traces
+(hypothesis-generated and workload-generated) for both stamp flavours, and we
+also check the baselines and extension mechanisms so the lockstep harness
+itself stays honest.
+"""
+
+from hypothesis import HealthCheck, given, settings
+
+from repro.core.invariants import check_all
+from repro.sim.exhaustive import explore
+from repro.sim.runner import LockstepRunner, StampAdapter, default_adapters
+from repro.sim.workload import (
+    churn_trace,
+    fixed_replica_trace,
+    partitioned_trace,
+    random_dynamic_trace,
+)
+
+from ..conftest import trace_operations
+
+
+class TestEquivalenceOnRandomTraces:
+    @settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(trace_operations())
+    def test_stamp_order_matches_causal_history_order(self, trace):
+        runner = LockstepRunner(
+            [StampAdapter(reducing=True), StampAdapter(reducing=False)],
+            compare_every_step=True,
+            check_invariants=True,
+        )
+        reports, _sizes = runner.run(trace)
+        for report in reports.values():
+            assert report.agreement_rate == 1.0
+            assert report.invariant_failures == 0
+
+    @settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(trace_operations(max_operations=20, max_frontier=5))
+    def test_all_exact_mechanisms_agree(self, trace):
+        runner = LockstepRunner(default_adapters(), compare_every_step=False)
+        reports, _sizes = runner.run(trace)
+        for report in reports.values():
+            assert report.agreement_rate == 1.0
+
+
+class TestEquivalenceOnWorkloads:
+    def test_large_random_dynamic_workload(self):
+        trace = random_dynamic_trace(300, seed=17, max_frontier=8)
+        reports, _sizes = LockstepRunner(compare_every_step=False).run(trace)
+        for report in reports.values():
+            assert report.agreement_rate == 1.0
+            assert report.invariant_failures == 0
+
+    def test_fixed_replica_workload(self):
+        trace = fixed_replica_trace(6, 200, seed=23)
+        reports, _sizes = LockstepRunner(compare_every_step=False).run(trace)
+        for report in reports.values():
+            assert report.agreement_rate == 1.0
+
+    def test_partitioned_workload(self):
+        trace = partitioned_trace(
+            initial_replicas=6, partitions=3, phases=3, operations_per_phase=25, seed=29
+        )
+        reports, _sizes = LockstepRunner(compare_every_step=False).run(trace)
+        for report in reports.values():
+            assert report.agreement_rate == 1.0
+
+    def test_churn_workload(self):
+        trace = churn_trace(200, seed=31)
+        reports, _sizes = LockstepRunner(compare_every_step=False).run(trace)
+        for report in reports.values():
+            assert report.agreement_rate == 1.0
+
+
+class TestExhaustiveVerification:
+    def test_every_execution_up_to_five_operations(self):
+        report = explore(5, max_frontier=3, check_subsets=False)
+        assert report.ok, report.counterexamples[:3]
+        assert report.configurations_checked > 100
+
+    def test_subset_form_of_proposition_51(self):
+        report = explore(4, max_frontier=3, check_subsets=True)
+        assert report.ok, report.counterexamples[:3]
+        assert report.subset_disagreements == 0
+
+
+class TestInvariantsAtScale:
+    def test_invariants_hold_on_every_prefix_of_a_long_run(self):
+        trace = random_dynamic_trace(150, seed=37, max_frontier=8)
+        adapter = StampAdapter(reducing=True)
+        adapter.start(trace.seed)
+        for operation in trace.operations:
+            adapter.apply(operation)
+            assert check_all(adapter.frontier.stamps()).ok
+
+    def test_non_reducing_invariants_hold_too(self):
+        trace = churn_trace(80, seed=41)
+        adapter = StampAdapter(reducing=False)
+        adapter.start(trace.seed)
+        for operation in trace.operations:
+            adapter.apply(operation)
+            assert check_all(adapter.frontier.stamps()).ok

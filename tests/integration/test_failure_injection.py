@@ -1,0 +1,120 @@
+"""Failure-injection tests: corrupted inputs are detected, not absorbed.
+
+A production causality library must reject malformed metadata rather than
+silently producing wrong orderings.  These tests corrupt stamps, encodings
+and configurations in targeted ways and check that validators and invariant
+checkers catch every seeded fault.
+"""
+
+import json
+
+import pytest
+
+from repro.core.encoding import (
+    stamp_from_bytes,
+    stamp_from_json,
+    stamp_to_bytes,
+    stamp_to_json,
+)
+from repro.core.errors import (
+    EncodingError,
+    InvariantViolation,
+    NameError_,
+    StampError,
+)
+from repro.core.frontier import Frontier
+from repro.core.invariants import assert_invariants, check_all
+from repro.core.names import Name
+from repro.core.stamp import VersionStamp
+
+
+class TestCorruptedStamps:
+    def test_constructor_rejects_i1_violation(self):
+        with pytest.raises(StampError):
+            VersionStamp(Name.of("11"), Name.of("0"))
+
+    def test_constructor_rejects_non_antichain_components(self):
+        with pytest.raises(NameError_):
+            Name.of("0", "01")
+
+    def test_parse_rejects_non_antichain_text(self):
+        with pytest.raises((StampError, NameError_)):
+            VersionStamp.parse("[ε | 0+01]")
+
+    def test_invariant_checker_catches_forged_duplicate_identity(self):
+        # An attacker (or a buggy restore-from-backup) duplicates a replica's
+        # stamp instead of forking it: two frontier elements with identical,
+        # comparable ids.  I2 must flag it.
+        frontier = Frontier.initial("a")
+        frontier.fork("a", "a", "b")
+        stamps = frontier.stamps()
+        stamps["forged"] = stamps["a"]
+        report = check_all(stamps)
+        assert not report.ok
+        assert any(violation.invariant == "I2" for violation in report.violations)
+
+    def test_invariant_checker_catches_forged_update_knowledge(self):
+        # A stamp claims knowledge of updates that never reached it: its
+        # update strings fall under another element's id without being below
+        # that element's update -- an I3 violation.
+        liar = VersionStamp(Name.of("10"), Name.of("0"), reducing=False, _validate=False)
+        honest = VersionStamp(Name.parse("ε"), Name.of("1"), reducing=False, _validate=False)
+        report = check_all({"liar": liar, "honest": honest})
+        assert any(violation.invariant in ("I1", "I3") for violation in report.violations)
+
+    def test_assert_invariants_raises_on_first_violation(self):
+        bad = VersionStamp(Name.of("1"), Name.of("0"), reducing=False, _validate=False)
+        with pytest.raises(InvariantViolation):
+            assert_invariants({"bad": bad})
+
+
+class TestCorruptedEncodings:
+    def test_bit_flip_in_bytes_is_rejected_or_changes_stamp(self):
+        stamp = VersionStamp.parse("[1 | 01+1]")
+        payload = bytearray(stamp_to_bytes(stamp))
+        payload[-1] ^= 0xFF
+        try:
+            decoded = stamp_from_bytes(bytes(payload))
+        except EncodingError:
+            return  # rejected: good
+        # If it decodes, it must not silently equal the original.
+        assert decoded != stamp
+
+    def test_truncated_bytes_rejected(self):
+        stamp = VersionStamp.parse("[1 | 01+1]")
+        payload = stamp_to_bytes(stamp)
+        with pytest.raises(EncodingError):
+            stamp_from_bytes(payload[: len(payload) // 2])
+
+    def test_json_with_non_antichain_strings_rejected(self):
+        payload = stamp_to_json(VersionStamp.seed())
+        payload["id"] = ["0", "01"]
+        with pytest.raises(EncodingError):
+            stamp_from_json(payload)
+
+    def test_json_with_i1_violation_rejected(self):
+        payload = {"update": ["11"], "id": ["0"], "reducing": True}
+        with pytest.raises(EncodingError):
+            stamp_from_json(payload)
+
+    def test_json_missing_fields_rejected(self):
+        with pytest.raises(EncodingError):
+            stamp_from_json({"update": ["0"]})
+
+    def test_json_garbage_text_rejected(self):
+        with pytest.raises(EncodingError):
+            stamp_from_json("{not json")
+
+
+class TestSidecarTampering:
+    def test_tampered_repository_sidecar_rejected(self, tmp_path):
+        from repro.panasync.repository import CopyRepository
+
+        repository = CopyRepository(tmp_path)
+        repository.create("a.txt", "data")
+        sidecar = tmp_path / "a.txt.stamp.json"
+        payload = json.loads(sidecar.read_text())
+        payload["stamp"]["id"] = ["0", "01"]  # not an antichain
+        sidecar.write_text(json.dumps(payload))
+        with pytest.raises(EncodingError):
+            repository.load("a.txt")

@@ -1,0 +1,113 @@
+"""Unit tests for ITC event trees."""
+
+import pytest
+
+from repro.core.errors import StampError
+from repro.itc.event_tree import (
+    event_leq,
+    event_max,
+    event_min,
+    event_size_in_nodes,
+    fill,
+    grow,
+    join_events,
+    normalize_event,
+    validate_event,
+)
+
+
+class TestValidation:
+    def test_accepts_ints_and_triples(self):
+        validate_event(0)
+        validate_event(5)
+        validate_event((1, 0, 2))
+        validate_event((0, (1, 0, 1), 0))
+
+    def test_rejects_negative_and_malformed(self):
+        with pytest.raises(StampError):
+            validate_event(-1)
+        with pytest.raises(StampError):
+            validate_event((1, 0))
+        with pytest.raises(StampError):
+            validate_event((1, -2, 0))
+        with pytest.raises(StampError):
+            validate_event("x")
+
+
+class TestNormalization:
+    def test_equal_leaves_merge(self):
+        assert normalize_event((2, 1, 1)) == 3
+
+    def test_minimum_sinks_to_root(self):
+        assert normalize_event((1, 2, 3)) == (3, 0, 1)
+
+    def test_nested_normalization(self):
+        assert normalize_event((0, (1, 1, 1), 2)) == 2
+
+    def test_min_and_max(self):
+        assert event_min((1, 0, 2)) == 1
+        assert event_max((1, 0, 2)) == 3
+        assert event_min(4) == event_max(4) == 4
+
+
+class TestOrder:
+    def test_leaf_comparison(self):
+        assert event_leq(1, 2)
+        assert not event_leq(2, 1)
+
+    def test_leaf_versus_tree(self):
+        assert event_leq(1, (1, 0, 2))
+        assert not event_leq((1, 0, 2), 1)
+        assert event_leq((1, 0, 2), 3)
+
+    def test_tree_versus_tree(self):
+        assert event_leq((1, 0, 1), (1, 1, 1))
+        assert not event_leq((1, 1, 0), (1, 0, 1))
+
+    def test_join_is_least_upper_bound(self):
+        left = (1, 1, 0)
+        right = (1, 0, 1)
+        joined = join_events(left, right)
+        assert event_leq(left, joined)
+        assert event_leq(right, joined)
+        assert joined == 2
+
+    def test_join_with_leaf(self):
+        assert join_events(3, (1, 0, 1)) == 3
+        assert join_events((1, 0, 1), 0) == (1, 0, 1)
+
+    def test_join_commutative(self):
+        left = (2, 1, 0)
+        right = (1, 0, (1, 2, 0))
+        assert join_events(left, right) == join_events(right, left)
+
+
+class TestFillAndGrow:
+    def test_fill_with_full_ownership_flattens(self):
+        assert fill(1, (1, 0, 2)) == 3
+
+    def test_fill_with_no_ownership_is_identity(self):
+        assert fill(0, (1, 0, 2)) == (1, 0, 2)
+
+    def test_fill_with_left_ownership_raises_left(self):
+        filled = fill((1, 0), (0, 0, 2))
+        assert event_leq((0, 0, 2), filled)
+        assert event_min(filled) >= 0
+
+    def test_grow_full_owner_increments_leaf(self):
+        grown, cost = grow(1, 3)
+        assert grown == 4
+        assert cost == 0
+
+    def test_grow_partial_owner_deepens_tree(self):
+        grown, _cost = grow((1, 0), 0)
+        assert normalize_event(grown) != 0
+        assert event_leq(0, grown)
+
+    def test_grow_anonymous_fails(self):
+        with pytest.raises(StampError):
+            grow(0, 0)
+
+    def test_size_in_nodes(self):
+        assert event_size_in_nodes(3) == 1
+        assert event_size_in_nodes((1, 0, (1, 0, 0))) == 5

@@ -1,0 +1,89 @@
+"""Unit tests for ITC identity trees."""
+
+import pytest
+
+from repro.core.errors import StampError
+from repro.itc.id_tree import (
+    id_size_in_nodes,
+    is_leaf_id,
+    normalize_id,
+    split_id,
+    sum_ids,
+    validate_id,
+)
+
+
+class TestValidation:
+    def test_accepts_leaves_and_pairs(self):
+        validate_id(0)
+        validate_id(1)
+        validate_id((1, 0))
+        validate_id(((1, 0), (0, 1)))
+
+    def test_rejects_other_shapes(self):
+        with pytest.raises(StampError):
+            validate_id(2)
+        with pytest.raises(StampError):
+            validate_id((1, 0, 1))
+        with pytest.raises(StampError):
+            validate_id("x")
+
+    def test_is_leaf(self):
+        assert is_leaf_id(0) and is_leaf_id(1)
+        assert not is_leaf_id((1, 0))
+
+
+class TestNormalization:
+    def test_collapses_uniform_pairs(self):
+        assert normalize_id((0, 0)) == 0
+        assert normalize_id((1, 1)) == 1
+
+    def test_recursive_collapse(self):
+        assert normalize_id(((1, 1), 1)) == 1
+        assert normalize_id(((0, 0), (0, 0))) == 0
+
+    def test_leaves_mixed_pairs_alone(self):
+        assert normalize_id((1, 0)) == (1, 0)
+
+
+class TestSplit:
+    def test_split_of_one(self):
+        assert split_id(1) == ((1, 0), (0, 1))
+
+    def test_split_of_zero(self):
+        assert split_id(0) == (0, 0)
+
+    def test_split_of_half(self):
+        left, right = split_id((1, 0))
+        assert left == ((1, 0), 0)
+        assert right == ((0, 1), 0)
+
+    def test_split_of_two_sided_id(self):
+        left, right = split_id(((1, 0), (0, 1)))
+        assert left == ((1, 0), 0)
+        assert right == (0, (0, 1))
+
+    def test_split_parts_rejoin_to_original(self):
+        for identity in (1, (1, 0), (0, 1), ((1, 0), (0, 1))):
+            left, right = split_id(identity)
+            assert sum_ids(left, right) == normalize_id(identity)
+
+
+class TestSum:
+    def test_zero_is_identity(self):
+        assert sum_ids(0, (1, 0)) == (1, 0)
+        assert sum_ids((0, 1), 0) == (0, 1)
+
+    def test_disjoint_halves_sum_to_whole(self):
+        assert sum_ids((1, 0), (0, 1)) == 1
+
+    def test_overlapping_ids_rejected(self):
+        with pytest.raises(StampError):
+            sum_ids(1, 1)
+        with pytest.raises(StampError):
+            sum_ids((1, 0), (1, 0))
+
+    def test_size_in_nodes(self):
+        assert id_size_in_nodes(1) == 1
+        assert id_size_in_nodes((1, 0)) == 3
+        assert id_size_in_nodes(((1, 0), 1)) == 5

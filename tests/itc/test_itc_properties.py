@@ -1,0 +1,114 @@
+"""Property-based tests for Interval Tree Clocks (the extension mechanism)."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.order import Ordering
+from repro.itc.event_tree import event_leq, join_events, normalize_event
+from repro.itc.id_tree import normalize_id, split_id, sum_ids
+from repro.itc.stamp import ITCStamp
+
+
+@st.composite
+def event_trees(draw, depth: int = 3):
+    """Random (normalized) event trees."""
+    if depth == 0 or draw(st.booleans()):
+        return draw(st.integers(min_value=0, max_value=5))
+    base = draw(st.integers(min_value=0, max_value=3))
+    left = draw(event_trees(depth=depth - 1))
+    right = draw(event_trees(depth=depth - 1))
+    return normalize_event((base, left, right))
+
+
+@st.composite
+def id_trees(draw, depth: int = 3):
+    """Random (normalized) identity trees."""
+    if depth == 0 or draw(st.booleans()):
+        return draw(st.sampled_from([0, 1]))
+    left = draw(id_trees(depth=depth - 1))
+    right = draw(id_trees(depth=depth - 1))
+    return normalize_id((left, right))
+
+
+class TestEventTreeProperties:
+    @given(event_trees())
+    def test_normalization_is_idempotent(self, event):
+        assert normalize_event(event) == event
+
+    @given(event_trees(), event_trees())
+    def test_join_is_upper_bound(self, a, b):
+        joined = join_events(a, b)
+        assert event_leq(a, joined)
+        assert event_leq(b, joined)
+
+    @given(event_trees(), event_trees())
+    def test_join_commutative(self, a, b):
+        assert join_events(a, b) == join_events(b, a)
+
+    @given(event_trees())
+    def test_join_idempotent(self, a):
+        assert join_events(a, a) == a
+
+    @given(event_trees(), event_trees(), event_trees())
+    def test_join_associative(self, a, b, c):
+        assert join_events(join_events(a, b), c) == join_events(a, join_events(b, c))
+
+    @given(event_trees(), event_trees())
+    def test_leq_antisymmetric_on_normal_forms(self, a, b):
+        if event_leq(a, b) and event_leq(b, a):
+            assert a == b
+
+
+class TestIdTreeProperties:
+    @given(id_trees())
+    def test_split_parts_rejoin(self, identity):
+        left, right = split_id(identity)
+        assert sum_ids(left, right) == identity
+
+    @given(id_trees())
+    def test_split_parts_cover_nothing_twice(self, identity):
+        # Summing must never raise for the two halves of a split: they are
+        # disjoint by construction.
+        left, right = split_id(identity)
+        sum_ids(left, right)
+
+
+class TestStampSimulation:
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    def test_random_runs_agree_with_version_stamps(self, seed):
+        """Drive ITC and version stamps through the same random run and
+        check they give identical pairwise orderings of the frontier."""
+        from repro.core.stamp import VersionStamp
+
+        rng = random.Random(seed)
+        itc = [ITCStamp.seed()]
+        stamps = [VersionStamp.seed()]
+        for _ in range(25):
+            action = rng.choice(["event", "fork", "join"])
+            index = rng.randrange(len(itc))
+            if action == "event":
+                itc[index] = itc[index].event()
+                stamps[index] = stamps[index].update()
+            elif action == "fork" and len(itc) < 6:
+                left, right = itc[index].fork()
+                itc[index] = left
+                itc.append(right)
+                stamp_left, stamp_right = stamps[index].fork()
+                stamps[index] = stamp_left
+                stamps.append(stamp_right)
+            elif action == "join" and len(itc) >= 2:
+                other = rng.randrange(len(itc))
+                if other == index:
+                    continue
+                first, second = sorted((index, other))
+                itc[first] = itc[first].join(itc[second])
+                stamps[first] = stamps[first].join(stamps[second])
+                del itc[second]
+                del stamps[second]
+        for x in range(len(itc)):
+            for y in range(len(itc)):
+                if x != y:
+                    assert itc[x].compare(itc[y]) is stamps[x].compare(stamps[y])

@@ -1,0 +1,115 @@
+"""Unit tests for Interval Tree Clock stamps."""
+
+import pytest
+
+from repro.core.errors import StampError
+from repro.core.order import Ordering
+from repro.itc.stamp import ITCStamp
+
+
+class TestLifecycle:
+    def test_seed(self):
+        seed = ITCStamp.seed()
+        assert seed.identity == 1
+        assert seed.events == 0
+
+    def test_fork_splits_identity(self):
+        left, right = ITCStamp.seed().fork()
+        assert left.identity == (1, 0)
+        assert right.identity == (0, 1)
+        assert left.events == right.events == 0
+
+    def test_event_records_update(self):
+        stamp = ITCStamp.seed().event()
+        assert stamp.events == 1
+
+    def test_event_on_anonymous_fails(self):
+        anonymous = ITCStamp.seed().peek()
+        with pytest.raises(StampError):
+            anonymous.event()
+
+    def test_peek_is_anonymous(self):
+        stamp = ITCStamp.seed().event()
+        peeked = stamp.peek()
+        assert peeked.is_anonymous
+        assert peeked.events == stamp.events
+
+    def test_join_restores_seed_identity(self):
+        left, right = ITCStamp.seed().fork()
+        assert left.join(right).identity == 1
+
+    def test_join_with_wrong_type_fails(self):
+        with pytest.raises(StampError):
+            ITCStamp.seed().join("nope")
+
+    def test_sync(self):
+        left, right = ITCStamp.seed().fork()
+        left = left.event()
+        new_left, new_right = left.sync(right)
+        assert new_left.compare(new_right) is Ordering.EQUAL
+
+    def test_normalization_at_construction(self):
+        stamp = ITCStamp((1, 1), (1, 1, 1))
+        assert stamp.identity == 1
+        assert stamp.events == 2
+
+    def test_equality_and_hash(self):
+        assert ITCStamp.seed() == ITCStamp(1, 0)
+        assert hash(ITCStamp.seed()) == hash(ITCStamp(1, 0))
+
+    def test_repr(self):
+        assert "identity" in repr(ITCStamp.seed())
+
+
+class TestComparison:
+    def test_fresh_forks_equal(self):
+        left, right = ITCStamp.seed().fork()
+        assert left.compare(right) is Ordering.EQUAL
+
+    def test_event_dominates_sibling(self):
+        left, right = ITCStamp.seed().fork()
+        updated = left.event()
+        assert updated.compare(right) is Ordering.AFTER
+        assert right.compare(updated) is Ordering.BEFORE
+
+    def test_concurrent_events_conflict(self):
+        left, right = ITCStamp.seed().fork()
+        assert left.event().compare(right.event()) is Ordering.CONCURRENT
+        assert left.event().concurrent(right.event())
+
+    def test_join_dominates_both(self):
+        left, right = ITCStamp.seed().fork()
+        left, right = left.event(), right.event()
+        joined = left.join(right)
+        assert joined.compare(left) is Ordering.AFTER
+        assert joined.compare(right) is Ordering.AFTER
+
+    def test_deep_fork_chain_still_compares_correctly(self):
+        stamp = ITCStamp.seed()
+        others = []
+        for _ in range(5):
+            stamp, other = stamp.fork()
+            others.append(other)
+        stamp = stamp.event()
+        for other in others:
+            assert stamp.compare(other) is Ordering.AFTER
+
+    def test_repeated_sync_keeps_stamps_small(self):
+        left, right = ITCStamp.seed().fork()
+        for _ in range(50):
+            left = left.event()
+            left, right = left.sync(right)
+            right = right.event()
+            left, right = right.sync(left)
+        assert left.size_in_nodes() < 40
+
+
+class TestSizes:
+    def test_size_in_nodes(self):
+        assert ITCStamp.seed().size_in_nodes() == 2
+
+    def test_size_in_bits_grows_with_structure(self):
+        seed = ITCStamp.seed()
+        left, _right = seed.fork()
+        left = left.event()
+        assert left.size_in_bits() > seed.size_in_bits()

@@ -1,0 +1,128 @@
+"""Unit tests for stamped file copies (PANASYNC)."""
+
+import pytest
+
+from repro.core.order import Ordering
+from repro.panasync.filecopy import FileCopy
+
+
+class TestLocalEditing:
+    def test_initial_copy(self):
+        copy = FileCopy("report.txt", "hello")
+        assert copy.content == "hello"
+        assert copy.edits == 0
+        assert copy.logical_name == "report.txt"
+
+    def test_edit_changes_content_and_counts(self):
+        copy = FileCopy("report.txt", "hello")
+        copy.edit("hello world")
+        assert copy.content == "hello world"
+        assert copy.edits == 1
+
+    def test_append(self):
+        copy = FileCopy("report.txt", "a")
+        copy.append("b")
+        assert copy.content == "ab"
+        assert copy.edits == 1
+
+    def test_digest_tracks_content(self):
+        copy = FileCopy("report.txt", "a")
+        before = copy.digest
+        copy.edit("b")
+        assert copy.digest != before
+
+    def test_auto_copy_names_are_unique(self):
+        assert FileCopy("f").copy_name != FileCopy("f").copy_name
+
+    def test_repr(self):
+        assert "report.txt" in repr(FileCopy("report.txt"))
+
+    def test_metadata_size_positive(self):
+        assert FileCopy("f").metadata_size_in_bits() > 0
+
+
+class TestDuplicationAndComparison:
+    def test_duplicate_copies_content(self):
+        original = FileCopy("f", "data", copy_name="desktop")
+        laptop = original.duplicate("laptop")
+        assert laptop.content == "data"
+        assert laptop.copy_name == "laptop"
+
+    def test_fresh_duplicate_is_same_version(self):
+        original = FileCopy("f", "data")
+        clone = original.duplicate()
+        relation = original.compare(clone)
+        assert relation.ordering is Ordering.EQUAL
+        assert "same version" in relation.description
+
+    def test_edit_makes_other_copy_outdated(self):
+        original = FileCopy("f", "data", copy_name="desktop")
+        laptop = original.duplicate("laptop")
+        original.edit("data v2")
+        relation = laptop.compare(original)
+        assert relation.ordering is Ordering.BEFORE
+        assert "outdated" in relation.description
+        assert not relation.diverged
+
+    def test_divergent_edits_detected(self):
+        original = FileCopy("f", "data", copy_name="desktop")
+        laptop = original.duplicate("laptop")
+        original.edit("desktop edit")
+        laptop.edit("laptop edit")
+        relation = original.compare(laptop)
+        assert relation.ordering is Ordering.CONCURRENT
+        assert relation.diverged
+
+
+class TestMerge:
+    def test_merge_pulls_newer_content(self):
+        original = FileCopy("f", "v1", copy_name="desktop")
+        laptop = original.duplicate("laptop")
+        original.edit("v2")
+        laptop.merge(original)
+        assert laptop.content == "v2"
+        assert original.content == "v2"
+        assert laptop.compare(original).ordering is Ordering.EQUAL
+
+    def test_merge_of_identical_copies_keeps_content(self):
+        original = FileCopy("f", "v1")
+        clone = original.duplicate()
+        original.merge(clone)
+        assert original.content == "v1"
+
+    def test_diverged_merge_with_resolver(self):
+        original = FileCopy("f", "base", copy_name="desktop")
+        laptop = original.duplicate("laptop")
+        original.edit("left")
+        laptop.edit("right")
+        relation = original.merge(laptop, resolver=lambda a, b: f"{a}|{b}")
+        assert relation.diverged
+        assert original.content == "left|right"
+        assert laptop.content == "left|right"
+
+    def test_diverged_merge_without_resolver_keeps_both_texts(self):
+        original = FileCopy("f", "base", copy_name="desktop")
+        laptop = original.duplicate("laptop")
+        original.edit("left")
+        laptop.edit("right")
+        original.merge(laptop)
+        assert "left" in original.content
+        assert "right" in original.content
+        assert "<<<<<<<" in original.content
+
+    def test_merge_result_dominates_third_copy(self):
+        original = FileCopy("f", "base", copy_name="desktop")
+        laptop = original.duplicate("laptop")
+        usb = original.duplicate("usb")
+        original.edit("left")
+        laptop.edit("right")
+        original.merge(laptop, resolver=lambda a, b: a + b)
+        assert usb.compare(original).ordering is Ordering.BEFORE
+
+    def test_after_merge_future_edits_track_correctly(self):
+        original = FileCopy("f", "base", copy_name="desktop")
+        laptop = original.duplicate("laptop")
+        original.edit("v2")
+        laptop.merge(original)
+        laptop.edit("v3")
+        assert original.compare(laptop).ordering is Ordering.BEFORE

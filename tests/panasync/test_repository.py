@@ -1,0 +1,121 @@
+"""Unit tests for on-disk copy repositories (stamp sidecars)."""
+
+import pytest
+
+from repro.core.errors import ReplicationError
+from repro.core.order import Ordering
+from repro.panasync.repository import CopyRepository
+
+
+@pytest.fixture
+def repository(tmp_path):
+    return CopyRepository(tmp_path / "repo")
+
+
+class TestTracking:
+    def test_create_and_load(self, repository):
+        repository.create("notes.txt", "hello")
+        copy = repository.load("notes.txt")
+        assert copy.content == "hello"
+        assert copy.copy_name == "notes.txt"
+
+    def test_create_writes_file_and_sidecar(self, repository, tmp_path):
+        repository.create("notes.txt", "hello")
+        assert (repository.root / "notes.txt").read_text() == "hello"
+        assert (repository.root / "notes.txt.stamp.json").exists()
+
+    def test_tracked_copies(self, repository):
+        repository.create("b.txt", "b")
+        repository.create("a.txt", "a")
+        assert repository.tracked_copies() == ["a.txt", "b.txt"]
+
+    def test_duplicate_create_rejected(self, repository):
+        repository.create("a.txt")
+        with pytest.raises(ReplicationError):
+            repository.create("a.txt")
+
+    def test_load_untracked_rejected(self, repository):
+        with pytest.raises(ReplicationError):
+            repository.load("ghost.txt")
+
+    def test_edit_persists(self, repository):
+        repository.create("a.txt", "v1")
+        repository.edit("a.txt", "v2")
+        assert repository.load("a.txt").content == "v2"
+
+    def test_stamp_survives_reload(self, repository):
+        repository.create("a.txt", "v1")
+        repository.edit("a.txt", "v2")
+        first = repository.load("a.txt")
+        second = repository.load("a.txt")
+        assert first.stamp == second.stamp
+
+
+class TestDuplicationAcrossRepositories:
+    def test_duplicate_within_repository(self, repository):
+        repository.create("a.txt", "data")
+        repository.duplicate("a.txt", "a-copy.txt")
+        assert repository.load("a-copy.txt").content == "data"
+
+    def test_duplicate_to_other_repository(self, repository, tmp_path):
+        laptop = CopyRepository(tmp_path / "laptop")
+        repository.create("a.txt", "data")
+        repository.duplicate("a.txt", "a.txt", target_repository=laptop)
+        assert laptop.load("a.txt").content == "data"
+
+    def test_duplicate_to_existing_name_rejected(self, repository):
+        repository.create("a.txt")
+        repository.create("b.txt")
+        with pytest.raises(ReplicationError):
+            repository.duplicate("a.txt", "b.txt")
+
+    def test_source_stamp_updated_on_duplicate(self, repository):
+        repository.create("a.txt", "data")
+        before = repository.load("a.txt").stamp
+        repository.duplicate("a.txt", "copy.txt")
+        after = repository.load("a.txt").stamp
+        assert before != after  # the fork re-wrote the source identity
+
+
+class TestCompareAndMerge:
+    def test_compare_detects_outdated_copy(self, repository, tmp_path):
+        laptop = CopyRepository(tmp_path / "laptop")
+        repository.create("a.txt", "v1")
+        repository.duplicate("a.txt", "a.txt", target_repository=laptop)
+        repository.edit("a.txt", "v2")
+        relation = laptop.compare("a.txt", "a.txt", second_repository=repository)
+        assert relation.ordering is Ordering.BEFORE
+
+    def test_compare_detects_divergence(self, repository, tmp_path):
+        laptop = CopyRepository(tmp_path / "laptop")
+        repository.create("a.txt", "v1")
+        repository.duplicate("a.txt", "a.txt", target_repository=laptop)
+        repository.edit("a.txt", "desktop")
+        laptop.edit("a.txt", "laptop")
+        relation = repository.compare("a.txt", "a.txt", second_repository=laptop)
+        assert relation.diverged
+
+    def test_merge_synchronizes_content(self, repository, tmp_path):
+        laptop = CopyRepository(tmp_path / "laptop")
+        repository.create("a.txt", "v1")
+        repository.duplicate("a.txt", "a.txt", target_repository=laptop)
+        repository.edit("a.txt", "v2")
+        laptop.merge("a.txt", "a.txt", second_repository=repository)
+        assert laptop.load("a.txt").content == "v2"
+        relation = laptop.compare("a.txt", "a.txt", second_repository=repository)
+        assert relation.ordering is Ordering.EQUAL
+
+    def test_merge_with_resolver(self, repository, tmp_path):
+        laptop = CopyRepository(tmp_path / "laptop")
+        repository.create("a.txt", "base")
+        repository.duplicate("a.txt", "a.txt", target_repository=laptop)
+        repository.edit("a.txt", "left")
+        laptop.edit("a.txt", "right")
+        repository.merge(
+            "a.txt",
+            "a.txt",
+            second_repository=laptop,
+            resolver=lambda a, b: a + "+" + b,
+        )
+        assert repository.load("a.txt").content == "left+right"
+        assert laptop.load("a.txt").content == "left+right"

@@ -1,0 +1,89 @@
+"""Unit tests for the PANASYNC command façade."""
+
+import pytest
+
+from repro.core.order import Ordering
+from repro.panasync.tools import Panasync
+
+
+@pytest.fixture
+def panasync(tmp_path):
+    tool = Panasync()
+    tool.add_repository("desktop", tmp_path / "desktop")
+    tool.add_repository("laptop", tmp_path / "laptop")
+    return tool
+
+
+class TestRepositories:
+    def test_add_and_list(self, panasync):
+        assert panasync.repositories() == ["desktop", "laptop"]
+
+    def test_unknown_repository_rejected(self, panasync):
+        with pytest.raises(KeyError):
+            panasync.repository("usb")
+
+
+class TestWorkflow:
+    def test_full_panasync_workflow(self, panasync):
+        # Create a file on the desktop, carry a copy to the laptop.
+        panasync.create("desktop", "paper.tex", r"\documentclass{article}")
+        panasync.copy("desktop", "paper.tex", "laptop")
+
+        # Edit only the desktop copy: the laptop copy becomes outdated.
+        panasync.edit("desktop", "paper.tex", "v2")
+        relation = panasync.compare("laptop", "paper.tex", "desktop", "paper.tex")
+        assert relation.ordering is Ordering.BEFORE
+
+        # Merge: both copies hold the new content and are equivalent.
+        panasync.merge("laptop", "paper.tex", "desktop", "paper.tex")
+        relation = panasync.compare("laptop", "paper.tex", "desktop", "paper.tex")
+        assert relation.ordering is Ordering.EQUAL
+
+    def test_divergence_and_resolution(self, panasync):
+        panasync.create("desktop", "notes.md", "base")
+        panasync.copy("desktop", "notes.md", "laptop")
+        panasync.edit("desktop", "notes.md", "desktop edit")
+        panasync.edit("laptop", "notes.md", "laptop edit")
+
+        relation = panasync.compare("desktop", "notes.md", "laptop", "notes.md")
+        assert relation.diverged
+
+        merged = panasync.merge(
+            "desktop",
+            "notes.md",
+            "laptop",
+            "notes.md",
+            resolver=lambda a, b: a + "\n" + b,
+        )
+        assert merged.diverged
+        content = panasync.repository("desktop").load("notes.md").content
+        assert "desktop edit" in content and "laptop edit" in content
+
+    def test_copy_with_rename(self, panasync):
+        panasync.create("desktop", "a.txt", "data")
+        panasync.copy("desktop", "a.txt", "laptop", "a-backup.txt")
+        assert "a-backup.txt" in panasync.repository("laptop").tracked_copies()
+
+
+class TestStatus:
+    def test_status_lists_all_copies(self, panasync):
+        panasync.create("desktop", "a.txt", "data")
+        panasync.copy("desktop", "a.txt", "laptop")
+        lines = panasync.status()
+        assert len(lines) == 2
+        assert {line.repository for line in lines} == {"desktop", "laptop"}
+
+    def test_status_with_reference(self, panasync):
+        panasync.create("desktop", "a.txt", "data")
+        panasync.copy("desktop", "a.txt", "laptop")
+        panasync.edit("desktop", "a.txt", "v2")
+        lines = panasync.status(reference=("desktop", "a.txt"))
+        by_repo = {line.repository: line for line in lines}
+        assert by_repo["desktop"].relation_to_reference is None
+        assert by_repo["laptop"].relation_to_reference is Ordering.BEFORE
+
+    def test_status_line_render(self, panasync):
+        panasync.create("desktop", "a.txt", "data")
+        lines = panasync.status()
+        assert "desktop:a.txt" in lines[0].render()
+        assert "reference" in lines[0].render()

@@ -1,0 +1,71 @@
+"""Unit tests for conflict resolution policies."""
+
+import pytest
+
+from repro.replication.conflict import ConflictPolicy, KeepBoth, MergeWith, PreferNewest
+
+
+class TestKeepBoth:
+    def test_keeps_every_distinct_value(self):
+        assert KeepBoth().resolve(["left", "right"]) == ["left", "right"]
+
+    def test_deduplicates_equal_values(self):
+        assert KeepBoth().resolve(["same", "same", "other"]) == ["same", "other"]
+
+    def test_single_value_unchanged(self):
+        assert KeepBoth().resolve(["only"]) == ["only"]
+
+    def test_does_not_collapse(self):
+        assert not KeepBoth().collapses
+
+
+class TestMergeWith:
+    def test_merges_values(self):
+        policy = MergeWith(lambda values: "+".join(values))
+        assert policy.resolve(["left", "right"]) == ["left+right"]
+
+    def test_single_value_passthrough(self):
+        policy = MergeWith(lambda values: values[0])
+        assert policy.resolve(["only"]) == ["only"]
+
+    def test_collapses(self):
+        assert MergeWith(lambda values: values[0]).collapses
+
+    def test_merge_function_receives_all_values(self):
+        seen = []
+        policy = MergeWith(lambda values: seen.extend(values) or "merged")
+        policy.resolve([1, 2, 3])
+        assert seen == [1, 2, 3]
+
+
+class TestPreferNewest:
+    def test_picks_largest_value_by_default(self):
+        assert PreferNewest().resolve([3, 7, 5]) == [7]
+
+    def test_custom_key(self):
+        policy = PreferNewest(key=lambda value: value["ts"])
+        assert policy.resolve([{"ts": 9}, {"ts": 2}]) == [{"ts": 9}]
+
+    def test_tie_keeps_first(self):
+        assert PreferNewest(key=lambda value: 0).resolve(["a", "b"]) == ["a"]
+
+    def test_single_value_passthrough(self):
+        assert PreferNewest().resolve([4]) == [4]
+
+    def test_collapses(self):
+        assert PreferNewest().collapses
+
+
+class TestPolicyContract:
+    def test_base_policy_is_abstract(self):
+        with pytest.raises(NotImplementedError):
+            ConflictPolicy().resolve([1])
+
+    @pytest.mark.parametrize(
+        "policy",
+        [KeepBoth(), MergeWith(lambda values: values[0]), PreferNewest()],
+        ids=["keep-both", "merge-with", "prefer-newest"],
+    )
+    def test_never_returns_empty_for_nonempty_input(self, policy):
+        assert policy.resolve(["value"])
+        assert policy.resolve(["a", "b"])

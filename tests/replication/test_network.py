@@ -1,0 +1,140 @@
+"""Unit tests for the simulated network models."""
+
+import random
+
+import pytest
+
+from repro.core.errors import ReplicationError
+from repro.replication.network import (
+    FullyConnectedNetwork,
+    NodePosition,
+    PartitionSchedule,
+    PartitionedNetwork,
+    ProximityNetwork,
+    ScheduledNetwork,
+)
+
+
+class TestFullyConnected:
+    def test_everyone_talks_to_everyone(self):
+        network = FullyConnectedNetwork()
+        assert network.can_communicate("a", "b")
+        assert network.partitions(["a", "b", "c"]) == [{"a", "b", "c"}]
+
+
+class TestPartitionedNetwork:
+    def test_same_partition_communicates(self):
+        network = PartitionedNetwork([["a", "b"], ["c"]])
+        assert network.can_communicate("a", "b")
+        assert not network.can_communicate("a", "c")
+
+    def test_unlisted_nodes_share_default_partition(self):
+        network = PartitionedNetwork([["a", "b"]])
+        assert network.can_communicate("x", "y")
+        assert not network.can_communicate("a", "x")
+
+    def test_self_communication_always_allowed(self):
+        network = PartitionedNetwork([["a"], ["b"]])
+        assert network.can_communicate("a", "a")
+
+    def test_overlapping_partitions_rejected(self):
+        with pytest.raises(ReplicationError):
+            PartitionedNetwork([["a", "b"], ["b", "c"]])
+
+    def test_heal_restores_connectivity(self):
+        network = PartitionedNetwork([["a"], ["b"]])
+        network.heal()
+        assert network.can_communicate("a", "b")
+
+    def test_set_partitions_replaces(self):
+        network = PartitionedNetwork([["a"], ["b"]])
+        network.set_partitions([["a", "b"]])
+        assert network.can_communicate("a", "b")
+
+    def test_partitions_grouping(self):
+        network = PartitionedNetwork([["a", "b"], ["c", "d"]])
+        groups = network.partitions(["a", "b", "c", "d"])
+        assert {frozenset(group) for group in groups} == {
+            frozenset({"a", "b"}),
+            frozenset({"c", "d"}),
+        }
+
+    def test_partition_of(self):
+        network = PartitionedNetwork([["a", "b"]])
+        assert network.partition_of("a") == frozenset({"a", "b"})
+        assert network.partition_of("z") is None
+
+    def test_reachable_from(self):
+        network = PartitionedNetwork([["a", "b"], ["c"]])
+        assert network.reachable_from("a", ["b", "c"]) == {"b"}
+
+
+class TestScheduledNetwork:
+    def test_schedule_progression(self):
+        schedule = PartitionSchedule(
+            phases=[
+                (2, [["a"], ["b"]]),
+                (2, [["a", "b"]]),
+            ]
+        )
+        network = ScheduledNetwork(schedule)
+        assert not network.can_communicate("a", "b")
+        network.advance(2)
+        assert network.can_communicate("a", "b")
+
+    def test_schedule_stays_in_last_phase(self):
+        schedule = PartitionSchedule(phases=[(1, [["a"], ["b"]])])
+        network = ScheduledNetwork(schedule)
+        network.advance(10)
+        assert not network.can_communicate("a", "b")
+        assert network.time == 10
+
+    def test_partitions_at(self):
+        schedule = PartitionSchedule(phases=[(3, [["a"]]), (1, [["a", "b"]])])
+        assert schedule.partitions_at(0) == [["a"]]
+        assert schedule.partitions_at(3) == [["a", "b"]]
+        assert schedule.partitions_at(99) == [["a", "b"]]
+
+
+class TestProximityNetwork:
+    def test_nodes_in_range_communicate(self):
+        network = ProximityNetwork(arena=100, radio_range=10)
+        network.add_node("a", NodePosition(0, 0))
+        network.add_node("b", NodePosition(5, 0))
+        network.add_node("c", NodePosition(50, 50))
+        assert network.can_communicate("a", "b")
+        assert not network.can_communicate("a", "c")
+
+    def test_unknown_node_cannot_communicate(self):
+        network = ProximityNetwork()
+        network.add_node("a", NodePosition(0, 0))
+        assert not network.can_communicate("a", "ghost")
+
+    def test_position_of_unknown_node_raises(self):
+        with pytest.raises(ReplicationError):
+            ProximityNetwork().position_of("ghost")
+
+    def test_mobility_changes_connectivity(self):
+        network = ProximityNetwork(arena=100, radio_range=10)
+        network.add_node("a", NodePosition(0, 0, dx=0, dy=0))
+        network.add_node("b", NodePosition(30, 0, dx=-1, dy=0))
+        assert not network.can_communicate("a", "b")
+        network.advance(25)
+        assert network.can_communicate("a", "b")
+
+    def test_bounce_keeps_nodes_in_arena(self):
+        position = NodePosition(1, 1, dx=-5, dy=-5)
+        position.step(bounds=10)
+        assert 0 <= position.x <= 10
+        assert 0 <= position.y <= 10
+
+    def test_random_positions_seeded(self):
+        network = ProximityNetwork(rng=random.Random(7))
+        network.add_node("a")
+        assert 0 <= network.position_of("a").x <= 100
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ReplicationError):
+            ProximityNetwork(arena=-1)
+        with pytest.raises(ReplicationError):
+            ProximityNetwork(radio_range=0)

@@ -1,0 +1,143 @@
+"""Unit tests for mobile nodes and anti-entropy synchronization."""
+
+import random
+
+import pytest
+
+from repro.core.errors import ReplicationError
+from repro.replication.network import FullyConnectedNetwork, PartitionedNetwork
+from repro.replication.node import MobileNode
+from repro.replication.synchronizer import AntiEntropy
+
+
+def _population(network, count=4):
+    """Build ``count`` nodes forked from a single seed node."""
+    first = MobileNode.first("n0", network)
+    nodes = [first]
+    for index in range(1, count):
+        nodes.append(nodes[-1].spawn_peer(f"n{index}"))
+    return nodes
+
+
+class TestMobileNode:
+    def test_first_node_and_spawn(self):
+        network = FullyConnectedNetwork()
+        first = MobileNode.first("n0", network)
+        peer = first.spawn_peer("n1")
+        assert peer.node_id == "n1"
+        assert peer.store.keys() == first.store.keys()
+
+    def test_write_and_read(self):
+        node = MobileNode.first("n0", FullyConnectedNetwork())
+        node.write("k", "v")
+        assert node.read("k") == ["v"]
+
+    def test_sync_requires_connectivity(self):
+        network = PartitionedNetwork([["n0"], ["n1"]])
+        first = MobileNode.first("n0", network)
+        second = first.spawn_peer("n1")
+        with pytest.raises(ReplicationError):
+            first.sync_with(second)
+        assert first.sync_failures == 1
+
+    def test_try_sync_returns_none_when_partitioned(self):
+        network = PartitionedNetwork([["n0"], ["n1"]])
+        first = MobileNode.first("n0", network)
+        second = first.spawn_peer("n1")
+        assert first.try_sync_with(second) is None
+
+    def test_sync_propagates_writes(self):
+        network = FullyConnectedNetwork()
+        first = MobileNode.first("n0", network)
+        second = first.spawn_peer("n1")
+        first.write("k", "v")
+        first.sync_with(second)
+        assert second.read("k") == ["v"]
+
+    def test_can_reach(self):
+        network = PartitionedNetwork([["n0", "n1"], ["n2"]])
+        nodes = _population(network, 3)
+        assert nodes[0].can_reach(nodes[1])
+        assert not nodes[0].can_reach(nodes[2])
+
+    def test_repr(self):
+        assert "n0" in repr(MobileNode.first("n0", FullyConnectedNetwork()))
+
+
+class TestAntiEntropy:
+    def test_convergence_on_connected_network(self):
+        network = FullyConnectedNetwork()
+        nodes = _population(network, 5)
+        for index, node in enumerate(nodes):
+            node.write(f"key-{index}", index)
+        gossip = AntiEntropy(nodes, rng=random.Random(1))
+        rounds = gossip.rounds_to_convergence(max_rounds=20)
+        assert rounds is not None
+        assert gossip.converged()
+        for node in nodes:
+            assert len(node.store.keys()) == len(nodes)
+
+    def test_no_convergence_across_standing_partition(self):
+        network = PartitionedNetwork([["n0", "n1"], ["n2", "n3"]])
+        nodes = _population(network, 4)
+        nodes[0].write("left", 1)
+        nodes[2].write("right", 2)
+        gossip = AntiEntropy(nodes, rng=random.Random(1))
+        assert gossip.rounds_to_convergence(max_rounds=5) is None
+        # But each side converges internally.
+        assert nodes[1].read("left") == [1]
+        assert nodes[3].read("right") == [2]
+        assert nodes[0].read("right") == []
+
+    def test_convergence_after_partition_heals(self):
+        network = PartitionedNetwork([["n0", "n1"], ["n2", "n3"]])
+        nodes = _population(network, 4)
+        nodes[0].write("left", 1)
+        nodes[2].write("right", 2)
+        gossip = AntiEntropy(nodes, rng=random.Random(1))
+        gossip.run(5)
+        network.heal()
+        assert gossip.rounds_to_convergence(max_rounds=20) is not None
+        assert nodes[0].read("right") == [2]
+
+    def test_conflicts_detected_and_preserved(self):
+        network = PartitionedNetwork([["n0"], ["n1"]])
+        first = MobileNode.first("n0", network)
+        second = first.spawn_peer("n1")
+        first.write("k", "from-n0")
+        second.write("k", "from-n1")
+        network.heal()
+        gossip = AntiEntropy([first, second], rng=random.Random(1))
+        gossip.run(3)
+        assert gossip.total_conflicts() >= 1
+        assert sorted(first.read("k")) == ["from-n0", "from-n1"]
+
+    def test_round_reports_track_partition_skips(self):
+        network = PartitionedNetwork([["n0"], ["n1"]])
+        nodes = _population(network, 2)
+        gossip = AntiEntropy(nodes, rng=random.Random(1))
+        report = gossip.run_round()
+        assert report.skipped_partitioned == 2
+        assert report.exchanges == 0
+
+    def test_add_node_joins_gossip(self):
+        network = FullyConnectedNetwork()
+        nodes = _population(network, 2)
+        gossip = AntiEntropy(nodes, rng=random.Random(1))
+        newcomer = nodes[0].spawn_peer("n9")
+        gossip.add_node(newcomer)
+        nodes[0].write("k", 1)
+        gossip.run(5, advance_network=False)
+        assert newcomer.read("k") == [1]
+
+    def test_total_metadata_bits_positive(self):
+        nodes = _population(FullyConnectedNetwork(), 3)
+        gossip = AntiEntropy(nodes)
+        nodes[0].write("k", 1)
+        assert gossip.total_metadata_bits() > 0
+
+    def test_single_node_population_is_trivially_converged(self):
+        nodes = _population(FullyConnectedNetwork(), 1)
+        gossip = AntiEntropy(nodes)
+        gossip.run_round()
+        assert gossip.converged()

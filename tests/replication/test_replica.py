@@ -1,0 +1,155 @@
+"""Unit tests for single-item replicas."""
+
+import pytest
+
+from repro.core.order import Ordering
+from repro.replication.replica import Replica
+from repro.replication.tracker import DynamicVVTracker, ITCTracker, StampTracker
+from repro.vv.id_source import CentralIdSource, IdAllocationError
+
+
+class TestLocalOperation:
+    def test_initial_value(self):
+        replica = Replica("origin", value=0)
+        assert replica.value == 0
+        assert replica.writes == 0
+
+    def test_write_updates_value_and_metadata(self):
+        replica = Replica("origin", value=0)
+        replica.write(1)
+        assert replica.value == 1
+        assert replica.writes == 1
+
+    def test_auto_generated_names_are_unique(self):
+        assert Replica().name != Replica().name
+
+    def test_repr_mentions_name(self):
+        assert "origin" in repr(Replica("origin"))
+
+
+class TestForkAndCompare:
+    def test_fork_copies_value(self):
+        origin = Replica("origin", value={"k": 1})
+        clone = origin.fork("clone")
+        assert clone.value == {"k": 1}
+        assert clone.name == "clone"
+
+    def test_fresh_fork_is_equivalent(self):
+        origin = Replica("origin", value=0)
+        clone = origin.fork("clone")
+        assert origin.compare(clone) is Ordering.EQUAL
+
+    def test_local_write_dominates_clone(self):
+        origin = Replica("origin", value=0)
+        clone = origin.fork("clone")
+        origin.write(1)
+        assert origin.compare(clone) is Ordering.AFTER
+        assert not origin.conflicts_with(clone)
+
+    def test_divergent_writes_conflict(self):
+        origin = Replica("origin", value=0)
+        clone = origin.fork("clone")
+        origin.write(1)
+        clone.write(2)
+        assert origin.conflicts_with(clone)
+
+    def test_fork_with_dynamic_vv_fails_under_partition(self):
+        origin = Replica("origin", value=0, tracker=DynamicVVTracker(id_source=CentralIdSource()))
+        with pytest.raises(IdAllocationError):
+            origin.fork("clone", connected=False)
+
+    def test_fork_with_stamps_succeeds_under_partition(self):
+        origin = Replica("origin", value=0, tracker=StampTracker())
+        clone = origin.fork("clone", connected=False)
+        assert clone.compare(origin) is Ordering.EQUAL
+
+
+class TestSynchronization:
+    def test_sync_propagates_newer_value(self):
+        origin = Replica("origin", value=0)
+        clone = origin.fork("clone")
+        origin.write(7)
+        outcome = clone.sync_with(origin)
+        assert outcome.relation is Ordering.BEFORE
+        assert not outcome.conflict
+        assert clone.value == 7
+        assert origin.value == 7
+
+    def test_sync_of_equal_replicas_is_a_noop_on_values(self):
+        origin = Replica("origin", value=3)
+        clone = origin.fork("clone")
+        outcome = origin.sync_with(clone)
+        assert outcome.relation is Ordering.EQUAL
+        assert origin.value == clone.value == 3
+
+    def test_conflicting_sync_without_resolver_keeps_local(self):
+        origin = Replica("origin", value=0)
+        clone = origin.fork("clone")
+        origin.write(1)
+        clone.write(2)
+        outcome = origin.sync_with(clone)
+        assert outcome.conflict
+        assert origin.value == 1
+        assert clone.value == 1
+        assert origin.conflicts_seen == 1
+
+    def test_conflicting_sync_with_resolver(self):
+        origin = Replica("origin", value=1)
+        clone = origin.fork("clone")
+        origin.write(2)
+        clone.write(3)
+        outcome = origin.sync_with(clone, resolve=lambda mine, theirs: mine + theirs)
+        assert outcome.conflict
+        assert origin.value == 5
+        assert clone.value == 5
+
+    def test_after_sync_replicas_are_equivalent(self):
+        origin = Replica("origin", value=0)
+        clone = origin.fork("clone")
+        origin.write(1)
+        origin.sync_with(clone)
+        assert origin.compare(clone) is Ordering.EQUAL
+
+    def test_resolved_conflict_dominates_later_comparisons(self):
+        origin = Replica("origin", value=1)
+        clone = origin.fork("clone")
+        other = origin.fork("other")
+        origin.write(2)
+        clone.write(3)
+        origin.sync_with(clone, resolve=lambda mine, theirs: mine + theirs)
+        # The merged version must dominate a third replica that saw nothing.
+        assert origin.compare(other) is Ordering.AFTER
+
+    def test_sync_counts(self):
+        origin = Replica("origin", value=0)
+        clone = origin.fork("clone")
+        origin.sync_with(clone)
+        assert origin.syncs == 1
+        assert clone.syncs == 1
+
+    def test_absorb_retires_the_other_replica(self):
+        origin = Replica("origin", value=0)
+        bystander = origin.fork("bystander")
+        clone = origin.fork("clone")
+        clone.write(9)
+        origin.absorb(clone)
+        # The absorbed replica is retired; the surviving replica holds its
+        # value and dominates replicas that saw nothing.
+        assert origin.value == 9
+        assert origin.compare(bystander) is Ordering.AFTER
+
+    def test_metadata_size_positive(self):
+        assert Replica("origin").metadata_size_in_bits() > 0
+
+    @pytest.mark.parametrize(
+        "tracker_factory",
+        [StampTracker, ITCTracker],
+        ids=["stamps", "itc"],
+    )
+    def test_sync_works_with_every_tracker(self, tracker_factory):
+        origin = Replica("origin", value=0, tracker=tracker_factory())
+        clone = origin.fork("clone")
+        origin.write(1)
+        outcome = clone.sync_with(origin)
+        assert outcome.value == 1
+        assert origin.compare(clone) is Ordering.EQUAL

@@ -1,0 +1,53 @@
+"""Tests for the exhaustive model checker (bounded verification of Prop. 5.1)."""
+
+import pytest
+
+from repro.sim.exhaustive import ExhaustiveReport, explore
+
+
+class TestExplore:
+    def test_depth_three_universe_is_clean(self):
+        report = explore(3, max_frontier=3, check_subsets=True)
+        assert report.ok
+        assert report.invariant_violations == 0
+        assert report.pairwise_disagreements == 0
+        assert report.subset_disagreements == 0
+        assert report.configurations_checked > 10
+
+    def test_depth_four_pairwise_only(self):
+        report = explore(4, max_frontier=3, check_subsets=False)
+        assert report.ok
+        assert report.executions_completed > 0
+
+    def test_report_str(self):
+        report = explore(2, max_frontier=2)
+        assert "OK" in str(report)
+        assert "configurations" in str(report)
+
+    def test_zero_depth(self):
+        report = explore(0)
+        assert report.configurations_checked == 1
+        assert report.ok
+
+    def test_configuration_count_grows_with_depth(self):
+        shallow = explore(2, max_frontier=3, check_subsets=False)
+        deep = explore(3, max_frontier=3, check_subsets=False)
+        assert deep.configurations_checked > shallow.configurations_checked
+
+    def test_frontier_cap_limits_growth(self):
+        wide = explore(3, max_frontier=4, check_subsets=False)
+        narrow = explore(3, max_frontier=2, check_subsets=False)
+        assert narrow.configurations_checked < wide.configurations_checked
+
+
+class TestReport:
+    def test_ok_requires_all_zero(self):
+        report = ExhaustiveReport()
+        assert report.ok
+        report.pairwise_disagreements = 1
+        assert not report.ok
+
+    def test_violations_reported_in_str(self):
+        report = ExhaustiveReport(max_operations=2)
+        report.invariant_violations = 3
+        assert "VIOLATIONS" in str(report)

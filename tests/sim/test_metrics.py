@@ -1,0 +1,79 @@
+"""Unit tests for the metrics helpers used by the benchmarks."""
+
+import pytest
+
+from repro.core.names import Name
+from repro.core.reduction import reduce_stamp_pair
+from repro.sim.metrics import ReductionAccumulator, Summary, SweepTable, summarize
+
+
+class TestSummarize:
+    def test_basic_statistics(self):
+        summary = summarize([1, 2, 3, 4])
+        assert summary.count == 4
+        assert summary.mean == 2.5
+        assert summary.minimum == 1
+        assert summary.maximum == 4
+        assert summary.stdev > 0
+
+    def test_single_value(self):
+        summary = summarize([7])
+        assert summary.stdev == 0.0
+        assert summary.mean == 7
+
+    def test_empty_sample(self):
+        summary = summarize([])
+        assert summary == Summary(0, 0.0, 0.0, 0.0, 0.0)
+
+    def test_str(self):
+        assert "mean=" in str(summarize([1, 2]))
+
+
+class TestReductionAccumulator:
+    def test_accumulates_join_statistics(self):
+        accumulator = ReductionAccumulator()
+        _u, _i, reduced = reduce_stamp_pair(Name.of("1"), Name.of("00", "01", "1"))
+        _u, _i, not_reduced = reduce_stamp_pair(Name.of("0"), Name.of("0", "11"))
+        accumulator.record(reduced)
+        accumulator.record(not_reduced)
+        assert accumulator.joins == 2
+        assert accumulator.joins_reduced == 1
+        assert accumulator.reduction_rate == 0.5
+        assert accumulator.mean_steps == 1.0
+        assert 0 < accumulator.bits_saved_fraction < 1
+
+    def test_empty_accumulator(self):
+        accumulator = ReductionAccumulator()
+        assert accumulator.reduction_rate == 0.0
+        assert accumulator.mean_steps == 0.0
+        assert accumulator.bits_saved_fraction == 0.0
+
+
+class TestSweepTable:
+    def test_add_rows_and_render(self):
+        table = SweepTable(["x", "y"])
+        table.add_row(x=1, y=2.5)
+        table.add_row(x=10, y=0.125)
+        text = table.render(title="sweep")
+        assert "sweep" in text
+        assert "x" in text and "y" in text
+        assert "2.500" in text
+        assert "10" in text
+
+    def test_unknown_column_rejected(self):
+        table = SweepTable(["x"])
+        with pytest.raises(KeyError):
+            table.add_row(z=1)
+
+    def test_column_extraction(self):
+        table = SweepTable(["x", "y"])
+        table.add_row(x=1, y=2)
+        table.add_row(x=3)
+        assert table.column("x") == [1, 3]
+        assert table.column("y") == [2, None]
+        with pytest.raises(KeyError):
+            table.column("z")
+
+    def test_render_empty_table(self):
+        table = SweepTable(["only"])
+        assert "only" in table.render()

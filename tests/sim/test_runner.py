@@ -1,0 +1,176 @@
+"""Unit tests for the lockstep runner and its mechanism adapters."""
+
+import pytest
+
+from repro.core.order import Ordering
+from repro.sim.runner import (
+    AgreementReport,
+    CausalAdapter,
+    DynamicVVAdapter,
+    ITCAdapter,
+    LockstepRunner,
+    PlausibleAdapter,
+    SizeSample,
+    StampAdapter,
+    default_adapters,
+)
+from repro.sim.trace import Operation, Trace
+from repro.sim.workload import fixed_replica_trace, random_dynamic_trace
+
+
+FIGURE2_TRACE = Trace(
+    seed="a1",
+    operations=(
+        Operation.update("a1", "a2"),
+        Operation.fork("a2", "b1", "c1"),
+        Operation.update("c1", "c2"),
+        Operation.fork("b1", "d1", "e1"),
+        Operation.update("c2", "c3"),
+        Operation.join("e1", "c3", "f1"),
+        Operation.join("d1", "f1", "g1"),
+    ),
+    name="figure-2",
+)
+
+ADAPTER_FACTORIES = [
+    pytest.param(lambda: StampAdapter(reducing=True), id="stamps-reducing"),
+    pytest.param(lambda: StampAdapter(reducing=False), id="stamps-nonreducing"),
+    pytest.param(lambda: DynamicVVAdapter(), id="dynamic-vv"),
+    pytest.param(lambda: ITCAdapter(), id="itc"),
+    pytest.param(lambda: CausalAdapter(), id="causal"),
+]
+
+
+@pytest.mark.parametrize("factory", ADAPTER_FACTORIES)
+class TestAdapterContract:
+    def test_replays_figure2_and_tracks_frontier(self, factory):
+        adapter = factory()
+        adapter.start(FIGURE2_TRACE.seed)
+        for operation in FIGURE2_TRACE.operations:
+            adapter.apply(operation)
+        assert set(adapter.labels()) == {"g1"}
+
+    def test_compare_after_divergence(self, factory):
+        adapter = factory()
+        adapter.start("a")
+        adapter.apply(Operation.fork("a", "b", "c"))
+        adapter.apply(Operation.update("b", "b2"))
+        assert adapter.compare("b2", "c") is Ordering.AFTER
+        assert adapter.compare("c", "b2") is Ordering.BEFORE
+
+    def test_size_is_non_negative(self, factory):
+        adapter = factory()
+        adapter.start("a")
+        assert adapter.size_in_bits("a") >= 0
+
+    def test_invariant_self_check_passes(self, factory):
+        adapter = factory()
+        adapter.start("a")
+        adapter.apply(Operation.fork("a", "b", "c"))
+        assert adapter.check_invariants()
+
+
+class TestAgreementReport:
+    def test_record_agreement(self):
+        report = AgreementReport("m")
+        report.record(Ordering.EQUAL, Ordering.EQUAL)
+        assert report.agreements == 1
+        assert report.agreement_rate == 1.0
+
+    def test_record_missed_and_false_conflicts(self):
+        report = AgreementReport("m")
+        report.record(Ordering.CONCURRENT, Ordering.BEFORE)
+        report.record(Ordering.AFTER, Ordering.CONCURRENT)
+        report.record(Ordering.AFTER, Ordering.BEFORE)
+        assert report.missed_conflicts == 1
+        assert report.false_conflicts == 1
+        assert report.other_disagreements == 1
+        assert report.agreement_rate == 0.0
+
+    def test_empty_report_rate_is_one(self):
+        assert AgreementReport("m").agreement_rate == 1.0
+
+    def test_str(self):
+        report = AgreementReport("m")
+        report.record(Ordering.EQUAL, Ordering.EQUAL)
+        assert "m:" in str(report)
+
+
+class TestSizeSample:
+    def test_records_means_and_peaks(self):
+        sample = SizeSample("m")
+        sample.record([2, 4])
+        sample.record([10, 20, 30])
+        assert sample.per_step_mean_bits == [3.0, 20.0]
+        assert sample.peak_bits == 30
+        assert sample.final_mean_bits == 20.0
+        assert sample.overall_mean_bits == pytest.approx(11.5)
+
+    def test_empty_sample(self):
+        sample = SizeSample("m")
+        assert sample.final_mean_bits == 0.0
+        assert sample.peak_bits == 0
+
+    def test_ignores_empty_measurements(self):
+        sample = SizeSample("m")
+        sample.record([])
+        assert sample.per_step_mean_bits == []
+
+
+class TestLockstepRunner:
+    def test_default_adapters(self):
+        names = {adapter.name for adapter in default_adapters()}
+        assert "version-stamps" in names
+        assert "version-stamps-nonreducing" in names
+        assert "dynamic-version-vectors" in names
+        assert "interval-tree-clocks" in names
+
+    def test_plausible_adapter_optional(self):
+        names = {adapter.name for adapter in default_adapters(include_plausible=True)}
+        assert any(name.startswith("plausible") for name in names)
+
+    def test_figure2_full_agreement(self):
+        runner = LockstepRunner()
+        reports, _sizes = runner.run(FIGURE2_TRACE)
+        for report in reports.values():
+            assert report.agreement_rate == 1.0
+            assert report.invariant_failures == 0
+
+    def test_random_trace_full_agreement_for_exact_mechanisms(self):
+        trace = random_dynamic_trace(60, seed=11, max_frontier=8)
+        runner = LockstepRunner()
+        reports, _sizes = runner.run(trace)
+        for report in reports.values():
+            assert report.agreement_rate == 1.0
+
+    def test_plausible_clocks_miss_conflicts_on_wide_frontiers(self):
+        trace = fixed_replica_trace(8, 120, seed=13)
+        runner = LockstepRunner([PlausibleAdapter(entries=2)])
+        reports, _sizes = runner.run(trace)
+        report = next(iter(reports.values()))
+        assert report.missed_conflicts > 0
+        assert report.false_conflicts == 0
+
+    def test_sizes_are_collected_for_every_mechanism(self):
+        trace = random_dynamic_trace(30, seed=7)
+        runner = LockstepRunner()
+        _reports, sizes = runner.run(trace)
+        assert "causal-history" in sizes
+        for sample in sizes.values():
+            assert sample.final_mean_bits > 0
+
+    def test_compare_only_at_end(self):
+        trace = random_dynamic_trace(30, seed=9)
+        runner = LockstepRunner(compare_every_step=False)
+        reports, sizes = runner.run(trace)
+        for report in reports.values():
+            assert report.agreement_rate == 1.0
+        # Only one measurement point recorded.
+        for sample in sizes.values():
+            assert len(sample.per_step_mean_bits) == 1
+
+    def test_empty_trace(self):
+        trace = Trace(seed="a", operations=())
+        reports, sizes = LockstepRunner().run(trace)
+        for report in reports.values():
+            assert report.comparisons == 0

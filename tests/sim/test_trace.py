@@ -1,0 +1,143 @@
+"""Unit tests for the trace language."""
+
+import pytest
+
+from repro.core.errors import SimulationError
+from repro.sim.trace import OpKind, Operation, Trace, validate_trace
+
+
+class TestOperation:
+    def test_update_constructor(self):
+        operation = Operation.update("a", "a2")
+        assert operation.kind == OpKind.UPDATE
+        assert operation.consumed() == ("a",)
+        assert operation.results == ("a2",)
+
+    def test_fork_constructor(self):
+        operation = Operation.fork("a", "b", "c")
+        assert operation.kind == OpKind.FORK
+        assert operation.results == ("b", "c")
+
+    def test_join_constructor(self):
+        operation = Operation.join("a", "b", "ab")
+        assert operation.consumed() == ("a", "b")
+
+    def test_sync_constructor(self):
+        operation = Operation.sync("a", "b", "a2", "b2")
+        assert operation.kind == OpKind.SYNC
+        assert operation.results == ("a2", "b2")
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(SimulationError):
+            Operation("teleport", "a", None, ("b",))
+
+    def test_wrong_result_count_rejected(self):
+        with pytest.raises(SimulationError):
+            Operation(OpKind.FORK, "a", None, ("b",))
+        with pytest.raises(SimulationError):
+            Operation(OpKind.UPDATE, "a", None, ("b", "c"))
+
+    def test_join_requires_second_element(self):
+        with pytest.raises(SimulationError):
+            Operation(OpKind.JOIN, "a", None, ("b",))
+
+    def test_update_rejects_second_element(self):
+        with pytest.raises(SimulationError):
+            Operation(OpKind.UPDATE, "a", "b", ("c",))
+
+    def test_str(self):
+        assert str(Operation.join("a", "b", "c")) == "join(a, b) -> c"
+        assert str(Operation.update("a", "a2")) == "update(a) -> a2"
+
+
+class TestTrace:
+    def _simple_trace(self):
+        return Trace(
+            seed="a",
+            operations=(
+                Operation.update("a", "a2"),
+                Operation.fork("a2", "b", "c"),
+                Operation.update("b", "b2"),
+                Operation.join("b2", "c", "d"),
+            ),
+            name="simple",
+        )
+
+    def test_counts(self):
+        trace = self._simple_trace()
+        assert len(trace) == 4
+        assert trace.update_count() == 2
+        assert trace.fork_count() == 1
+        assert trace.join_count() == 1
+
+    def test_sync_counts_as_fork_and_join(self):
+        trace = Trace(
+            seed="a",
+            operations=(
+                Operation.fork("a", "b", "c"),
+                Operation.sync("b", "c", "b2", "c2"),
+            ),
+        )
+        assert trace.fork_count() == 2
+        assert trace.join_count() == 1
+
+    def test_final_frontier(self):
+        assert self._simple_trace().final_frontier() == {"d"}
+
+    def test_max_frontier_width(self):
+        assert self._simple_trace().max_frontier_width() == 2
+
+    def test_iteration(self):
+        assert [op.kind for op in self._simple_trace()] == [
+            OpKind.UPDATE,
+            OpKind.FORK,
+            OpKind.UPDATE,
+            OpKind.JOIN,
+        ]
+
+    def test_describe_mentions_operations(self):
+        description = self._simple_trace().describe()
+        assert "simple" in description
+        assert "fork(a2)" in description
+
+
+class TestValidation:
+    def test_dead_element_rejected(self):
+        with pytest.raises(SimulationError):
+            Trace(
+                seed="a",
+                operations=(
+                    Operation.update("a", "a2"),
+                    Operation.update("a", "a3"),  # 'a' no longer alive
+                ),
+            )
+
+    def test_unknown_element_rejected(self):
+        with pytest.raises(SimulationError):
+            Trace(seed="a", operations=(Operation.update("ghost", "g2"),))
+
+    def test_reused_label_rejected(self):
+        with pytest.raises(SimulationError):
+            Trace(
+                seed="a",
+                operations=(
+                    Operation.fork("a", "b", "c"),
+                    Operation.update("b", "c"),  # 'c' already alive
+                ),
+            )
+
+    def test_label_can_be_recycled_by_its_own_operation(self):
+        trace = Trace(
+            seed="a",
+            operations=(
+                Operation.fork("a", "b", "c"),
+                Operation.sync("b", "c", "b", "c"),
+                Operation.update("b", "b"),
+            ),
+        )
+        assert trace.final_frontier() == {"b", "c"}
+
+    def test_empty_trace_is_valid(self):
+        trace = Trace(seed="a", operations=())
+        validate_trace(trace)
+        assert trace.final_frontier() == {"a"}

@@ -1,0 +1,125 @@
+"""Unit tests for the workload generators."""
+
+import pytest
+
+from repro.core.errors import SimulationError
+from repro.sim.trace import OpKind, validate_trace
+from repro.sim.workload import (
+    churn_trace,
+    fixed_replica_trace,
+    partitioned_trace,
+    random_dynamic_trace,
+)
+
+
+class TestRandomDynamicTrace:
+    def test_produces_requested_operation_count(self):
+        assert len(random_dynamic_trace(40, seed=1)) == 40
+
+    def test_deterministic_for_same_seed(self):
+        assert random_dynamic_trace(30, seed=5) == random_dynamic_trace(30, seed=5)
+
+    def test_different_seeds_differ(self):
+        assert random_dynamic_trace(30, seed=1) != random_dynamic_trace(30, seed=2)
+
+    def test_respects_max_frontier(self):
+        trace = random_dynamic_trace(200, seed=3, max_frontier=4)
+        assert trace.max_frontier_width() <= 4
+
+    def test_all_traces_are_valid(self):
+        for seed in range(10):
+            validate_trace(random_dynamic_trace(50, seed=seed))
+
+    def test_pure_update_workload(self):
+        trace = random_dynamic_trace(20, seed=1, fork_weight=0, join_weight=0)
+        assert trace.update_count() == 20
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(SimulationError):
+            random_dynamic_trace(-1)
+        with pytest.raises(SimulationError):
+            random_dynamic_trace(10, update_weight=0, fork_weight=0, join_weight=0)
+        with pytest.raises(SimulationError):
+            random_dynamic_trace(10, max_frontier=0)
+        with pytest.raises(SimulationError):
+            random_dynamic_trace(10, update_weight=-1)
+
+    def test_name_defaults_to_parameters(self):
+        assert "seed=7" in random_dynamic_trace(5, seed=7).name
+
+
+class TestFixedReplicaTrace:
+    def test_builds_requested_replica_count(self):
+        trace = fixed_replica_trace(5, 0, seed=1)
+        assert len(trace.final_frontier()) == 5
+
+    def test_keeps_replica_count_constant(self):
+        trace = fixed_replica_trace(4, 50, seed=2)
+        assert len(trace.final_frontier()) == 4
+        assert trace.max_frontier_width() == 4
+
+    def test_contains_updates_and_syncs(self):
+        trace = fixed_replica_trace(3, 60, seed=3, update_probability=0.5)
+        kinds = {operation.kind for operation in trace}
+        assert OpKind.UPDATE in kinds
+        assert OpKind.SYNC in kinds
+
+    def test_single_replica_only_updates(self):
+        trace = fixed_replica_trace(1, 10, seed=1)
+        assert trace.update_count() == 10
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(SimulationError):
+            fixed_replica_trace(0, 10)
+        with pytest.raises(SimulationError):
+            fixed_replica_trace(3, 10, update_probability=2.0)
+
+    def test_valid_trace(self):
+        validate_trace(fixed_replica_trace(6, 80, seed=9))
+
+
+class TestPartitionedTrace:
+    def test_valid_trace(self):
+        validate_trace(partitioned_trace(seed=1))
+
+    def test_heals_to_small_final_frontier(self):
+        trace = partitioned_trace(
+            initial_replicas=4, partitions=2, phases=2, operations_per_phase=10, seed=4
+        )
+        # After healing, partitions collapse to representatives which are
+        # synchronized pairwise: the final frontier has exactly 2 elements.
+        assert len(trace.final_frontier()) == 2
+
+    def test_contains_in_partition_replica_creation(self):
+        trace = partitioned_trace(creation_probability=0.9, seed=5)
+        assert trace.fork_count() > 3
+
+    def test_deterministic(self):
+        assert partitioned_trace(seed=6) == partitioned_trace(seed=6)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(SimulationError):
+            partitioned_trace(partitions=0)
+        with pytest.raises(SimulationError):
+            partitioned_trace(initial_replicas=1, partitions=2)
+
+
+class TestChurnTrace:
+    def test_valid_trace(self):
+        validate_trace(churn_trace(100, seed=1))
+
+    def test_oscillates_around_target(self):
+        trace = churn_trace(200, seed=2, target_frontier=6)
+        assert trace.max_frontier_width() <= 6 + 2
+
+    def test_mixes_forks_and_joins(self):
+        trace = churn_trace(100, seed=3)
+        assert trace.fork_count() > 10
+        assert trace.join_count() > 5
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(SimulationError):
+            churn_trace(10, target_frontier=0)
+
+    def test_deterministic(self):
+        assert churn_trace(50, seed=4) == churn_trace(50, seed=4)

@@ -1,0 +1,135 @@
+"""Unit tests for the dynamic version-vector baseline."""
+
+import pytest
+
+from repro.core.errors import ReplicationError
+from repro.core.order import Ordering
+from repro.vv.dynamic_vv import DynamicVVElement, DynamicVVSystem
+from repro.vv.id_source import CentralIdSource, IdAllocationError, PreassignedIdSource
+from repro.vv.version_vector import VersionVector
+
+
+class TestDynamicVVElement:
+    def test_update_increments_own_entry(self):
+        element = DynamicVVElement("r0", VersionVector())
+        assert element.update().vector.get("r0") == 1
+
+    def test_merge_from(self):
+        left = DynamicVVElement("r0", VersionVector({"r0": 1}))
+        right = DynamicVVElement("r1", VersionVector({"r1": 2}))
+        merged = left.merge_from(right)
+        assert merged.replica_id == "r0"
+        assert merged.vector.counters == {"r0": 1, "r1": 2}
+
+    def test_compare(self):
+        left = DynamicVVElement("r0", VersionVector({"r0": 1}))
+        right = DynamicVVElement("r1", VersionVector({"r1": 1}))
+        assert left.compare(right) is Ordering.CONCURRENT
+
+    def test_size_model_includes_own_id(self):
+        element = DynamicVVElement("r0", VersionVector({"r0": 1}))
+        assert element.size_in_bits(id_bits=10, counter_bits=10) == 10 + 20
+
+
+class TestDynamicVVSystem:
+    def test_initial_system(self):
+        system = DynamicVVSystem.initial("a")
+        assert system.labels() == ["a"]
+        assert "a" in system
+
+    def test_update_and_compare(self):
+        system = DynamicVVSystem.initial("a")
+        system.fork("a", "a", "b")
+        system.update("a", "a")
+        assert system.compare("a", "b") is Ordering.AFTER
+
+    def test_fork_allocates_new_identifier(self):
+        system = DynamicVVSystem.initial("a")
+        system.fork("a", "a", "b")
+        assert system.element("a").replica_id != system.element("b").replica_id
+
+    def test_fork_fails_when_partitioned(self):
+        system = DynamicVVSystem.initial("a")
+        with pytest.raises(IdAllocationError):
+            system.fork("a", "a", "b", connected=False)
+        assert system.failed_forks == 1
+        # The original element is untouched by the failed fork.
+        assert system.labels() == ["a"]
+
+    def test_join_retires_one_identifier(self):
+        system = DynamicVVSystem.initial("a")
+        system.fork("a", "a", "b")
+        retired_id = system.element("b").replica_id
+        system.join("a", "b", "ab")
+        assert retired_id in system.retired_ids
+        assert system.labels() == ["ab"]
+
+    def test_join_merges_knowledge(self):
+        system = DynamicVVSystem.initial("a")
+        system.fork("a", "a", "b")
+        system.update("a", "a")
+        system.update("b", "b")
+        system.join("a", "b", "ab")
+        assert system.element("ab").vector.total_updates() == 2
+
+    def test_sync_keeps_both_identities(self):
+        system = DynamicVVSystem.initial("a")
+        system.fork("a", "a", "b")
+        system.update("a", "a")
+        system.sync("a", "b")
+        assert system.compare("a", "b") is Ordering.EQUAL
+        assert len(system.labels()) == 2
+
+    def test_self_join_rejected(self):
+        system = DynamicVVSystem.initial("a")
+        with pytest.raises(ReplicationError):
+            system.join("a", "a")
+
+    def test_unknown_element_rejected(self):
+        system = DynamicVVSystem.initial("a")
+        with pytest.raises(ReplicationError):
+            system.update("zzz")
+
+    def test_identifier_count_grows_with_forks(self):
+        system = DynamicVVSystem.initial("a")
+        system.fork("a", "a", "b")
+        system.update("b", "b")
+        system.fork("b", "b", "c")
+        system.update("c", "c")
+        assert system.identifier_count() >= 3
+
+    def test_identifiers_linger_after_retirement_without_pruning(self):
+        system = DynamicVVSystem.initial("a")
+        system.fork("a", "a", "b")
+        system.update("b", "b")
+        system.join("a", "b", "ab")
+        # The retired replica's counter stays in the vector.
+        assert len(system.element("ab").vector.counters) == 1
+
+    def test_pruning_removes_settled_retired_entries(self):
+        system = DynamicVVSystem.initial("a", prune_on_join=True)
+        system.fork("a", "a", "b")
+        system.update("b", "b")
+        system.join("a", "b", "ab")
+        # Only one live replica, so the retired entry can be dropped.
+        assert system.element("ab").vector.counters == {}
+
+    def test_preassigned_pool_limits_replica_creation(self):
+        system = DynamicVVSystem.initial("a", id_source=PreassignedIdSource(["r0", "r1"]))
+        system.fork("a", "a", "b")
+        with pytest.raises(IdAllocationError):
+            system.fork("b", "b", "c")
+
+    def test_ordering_matrix(self):
+        system = DynamicVVSystem.initial("a")
+        system.fork("a", "a", "b")
+        system.update("a", "a")
+        matrix = system.ordering_matrix()
+        assert matrix[("a", "b")] is Ordering.AFTER
+
+    def test_total_size_grows_with_replicas(self):
+        system = DynamicVVSystem.initial("a")
+        before = system.total_size_in_bits()
+        system.fork("a", "a", "b")
+        system.update("b", "b")
+        assert system.total_size_in_bits() > before

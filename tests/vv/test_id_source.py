@@ -1,0 +1,85 @@
+"""Unit tests for replica identifier allocation strategies."""
+
+import random
+
+import pytest
+
+from repro.vv.id_source import (
+    CentralIdSource,
+    IdAllocationError,
+    PreassignedIdSource,
+    RandomIdSource,
+)
+
+
+class TestCentralIdSource:
+    def test_allocates_sequential_ids(self):
+        source = CentralIdSource()
+        assert source.allocate() == "r0"
+        assert source.allocate() == "r1"
+
+    def test_refuses_when_disconnected(self):
+        source = CentralIdSource()
+        with pytest.raises(IdAllocationError):
+            source.allocate(connected=False)
+        assert source.refused == 1
+
+    def test_requires_connectivity_flag(self):
+        assert CentralIdSource().requires_connectivity
+
+    def test_release_is_noop(self):
+        source = CentralIdSource()
+        identifier = source.allocate()
+        source.release(identifier)
+        assert source.allocate() != identifier
+
+
+class TestRandomIdSource:
+    def test_allocates_fixed_width_ids(self):
+        source = RandomIdSource(bits=16, rng=random.Random(1))
+        identifier = source.allocate()
+        assert identifier.startswith("x")
+        assert len(identifier) == 1 + 4  # 16 bits = 4 hex digits
+
+    def test_does_not_require_connectivity(self):
+        source = RandomIdSource(bits=16)
+        assert not source.requires_connectivity
+        assert source.allocate(connected=False)
+
+    def test_collisions_are_counted(self):
+        # A 1-bit identifier space collides almost immediately.
+        source = RandomIdSource(bits=1, rng=random.Random(0))
+        for _ in range(10):
+            source.allocate()
+        assert source.collisions > 0
+
+    def test_rejects_non_positive_width(self):
+        with pytest.raises(ValueError):
+            RandomIdSource(bits=0)
+
+    def test_bits_property(self):
+        assert RandomIdSource(bits=8).bits == 8
+
+
+class TestPreassignedIdSource:
+    def test_hands_out_pool_in_order(self):
+        source = PreassignedIdSource(["a", "b"])
+        assert source.allocate() == "a"
+        assert source.allocate() == "b"
+
+    def test_exhaustion_fails(self):
+        source = PreassignedIdSource(["a"])
+        source.allocate()
+        with pytest.raises(IdAllocationError):
+            source.allocate()
+
+    def test_release_returns_to_pool(self):
+        source = PreassignedIdSource(["a"])
+        identifier = source.allocate()
+        source.release(identifier)
+        assert source.remaining == 1
+        assert source.allocate() == "a"
+
+    def test_duplicate_pool_rejected(self):
+        with pytest.raises(ValueError):
+            PreassignedIdSource(["a", "a"])

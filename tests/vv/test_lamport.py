@@ -1,0 +1,61 @@
+"""Unit tests for scalar Lamport clocks (the simplest baseline)."""
+
+import pytest
+
+from repro.core.errors import ReplicationError
+from repro.core.order import Ordering
+from repro.vv.lamport import LamportClock, LamportProcess
+
+
+class TestLamportClock:
+    def test_tick_increments(self):
+        assert LamportClock(0, "p").tick().counter == 1
+
+    def test_merge_takes_max_then_ticks(self):
+        mine = LamportClock(3, "p")
+        theirs = LamportClock(7, "q")
+        assert mine.merge(theirs).counter == 8
+        assert mine.merge(theirs).process == "p"
+
+    def test_consistent_with_causality(self):
+        sender = LamportClock(0, "p").tick()
+        receiver = LamportClock(0, "q").merge(sender)
+        assert sender.happened_before_or_equal(receiver)
+        assert sender.counter < receiver.counter
+
+    def test_compare_never_reports_concurrency(self):
+        left = LamportClock(5, "p")
+        right = LamportClock(5, "q")
+        assert left.compare(right) in (Ordering.BEFORE, Ordering.AFTER)
+
+    def test_compare_equal_only_for_same_process_and_counter(self):
+        assert LamportClock(5, "p").compare(LamportClock(5, "p")) is Ordering.EQUAL
+
+    def test_total_order_key(self):
+        assert LamportClock(2, "a").total_order_key() < LamportClock(2, "b").total_order_key()
+        assert LamportClock(1, "z").total_order_key() < LamportClock(2, "a").total_order_key()
+
+    def test_size_is_constant(self):
+        assert LamportClock(1, "p").size_in_bits() == LamportClock(999, "p").size_in_bits()
+
+
+class TestLamportProcess:
+    def test_requires_identifier(self):
+        with pytest.raises(ReplicationError):
+            LamportProcess("")
+
+    def test_local_and_send_events(self):
+        process = LamportProcess("p")
+        process.local_event()
+        stamp = process.send_event()
+        assert stamp.counter == 2
+
+    def test_receive_event(self):
+        sender = LamportProcess("p")
+        receiver = LamportProcess("q")
+        message = sender.send_event()
+        receiver.receive_event(message)
+        assert receiver.clock.counter > message.counter
+
+    def test_repr(self):
+        assert "p" in repr(LamportProcess("p"))

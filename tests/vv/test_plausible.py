@@ -1,0 +1,72 @@
+"""Unit tests for plausible clocks (the constant-size baseline)."""
+
+import pytest
+
+from repro.core.errors import ReplicationError
+from repro.core.order import Ordering
+from repro.vv.plausible import PlausibleClock
+
+
+class TestConstruction:
+    def test_defaults_to_zero_counters(self):
+        clock = PlausibleClock(4, "a")
+        assert clock.counters == (0, 0, 0, 0)
+
+    def test_rejects_zero_entries(self):
+        with pytest.raises(ReplicationError):
+            PlausibleClock(0, "a")
+
+    def test_rejects_wrong_counter_length(self):
+        with pytest.raises(ReplicationError):
+            PlausibleClock(2, "a", (1,))
+
+    def test_slot_is_deterministic(self):
+        assert PlausibleClock(4, "a").slot == PlausibleClock(4, "a").slot
+
+    def test_immutable(self):
+        clock = PlausibleClock(2, "a")
+        with pytest.raises(AttributeError):
+            clock.counters = (1, 1)
+
+
+class TestSemantics:
+    def test_update_increments_own_slot(self):
+        clock = PlausibleClock(4, "a")
+        updated = clock.update()
+        assert sum(updated.counters) == 1
+        assert updated.counters[clock.slot] == 1
+
+    def test_merge_is_slotwise_max(self):
+        left = PlausibleClock(2, "a", (2, 0))
+        right = PlausibleClock(2, "b", (1, 3))
+        assert left.merge(right).counters == (2, 3)
+
+    def test_merge_requires_same_width(self):
+        with pytest.raises(ReplicationError):
+            PlausibleClock(2, "a").merge(PlausibleClock(3, "b"))
+
+    def test_never_contradicts_causality(self):
+        # If a happened before b (b saw a's updates), the clocks agree.
+        a = PlausibleClock(4, "a").update()
+        b = a.for_replica("b").update()
+        assert a.compare(b) is Ordering.BEFORE
+
+    def test_can_miss_conflicts(self):
+        # Two distinct replicas hashing to the same slot look ordered even
+        # though they are concurrent: the documented plausible-clock error.
+        width = 1  # every replica shares the single slot
+        a = PlausibleClock(width, "a").update().update()
+        b = PlausibleClock(width, "b").update()
+        assert a.compare(b) is not Ordering.CONCURRENT
+
+    def test_for_replica_keeps_knowledge(self):
+        clock = PlausibleClock(4, "a").update()
+        other = clock.for_replica("b")
+        assert other.counters == clock.counters
+        assert other.replica_id == "b"
+
+    def test_size_is_constant(self):
+        small = PlausibleClock(4, "a")
+        grown = small.update().update().update()
+        assert small.size_in_bits() == grown.size_in_bits()
+        assert small.size_in_bits(counter_bits=16) == 64

@@ -1,0 +1,65 @@
+"""Unit tests for Fidge/Mattern vector clocks."""
+
+import pytest
+
+from repro.core.errors import ReplicationError
+from repro.core.order import Ordering
+from repro.vv.vector_clock import ClockedProcess, VectorClock
+
+
+class TestVectorClock:
+    def test_tick_advances_own_entry(self):
+        clock = VectorClock().tick("p")
+        assert clock.get("p") == 1
+
+    def test_send_behaves_like_tick(self):
+        assert VectorClock().send("p") == VectorClock().tick("p")
+
+    def test_receive_merges_then_ticks(self):
+        sender = VectorClock().tick("p")
+        receiver = VectorClock().receive("q", sender)
+        assert receiver.get("p") == 1
+        assert receiver.get("q") == 1
+
+    def test_happened_before(self):
+        first = VectorClock().tick("p")
+        second = first.tick("p")
+        assert first.happened_before(second)
+        assert not second.happened_before(first)
+        assert not first.happened_before(first)
+
+    def test_concurrent_events(self):
+        left = VectorClock().tick("p")
+        right = VectorClock().tick("q")
+        assert left.concurrent_with(right)
+
+    def test_message_ordering_scenario(self):
+        # p does a local event, sends to q; q's receive is causally after
+        # p's send, while an independent event at r stays concurrent.
+        p = VectorClock().tick("p")
+        send = p.send("p")
+        q = VectorClock().receive("q", send)
+        r = VectorClock().tick("r")
+        assert send.happened_before(q)
+        assert q.compare(r) is Ordering.CONCURRENT
+
+
+class TestClockedProcess:
+    def test_requires_identifier(self):
+        with pytest.raises(ReplicationError):
+            ClockedProcess("")
+
+    def test_local_event_advances_clock(self):
+        process = ClockedProcess("p")
+        process.local_event()
+        assert process.clock.get("p") == 1
+
+    def test_send_receive_round_trip(self):
+        sender = ClockedProcess("p")
+        receiver = ClockedProcess("q")
+        message = sender.send_event()
+        receiver.receive_event(message)
+        assert message.happened_before(receiver.clock)
+
+    def test_repr(self):
+        assert "p" in repr(ClockedProcess("p"))

@@ -1,0 +1,126 @@
+"""Unit tests for classic version vectors."""
+
+import pytest
+
+from repro.core.errors import ReplicationError
+from repro.core.order import Ordering
+from repro.vv.version_vector import VersionVector
+
+
+class TestConstruction:
+    def test_empty_vector(self):
+        vector = VersionVector()
+        assert vector.get("a") == 0
+        assert len(vector) == 0
+
+    def test_zero_with_replica_set(self):
+        vector = VersionVector.zero(["a", "b"])
+        assert vector.as_list(["a", "b"]) == (0, 0)
+
+    def test_zero_entries_are_dropped(self):
+        vector = VersionVector({"a": 0, "b": 2})
+        assert "a" not in vector.counters
+        assert vector.get("b") == 2
+
+    def test_negative_counter_rejected(self):
+        with pytest.raises(ReplicationError):
+            VersionVector({"a": -1})
+
+    def test_non_integer_counter_rejected(self):
+        with pytest.raises(ReplicationError):
+            VersionVector({"a": 1.5})
+
+    def test_immutable(self):
+        vector = VersionVector({"a": 1})
+        with pytest.raises(AttributeError):
+            vector.counters = {}
+
+    def test_equality_and_hash(self):
+        assert VersionVector({"a": 1}) == VersionVector({"a": 1, "b": 0})
+        assert hash(VersionVector({"a": 1})) == hash(VersionVector({"a": 1}))
+
+    def test_as_list_renders_fixed_order(self):
+        vector = VersionVector({"a": 2, "c": 1})
+        assert vector.as_list(["a", "b", "c"]) == (2, 0, 1)
+
+
+class TestEvolution:
+    def test_increment(self):
+        vector = VersionVector().increment("a").increment("a").increment("b")
+        assert vector.get("a") == 2
+        assert vector.get("b") == 1
+
+    def test_increment_is_pure(self):
+        vector = VersionVector()
+        vector.increment("a")
+        assert vector.get("a") == 0
+
+    def test_merge_takes_entrywise_max(self):
+        left = VersionVector({"a": 2, "b": 1})
+        right = VersionVector({"a": 1, "c": 3})
+        merged = left | right
+        assert merged.counters == {"a": 2, "b": 1, "c": 3}
+
+    def test_merge_commutative_idempotent(self):
+        left = VersionVector({"a": 2})
+        right = VersionVector({"b": 1})
+        assert left.merge(right) == right.merge(left)
+        assert left.merge(left) == left
+
+    def test_without_drops_entry(self):
+        vector = VersionVector({"a": 2, "b": 1}).without("a")
+        assert vector.counters == {"b": 1}
+
+
+class TestComparison:
+    def test_equal(self):
+        assert VersionVector({"a": 1}).compare(VersionVector({"a": 1})) is Ordering.EQUAL
+
+    def test_dominance(self):
+        old = VersionVector({"a": 1})
+        new = VersionVector({"a": 1, "b": 1})
+        assert old.compare(new) is Ordering.BEFORE
+        assert new.compare(old) is Ordering.AFTER
+        assert new.dominates(old)
+
+    def test_concurrency(self):
+        left = VersionVector({"a": 1})
+        right = VersionVector({"b": 1})
+        assert left.compare(right) is Ordering.CONCURRENT
+        assert left.concurrent(right)
+
+    def test_missing_entries_treated_as_zero(self):
+        assert VersionVector({}).leq(VersionVector({"a": 5}))
+
+    def test_lt_operator(self):
+        assert VersionVector({"a": 1}) < VersionVector({"a": 2})
+        assert not VersionVector({"a": 1}) < VersionVector({"a": 1})
+
+
+class TestFigure1Semantics:
+    """The comparison semantics exercised by Figure 1 of the paper."""
+
+    def test_synchronized_replicas_are_equivalent(self):
+        a = VersionVector().increment("A")
+        b = VersionVector().merge(a)
+        assert a.compare(b) is Ordering.EQUAL
+
+    def test_concurrent_updates_are_inconsistent(self):
+        a = VersionVector().increment("A")
+        c = VersionVector().increment("C")
+        assert a.compare(c) is Ordering.CONCURRENT
+
+    def test_final_states_of_figure1(self):
+        a = VersionVector({"A": 2})
+        b = VersionVector({"A": 1, "C": 1})
+        assert a.compare(b) is Ordering.CONCURRENT
+
+
+class TestSizes:
+    def test_total_updates(self):
+        assert VersionVector({"a": 2, "b": 3}).total_updates() == 5
+
+    def test_size_model(self):
+        vector = VersionVector({"a": 1, "b": 1})
+        assert vector.size_in_bits() == 2 * (64 + 32)
+        assert vector.size_in_bits(id_bits=16, counter_bits=16) == 2 * 32
