@@ -1,0 +1,220 @@
+"""Perf snapshot: ops/sec of the stamp core, tracked as ``BENCH_ops.json``.
+
+Measures the throughput of the four Definition 4.3 operations plus the
+``compare`` pre-order at several frontier widths, and a **join+normalize**
+microbenchmark run through both the packed-integer core and the retained
+text-based reference implementation (:mod:`repro.core.refimpl`), reporting
+the speedup.  The output file makes the perf trajectory of the data layer a
+tracked artifact: CI runs the quick mode on every push, and regressions show
+up as a drop in ``ops_per_sec`` or ``speedup_vs_reference``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf_snapshot.py            # full run
+    PYTHONPATH=src python benchmarks/perf_snapshot.py --quick    # CI smoke
+    PYTHONPATH=src python benchmarks/perf_snapshot.py -o out.json
+
+The harness needs nothing beyond the standard library; timings use the
+best-of-N repetition scheme of ``timeit`` to shrug off scheduler noise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core.refimpl import RefStamp
+from repro.core.stamp import VersionStamp
+
+DEFAULT_FRONTIER_SIZES = (8, 16, 32, 64)
+QUICK_FRONTIER_SIZES = (8, 32)
+
+
+def _build_frontier(width, *, reducing=True, cls=VersionStamp):
+    """``width`` coexisting stamps, every third one updated (mixed knowledge)."""
+    stamps = [cls.seed(reducing=reducing)]
+    while len(stamps) < width:
+        left, right = stamps.pop(0).fork()
+        stamps.extend((left, right))
+    return [
+        stamp.update() if index % 3 == 0 else stamp
+        for index, stamp in enumerate(stamps)
+    ]
+
+
+def _best_rate(operation, operations_per_call, *, repeats, min_time):
+    """Best observed ops/sec over ``repeats`` timed batches."""
+    best = 0.0
+    for _ in range(repeats):
+        calls = 0
+        start = time.perf_counter()
+        elapsed = 0.0
+        while elapsed < min_time:
+            operation()
+            calls += 1
+            elapsed = time.perf_counter() - start
+        rate = calls * operations_per_call / elapsed
+        best = max(best, rate)
+    return best
+
+
+def measure_core_ops(width, *, repeats, min_time):
+    """ops/sec for update/fork/join/compare at one frontier width."""
+    stamps = _build_frontier(width)
+    pairs = list(zip(stamps[::2], stamps[1::2]))
+    results = {
+        "update": _best_rate(
+            lambda: [s.update() for s in stamps], len(stamps),
+            repeats=repeats, min_time=min_time,
+        ),
+        "fork": _best_rate(
+            lambda: [s.fork() for s in stamps], len(stamps),
+            repeats=repeats, min_time=min_time,
+        ),
+        "join": _best_rate(
+            lambda: [a.join(b) for a, b in pairs], len(pairs),
+            repeats=repeats, min_time=min_time,
+        ),
+        "compare": _best_rate(
+            lambda: [a.compare(b) for a in stamps for b in stamps if a is not b],
+            len(stamps) * (len(stamps) - 1),
+            repeats=repeats, min_time=min_time,
+        ),
+    }
+    return results
+
+
+def _fold_plans(width, rounds, seed=12345):
+    """Random join orders folding ``width`` elements down to one.
+
+    Real anti-entropy merges arrive in arbitrary order, so intermediate
+    names carry O(width) strings and the Section 6 reduction fires
+    throughout the fold -- the regime where normalization cost matters.
+    The plans are precomputed so the timed loop contains nothing but joins.
+    """
+    import random
+
+    rng = random.Random(seed)
+    plans = []
+    for _ in range(rounds):
+        order = []
+        alive = list(range(width))
+        slot = width
+        while len(alive) > 1:
+            i, j = rng.sample(range(len(alive)), 2)
+            a, b = alive[i], alive[j]
+            for index in sorted((i, j), reverse=True):
+                del alive[index]
+            order.append((a, b, slot))
+            alive.append(slot)
+            slot += 1
+        plans.append(order)
+    return plans
+
+
+def measure_join_normalize(width, *, repeats, min_time):
+    """The acceptance microbenchmark: join+normalize, packed vs reference.
+
+    Folds a width-``width`` frontier of updated stamps back to a single
+    stamp along precomputed random join orders; every join triggers the
+    Section 6 normalization.  The same workload runs through the packed
+    core and the retained text-based seed implementation
+    (:mod:`repro.core.refimpl`), and the ratio is the tracked speedup.
+    """
+    packed_frontier = _build_frontier(width, cls=VersionStamp)
+    reference_frontier = _build_frontier(width, cls=RefStamp)
+    plans = _fold_plans(width, rounds=8)
+    joins_per_call = sum(len(plan) for plan in plans)
+
+    def collapse(frontier):
+        for plan in plans:
+            slots = list(frontier) + [None] * len(plan)
+            for a, b, out in plan:
+                slots[out] = slots[a].join(slots[b])
+        return slots[-1]
+
+    packed_rate = _best_rate(
+        lambda: collapse(packed_frontier), joins_per_call,
+        repeats=repeats, min_time=min_time,
+    )
+    reference_rate = _best_rate(
+        lambda: collapse(reference_frontier), joins_per_call,
+        repeats=repeats, min_time=min_time,
+    )
+    return {
+        "packed_ops_per_sec": packed_rate,
+        "reference_ops_per_sec": reference_rate,
+        "speedup_vs_reference": packed_rate / reference_rate if reference_rate else None,
+    }
+
+
+def snapshot(*, frontier_sizes=DEFAULT_FRONTIER_SIZES, repeats=3, min_time=0.05):
+    """Collect the full snapshot dictionary (no I/O)."""
+    data = {
+        "schema": "repro-bench-ops/1",
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "frontier_sizes": list(frontier_sizes),
+        "ops_per_sec": {},
+        "join_normalize": {},
+    }
+    for width in frontier_sizes:
+        data["ops_per_sec"][str(width)] = measure_core_ops(
+            width, repeats=repeats, min_time=min_time
+        )
+        data["join_normalize"][str(width)] = measure_join_normalize(
+            width, repeats=repeats, min_time=min_time
+        )
+    return data
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "-o", "--output",
+        default=str(Path(__file__).resolve().parent.parent / "BENCH_ops.json"),
+        help="where to write the JSON snapshot (default: repo root BENCH_ops.json)",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI smoke mode: fewer frontier sizes and shorter timing windows",
+    )
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        data = snapshot(
+            frontier_sizes=QUICK_FRONTIER_SIZES, repeats=2, min_time=0.02
+        )
+    else:
+        data = snapshot()
+    data["timestamp"] = time.strftime("%Y-%m-%dT%H:%M:%S%z")
+
+    output = Path(args.output)
+    try:
+        output.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    except OSError as exc:
+        print(f"error: cannot write snapshot to {output}: {exc}", file=sys.stderr)
+        return 1
+
+    print(f"wrote {output}")
+    for width, ops in data["ops_per_sec"].items():
+        summary = ", ".join(f"{name}={rate:,.0f}/s" for name, rate in ops.items())
+        print(f"  frontier {width:>3}: {summary}")
+    for width, ratio in data["join_normalize"].items():
+        print(
+            f"  join+normalize @ {width:>3}: packed "
+            f"{ratio['packed_ops_per_sec']:,.0f}/s vs reference "
+            f"{ratio['reference_ops_per_sec']:,.0f}/s "
+            f"-> {ratio['speedup_vs_reference']:.1f}x"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -14,6 +14,19 @@ The public surface of this subpackage:
 * :mod:`~repro.core.invariants` -- executable checks of invariants I1-I3.
 * :mod:`~repro.core.encoding` -- text/JSON/binary codecs and size accounting.
 * :class:`~repro.core.order.Ordering` -- the shared comparison vocabulary.
+* :mod:`~repro.core.refimpl` -- the retained text-based seed implementation,
+  used only as a differential-test oracle and perf baseline.
+
+Performance
+-----------
+The data layer is packed end to end: bit strings are sentinel-prefixed
+machine integers (O(1) append/parent/sibling, shift-and-compare prefix
+tests) and names are lex-sorted tuples of those codes (linear merges and
+single-scan normalization instead of the seed's all-pairs rescans).  See the
+module docstrings of :mod:`~repro.core.bitstring`, :mod:`~repro.core.names`
+and :mod:`~repro.core.reduction` for per-operation complexity tables, and
+run ``PYTHONPATH=src python benchmarks/perf_snapshot.py`` to regenerate the
+tracked ``BENCH_ops.json`` throughput snapshot.
 """
 
 from .bitstring import BitString, EMPTY

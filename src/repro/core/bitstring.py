@@ -1,4 +1,4 @@
-"""Finite binary strings with the prefix order.
+"""Finite binary strings with the prefix order, packed into machine integers.
 
 This module implements the poset *S* of Section 4 of the paper: the set of
 all finite binary strings (sequences over ``{0, 1}``) ordered by
@@ -8,6 +8,36 @@ all finite binary strings (sequences over ``{0, 1}``) ordered by
 The empty string ``ε`` is the bottom element of the order.  Two strings that
 are not related by the prefix order are *incomparable* (written ``r ∥ s`` in
 the paper).
+
+Representation
+--------------
+A string ``b_0 b_1 ... b_{k-1}`` is stored as the single integer
+
+    ``code = 1 b_0 b_1 ... b_{k-1}``  (binary, sentinel bit first)
+
+i.e. the payload bits with a leading 1 *sentinel* bit.  The sentinel makes
+the encoding injective (it preserves leading zeros and the length is
+recoverable as ``code.bit_length() - 1``), so one ``int`` carries the whole
+value.  This turns every hot operation into one or two integer instructions:
+
+===================  ===========================  ======================
+operation            packed implementation         complexity
+===================  ===========================  ======================
+``append(b)``        ``code << 1 | b``             O(1)
+``parent()``         ``code >> 1``                 O(1)
+``sibling()``        ``code ^ 1``                  O(1)
+``last_bit()``       ``code & 1``                  O(1)
+``is_prefix_of``     shift-and-compare             O(1) word ops
+``common_prefix``    align, xor, ``bit_length``    O(1) word ops
+``==`` / ``hash``    integer compare / lazy hash   O(1)
+===================  ===========================  ======================
+
+(The seed implementation stored ``'0'``/``'1'`` character strings; every one
+of the operations above was O(k) there, and prefix tests allocated.)
+
+Instances of length ≤ ``_INTERN_MAX_LEN`` are interned in a per-process
+cache, so the short strings that dominate real frontiers are shared and
+compare by identity.  The hash is computed lazily on first use and cached.
 
 :class:`BitString` values are immutable, hashable and totally ordered
 *lexicographically* (so they can live in sorted containers and have a
@@ -30,8 +60,7 @@ BitString('01')
 
 from __future__ import annotations
 
-from functools import total_ordering
-from typing import Iterable, Iterator, Tuple, Union
+from typing import Dict, Iterable, Iterator, Tuple, Union
 
 from .errors import BitStringError
 
@@ -42,43 +71,63 @@ Bit = int
 
 _VALID_CHARS = frozenset("01")
 
+#: Strings up to this length are interned (2^(n+1) - 1 cache entries).
+_INTERN_MAX_LEN = 8
+_INTERN_LIMIT = 1 << (_INTERN_MAX_LEN + 1)
 
-@total_ordering
+
 class BitString:
-    """An immutable finite binary string.
+    """An immutable finite binary string packed into one integer.
 
     Parameters
     ----------
     bits:
         Either a string of ``'0'``/``'1'`` characters, an iterable of
-        integers 0/1, or another :class:`BitString` (copied).
+        integers 0/1, or another :class:`BitString` (shared, as values are
+        immutable).
 
     Notes
     -----
-    Instances are interned per-value cheaply through ``__slots__`` and a
-    cached hash; equality and hashing are by value.
+    Equality and hashing are by value; the hash is computed lazily and
+    cached.  Short strings are interned, so identity comparison is a valid
+    fast path for them.
     """
 
-    __slots__ = ("_bits", "_hash")
+    __slots__ = ("_code", "_hash", "_text")
 
-    def __init__(self, bits: Union[str, Iterable[Bit], "BitString"] = "") -> None:
+    def __new__(
+        cls, bits: Union[str, Iterable[Bit], "BitString"] = ""
+    ) -> "BitString":
         if isinstance(bits, BitString):
-            text = bits._bits
-        elif isinstance(bits, str):
+            return bits
+        if isinstance(bits, str):
             if not set(bits) <= _VALID_CHARS:
                 raise BitStringError(
                     f"binary string may only contain '0' and '1': {bits!r}"
                 )
-            text = bits
+            code = int("1" + bits, 2) if bits else 1
         else:
-            chars = []
+            code = 1
             for bit in bits:
                 if bit not in (0, 1):
                     raise BitStringError(f"bits must be 0 or 1, got {bit!r}")
-                chars.append("1" if bit else "0")
-            text = "".join(chars)
-        object.__setattr__(self, "_bits", text)
-        object.__setattr__(self, "_hash", hash(("BitString", text)))
+                code = (code << 1) | bit
+        return cls._from_code(code)
+
+    @classmethod
+    def _from_code(cls, code: int) -> "BitString":
+        """Internal factory from a sentinel-prefixed packed code."""
+        if code < _INTERN_LIMIT:
+            cached = _INTERNED.get(code)
+            if cached is not None:
+                return cached
+        self = object.__new__(cls)
+        object.__setattr__(self, "_code", code)
+        object.__setattr__(self, "_hash", None)
+        object.__setattr__(self, "_text", None)
+        if code < _INTERN_LIMIT:
+            _INTERNED[code] = self
+        return self
 
     # -- constructors -------------------------------------------------
 
@@ -99,7 +148,7 @@ class BitString:
         The paper's ``ε`` (or an empty string) denotes the empty bit string.
         """
         if text in ("ε", "e", ""):
-            return cls.empty()
+            return _EMPTY
         return cls(text)
 
     # -- immutability -------------------------------------------------
@@ -113,26 +162,49 @@ class BitString:
     # -- basic protocol -----------------------------------------------
 
     def __len__(self) -> int:
-        return len(self._bits)
+        return self._code.bit_length() - 1
 
     def __iter__(self) -> Iterator[Bit]:
-        return (1 if char == "1" else 0 for char in self._bits)
+        code = self._code
+        return (
+            (code >> shift) & 1 for shift in range(code.bit_length() - 2, -1, -1)
+        )
 
     def __getitem__(self, index) -> Union[Bit, "BitString"]:
+        length = self._code.bit_length() - 1
         if isinstance(index, slice):
-            return BitString(self._bits[index])
-        return 1 if self._bits[index] == "1" else 0
+            start, stop, step = index.indices(length)
+            if step == 1 and start <= stop:
+                # Contiguous slice: mask the payload bits out directly.
+                segment = (self._code >> (length - stop)) & ((1 << (stop - start)) - 1)
+                return BitString._from_code(segment | (1 << (stop - start)))
+            bits = [self[position] for position in range(start, stop, step)]
+            return BitString(bits)
+        if index < 0:
+            index += length
+        if not 0 <= index < length:
+            raise IndexError("BitString index out of range")
+        return (self._code >> (length - 1 - index)) & 1
 
     def __bool__(self) -> bool:
         """A bit string is falsy only when it is the empty string."""
-        return bool(self._bits)
+        return self._code != 1
 
     def __hash__(self) -> int:
-        return self._hash
+        cached = self._hash
+        if cached is None:
+            cached = hash(("BitString", self._code))
+            object.__setattr__(self, "_hash", cached)
+        return cached
 
     def __eq__(self, other: object) -> bool:
         if isinstance(other, BitString):
-            return self._bits == other._bits
+            return self._code == other._code
+        return NotImplemented
+
+    def __ne__(self, other: object) -> bool:
+        if isinstance(other, BitString):
+            return self._code != other._code
         return NotImplemented
 
     def __lt__(self, other: "BitString") -> bool:
@@ -140,47 +212,75 @@ class BitString:
 
         This matches the paper's presentation order (``00+01+1``); it is not
         the prefix order, which is partial and exposed through
-        :meth:`is_prefix_of` and friends.
+        :meth:`is_prefix_of` and friends.  A proper prefix sorts before its
+        extensions (trie pre-order), which is what makes single-scan
+        normalization in :mod:`repro.core.names` possible.
         """
         if not isinstance(other, BitString):
             return NotImplemented
-        return self._bits < other._bits
+        a, b = self._code, other._code
+        la, lb = a.bit_length(), b.bit_length()
+        if la == lb:
+            return a < b
+        if la < lb:
+            prefix = b >> (lb - la)
+            # Equal prefixes mean self is a proper prefix of other: smaller.
+            return a <= prefix
+        prefix = a >> (la - lb)
+        return prefix < b
+
+    def __le__(self, other: "BitString") -> bool:
+        if not isinstance(other, BitString):
+            return NotImplemented
+        return self._code == other._code or self.__lt__(other)
+
+    def __gt__(self, other: "BitString") -> bool:
+        if not isinstance(other, BitString):
+            return NotImplemented
+        return other.__lt__(self)
+
+    def __ge__(self, other: "BitString") -> bool:
+        if not isinstance(other, BitString):
+            return NotImplemented
+        return self._code == other._code or other.__lt__(self)
 
     def __repr__(self) -> str:
-        return f"BitString({self._bits!r})"
+        return f"BitString({self.text!r})"
 
     def __str__(self) -> str:
-        return self._bits or "ε"
+        return self.text or "ε"
 
     # -- concatenation ------------------------------------------------
 
     def __add__(self, other: Union["BitString", str, int]) -> "BitString":
         """Concatenate with another bit string, text literal or single bit."""
         if isinstance(other, BitString):
-            return BitString(self._bits + other._bits)
+            length = other._code.bit_length() - 1
+            payload = other._code ^ (1 << length)
+            return BitString._from_code((self._code << length) | payload)
         if isinstance(other, str):
-            return BitString(self._bits + BitString(other)._bits)
+            return self + BitString(other)
         if other in (0, 1):
-            return BitString(self._bits + ("1" if other else "0"))
+            return BitString._from_code((self._code << 1) | other)
         return NotImplemented
 
     def append(self, bit: Bit) -> "BitString":
         """Return a new string with ``bit`` appended to the right.
 
-        This is the concatenation used by the ``fork`` operation of
+        This is the O(1) concatenation used by the ``fork`` operation of
         Definition 4.3: forking appends 0 to one child id and 1 to the other.
         """
         if bit not in (0, 1):
             raise BitStringError(f"bit must be 0 or 1, got {bit!r}")
-        return BitString(self._bits + ("1" if bit else "0"))
+        return BitString._from_code((self._code << 1) | bit)
 
     def zero(self) -> "BitString":
         """Shorthand for :meth:`append` with bit 0."""
-        return self.append(0)
+        return BitString._from_code(self._code << 1)
 
     def one(self) -> "BitString":
         """Shorthand for :meth:`append` with bit 1."""
-        return self.append(1)
+        return BitString._from_code((self._code << 1) | 1)
 
     # -- the prefix order ----------------------------------------------
 
@@ -188,16 +288,20 @@ class BitString:
         """Return ``True`` iff ``self ⊑ other`` (self is a prefix of other).
 
         The relation is reflexive: every string is a prefix of itself.
+        Implemented as a single shift-and-compare on the packed codes.
         """
-        return other._bits.startswith(self._bits)
+        shift = other._code.bit_length() - self._code.bit_length()
+        return shift >= 0 and (other._code >> shift) == self._code
 
     def is_proper_prefix_of(self, other: "BitString") -> bool:
         """Return ``True`` iff ``self ⊑ other`` and ``self != other``."""
-        return self != other and other._bits.startswith(self._bits)
+        shift = other._code.bit_length() - self._code.bit_length()
+        return shift > 0 and (other._code >> shift) == self._code
 
     def is_extension_of(self, other: "BitString") -> bool:
         """Return ``True`` iff ``other ⊑ self``."""
-        return self._bits.startswith(other._bits)
+        shift = self._code.bit_length() - other._code.bit_length()
+        return shift >= 0 and (self._code >> shift) == other._code
 
     def comparable(self, other: "BitString") -> bool:
         """Return ``True`` iff the two strings are related by the prefix order.
@@ -205,7 +309,11 @@ class BitString:
         The paper writes ``r ∥ s`` for *incomparable* strings; this method is
         the negation of that relation.
         """
-        return self.is_prefix_of(other) or other.is_prefix_of(self)
+        a, b = self._code, other._code
+        shift = b.bit_length() - a.bit_length()
+        if shift >= 0:
+            return (b >> shift) == a
+        return (a >> -shift) == b
 
     def incomparable(self, other: "BitString") -> bool:
         """Return ``True`` iff ``self ∥ other`` (neither is a prefix)."""
@@ -216,55 +324,71 @@ class BitString:
     @property
     def bits(self) -> Tuple[Bit, ...]:
         """The bits as a tuple of integers."""
-        return tuple(1 if char == "1" else 0 for char in self._bits)
+        return tuple(self)
 
     @property
     def text(self) -> str:
-        """The raw ``'0'``/``'1'`` text (empty string for ``ε``)."""
-        return self._bits
+        """The raw ``'0'``/``'1'`` text (empty string for ``ε``).
+
+        Materialized lazily from the packed code and cached; the hot paths
+        never touch it.
+        """
+        cached = self._text
+        if cached is None:
+            cached = bin(self._code)[3:]
+            object.__setattr__(self, "_text", cached)
+        return cached
 
     def parent(self) -> "BitString":
-        """Return the string with the last bit removed.
+        """Return the string with the last bit removed (O(1)).
 
         Raises
         ------
         BitStringError
             If the string is empty.
         """
-        if not self._bits:
+        if self._code == 1:
             raise BitStringError("the empty string has no parent")
-        return BitString(self._bits[:-1])
+        return BitString._from_code(self._code >> 1)
 
     def last_bit(self) -> Bit:
         """Return the last bit of a non-empty string."""
-        if not self._bits:
+        if self._code == 1:
             raise BitStringError("the empty string has no last bit")
-        return 1 if self._bits[-1] == "1" else 0
+        return self._code & 1
 
     def sibling(self) -> "BitString":
         """Return the string differing only in the last bit (``s0`` <-> ``s1``).
 
         Siblings are exactly the pairs collapsed by the Section 6 rewriting
-        rule ``{i, s0, s1} -> {i, s}``.
+        rule ``{i, s0, s1} -> {i, s}``; packed, the sibling is one xor away.
         """
-        if not self._bits:
+        if self._code == 1:
             raise BitStringError("the empty string has no sibling")
-        flipped = "0" if self._bits[-1] == "1" else "1"
-        return BitString(self._bits[:-1] + flipped)
+        return BitString._from_code(self._code ^ 1)
 
     def is_sibling_of(self, other: "BitString") -> bool:
         """Return ``True`` iff the two strings differ only in their last bit."""
-        if not self._bits or not other._bits:
+        if self._code == 1 or other._code == 1:
             return False
-        return self != other and self._bits[:-1] == other._bits[:-1]
+        return (self._code ^ other._code) == 1
 
     def common_prefix(self, other: "BitString") -> "BitString":
-        """Return the longest common prefix (the meet in the prefix order)."""
-        limit = min(len(self._bits), len(other._bits))
-        index = 0
-        while index < limit and self._bits[index] == other._bits[index]:
-            index += 1
-        return BitString(self._bits[:index])
+        """Return the longest common prefix (the meet in the prefix order).
+
+        Aligns the two codes, xors them and reads off the first differing
+        position from ``bit_length`` -- O(1) word operations instead of the
+        seed's character-by-character scan.
+        """
+        a, b = self._code, other._code
+        la, lb = a.bit_length(), b.bit_length()
+        if la > lb:
+            a >>= la - lb
+        elif lb > la:
+            b >>= lb - la
+        diff = a ^ b
+        common = a >> diff.bit_length()
+        return BitString._from_code(common)
 
     def size_in_bits(self) -> int:
         """Size of a length-prefixed encoding of this string, in bits.
@@ -273,10 +397,19 @@ class BitString:
         length; we charge ``len + 1`` bits, matching the codec in
         :mod:`repro.core.encoding`.
         """
-        return len(self._bits) + 1
+        return self._code.bit_length()
+
+    # -- packed internals (used by the other core modules) ---------------
+
+    @property
+    def code(self) -> int:
+        """The packed sentinel-prefixed integer code (read-only)."""
+        return self._code
 
 
-_EMPTY = BitString("")
+_INTERNED: Dict[int, "BitString"] = {}
+
+_EMPTY = BitString._from_code(1)
 
 #: The empty binary string ``ε``.
 EMPTY = _EMPTY

@@ -114,11 +114,17 @@ def stamp_from_text(text: str, *, reducing: bool = True) -> VersionStamp:
 
 
 def _trie_of(name: Name) -> dict:
-    """Build the minimal binary trie containing the member strings as leaves."""
+    """Build the minimal binary trie containing the member strings as leaves.
+
+    Iterates the name's canonical sorted tuple (deterministic insertion
+    order) and reads bits straight off each string's packed integer code.
+    """
     root: dict = {"member": False, "children": {}}
-    for string in name.strings:
+    for string in name:
         node = root
-        for bit in string:
+        code = string.code
+        for shift in range(code.bit_length() - 2, -1, -1):
+            bit = (code >> shift) & 1
             node = node["children"].setdefault(bit, {"member": False, "children": {}})
         node["member"] = True
     return root

@@ -13,7 +13,11 @@ their own scheme.
 
 The frontier itself never needs a global view: every transformation only
 reads and writes the stamps of the elements it names, mirroring the locality
-argument of Section 4.
+argument of Section 4.  Pairwise comparisons are cached per label pair
+(stamps are immutable) and invalidated only for the labels a transformation
+touches, so obsolescence pruning, :meth:`Frontier.ordering_matrix` and
+:meth:`Frontier.dominating_elements` recompare just the pairs an operation
+actually changed.
 
 Examples
 --------
@@ -60,6 +64,12 @@ class Frontier:
         self._stamps: Dict[str, VersionStamp] = dict(stamps or {})
         self._reducing = reducing
         self._op_log: List[Tuple[str, Tuple[str, ...]]] = []
+        # Pairwise-comparison cache: label -> {other label -> Ordering}.
+        # Stamps are immutable, so an entry stays valid until one of its two
+        # labels is removed or rebound by a transformation; obsolescence
+        # pruning and repeated ordering_matrix() calls then only recompare
+        # the pairs an operation actually touched.
+        self._cmp_cache: Dict[str, Dict[str, Ordering]] = {}
 
     # -- constructors -------------------------------------------------
 
@@ -125,6 +135,15 @@ class Frontier:
             candidate += "'"
         return candidate
 
+    def _invalidate(self, *labels: str) -> None:
+        """Drop cached comparisons involving ``labels`` (removed or rebound)."""
+        cache = self._cmp_cache
+        for label in labels:
+            cache.pop(label, None)
+        for row in cache.values():
+            for label in labels:
+                row.pop(label, None)
+
     def update(self, label: str, new_label: Optional[str] = None) -> str:
         """Apply ``update(label)``; the element is renamed to ``new_label``.
 
@@ -138,6 +157,7 @@ class Frontier:
             raise FrontierError(f"element {target!r} already exists in the frontier")
         del self._stamps[label]
         self._stamps[target] = stamp.update()
+        self._invalidate(label, target)
         self._op_log.append(("update", (label, target)))
         return target
 
@@ -164,6 +184,7 @@ class Frontier:
         left_stamp, right_stamp = stamp.fork()
         self._stamps[left] = left_stamp
         self._stamps[right] = right_stamp
+        self._invalidate(label, left, right)
         self._op_log.append(("fork", (label, left, right)))
         return left, right
 
@@ -185,6 +206,7 @@ class Frontier:
         if target in self._stamps:
             raise FrontierError(f"element {target!r} already exists in the frontier")
         self._stamps[target] = first_stamp.join(second_stamp)
+        self._invalidate(first, second, target)
         self._op_log.append(("join", (first, second, target)))
         return target
 
@@ -206,8 +228,21 @@ class Frontier:
     # -- queries ------------------------------------------------------------
 
     def compare(self, first: str, second: str) -> Ordering:
-        """Compare two frontier elements by their update knowledge."""
-        return self.stamp_of(first).compare(self.stamp_of(second))
+        """Compare two frontier elements by their update knowledge.
+
+        Results are cached per label pair (stamps are immutable); the cache
+        is invalidated only for the labels a transformation touches.
+        """
+        row = self._cmp_cache.get(first)
+        if row is not None:
+            cached = row.get(second)
+            if cached is not None:
+                return cached
+        result = self.stamp_of(first).compare(self.stamp_of(second))
+        if row is None:
+            row = self._cmp_cache.setdefault(first, {})
+        row[second] = result
+        return result
 
     def equivalent(self, first: str, second: str) -> bool:
         """True when the two elements have seen exactly the same updates."""
@@ -259,4 +294,5 @@ class Frontier:
         """An independent copy of the frontier (stamps are immutable)."""
         clone = Frontier(self._stamps, reducing=self._reducing)
         clone._op_log = list(self._op_log)
+        clone._cmp_cache = {label: dict(row) for label, row in self._cmp_cache.items()}
         return clone

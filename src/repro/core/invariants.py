@@ -131,6 +131,11 @@ def check_i2(stamps: StampsLike) -> List[Violation]:
         for second in labels[index + 1:]:
             id_first = mapping[first].identity
             id_second = mapping[second].identity
+            # Fast path: the bisect-based disjointness walk decides the
+            # invariant in O(k log m); the all-pairs scan runs only on
+            # violation, to name the offending strings.
+            if id_first.disjoint_ids(id_second):
+                continue
             for r in id_first.strings:
                 for s in id_second.strings:
                     if r.comparable(s):

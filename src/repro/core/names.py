@@ -16,6 +16,33 @@ inclusion and the join is down-set union.
 
 Both components of a version stamp (``update`` and ``id``) are names.
 
+Representation and complexity
+-----------------------------
+The authoritative representation of a name is a **canonically sorted tuple of
+packed integer codes** (the sentinel-prefixed codes of
+:class:`~repro.core.bitstring.BitString`, in lexicographic string order --
+which for binary strings is exactly trie pre-order: a prefix sorts
+immediately before its extensions, and the extensions of a string form one
+contiguous run).  :class:`BitString` objects, the member frozenset and the
+hash are all materialized lazily on first API access; the hot algebra below
+never allocates them.  That single ordering fact turns every all-pairs scan
+of the seed implementation into a sort-plus-single-scan or a merge-style walk
+over machine integers:
+
+====================  =======================  =======================
+operation             seed implementation       this implementation
+====================  =======================  =======================
+``maximal_strings``   O(k²) pairwise scans      O(k log k) sort + scan
+``is_antichain``      O(k²) pairwise scans      O(k log k) sort + scan
+``join``              O(k²)                     O(k) fused merge+collapse
+``dominated_by``      O(k·m) all pairs          O(k + m) merge walk
+``covers_string``     O(k) scan                 O(log k) bisect
+``disjoint_ids``      O(k·m) all pairs          O(k log m) bisect walk
+``concat`` (fork)     O(total bits)             O(k) integer shifts
+====================  =======================  =======================
+
+with every elementary prefix test a single shift-and-compare.
+
 Examples
 --------
 >>> from repro.core.names import Name
@@ -29,7 +56,7 @@ Name('ε')
 
 from __future__ import annotations
 
-from typing import AbstractSet, FrozenSet, Iterable, Iterator, List, Optional, Tuple
+from typing import FrozenSet, Iterable, Iterator, List, Sequence, Tuple
 
 from .bitstring import BitString
 from .errors import NameError_
@@ -37,16 +64,74 @@ from .errors import NameError_
 __all__ = ["Name", "is_antichain", "maximal_strings"]
 
 
+def _bisect_left_lex(codes: Sequence[int], code: int) -> int:
+    """``bisect_left`` over lex-sorted packed codes (numeric bisect would
+    use the wrong order, so the comparison is inlined)."""
+    bits = code.bit_length()
+    lo, hi = 0, len(codes)
+    while lo < hi:
+        mid = (lo + hi) >> 1
+        other = codes[mid]
+        other_bits = other.bit_length()
+        if other_bits == bits:
+            less = other < code
+        elif other_bits < bits:
+            less = other <= (code >> (bits - other_bits))
+        else:
+            less = (other >> (other_bits - bits)) < code
+        if less:
+            lo = mid + 1
+        else:
+            hi = mid
+    return lo
+
+
+def _sorted_unique_codes(strings: Iterable[BitString]) -> List[int]:
+    """Lex-sort and deduplicate, returning packed codes."""
+    items = sorted(strings)
+    out: List[int] = []
+    last = 0
+    for string in items:
+        code = string._code
+        if code != last:
+            out.append(code)
+            last = code
+    return out
+
+
+def _maximal_codes(codes: List[int]) -> List[int]:
+    """Single left-to-right scan keeping the maximal strings.
+
+    ``codes`` must be lex-sorted and duplicate-free.  Because lexicographic
+    order is trie pre-order, a dominated (prefix) string sits immediately
+    before the run of its extensions, so one backward check per element
+    suffices and the scan is a handful of integer operations per string.
+    """
+    out: List[int] = []
+    for code in codes:
+        length = code.bit_length()
+        while out:
+            top = out[-1]
+            shift = length - top.bit_length()
+            if shift >= 0 and (code >> shift) == top:
+                out.pop()
+            else:
+                break
+        out.append(code)
+    return out
+
+
 def is_antichain(strings: Iterable[BitString]) -> bool:
     """Return ``True`` iff no string in ``strings`` is a prefix of another.
 
-    The empty collection and singletons are trivially antichains.
+    The empty collection and singletons are trivially antichains.  Sorted
+    lexicographically, any prefix pair becomes adjacent, so one linear scan
+    decides the property (the seed implementation compared all pairs).
     """
-    items = list(strings)
-    for index, first in enumerate(items):
-        for second in items[index + 1:]:
-            if first.comparable(second):
-                return False
+    items = sorted(strings)
+    for index in range(len(items) - 1):
+        if items[index].is_prefix_of(items[index + 1]):
+            return False
     return True
 
 
@@ -56,15 +141,8 @@ def maximal_strings(strings: Iterable[BitString]) -> FrozenSet[BitString]:
     This is the normalization used by the name join: the result is always an
     antichain representing the same down-set as the input.
     """
-    items = set(strings)
-    maximal = set()
-    for candidate in items:
-        dominated = any(
-            candidate != other and candidate.is_prefix_of(other) for other in items
-        )
-        if not dominated:
-            maximal.add(candidate)
-    return frozenset(maximal)
+    codes = _maximal_codes(_sorted_unique_codes(strings))
+    return frozenset(BitString._from_code(code) for code in codes)
 
 
 class Name:
@@ -82,19 +160,32 @@ class Name:
         the input may contain comparable strings.
     """
 
-    __slots__ = ("_strings", "_hash")
+    __slots__ = ("_codes", "_strings", "_set", "_hash")
 
-    def __init__(self, strings: Iterable[BitString] = (), *, _trusted: bool = False):
-        items = frozenset(
+    def __new__(cls, strings: Iterable[BitString] = (), *, _trusted: bool = False):
+        codes = _sorted_unique_codes(
             s if isinstance(s, BitString) else BitString(s) for s in strings
         )
-        if not _trusted and not is_antichain(items):
-            raise NameError_(
-                f"strings do not form an antichain: "
-                f"{sorted(str(s) for s in items)}"
-            )
-        object.__setattr__(self, "_strings", items)
-        object.__setattr__(self, "_hash", hash(("Name", items)))
+        if not _trusted:
+            for index in range(len(codes) - 1):
+                first, second = codes[index], codes[index + 1]
+                shift = second.bit_length() - first.bit_length()
+                if shift >= 0 and (second >> shift) == first:
+                    raise NameError_(
+                        f"strings do not form an antichain: "
+                        f"{sorted(str(BitString._from_code(c)) for c in codes)}"
+                    )
+        return cls._from_codes(tuple(codes))
+
+    @classmethod
+    def _from_codes(cls, codes: Tuple[int, ...]) -> "Name":
+        """Internal factory from lex-sorted, duplicate-free antichain codes."""
+        self = object.__new__(cls)
+        object.__setattr__(self, "_codes", codes)
+        object.__setattr__(self, "_strings", None)
+        object.__setattr__(self, "_set", None)
+        object.__setattr__(self, "_hash", None)
+        return self
 
     # -- constructors -------------------------------------------------
 
@@ -120,7 +211,7 @@ class Name:
     @classmethod
     def from_down_set(cls, strings: Iterable[BitString]) -> "Name":
         """Build a name from arbitrary strings by keeping the maximal ones."""
-        return cls(maximal_strings(strings), _trusted=True)
+        return cls._from_codes(tuple(_maximal_codes(_sorted_unique_codes(strings))))
 
     @classmethod
     def parse(cls, text: str) -> "Name":
@@ -148,30 +239,51 @@ class Name:
     # -- basic protocol -----------------------------------------------
 
     @property
+    def _sorted(self) -> Tuple[BitString, ...]:
+        """The member strings as a lex-sorted tuple (materialized lazily)."""
+        cached = self._strings
+        if cached is None:
+            cached = tuple(BitString._from_code(code) for code in self._codes)
+            object.__setattr__(self, "_strings", cached)
+        return cached
+
+    @property
     def strings(self) -> FrozenSet[BitString]:
-        """The member binary strings as a frozen set."""
-        return self._strings
+        """The member binary strings as a frozen set (built lazily)."""
+        cached = self._set
+        if cached is None:
+            cached = frozenset(self._sorted)
+            object.__setattr__(self, "_set", cached)
+        return cached
 
     def __len__(self) -> int:
-        return len(self._strings)
+        return len(self._codes)
 
     def __iter__(self) -> Iterator[BitString]:
-        return iter(sorted(self._strings))
+        return iter(self._sorted)
 
     def __contains__(self, item: object) -> bool:
         if isinstance(item, str):
             item = BitString.parse(item)
-        return item in self._strings
+        if not isinstance(item, BitString):
+            return False
+        codes = self._codes
+        index = _bisect_left_lex(codes, item._code)
+        return index < len(codes) and codes[index] == item._code
 
     def __bool__(self) -> bool:
-        return bool(self._strings)
+        return bool(self._codes)
 
     def __hash__(self) -> int:
-        return self._hash
+        cached = self._hash
+        if cached is None:
+            cached = hash(("Name",) + self._codes)
+            object.__setattr__(self, "_hash", cached)
+        return cached
 
     def __eq__(self, other: object) -> bool:
         if isinstance(other, Name):
-            return self._strings == other._strings
+            return self._codes == other._codes
         return NotImplemented
 
     def __repr__(self) -> str:
@@ -182,26 +294,56 @@ class Name:
 
     def to_text(self) -> str:
         """Render in the paper's ``+``-separated notation (``'{}'`` if empty)."""
-        if not self._strings:
+        if not self._codes:
             return "{}"
-        return "+".join(str(s) for s in sorted(self._strings))
+        return "+".join(str(s) for s in self._sorted)
 
     def sorted_strings(self) -> List[BitString]:
-        """The member strings in canonical (length, lexicographic) order."""
-        return sorted(self._strings)
+        """The member strings in canonical (lexicographic) order."""
+        return list(self._sorted)
 
     # -- the partial order ---------------------------------------------
 
     def dominated_by(self, other: "Name") -> bool:
         """Return ``True`` iff ``self ⊑ other`` in the name order.
 
-        Every string of ``self`` must be a prefix of some string of ``other``.
-        The empty name is below every name.
+        Every string of ``self`` must be a prefix of some string of
+        ``other``.  The empty name is below every name.  Implemented as a
+        merge-style walk over the two sorted code tuples: for each of our
+        strings the only possible witness is the first of ``other``'s
+        strings not lexicographically below it (extensions form a contiguous
+        run), so the walk is O(k + m) integer operations instead of the
+        seed's O(k·m) all-pairs scan.
         """
-        return all(
-            any(mine.is_prefix_of(theirs) for theirs in other._strings)
-            for mine in self._strings
-        )
+        mine = self._codes
+        theirs = other._codes
+        if not mine:
+            return True
+        if mine == theirs:
+            return True
+        limit = len(theirs)
+        j = 0
+        for code_r in mine:
+            bits_r = code_r.bit_length()
+            while j < limit:
+                code_t = theirs[j]
+                bits_t = code_t.bit_length()
+                if bits_t == bits_r:
+                    behind = code_t < code_r
+                elif bits_t < bits_r:
+                    behind = code_t <= (code_r >> (bits_r - bits_t))
+                else:
+                    behind = (code_t >> (bits_t - bits_r)) < code_r
+                if not behind:
+                    break
+                j += 1
+            if j >= limit:
+                return False
+            code_t = theirs[j]
+            shift = code_t.bit_length() - bits_r
+            if shift < 0 or (code_t >> shift) != code_r:
+                return False
+        return True
 
     def dominates(self, other: "Name") -> bool:
         """Return ``True`` iff ``other ⊑ self``."""
@@ -237,24 +379,56 @@ class Name:
 
     def string_dominated_by(self, string: BitString, other: "Name") -> bool:
         """Return ``True`` iff ``{string} ⊑ other`` (helper for invariant I3)."""
-        return any(string.is_prefix_of(theirs) for theirs in other._strings)
+        return other.covers_string(string)
 
     def covers_string(self, string: BitString) -> bool:
-        """Return ``True`` iff ``{string} ⊑ self``."""
-        return any(string.is_prefix_of(mine) for mine in self._strings)
+        """Return ``True`` iff ``{string} ⊑ self`` (O(log k) bisect).
+
+        Any member extending ``string`` sorts at or immediately after it, so
+        checking the first member not lexicographically below it decides the
+        question.
+        """
+        codes = self._codes
+        code = string._code
+        index = _bisect_left_lex(codes, code)
+        if index >= len(codes):
+            return False
+        candidate = codes[index]
+        shift = candidate.bit_length() - code.bit_length()
+        return shift >= 0 and (candidate >> shift) == code
 
     def disjoint_ids(self, other: "Name") -> bool:
         """Return ``True`` iff every string of ``self`` is incomparable to
         every string of ``other``.
 
         This is the pairwise relation required of distinct ids in a frontier
-        by invariant I2.
+        by invariant I2.  For antichains, the only candidates comparable to a
+        string ``a`` in a sorted tuple are its immediate lexicographic
+        neighbours (an extension starts the run at ``a``; a strict prefix of
+        ``a`` must be the predecessor, since anything between would extend it
+        and violate the antichain property), so two bisect probes per string
+        replace the seed's O(k·m) all-pairs scan.
         """
-        return all(
-            mine.incomparable(theirs)
-            for mine in self._strings
-            for theirs in other._strings
-        )
+        small, large = self._codes, other._codes
+        if len(small) > len(large):
+            small, large = large, small
+        if not large:
+            return True
+        limit = len(large)
+        for code in small:
+            bits = code.bit_length()
+            index = _bisect_left_lex(large, code)
+            if index < limit:
+                candidate = large[index]
+                shift = candidate.bit_length() - bits
+                if shift >= 0 and (candidate >> shift) == code:
+                    return False
+            if index > 0:
+                candidate = large[index - 1]
+                shift = bits - candidate.bit_length()
+                if shift >= 0 and (code >> shift) == candidate:
+                    return False
+        return True
 
     # -- the join semilattice -------------------------------------------
 
@@ -263,8 +437,66 @@ class Name:
 
         The result is the antichain of maximal strings in the union of the
         two names; it represents the union of the corresponding down-sets.
+        Both inputs are already sorted antichains, so the union is one fused
+        pass -- a linear merge of the code tuples that collapses dominated
+        prefixes as elements are emitted.  Inside one antichain no element
+        prefixes another, so a dominated string can only be the most
+        recently emitted element of the *other* input: one scalar look-back
+        per emission keeps the output maximal.  O(k + m) integer operations,
+        no object allocation.
         """
-        return Name.from_down_set(self._strings | other._strings)
+        mine = self._codes
+        theirs = other._codes
+        if not mine:
+            return other
+        if not theirs:
+            return self
+        if mine == theirs:
+            return self
+        merged: List[int] = []
+        top = 0  # merged[-1]; 0 = nothing emitted yet
+        i = j = 0
+        len_mine, len_theirs = len(mine), len(theirs)
+        while i < len_mine and j < len_theirs:
+            code_a, code_b = mine[i], theirs[j]
+            if code_a == code_b:
+                # Shared string: neither side can also hold a prefix of it.
+                merged.append(code_a)
+                top = code_a
+                i += 1
+                j += 1
+                continue
+            bits_a, bits_b = code_a.bit_length(), code_b.bit_length()
+            if bits_a == bits_b:
+                a_first = code_a < code_b
+            elif bits_a < bits_b:
+                a_first = code_a <= (code_b >> (bits_b - bits_a))
+            else:
+                a_first = (code_a >> (bits_a - bits_b)) < code_b
+            if a_first:
+                code, bits = code_a, bits_a
+                i += 1
+            else:
+                code, bits = code_b, bits_b
+                j += 1
+            if top:
+                # At most one previously emitted string can prefix this one
+                # (two would be comparable within one input antichain), and
+                # it can only be the last one, so a scalar look-back works.
+                shift = bits - top.bit_length()
+                if shift >= 0 and (code >> shift) == top:
+                    merged.pop()
+            merged.append(code)
+            top = code
+        tail = mine[i:] if i < len_mine else theirs[j:]
+        if tail:
+            if top:
+                code = tail[0]
+                shift = code.bit_length() - top.bit_length()
+                if shift >= 0 and (code >> shift) == top:
+                    merged.pop()
+            merged.extend(tail)
+        return Name._from_codes(tuple(merged))
 
     def __or__(self, other: "Name") -> "Name":
         if not isinstance(other, Name):
@@ -277,10 +509,10 @@ class Name:
 
         The join of the empty collection is the empty name.
         """
-        strings: set = set()
+        result = _BOTTOM
         for name in names:
-            strings |= name._strings
-        return cls.from_down_set(strings)
+            result = result.join(name)
+        return result
 
     # -- fork support ----------------------------------------------------
 
@@ -289,9 +521,14 @@ class Name:
 
         Forking an element with id ``i`` produces children with ids ``i0``
         and ``i1``; this is the lifting of single-bit concatenation to names.
-        Concatenation preserves the antichain property.
+        Concatenation preserves the antichain property, and -- because
+        antichain members differ before either string ends -- it also
+        preserves the lexicographic order, so the whole operation is one
+        shift per packed code.
         """
-        return Name((s.append(bit) for s in self._strings), _trusted=True)
+        if bit:
+            return Name._from_codes(tuple((code << 1) | 1 for code in self._codes))
+        return Name._from_codes(tuple(code << 1 for code in self._codes))
 
     def fork(self) -> Tuple["Name", "Name"]:
         """Return the pair ``(self·0, self·1)`` of child identities."""
@@ -308,18 +545,18 @@ class Name:
         by tests to check that the order on names is down-set inclusion and
         the join is down-set union.
         """
-        prefixes = set()
-        for string in self._strings:
-            text = string.text
-            for length in range(len(text) + 1):
-                prefixes.add(BitString(text[:length]))
-        return frozenset(prefixes)
+        codes = set()
+        for code in self._codes:
+            while code and code not in codes:
+                codes.add(code)
+                code >>= 1
+        return frozenset(BitString._from_code(code) for code in codes)
 
     # -- size accounting --------------------------------------------------
 
     def total_bits(self) -> int:
         """Total number of payload bits across member strings."""
-        return sum(len(s) for s in self._strings)
+        return sum(code.bit_length() - 1 for code in self._codes)
 
     def size_in_bits(self) -> int:
         """Size of a length-prefixed encoding of this name, in bits.
@@ -327,14 +564,14 @@ class Name:
         Matches the accounting of :mod:`repro.core.encoding`: each string
         costs ``len + 1`` bits and the name itself costs one terminator.
         """
-        return sum(s.size_in_bits() for s in self._strings) + 1
+        return sum(code.bit_length() for code in self._codes) + 1
 
     def max_depth(self) -> int:
         """Length of the longest member string (0 for the seed/empty name)."""
-        if not self._strings:
+        if not self._codes:
             return 0
-        return max(len(s) for s in self._strings)
+        return max(code.bit_length() for code in self._codes) - 1
 
 
-_SEED = Name((BitString.empty(),), _trusted=True)
-_BOTTOM = Name((), _trusted=True)
+_SEED = Name._from_codes((1,))
+_BOTTOM = Name._from_codes(())

@@ -1,0 +1,181 @@
+"""Text-based reference implementation of names and version stamps.
+
+This module preserves the *seed* implementation's semantics and algorithms:
+binary strings are plain Python ``str`` of ``'0'``/``'1'`` characters, names
+are frozensets with O(k·m) all-pairs prefix scans, and Section 6
+normalization rewrites one sibling pair at a time, rescanning after every
+step.  It exists for two purposes:
+
+* **Differential testing** -- ``tests/core/test_packed_differential.py``
+  replays identical ``update``/``fork``/``join``/``sync`` sequences through
+  the packed-integer core (:mod:`repro.core.bitstring`/:mod:`~repro.core.names`)
+  and through this module, asserting identical normal forms, orders and
+  sizes.  Any divergence is a bug in the optimized representation.
+* **Perf baseline** -- ``benchmarks/perf_snapshot.py`` measures the packed
+  core's throughput *against* this module, so the speedup of the packed
+  representation is tracked release over release instead of silently
+  regressing.
+
+It is deliberately simple and slow; nothing outside tests and benchmarks
+should import it.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, Optional, Tuple
+
+from .order import Ordering
+
+__all__ = ["RefName", "RefStamp", "ref_maximal", "ref_normalize"]
+
+
+def ref_maximal(strings: Iterable[str]) -> FrozenSet[str]:
+    """Maximal elements under the prefix order (seed algorithm: all pairs)."""
+    items = set(strings)
+    maximal = set()
+    for candidate in items:
+        dominated = any(
+            candidate != other and other.startswith(candidate) for other in items
+        )
+        if not dominated:
+            maximal.add(candidate)
+    return frozenset(maximal)
+
+
+class RefName:
+    """A name as a frozenset of text strings with all-pairs algorithms."""
+
+    __slots__ = ("strings",)
+
+    def __init__(self, strings: Iterable[str] = ()) -> None:
+        self.strings: FrozenSet[str] = frozenset(strings)
+
+    @classmethod
+    def seed(cls) -> "RefName":
+        return cls(("",))
+
+    def dominated_by(self, other: "RefName") -> bool:
+        return all(
+            any(theirs.startswith(mine) for theirs in other.strings)
+            for mine in self.strings
+        )
+
+    def join(self, other: "RefName") -> "RefName":
+        return RefName(ref_maximal(self.strings | other.strings))
+
+    def concat(self, bit: str) -> "RefName":
+        return RefName(s + bit for s in self.strings)
+
+    def total_bits(self) -> int:
+        return sum(len(s) for s in self.strings)
+
+    def size_in_bits(self) -> int:
+        return sum(len(s) + 1 for s in self.strings) + 1
+
+    def to_text(self) -> str:
+        if not self.strings:
+            return "{}"
+        return "+".join(s or "ε" for s in sorted(self.strings))
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, RefName):
+            return self.strings == other.strings
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(("RefName", self.strings))
+
+    def __repr__(self) -> str:
+        return f"RefName({self.to_text()!r})"
+
+
+def _find_sibling_pair(identity: RefName) -> Optional[Tuple[str, str]]:
+    """First sibling pair in sorted order, exactly like the seed."""
+    strings = sorted(identity.strings)
+    seen = set(strings)
+    for string in strings:
+        if not string:
+            continue
+        sibling = string[:-1] + ("0" if string[-1] == "1" else "1")
+        if sibling in seen:
+            zero, one = sorted((string, sibling))
+            return zero, one
+    return None
+
+
+def ref_normalize(update: RefName, identity: RefName) -> Tuple[RefName, RefName, int]:
+    """Step-at-a-time Section 6 normalization (the seed's rewrite loop)."""
+    steps = 0
+    while True:
+        pair = _find_sibling_pair(identity)
+        if pair is None:
+            return update, identity, steps
+        zero, one = pair
+        parent = zero[:-1]
+        identity = RefName((identity.strings - {zero, one}) | {parent})
+        if zero in update.strings or one in update.strings:
+            update = RefName((update.strings - {zero, one}) | {parent})
+        steps += 1
+
+
+class RefStamp:
+    """A version stamp over :class:`RefName` components (seed semantics)."""
+
+    __slots__ = ("update_component", "identity", "reducing")
+
+    def __init__(
+        self, update: RefName, identity: RefName, *, reducing: bool = True
+    ) -> None:
+        self.update_component = update
+        self.identity = identity
+        self.reducing = reducing
+
+    @classmethod
+    def seed(cls, *, reducing: bool = True) -> "RefStamp":
+        return cls(RefName.seed(), RefName.seed(), reducing=reducing)
+
+    def update(self) -> "RefStamp":
+        return RefStamp(self.identity, self.identity, reducing=self.reducing)
+
+    def fork(self) -> Tuple["RefStamp", "RefStamp"]:
+        left = RefStamp(
+            self.update_component, self.identity.concat("0"), reducing=self.reducing
+        )
+        right = RefStamp(
+            self.update_component, self.identity.concat("1"), reducing=self.reducing
+        )
+        return left, right
+
+    def join(self, other: "RefStamp") -> "RefStamp":
+        update = self.update_component.join(other.update_component)
+        identity = self.identity.join(other.identity)
+        reducing = self.reducing or other.reducing
+        if reducing:
+            update, identity, _steps = ref_normalize(update, identity)
+        return RefStamp(update, identity, reducing=reducing)
+
+    def sync(self, other: "RefStamp") -> Tuple["RefStamp", "RefStamp"]:
+        return self.join(other).fork()
+
+    def leq(self, other: "RefStamp") -> bool:
+        return self.update_component.dominated_by(other.update_component)
+
+    def compare(self, other: "RefStamp") -> Ordering:
+        forward = self.leq(other)
+        backward = other.leq(self)
+        if forward and backward:
+            return Ordering.EQUAL
+        if forward:
+            return Ordering.BEFORE
+        if backward:
+            return Ordering.AFTER
+        return Ordering.CONCURRENT
+
+    def size_in_bits(self) -> int:
+        return self.update_component.size_in_bits() + self.identity.size_in_bits()
+
+    def to_text(self) -> str:
+        return f"[{self.update_component.to_text()} | {self.identity.to_text()}]"
+
+    def __repr__(self) -> str:
+        return f"RefStamp({self.to_text()!r})"

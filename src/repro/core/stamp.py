@@ -28,6 +28,14 @@ across the derived stamps, so a whole system run can be carried out in either
 model (the simulation runner exercises both and checks they induce the same
 order).
 
+Performance notes: derived stamps are built through a check-free internal
+constructor with lazy hashing (the three operations preserve invariant I1 by
+construction); the reducing ``join`` normalizes via the single-pass collapse
+of :mod:`~repro.core.reduction` without ``ReductionStats`` bookkeeping (use
+:meth:`VersionStamp.join_with_stats` when stats are wanted); and ``compare``
+short-circuits on equal update components before hitting a bounded LRU memo
+of the double-``dominated_by`` walk.
+
 Examples
 --------
 >>> from repro.core.stamp import VersionStamp
@@ -43,14 +51,54 @@ Examples
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import Iterable, Optional, Tuple
 
 from .errors import StampError
 from .names import Name
-from .order import Ordering, ordering_from_leq
-from .reduction import ReductionStats, is_normal_form, reduce_stamp_pair
+from .order import Ordering
+from .reduction import ReductionStats, is_normal_form, normalize, reduce_stamp_pair
 
 __all__ = ["VersionStamp"]
+
+
+#: Names with more member strings than this are compared without memoization:
+#: the LRU table holds strong references, and pathological (non-reducing)
+#: workloads produce huge Names that would otherwise stay pinned in memory
+#: for the life of the process.
+_MEMO_MAX_STRINGS = 256
+
+
+def _ordering_of(a: Name, b: Name) -> Ordering:
+    forward = a.dominated_by(b)
+    backward = b.dominated_by(a)
+    if forward and backward:
+        return Ordering.EQUAL
+    if forward:
+        return Ordering.BEFORE
+    if backward:
+        return Ordering.AFTER
+    return Ordering.CONCURRENT
+
+
+@lru_cache(maxsize=1 << 16)
+def _cached_ordering(a: Name, b: Name) -> Ordering:
+    """Memoized three-way comparison of two (unequal) update components.
+
+    Frontier pruning and the lockstep experiments compare the same stamps
+    against each other over and over; update components are immutable
+    ``Name`` values with cached hashes, so one bounded LRU table turns the
+    repeated double-``dominated_by`` walks into dictionary hits.  Callers
+    handle the ``a == b`` fast path and the oversized-Name bypass before
+    consulting the cache.
+    """
+    return _ordering_of(a, b)
+
+
+def _update_ordering(a: Name, b: Name) -> Ordering:
+    if len(a) + len(b) > _MEMO_MAX_STRINGS:
+        return _ordering_of(a, b)
+    return _cached_ordering(a, b)
 
 
 class VersionStamp:
@@ -98,7 +146,23 @@ class VersionStamp:
         object.__setattr__(self, "_update", update)
         object.__setattr__(self, "_identity", identity)
         object.__setattr__(self, "_reducing", bool(reducing))
-        object.__setattr__(self, "_hash", hash(("VersionStamp", update, identity)))
+        object.__setattr__(self, "_hash", None)
+
+    @classmethod
+    def _make(
+        cls, update: Name, identity: Name, reducing: bool
+    ) -> "VersionStamp":
+        """Internal fast constructor: trusted components, lazy hash.
+
+        The three Definition 4.3 operations preserve invariant I1 by
+        construction, so the stamps they derive skip every check.
+        """
+        self = object.__new__(cls)
+        object.__setattr__(self, "_update", update)
+        object.__setattr__(self, "_identity", identity)
+        object.__setattr__(self, "_reducing", reducing)
+        object.__setattr__(self, "_hash", None)
+        return self
 
     # -- constructors -------------------------------------------------
 
@@ -162,7 +226,11 @@ class VersionStamp:
         return self._update, self._identity
 
     def __hash__(self) -> int:
-        return self._hash
+        cached = self._hash
+        if cached is None:
+            cached = hash(("VersionStamp", self._update, self._identity))
+            object.__setattr__(self, "_hash", cached)
+        return cached
 
     def __eq__(self, other: object) -> bool:
         """Structural equality of the two components.
@@ -191,9 +259,7 @@ class VersionStamp:
         -- information irrelevant to frontier comparison is deliberately
         discarded (Section 3).
         """
-        return VersionStamp(
-            self._identity, self._identity, reducing=self._reducing, _validate=False
-        )
+        return VersionStamp._make(self._identity, self._identity, self._reducing)
 
     def fork(self) -> Tuple["VersionStamp", "VersionStamp"]:
         """Split into two stamps with distinct, autonomous identities.
@@ -204,12 +270,8 @@ class VersionStamp:
         incomparable (invariant I2).
         """
         zero_id, one_id = self._identity.fork()
-        left = VersionStamp(
-            self._update, zero_id, reducing=self._reducing, _validate=False
-        )
-        right = VersionStamp(
-            self._update, one_id, reducing=self._reducing, _validate=False
-        )
+        left = VersionStamp._make(self._update, zero_id, self._reducing)
+        right = VersionStamp._make(self._update, one_id, self._reducing)
         return left, right
 
     def join(self, other: "VersionStamp") -> "VersionStamp":
@@ -222,14 +284,20 @@ class VersionStamp:
         if not isinstance(other, VersionStamp):
             raise StampError(f"cannot join a stamp with {type(other).__name__}")
         update = self._update.join(other._update)
-        identity = self._identity.join(other._identity)
+        if self._update is self._identity and other._update is other._identity:
+            # Freshly updated stamps satisfy update ≡ id, so the two
+            # component joins coincide; share the merge (and the object, so
+            # downstream joins keep hitting this fast path).
+            identity = update
+        else:
+            identity = self._identity.join(other._identity)
         if self._reducing or other._reducing:
-            update, identity, _stats = reduce_stamp_pair(update, identity)
-        return VersionStamp(
-            update,
-            identity,
-            reducing=self._reducing or other._reducing,
-            _validate=False,
+            # Plain joins need no ReductionStats; normalize directly so the
+            # size bookkeeping of reduce_stamp_pair stays off this hot path
+            # (and the non-reducing path skips reduction work entirely).
+            update, identity, _steps = normalize(update, identity)
+        return VersionStamp._make(
+            update, identity, self._reducing or other._reducing
         )
 
     def join_with_stats(
@@ -244,11 +312,8 @@ class VersionStamp:
         update = self._update.join(other._update)
         identity = self._identity.join(other._identity)
         update, identity, stats = reduce_stamp_pair(update, identity)
-        joined = VersionStamp(
-            update,
-            identity,
-            reducing=self._reducing or other._reducing,
-            _validate=False,
+        joined = VersionStamp._make(
+            update, identity, self._reducing or other._reducing
         )
         return joined, stats
 
@@ -265,10 +330,8 @@ class VersionStamp:
 
     def normalized(self) -> "VersionStamp":
         """Return the Section 6 normal form of this stamp."""
-        update, identity, _stats = reduce_stamp_pair(self._update, self._identity)
-        return VersionStamp(
-            update, identity, reducing=self._reducing, _validate=False
-        )
+        update, identity, _steps = normalize(self._update, self._identity)
+        return VersionStamp._make(update, identity, self._reducing)
 
     def is_normalized(self) -> bool:
         """Return ``True`` iff no rewriting-rule step applies to this stamp."""
@@ -276,15 +339,11 @@ class VersionStamp:
 
     def non_reducing(self) -> "VersionStamp":
         """Return the same stamp with the non-reducing behaviour selected."""
-        return VersionStamp(
-            self._update, self._identity, reducing=False, _validate=False
-        )
+        return VersionStamp._make(self._update, self._identity, False)
 
     def as_reducing(self) -> "VersionStamp":
         """Return the same stamp with the reducing behaviour selected."""
-        return VersionStamp(
-            self._update, self._identity, reducing=True, _validate=False
-        )
+        return VersionStamp._make(self._update, self._identity, True)
 
     # -- comparison --------------------------------------------------------
 
@@ -298,8 +357,15 @@ class VersionStamp:
         Returns :class:`~repro.core.order.Ordering` describing ``self``
         relative to ``other``; by Corollary 5.2 this matches the comparison
         of the underlying causal histories for any two frontier elements.
+
+        Equal update components short-circuit to ``EQUAL`` (the name order
+        is a partial order, so equality decides the comparison outright);
+        unequal pairs go through a memoized double-``dominated_by``.
         """
-        return ordering_from_leq(self, other, VersionStamp.leq)
+        a, b = self._update, other._update
+        if a is b or a == b:
+            return Ordering.EQUAL
+        return _update_ordering(a, b)
 
     def equivalent(self, other: "VersionStamp") -> bool:
         """True when both stamps have seen exactly the same updates."""

@@ -500,11 +500,20 @@ class LockstepRunner:
         for adapter in self.adapters:
             adapter.start(trace.seed)
 
+        # Per-mechanism pairwise-comparison caches, keyed (x, y).  Each trace
+        # operation removes and creates a handful of elements; every other
+        # pair's comparison is unchanged, so with per-step cross-checking the
+        # work per step drops from O(F²) comparisons to O(F) fresh ones.
+        self._matrices = {self.oracle.name: {}}
+        for adapter in self.adapters:
+            self._matrices[adapter.name] = {}
+
         steps = list(trace.operations)
         for index, operation in enumerate(steps):
             self.oracle.apply(operation)
             for adapter in self.adapters:
                 adapter.apply(operation)
+            self._invalidate_matrices(operation)
             last_step = index == len(steps) - 1
             if self._compare_every_step or last_step:
                 self._cross_check(reports, sizes)
@@ -512,16 +521,27 @@ class LockstepRunner:
             self._cross_check(reports, sizes)
         return reports, sizes
 
+    def _invalidate_matrices(self, operation: Operation) -> None:
+        """Drop cached comparisons involving the labels an operation touched."""
+        dirty = set(operation.results)
+        dirty.add(operation.source)
+        if operation.other is not None:
+            dirty.add(operation.other)
+        for matrix in self._matrices.values():
+            stale = [pair for pair in matrix if pair[0] in dirty or pair[1] in dirty]
+            for pair in stale:
+                del matrix[pair]
+
     def _cross_check(
         self,
         reports: Dict[str, AgreementReport],
         sizes: Dict[str, SizeSample],
     ) -> None:
         labels = self.oracle.labels()
-        oracle_matrix: Dict[Tuple[str, str], Ordering] = {}
+        oracle_matrix = self._matrices[self.oracle.name]
         for x in labels:
             for y in labels:
-                if x != y:
+                if x != y and (x, y) not in oracle_matrix:
                     oracle_matrix[(x, y)] = self.oracle.compare(x, y)
         sizes[self.oracle.name].record(
             [self.oracle.size_in_bits(label) for label in labels]
@@ -535,8 +555,13 @@ class LockstepRunner:
                     f"{sorted(adapter_labels)} vs {sorted(labels)}"
                 )
             report = reports[adapter.name]
-            for (x, y), oracle_ordering in oracle_matrix.items():
-                report.record(oracle_ordering, adapter.compare(x, y))
+            matrix = self._matrices[adapter.name]
+            for pair, oracle_ordering in oracle_matrix.items():
+                observed = matrix.get(pair)
+                if observed is None:
+                    observed = adapter.compare(*pair)
+                    matrix[pair] = observed
+                report.record(oracle_ordering, observed)
             if self._check_invariants and not adapter.check_invariants():
                 report.invariant_failures += 1
             sizes[adapter.name].record(

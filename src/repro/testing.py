@@ -1,0 +1,95 @@
+"""Reusable hypothesis strategies and trace generators for testing repro.
+
+The test suite used to keep these in ``tests/conftest.py`` and pull them in
+with relative imports (``from ..conftest import ...``), which breaks pytest
+collection when the ``tests`` directory is not a package.  They live here
+instead, as a small public testing toolkit: anything that can import
+``repro`` can import ``repro.testing`` -- the repository's own tests, the
+differential harness, and downstream users writing property tests against
+their integration of version stamps.
+
+This module requires `hypothesis <https://hypothesis.readthedocs.io>`_,
+which is a test-only dependency; importing it outside a test environment
+raises ``ImportError`` like any missing optional dependency.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from hypothesis import strategies as st
+
+from repro.core.bitstring import BitString
+from repro.core.names import Name, maximal_strings
+from repro.sim.trace import Operation, Trace
+
+__all__ = ["bitstrings", "names", "trace_operations"]
+
+
+@st.composite
+def bitstrings(draw, max_length: int = 8) -> BitString:
+    """Arbitrary binary strings up to ``max_length`` bits."""
+    bits = draw(st.lists(st.integers(min_value=0, max_value=1), max_size=max_length))
+    return BitString(bits)
+
+
+@st.composite
+def names(draw, max_strings: int = 5, max_length: int = 6) -> Name:
+    """Arbitrary well-formed names (antichains), built by maximal-element
+    normalization of a random string set."""
+    strings = draw(
+        st.lists(bitstrings(max_length=max_length), min_size=0, max_size=max_strings)
+    )
+    return Name.from_down_set(maximal_strings(strings))
+
+
+@st.composite
+def trace_operations(draw, max_operations: int = 25, max_frontier: int = 6):
+    """Random well-formed traces for lockstep property tests."""
+    count = draw(st.integers(min_value=0, max_value=max_operations))
+    rng_seed = draw(st.integers(min_value=0, max_value=2**32 - 1))
+    rng = random.Random(rng_seed)
+    label_counter = [0]
+
+    def fresh() -> str:
+        label_counter[0] += 1
+        return f"t{label_counter[0]}"
+
+    seed_label = fresh()
+    alive: List[str] = [seed_label]
+    operations: List[Operation] = []
+    for _ in range(count):
+        kinds = ["update"]
+        if len(alive) < max_frontier:
+            kinds.append("fork")
+        if len(alive) >= 2:
+            kinds.extend(["join", "sync"])
+        kind = rng.choice(kinds)
+        if kind == "update":
+            source = rng.choice(alive)
+            result = fresh()
+            operations.append(Operation.update(source, result))
+            alive.remove(source)
+            alive.append(result)
+        elif kind == "fork":
+            source = rng.choice(alive)
+            left, right = fresh(), fresh()
+            operations.append(Operation.fork(source, left, right))
+            alive.remove(source)
+            alive.extend((left, right))
+        elif kind == "join":
+            source, other = rng.sample(alive, 2)
+            result = fresh()
+            operations.append(Operation.join(source, other, result))
+            alive.remove(source)
+            alive.remove(other)
+            alive.append(result)
+        else:
+            source, other = rng.sample(alive, 2)
+            left, right = fresh(), fresh()
+            operations.append(Operation.sync(source, other, left, right))
+            alive.remove(source)
+            alive.remove(other)
+            alive.extend((left, right))
+    return Trace(seed=seed_label, operations=tuple(operations), name="hypothesis")

@@ -1,0 +1,159 @@
+"""Differential tests: packed-integer core vs the text-based reference.
+
+The packed representation (:mod:`repro.core.bitstring`,
+:mod:`repro.core.names`, the bottom-up :func:`repro.core.reduction.normalize`)
+must be observationally identical to the retained seed implementation
+(:mod:`repro.core.refimpl`): same normal forms, same orders, same sizes, same
+reduction step counts.  These tests replay identical randomized
+``update``/``fork``/``join``/``sync`` sequences through both and compare
+everything observable.
+"""
+
+import random
+
+import pytest
+
+from repro.core.bitstring import BitString
+from repro.core.names import Name, maximal_strings
+from repro.core.reduction import normalize
+from repro.core.refimpl import RefName, RefStamp, ref_maximal, ref_normalize
+from repro.core.stamp import VersionStamp
+
+
+def _random_texts(rng, count, max_length):
+    return [
+        "".join(rng.choice("01") for _ in range(rng.randint(0, max_length)))
+        for _ in range(count)
+    ]
+
+
+class TestNameAlgebraEquivalence:
+    @pytest.mark.parametrize("seed", range(20))
+    def test_maximal_strings_match(self, seed):
+        rng = random.Random(seed)
+        texts = _random_texts(rng, rng.randint(0, 12), 8)
+        packed = maximal_strings(BitString(t) for t in texts)
+        reference = ref_maximal(texts)
+        assert {s.text for s in packed} == set(reference)
+
+    @pytest.mark.parametrize("seed", range(20))
+    def test_order_and_join_match(self, seed):
+        rng = random.Random(1000 + seed)
+        left_texts = _random_texts(rng, rng.randint(0, 8), 6)
+        right_texts = _random_texts(rng, rng.randint(0, 8), 6)
+        packed_left = Name.from_down_set(BitString(t) for t in left_texts)
+        packed_right = Name.from_down_set(BitString(t) for t in right_texts)
+        ref_left = RefName(ref_maximal(left_texts))
+        ref_right = RefName(ref_maximal(right_texts))
+
+        assert packed_left.dominated_by(packed_right) == ref_left.dominated_by(
+            ref_right
+        )
+        assert packed_right.dominated_by(packed_left) == ref_right.dominated_by(
+            ref_left
+        )
+        joined = packed_left.join(packed_right)
+        ref_joined = ref_left.join(ref_right)
+        assert {s.text for s in joined.strings} == set(ref_joined.strings)
+        assert joined.size_in_bits() == ref_joined.size_in_bits()
+
+    @pytest.mark.parametrize("seed", range(20))
+    def test_normalize_matches_step_at_a_time(self, seed):
+        rng = random.Random(2000 + seed)
+        id_texts = set(ref_maximal(_random_texts(rng, rng.randint(1, 10), 6)))
+        update_texts = {t[: rng.randint(0, len(t))] for t in id_texts if rng.random() < 0.7}
+        update_texts = set(ref_maximal(update_texts))
+
+        packed_update = Name.from_down_set(BitString(t) for t in update_texts)
+        packed_identity = Name.from_down_set(BitString(t) for t in id_texts)
+        new_update, new_identity, steps = normalize(packed_update, packed_identity)
+
+        ref_update, ref_identity, ref_steps = ref_normalize(
+            RefName(update_texts), RefName(id_texts)
+        )
+        assert steps == ref_steps
+        assert {s.text for s in new_identity.strings} == set(ref_identity.strings)
+        assert {s.text for s in new_update.strings} == set(ref_update.strings)
+
+
+def _replay(seed, operations=40, max_frontier=8, reducing=True):
+    """Drive identical random op sequences through both implementations.
+
+    Returns the final (packed, reference) stamp lists, checking observable
+    equality after every operation.
+    """
+    rng = random.Random(seed)
+    packed = [VersionStamp.seed(reducing=reducing)]
+    reference = [RefStamp.seed(reducing=reducing)]
+
+    for _ in range(operations):
+        kinds = ["update"]
+        if len(packed) < max_frontier:
+            kinds.append("fork")
+        if len(packed) >= 2:
+            kinds.extend(["join", "sync"])
+        kind = rng.choice(kinds)
+        if kind == "update":
+            index = rng.randrange(len(packed))
+            packed[index] = packed[index].update()
+            reference[index] = reference[index].update()
+        elif kind == "fork":
+            index = rng.randrange(len(packed))
+            left, right = packed.pop(index).fork()
+            packed.extend((left, right))
+            ref_left, ref_right = reference.pop(index).fork()
+            reference.extend((ref_left, ref_right))
+        elif kind == "join":
+            i, j = rng.sample(range(len(packed)), 2)
+            first, second = packed[i], packed[j]
+            ref_first, ref_second = reference[i], reference[j]
+            for index in sorted((i, j), reverse=True):
+                del packed[index]
+                del reference[index]
+            packed.append(first.join(second))
+            reference.append(ref_first.join(ref_second))
+        else:
+            i, j = rng.sample(range(len(packed)), 2)
+            first, second = packed[i], packed[j]
+            ref_first, ref_second = reference[i], reference[j]
+            for index in sorted((i, j), reverse=True):
+                del packed[index]
+                del reference[index]
+            left, right = first.sync(second)
+            packed.extend((left, right))
+            ref_left, ref_right = ref_first.sync(ref_second)
+            reference.extend((ref_left, ref_right))
+
+        for stamp, ref in zip(packed, reference):
+            assert str(stamp) == ref.to_text()
+            assert stamp.size_in_bits() == ref.size_in_bits()
+    return packed, reference
+
+
+class TestStampTrajectoryEquivalence:
+    @pytest.mark.parametrize("seed", range(15))
+    def test_reducing_trajectories_are_identical(self, seed):
+        packed, reference = _replay(seed, reducing=True)
+        self._assert_order_isomorphic(packed, reference)
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_non_reducing_trajectories_are_identical(self, seed):
+        # Non-reducing names grow without bound and the reference's O(k²)
+        # joins choke on long histories (the very cost the packed core
+        # removes), so keep the reference's share of the work bounded.
+        packed, reference = _replay(
+            500 + seed, operations=16, max_frontier=5, reducing=False
+        )
+        self._assert_order_isomorphic(packed, reference)
+
+    @staticmethod
+    def _assert_order_isomorphic(packed, reference):
+        """The full pairwise comparison matrices must coincide."""
+        for i, (a, ref_a) in enumerate(zip(packed, reference)):
+            for j, (b, ref_b) in enumerate(zip(packed, reference)):
+                if i == j:
+                    continue
+                assert a.compare(b) is ref_a.compare(ref_b), (
+                    f"divergence comparing element {i} with {j}: "
+                    f"{a} vs {ref_a.to_text()}"
+                )

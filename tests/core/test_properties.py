@@ -22,7 +22,7 @@ from repro.core.names import Name, is_antichain
 from repro.core.reduction import normalize, rewrite_once
 from repro.core.stamp import VersionStamp
 
-from ..conftest import bitstrings, names
+from repro.testing import bitstrings, names
 
 
 # ---------------------------------------------------------------------------
