@@ -1,0 +1,109 @@
+"""Fail CI when a fresh perf snapshot regresses below the committed floors.
+
+Compares two ``BENCH_ops.json`` files -- the committed snapshot (the floor)
+and a freshly measured one -- on the two tracked *speedup ratios*:
+
+* ``join_normalize[<frontier>].speedup_vs_reference`` (packed stamp core vs
+  the text-based seed implementation), at frontier 32 by default;
+* ``lockstep.speedup_vs_refhistory`` (bitset oracle + incremental lockstep
+  cross-check vs the retained frozenset oracle + seed full-rescan strategy).
+
+Ratios rather than absolute ops/sec are checked because both sides of each
+ratio run on the same machine in the same process, so the ratio is stable
+across runner hardware while absolute throughput is not.  A tolerance
+(default 30%) absorbs scheduler noise on shared CI runners: the check fails
+only when ``fresh < committed * (1 - tolerance)``.
+
+Usage::
+
+    python benchmarks/check_regression.py BENCH_ops.json BENCH_quick.json
+    python benchmarks/check_regression.py floor.json fresh.json --tolerance 0.3
+
+Exit status 0 when every ratio holds, 1 on regression or missing data.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+DEFAULT_TOLERANCE = 0.30
+JOIN_NORMALIZE_FRONTIER = "32"
+
+
+def _load(path):
+    try:
+        return json.loads(Path(path).read_text())
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot read snapshot {path}: {exc}", file=sys.stderr)
+        return None
+
+
+def _ratio(data, label, *keys):
+    """Fetch a nested float or report what is missing."""
+    node = data
+    for key in keys:
+        if not isinstance(node, dict) or key not in node:
+            print(
+                f"error: {label} snapshot has no {'.'.join(keys)} entry "
+                f"(stale schema? regenerate with perf_snapshot.py)",
+                file=sys.stderr,
+            )
+            return None
+        node = node[key]
+    if not isinstance(node, (int, float)):
+        print(f"error: {label} {'.'.join(keys)} is not a number", file=sys.stderr)
+        return None
+    return float(node)
+
+
+def check(committed, fresh, *, tolerance=DEFAULT_TOLERANCE):
+    """Return True when every tracked ratio holds within ``tolerance``."""
+    ok = True
+    for keys in (
+        ("join_normalize", JOIN_NORMALIZE_FRONTIER, "speedup_vs_reference"),
+        ("lockstep", "speedup_vs_refhistory"),
+    ):
+        floor = _ratio(committed, "committed", *keys)
+        value = _ratio(fresh, "fresh", *keys)
+        if floor is None or value is None:
+            ok = False
+            continue
+        allowed = floor * (1.0 - tolerance)
+        name = ".".join(keys)
+        if value < allowed:
+            print(
+                f"REGRESSION: {name} = {value:.2f}x, below the committed "
+                f"floor {floor:.2f}x - {tolerance:.0%} tolerance "
+                f"(= {allowed:.2f}x)"
+            )
+            ok = False
+        else:
+            print(
+                f"ok: {name} = {value:.2f}x (floor {floor:.2f}x, "
+                f"allowed >= {allowed:.2f}x)"
+            )
+    return ok
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("committed", help="committed BENCH_ops.json (the floor)")
+    parser.add_argument("fresh", help="freshly measured snapshot to validate")
+    parser.add_argument(
+        "--tolerance", type=float, default=DEFAULT_TOLERANCE,
+        help="allowed fractional drop below the floor (default: 0.30)",
+    )
+    args = parser.parse_args(argv)
+
+    committed = _load(args.committed)
+    fresh = _load(args.fresh)
+    if committed is None or fresh is None:
+        return 1
+    return 0 if check(committed, fresh, tolerance=args.tolerance) else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,12 +1,24 @@
-"""Perf snapshot: ops/sec of the stamp core, tracked as ``BENCH_ops.json``.
+"""Perf snapshot of the stamp core and the lockstep oracle (BENCH_ops.json).
 
-Measures the throughput of the four Definition 4.3 operations plus the
-``compare`` pre-order at several frontier widths, and a **join+normalize**
-microbenchmark run through both the packed-integer core and the retained
-text-based reference implementation (:mod:`repro.core.refimpl`), reporting
-the speedup.  The output file makes the perf trajectory of the data layer a
-tracked artifact: CI runs the quick mode on every push, and regressions show
-up as a drop in ``ops_per_sec`` or ``speedup_vs_reference``.
+Measures three things:
+
+* the throughput of the four Definition 4.3 operations plus the ``compare``
+  pre-order at several frontier widths (``ops_per_sec``);
+* a **join+normalize** microbenchmark run through both the packed-integer
+  core and the retained text-based reference implementation
+  (:mod:`repro.core.refimpl`), reporting the speedup (``join_normalize``);
+* a **lockstep long-trace** benchmark (``lockstep``): a 500-step random
+  fork/join/update trace replayed through :class:`repro.sim.runner.
+  LockstepRunner` with per-step cross-checking, once with the bitset-backed
+  causal oracle (:mod:`repro.causal.history`) and once with the retained
+  frozenset oracle (:mod:`repro.causal.refhistory`), reporting trace
+  steps/sec for each and the speedup.  This is the oracle-dominated regime
+  of the long-trace experiments: histories hold hundreds of events and the
+  per-step frontier cross-check is where the time goes.
+
+The output file makes the perf trajectory a tracked artifact: CI runs the
+quick mode on every push and ``benchmarks/check_regression.py`` fails the
+build when a recorded speedup drops below the committed floor.
 
 Usage::
 
@@ -31,9 +43,16 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro.core.refimpl import RefStamp
 from repro.core.stamp import VersionStamp
+from repro.sim.runner import CausalAdapter, LockstepRunner, RefCausalAdapter
+from repro.sim.workload import random_dynamic_trace
 
 DEFAULT_FRONTIER_SIZES = (8, 16, 32, 64)
 QUICK_FRONTIER_SIZES = (8, 32)
+
+#: Lockstep benchmark shape: long enough that histories hold hundreds of
+#: events, wide enough that the per-step cross-check dominates.
+LOCKSTEP_TRACE_STEPS = 500
+LOCKSTEP_MAX_FRONTIER = 64
 
 
 def _build_frontier(width, *, reducing=True, cls=VersionStamp):
@@ -154,10 +173,75 @@ def measure_join_normalize(width, *, repeats, min_time):
     }
 
 
+def measure_lockstep(
+    *,
+    steps=LOCKSTEP_TRACE_STEPS,
+    max_frontier=LOCKSTEP_MAX_FRONTIER,
+    repeats,
+    min_time,
+):
+    """Lockstep trace throughput: this PR's oracle stack vs the seed stack.
+
+    Replays one deterministic ``steps``-operation trace (frontier capped at
+    ``max_frontier``, update-heavy so histories hold hundreds of events)
+    through a :class:`LockstepRunner` with no comparison mechanisms
+    attached: every step pays only for the oracle's frontier cross-check,
+    i.e. the cost this benchmark isolates.  The same trace runs twice:
+
+    * bitset-backed :class:`CausalAdapter` with the incremental
+      comparison-cache strategy (this PR's lockstep stack), and
+    * frozenset :class:`RefCausalAdapter` with the retained seed strategy
+      (full O(F²) matrix rescans), exactly as the seed runner behaved.
+
+    The two stacks are proven to produce identical agreement reports by the
+    differential tests; the ratio of their trace throughput is the tracked
+    speedup.
+    """
+    trace = random_dynamic_trace(
+        steps,
+        seed=97,
+        update_weight=0.55,
+        fork_weight=0.3,
+        join_weight=0.15,
+        max_frontier=max_frontier,
+        name="lockstep-bench",
+    )
+
+    def replay_with(oracle_factory, incremental):
+        def run():
+            runner = LockstepRunner(
+                adapters=[],
+                oracle=oracle_factory(),
+                compare_every_step=True,
+                check_invariants=False,
+                incremental=incremental,
+            )
+            runner.run(trace)
+        return run
+
+    bitset_rate = _best_rate(
+        replay_with(CausalAdapter, True), len(trace),
+        repeats=repeats, min_time=min_time,
+    )
+    reference_rate = _best_rate(
+        replay_with(RefCausalAdapter, False), len(trace),
+        repeats=repeats, min_time=min_time,
+    )
+    return {
+        "trace_steps": steps,
+        "max_frontier": max_frontier,
+        "bitset_steps_per_sec": bitset_rate,
+        "refhistory_steps_per_sec": reference_rate,
+        "speedup_vs_refhistory": (
+            bitset_rate / reference_rate if reference_rate else None
+        ),
+    }
+
+
 def snapshot(*, frontier_sizes=DEFAULT_FRONTIER_SIZES, repeats=3, min_time=0.05):
     """Collect the full snapshot dictionary (no I/O)."""
     data = {
-        "schema": "repro-bench-ops/1",
+        "schema": "repro-bench-ops/2",
         "python": platform.python_version(),
         "implementation": platform.python_implementation(),
         "frontier_sizes": list(frontier_sizes),
@@ -171,11 +255,27 @@ def snapshot(*, frontier_sizes=DEFAULT_FRONTIER_SIZES, repeats=3, min_time=0.05)
         data["join_normalize"][str(width)] = measure_join_normalize(
             width, repeats=repeats, min_time=min_time
         )
+    data["lockstep"] = measure_lockstep(repeats=repeats, min_time=min_time)
     return data
 
 
 def main(argv=None):
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0],
+        epilog=(
+            "Sections written: ops_per_sec (update/fork/join/compare at each "
+            "frontier width), join_normalize (packed core vs text-based seed "
+            "implementation, speedup tracked), and lockstep (a "
+            f"{LOCKSTEP_TRACE_STEPS}-step random trace at frontier "
+            f"{LOCKSTEP_MAX_FRONTIER} replayed through LockstepRunner: "
+            "bitset causal oracle + incremental comparison caching vs the "
+            "retained frozenset oracle + seed full-rescan strategy, in trace "
+            "steps/sec).  benchmarks/check_regression.py compares the "
+            "join_normalize@32 and lockstep speedups of a fresh snapshot "
+            "against the committed BENCH_ops.json and fails CI when either "
+            "drops more than 30 percent below its floor."
+        ),
+    )
     parser.add_argument(
         "-o", "--output",
         default=str(Path(__file__).resolve().parent.parent / "BENCH_ops.json"),
@@ -213,6 +313,14 @@ def main(argv=None):
             f"{ratio['reference_ops_per_sec']:,.0f}/s "
             f"-> {ratio['speedup_vs_reference']:.1f}x"
         )
+    lockstep = data["lockstep"]
+    print(
+        f"  lockstep {lockstep['trace_steps']} steps @ frontier "
+        f"{lockstep['max_frontier']}: bitset "
+        f"{lockstep['bitset_steps_per_sec']:,.0f} steps/s vs refhistory "
+        f"{lockstep['refhistory_steps_per_sec']:,.0f} steps/s "
+        f"-> {lockstep['speedup_vs_refhistory']:.1f}x"
+    )
     return 0
 
 

@@ -6,10 +6,31 @@ set-inclusion comparison, configurations evolved by update/fork/join) and is
 used by the tests, the exhaustive model checker and the benchmarks to verify
 that version stamps induce the same order on every frontier
 (Proposition 5.1 / Corollary 5.2).
+
+Two implementations live here:
+
+* the production oracle (:mod:`~repro.causal.history`,
+  :mod:`~repro.causal.configuration`): event identities are dense integer
+  indices handed out by the :class:`EventSource` arena and a history is one
+  packed Python ``int`` (union = ``|``, inclusion = ``&``-compare, size =
+  ``bit_count``), interned so equal histories are pointer-equal;
+* the seed frozenset implementation (:mod:`~repro.causal.refhistory`),
+  retained verbatim for differential testing and as the perf baseline of the
+  ``lockstep`` section in ``benchmarks/perf_snapshot.py``.
 """
 
 from .configuration import CausalConfiguration
-from .events import EventSource, UpdateEvent
+from .events import EventSource, UpdateEvent, label_of, materialize
 from .history import CausalHistory
+from .refhistory import RefCausalConfiguration, RefCausalHistory
 
-__all__ = ["CausalConfiguration", "CausalHistory", "EventSource", "UpdateEvent"]
+__all__ = [
+    "CausalConfiguration",
+    "CausalHistory",
+    "EventSource",
+    "UpdateEvent",
+    "RefCausalConfiguration",
+    "RefCausalHistory",
+    "label_of",
+    "materialize",
+]

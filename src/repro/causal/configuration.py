@@ -10,6 +10,12 @@ the one induced by version stamps.
 
 Unlike stamps, the oracle requires a globally shared :class:`EventSource` --
 this is exactly the "global view" the paper's mechanism eliminates.
+
+Histories are packed-int bitsets (see :mod:`repro.causal.history`), so the
+aggregate queries here -- ``all_events``, ``dominated_by_set``,
+``ordering_matrix`` -- are a handful of big-int ``|``/``&`` operations
+instead of rebuilding Python sets.  The seed frozenset implementation is
+retained in :mod:`repro.causal.refhistory` for differential testing.
 """
 
 from __future__ import annotations
@@ -69,6 +75,15 @@ class CausalConfiguration:
         """A copy of the label → history mapping."""
         return dict(self._histories)
 
+    def histories_view(self) -> Mapping[str, CausalHistory]:
+        """The live label → history mapping (read-only; do not mutate).
+
+        Hot-path accessor for the lockstep runner: comparing two elements
+        through this view is one dict lookup per side plus a bitset compare,
+        with no per-call copying.
+        """
+        return self._histories
+
     def history_of(self, label: str) -> CausalHistory:
         """The causal history of ``label`` (raises for unknown labels)."""
         try:
@@ -79,12 +94,16 @@ class CausalConfiguration:
                 f"(elements: {sorted(self._histories)})"
             ) from None
 
+    def all_events_bits(self) -> int:
+        """The union of every element's history as one packed bitset."""
+        union = 0
+        for history in self._histories.values():
+            union |= history.bits
+        return union
+
     def all_events(self) -> FrozenSet[UpdateEvent]:
         """The union of every element's history (the paper's ``E(C)``)."""
-        union: set = set()
-        for history in self._histories.values():
-            union |= history.events
-        return frozenset(union)
+        return CausalHistory.from_bits(self.all_events_bits()).events
 
     @property
     def event_source(self) -> EventSource:
@@ -112,9 +131,9 @@ class CausalConfiguration:
         target = new_label if new_label is not None else self._fresh_label(label + "'")
         if target != label and target in self._histories:
             raise FrontierError(f"element {target!r} already exists")
-        event = self._events.fresh(label)
+        event_index = self._events.fresh_index(label)
         del self._histories[label]
-        self._histories[target] = history.with_event(event)
+        self._histories[target] = history.with_event(event_index)
         return target
 
     def fork(
@@ -191,21 +210,27 @@ class CausalConfiguration:
         return self.compare(first, second) is Ordering.CONCURRENT
 
     def ordering_matrix(self) -> Dict[Tuple[str, str], Ordering]:
-        """All pairwise comparisons of the current configuration."""
-        labels = self.labels()
+        """All pairwise comparisons of the current configuration.
+
+        Each unordered pair is compared once on packed bitsets; the mirror
+        entry is derived by flipping, so the matrix costs F(F-1)/2 compares.
+        """
+        items = list(self._histories.items())
         matrix: Dict[Tuple[str, str], Ordering] = {}
-        for x in labels:
-            for y in labels:
-                if x != y:
-                    matrix[(x, y)] = self.compare(x, y)
+        for i, (x, x_history) in enumerate(items):
+            for y, y_history in items[i + 1:]:
+                ordering = x_history.compare(y_history)
+                matrix[(x, y)] = ordering
+                matrix[(y, x)] = ordering.flipped()
         return matrix
 
     def dominated_by_set(self, label: str, others: Iterable[str]) -> bool:
         """Whether ``C(label) ⊆ ∪ C[others]`` (the relation of Prop. 5.1)."""
-        union: set = set()
+        union = 0
         for other in others:
-            union |= self.history_of(other).events
-        return self.history_of(label).events <= union
+            union |= self.history_of(other).bits
+        bits = self.history_of(label).bits
+        return bits & union == bits
 
     def copy(self) -> "CausalConfiguration":
         """A copy sharing the same event source (histories are immutable)."""

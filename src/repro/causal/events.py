@@ -1,4 +1,4 @@
-"""Globally unique update events for the causal-history reference model.
+"""Globally unique update events, issued as dense integer indices.
 
 The causal-history model of Section 2 assumes a *global view*: every update
 produces an event with an identity that is unique across the whole system.
@@ -7,25 +7,48 @@ stamps are proved correct; we mirror that role by making event generation an
 explicit, clearly non-distributed service (:class:`EventSource`), so that the
 oracle's reliance on global knowledge is visible in the code and absent from
 the version-stamp implementation.
+
+``EventSource`` is an *arena*: each fresh event is identified by a dense
+integer index (its sequence number), and that index doubles as a bit
+position, so a causal history can be stored as a single arbitrary-precision
+integer (see :mod:`repro.causal.history`).  Labels are display-only metadata
+kept in a side table; :func:`materialize` rebuilds an :class:`UpdateEvent`
+view from a bare index whenever something needs to be shown to a human.
 """
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass, field
-from typing import Iterator, Optional
+from typing import Dict, Iterator
 
-__all__ = ["UpdateEvent", "EventSource"]
+__all__ = [
+    "UpdateEvent",
+    "EventSource",
+    "label_of",
+    "materialize",
+    "register_label",
+]
+
+#: Display labels by event index.  Labels are excluded from event equality,
+#: so a collision between two sources that reuse the same index range only
+#: affects rendering, never the order the oracle reports.  The table is
+#: process-global and lives for the lifetime of the process -- a deliberate
+#: tradeoff: events are permanent identities in the paper's global-view
+#: model, the entries are display-only strings registered once per labelled
+#: event, and the footprint is strictly smaller than the seed design, which
+#: kept a full ``UpdateEvent`` object alive inside every frozenset history.
+_LABELS: Dict[int, str] = {}
 
 
 @dataclass(frozen=True, order=True)
 class UpdateEvent:
-    """A globally unique update event.
+    """A globally unique update event (a *view* over an arena index).
 
     Attributes
     ----------
     sequence:
-        Monotonically increasing number assigned by the :class:`EventSource`.
+        Monotonically increasing number assigned by the :class:`EventSource`;
+        it is also the event's bit position in packed histories.
     label:
         Optional human-readable tag (e.g. the element that was updated);
         purely informational and excluded from equality.
@@ -40,23 +63,53 @@ class UpdateEvent:
         return f"e{self.sequence}"
 
 
+def register_label(sequence: int, label: str) -> None:
+    """Record the display label of event ``sequence`` (empty labels ignored)."""
+    if label:
+        _LABELS[sequence] = label
+
+
+def label_of(sequence: int) -> str:
+    """The display label registered for event ``sequence`` (``""`` if none)."""
+    return _LABELS.get(sequence, "")
+
+
+def materialize(sequence: int) -> UpdateEvent:
+    """Rebuild the :class:`UpdateEvent` view of a bare arena index."""
+    return UpdateEvent(sequence, _LABELS.get(sequence, ""))
+
+
 class EventSource:
-    """A generator of globally unique :class:`UpdateEvent` values.
+    """An arena of globally unique update events.
 
     This is deliberately a single, centralized object: it models the global
     view the paper assumes for causal histories and that version stamps do
     away with.  One source must be shared by every causal-history
     configuration participating in the same run.
+
+    The hot-path API is :meth:`fresh_index`, which hands out the next dense
+    integer index without allocating an event object; :meth:`fresh` wraps it
+    in an :class:`UpdateEvent` view for callers that want one.
     """
 
+    __slots__ = ("_next", "_issued")
+
     def __init__(self, start: int = 0) -> None:
-        self._counter = itertools.count(start)
+        self._next = start
         self._issued = 0
+
+    def fresh_index(self, label: str = "") -> int:
+        """Hand out the next dense event index (no object allocation)."""
+        index = self._next
+        self._next += 1
+        self._issued += 1
+        if label:
+            _LABELS[index] = label
+        return index
 
     def fresh(self, label: str = "") -> UpdateEvent:
         """Return a brand new event, never seen before in this source."""
-        self._issued += 1
-        return UpdateEvent(next(self._counter), label)
+        return UpdateEvent(self.fresh_index(label), label)
 
     @property
     def issued(self) -> int:

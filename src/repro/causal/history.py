@@ -1,32 +1,96 @@
-"""Causal histories: sets of update events and their inclusion pre-order.
+"""Causal histories packed into single integers, with inclusion comparison.
 
 A causal history is simply the set of update events known to an element
 (Section 2).  Comparing two frontier elements compares their histories by set
 inclusion, which yields the three situations of interest: equivalence,
 obsolescence and mutual inconsistency.
 
-:class:`CausalHistory` is a thin immutable wrapper over a frozenset that adds
-the comparison vocabulary shared by every mechanism in the library, so the
-lockstep runner can treat the oracle and the stamps uniformly.
+Representation
+--------------
+Event indices are dense (see :mod:`repro.causal.events`), so a history is
+stored as one arbitrary-precision Python ``int`` whose bit ``i`` is set iff
+event ``i`` belongs to the history:
+
+==========================  =============================  ================
+operation                   packed implementation           complexity
+==========================  =============================  ================
+``with_event`` / ``union``  ``bits | other``                O(n/64) words
+``leq`` (inclusion)         ``a & b == a``                  O(n/64) words
+``compare``                 identity test, then ``&``       O(n/64) words
+``len`` / ``event_count``   ``bit_count()``                 O(n/64) words
+``==`` / ``hash``           identity / cached int hash      O(1) amortized
+==========================  =============================  ================
+
+(The seed implementation stored ``frozenset[UpdateEvent]``; every one of the
+operations above hashed and re-bucketed event objects, and iteration
+re-sorted the set on each call.  That implementation is retained verbatim in
+:mod:`repro.causal.refhistory` as the differential-test oracle.)
+
+Instances are *interned* by their packed value: structurally equal histories
+are pointer-equal, so ``compare`` starts with an identity fast path and
+``dict``/``set`` membership degenerates to pointer hashing — the same
+playbook :class:`repro.core.bitstring.BitString` uses.  The sorted event view
+and the hash are computed lazily on first use and cached, since histories are
+immutable.
 """
 
 from __future__ import annotations
 
-from typing import AbstractSet, FrozenSet, Iterable, Iterator
+import weakref
+from typing import FrozenSet, Iterable, Iterator, Optional, Tuple, Union
 
-from ..core.order import Ordering, ordering_from_sets
-from .events import UpdateEvent
+from ..core.order import Ordering
+from .events import UpdateEvent, materialize, register_label
 
 __all__ = ["CausalHistory"]
 
+try:  # int.bit_count is Python >= 3.10; fall back for 3.9.
+    _bit_count = int.bit_count
+except AttributeError:  # pragma: no cover - exercised only on old Pythons
+    def _bit_count(value: int) -> int:
+        return bin(value).count("1")
+
+#: Intern table: packed bits -> the unique live CausalHistory carrying them.
+_INTERN: "weakref.WeakValueDictionary[int, CausalHistory]" = (
+    weakref.WeakValueDictionary()
+)
+
 
 class CausalHistory:
-    """An immutable set of update events with inclusion-based comparison."""
+    """An immutable set of update events packed into one integer.
 
-    __slots__ = ("_events",)
+    Accepts an iterable of :class:`UpdateEvent` views or bare integer
+    indices.  Construction interns by packed value, so ``CausalHistory(x)``
+    and ``CausalHistory(y)`` are the *same object* whenever they denote the
+    same event set.
+    """
 
-    def __init__(self, events: Iterable[UpdateEvent] = ()) -> None:
-        object.__setattr__(self, "_events", frozenset(events))
+    __slots__ = ("_bits", "_count", "_hash", "_view", "__weakref__")
+
+    def __new__(
+        cls, events: Iterable[Union[UpdateEvent, int]] = ()
+    ) -> "CausalHistory":
+        bits = 0
+        for event in events:
+            if isinstance(event, UpdateEvent):
+                if event.label:
+                    register_label(event.sequence, event.label)
+                bits |= 1 << event.sequence
+            else:
+                bits |= 1 << event
+        return cls._from_bits(bits)
+
+    @classmethod
+    def _from_bits(cls, bits: int) -> "CausalHistory":
+        self = _INTERN.get(bits)
+        if self is None:
+            self = object.__new__(cls)
+            object.__setattr__(self, "_bits", bits)
+            object.__setattr__(self, "_count", None)
+            object.__setattr__(self, "_hash", None)
+            object.__setattr__(self, "_view", None)
+            _INTERN[bits] = self
+        return self
 
     # -- constructors -------------------------------------------------
 
@@ -35,49 +99,100 @@ class CausalHistory:
         """The history of a freshly created system: no updates seen."""
         return _EMPTY
 
+    @classmethod
+    def from_bits(cls, bits: int) -> "CausalHistory":
+        """Wrap an already-packed event bitset (bit ``i`` = event ``i``)."""
+        if bits < 0:
+            raise ValueError("event bitsets are non-negative integers")
+        return cls._from_bits(bits)
+
     # -- protocol -------------------------------------------------------
 
     def __setattr__(self, name: str, value: object) -> None:
         raise AttributeError("CausalHistory instances are immutable")
 
     @property
+    def bits(self) -> int:
+        """The packed event bitset (bit ``i`` set iff event ``i`` is known)."""
+        return self._bits
+
+    @property
+    def event_count(self) -> int:
+        """Number of events in the history (``bit_count``, cached)."""
+        count = self._count
+        if count is None:
+            count = _bit_count(self._bits)
+            object.__setattr__(self, "_count", count)
+        return count
+
+    @property
     def events(self) -> FrozenSet[UpdateEvent]:
-        """The underlying frozen set of events."""
-        return self._events
+        """The events as a frozen set of :class:`UpdateEvent` views."""
+        return frozenset(self._materialized())
+
+    def _materialized(self) -> Tuple[UpdateEvent, ...]:
+        """Sorted tuple of event views, built once and cached (immutable)."""
+        view = self._view
+        if view is None:
+            bits = self._bits
+            out = []
+            while bits:
+                low = bits & -bits
+                bits ^= low
+                out.append(materialize(low.bit_length() - 1))
+            view = tuple(out)
+            object.__setattr__(self, "_view", view)
+        return view
 
     def __len__(self) -> int:
-        return len(self._events)
+        return self.event_count
 
     def __iter__(self) -> Iterator[UpdateEvent]:
-        return iter(sorted(self._events))
+        return iter(self._materialized())
 
     def __contains__(self, event: object) -> bool:
-        return event in self._events
+        if isinstance(event, UpdateEvent):
+            return bool((self._bits >> event.sequence) & 1)
+        return False
 
     def __bool__(self) -> bool:
-        return bool(self._events)
+        return bool(self._bits)
 
     def __hash__(self) -> int:
-        return hash(("CausalHistory", self._events))
+        cached = self._hash
+        if cached is None:
+            cached = hash(("CausalHistory", self._bits))
+            object.__setattr__(self, "_hash", cached)
+        return cached
 
     def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
         if isinstance(other, CausalHistory):
-            return self._events == other._events
+            return self._bits == other._bits
         return NotImplemented
 
     def __repr__(self) -> str:
-        body = ", ".join(str(event) for event in sorted(self._events))
+        body = ", ".join(str(event) for event in self._materialized())
         return f"CausalHistory({{{body}}})"
 
     # -- evolution --------------------------------------------------------
 
-    def with_event(self, event: UpdateEvent) -> "CausalHistory":
+    def with_event(self, event: Union[UpdateEvent, int]) -> "CausalHistory":
         """Return the history extended with one new update event."""
-        return CausalHistory(self._events | {event})
+        if isinstance(event, UpdateEvent):
+            if event.label:
+                register_label(event.sequence, event.label)
+            index = event.sequence
+        else:
+            index = event
+        return CausalHistory._from_bits(self._bits | (1 << index))
 
     def union(self, other: "CausalHistory") -> "CausalHistory":
         """The combined knowledge of two histories (used by ``join``)."""
-        return CausalHistory(self._events | other._events)
+        if self is other:
+            return self
+        return CausalHistory._from_bits(self._bits | other._bits)
 
     def __or__(self, other: "CausalHistory") -> "CausalHistory":
         if not isinstance(other, CausalHistory):
@@ -88,7 +203,8 @@ class CausalHistory:
 
     def leq(self, other: "CausalHistory") -> bool:
         """Inclusion: every event of ``self`` is known to ``other``."""
-        return self._events <= other._events
+        bits = self._bits
+        return bits & other._bits == bits
 
     def __le__(self, other: "CausalHistory") -> bool:
         if not isinstance(other, CausalHistory):
@@ -98,25 +214,35 @@ class CausalHistory:
     def __lt__(self, other: "CausalHistory") -> bool:
         if not isinstance(other, CausalHistory):
             return NotImplemented
-        return self._events < other._events
+        return self._bits != other._bits and self.leq(other)
 
     def compare(self, other: "CausalHistory") -> Ordering:
         """Three-way comparison by set inclusion (the Section 2 queries)."""
-        return ordering_from_sets(self._events, other._events)
+        if self is other:
+            return Ordering.EQUAL
+        a = self._bits
+        b = other._bits
+        if a == b:
+            return Ordering.EQUAL
+        intersection = a & b
+        if intersection == a:
+            return Ordering.BEFORE
+        if intersection == b:
+            return Ordering.AFTER
+        return Ordering.CONCURRENT
 
     def equivalent(self, other: "CausalHistory") -> bool:
         """Both elements have seen exactly the same updates."""
-        return self._events == other._events
+        return self is other or self._bits == other._bits
 
     def obsolete_relative_to(self, other: "CausalHistory") -> bool:
         """``other`` has seen every update of ``self`` plus at least one more."""
-        return self._events < other._events
+        return self._bits != other._bits and self.leq(other)
 
     def inconsistent_with(self, other: "CausalHistory") -> bool:
         """Each side has seen at least one update unknown to the other."""
-        return not (self._events <= other._events) and not (
-            other._events <= self._events
-        )
+        intersection = self._bits & other._bits
+        return intersection != self._bits and intersection != other._bits
 
 
 _EMPTY = CausalHistory()

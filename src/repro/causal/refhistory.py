@@ -1,0 +1,344 @@
+"""Frozenset-based reference implementation of causal histories.
+
+This module preserves the *seed* oracle's semantics and data structures:
+a causal history is a ``frozenset[UpdateEvent]``, comparison is Python set
+inclusion, configurations rebuild sets on every union.  It exists for the
+same two purposes as :mod:`repro.core.refimpl` does for the stamp core:
+
+* **Differential testing** -- ``tests/causal/test_refhistory_differential.py``
+  replays identical traces through the packed-bitset oracle
+  (:mod:`repro.causal.history` / :mod:`~repro.causal.configuration`) and
+  through this module, asserting identical orderings, matrices, dominance
+  relations and lockstep agreement reports.  Any divergence is a bug in the
+  bitset representation.
+* **Perf baseline** -- ``benchmarks/perf_snapshot.py`` measures lockstep
+  trace throughput with the bitset oracle *against* this module, so the
+  oracle speedup is tracked release over release instead of silently
+  regressing.
+
+It is deliberately simple and slow; nothing outside tests and benchmarks
+should import it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Mapping, Optional, Tuple
+
+from ..core.errors import FrontierError
+from ..core.order import Ordering, ordering_from_sets
+from .events import EventSource, UpdateEvent
+
+__all__ = ["RefCausalHistory", "RefCausalConfiguration"]
+
+
+class RefCausalHistory:
+    """An immutable set of update events with inclusion-based comparison.
+
+    This is the seed implementation of :class:`repro.causal.history.CausalHistory`
+    kept verbatim: a thin wrapper over a frozenset, with no interning, no
+    cached hash and a re-sorting ``__iter__``.
+    """
+
+    __slots__ = ("_events",)
+
+    def __init__(self, events: Iterable[UpdateEvent] = ()) -> None:
+        object.__setattr__(self, "_events", frozenset(events))
+
+    # -- constructors -------------------------------------------------
+
+    @classmethod
+    def empty(cls) -> "RefCausalHistory":
+        """The history of a freshly created system: no updates seen."""
+        return _EMPTY
+
+    # -- protocol -------------------------------------------------------
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("RefCausalHistory instances are immutable")
+
+    @property
+    def events(self) -> FrozenSet[UpdateEvent]:
+        """The underlying frozen set of events."""
+        return self._events
+
+    @property
+    def event_count(self) -> int:
+        """Number of events in the history (API parity with the bitset class)."""
+        return len(self._events)
+
+    @property
+    def bits(self) -> int:
+        """The packed bitset equivalent (API parity; built on demand)."""
+        packed = 0
+        for event in self._events:
+            packed |= 1 << event.sequence
+        return packed
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[UpdateEvent]:
+        return iter(sorted(self._events))
+
+    def __contains__(self, event: object) -> bool:
+        return event in self._events
+
+    def __bool__(self) -> bool:
+        return bool(self._events)
+
+    def __hash__(self) -> int:
+        return hash(("CausalHistory", self._events))
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, RefCausalHistory):
+            return self._events == other._events
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        body = ", ".join(str(event) for event in sorted(self._events))
+        return f"RefCausalHistory({{{body}}})"
+
+    # -- evolution --------------------------------------------------------
+
+    def with_event(self, event: UpdateEvent) -> "RefCausalHistory":
+        """Return the history extended with one new update event."""
+        return RefCausalHistory(self._events | {event})
+
+    def union(self, other: "RefCausalHistory") -> "RefCausalHistory":
+        """The combined knowledge of two histories (used by ``join``)."""
+        return RefCausalHistory(self._events | other._events)
+
+    def __or__(self, other: "RefCausalHistory") -> "RefCausalHistory":
+        if not isinstance(other, RefCausalHistory):
+            return NotImplemented
+        return self.union(other)
+
+    # -- comparison --------------------------------------------------------
+
+    def leq(self, other: "RefCausalHistory") -> bool:
+        """Inclusion: every event of ``self`` is known to ``other``."""
+        return self._events <= other._events
+
+    def __le__(self, other: "RefCausalHistory") -> bool:
+        if not isinstance(other, RefCausalHistory):
+            return NotImplemented
+        return self.leq(other)
+
+    def __lt__(self, other: "RefCausalHistory") -> bool:
+        if not isinstance(other, RefCausalHistory):
+            return NotImplemented
+        return self._events < other._events
+
+    def compare(self, other: "RefCausalHistory") -> Ordering:
+        """Three-way comparison by set inclusion (the Section 2 queries)."""
+        return ordering_from_sets(self._events, other._events)
+
+    def equivalent(self, other: "RefCausalHistory") -> bool:
+        """Both elements have seen exactly the same updates."""
+        return self._events == other._events
+
+    def obsolete_relative_to(self, other: "RefCausalHistory") -> bool:
+        """``other`` has seen every update of ``self`` plus at least one more."""
+        return self._events < other._events
+
+    def inconsistent_with(self, other: "RefCausalHistory") -> bool:
+        """Each side has seen at least one update unknown to the other."""
+        return not (self._events <= other._events) and not (
+            other._events <= self._events
+        )
+
+
+_EMPTY = RefCausalHistory()
+
+
+class RefCausalConfiguration:
+    """The seed :class:`~repro.causal.configuration.CausalConfiguration`:
+    label -> frozenset histories, sets rebuilt on every union."""
+
+    def __init__(
+        self,
+        histories: Optional[Mapping[str, RefCausalHistory]] = None,
+        *,
+        events: Optional[EventSource] = None,
+    ) -> None:
+        self._histories: Dict[str, RefCausalHistory] = dict(histories or {})
+        self._events = events if events is not None else EventSource()
+
+    # -- constructors -------------------------------------------------
+
+    @classmethod
+    def initial(
+        cls, label: str = "a", *, events: Optional[EventSource] = None
+    ) -> "RefCausalConfiguration":
+        """The initial configuration ``{label ↦ {}}`` of Definition 2.1."""
+        configuration = cls(events=events)
+        configuration._histories[label] = RefCausalHistory.empty()
+        return configuration
+
+    # -- mapping protocol -----------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._histories)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._histories)
+
+    def __contains__(self, label: object) -> bool:
+        return label in self._histories
+
+    def __getitem__(self, label: str) -> RefCausalHistory:
+        return self.history_of(label)
+
+    def labels(self) -> List[str]:
+        """The labels of the coexisting elements, in insertion order."""
+        return list(self._histories)
+
+    def histories(self) -> Dict[str, RefCausalHistory]:
+        """A copy of the label → history mapping."""
+        return dict(self._histories)
+
+    def histories_view(self) -> Mapping[str, RefCausalHistory]:
+        """The live label → history mapping (read-only; API parity)."""
+        return self._histories
+
+    def history_of(self, label: str) -> RefCausalHistory:
+        """The causal history of ``label`` (raises for unknown labels)."""
+        try:
+            return self._histories[label]
+        except KeyError:
+            raise FrontierError(
+                f"element {label!r} is not part of the current configuration "
+                f"(elements: {sorted(self._histories)})"
+            ) from None
+
+    def all_events(self) -> FrozenSet[UpdateEvent]:
+        """The union of every element's history (the paper's ``E(C)``)."""
+        union: set = set()
+        for history in self._histories.values():
+            union |= history.events
+        return frozenset(union)
+
+    @property
+    def event_source(self) -> EventSource:
+        """The shared global event source (the oracle's global view)."""
+        return self._events
+
+    def __repr__(self) -> str:
+        body = ", ".join(
+            f"{label}: {sorted(str(e) for e in history.events)}"
+            for label, history in self._histories.items()
+        )
+        return f"RefCausalConfiguration({{{body}}})"
+
+    # -- transformations of Definition 2.1 -----------------------------------
+
+    def _fresh_label(self, base: str) -> str:
+        candidate = base
+        while candidate in self._histories:
+            candidate += "'"
+        return candidate
+
+    def update(self, label: str, new_label: Optional[str] = None) -> str:
+        """``update(label)``: add a globally fresh event to the history."""
+        history = self.history_of(label)
+        target = new_label if new_label is not None else self._fresh_label(label + "'")
+        if target != label and target in self._histories:
+            raise FrontierError(f"element {target!r} already exists")
+        event = self._events.fresh(label)
+        del self._histories[label]
+        self._histories[target] = history.with_event(event)
+        return target
+
+    def fork(
+        self,
+        label: str,
+        left_label: Optional[str] = None,
+        right_label: Optional[str] = None,
+    ) -> Tuple[str, str]:
+        """``fork(label)``: two elements, both inheriting the full history."""
+        history = self.history_of(label)
+        left = left_label if left_label is not None else self._fresh_label(label + "0")
+        del self._histories[label]
+        right = (
+            right_label if right_label is not None else self._fresh_label(label + "1")
+        )
+        if left == right:
+            raise FrontierError("fork children must have distinct labels")
+        for target in (left, right):
+            if target in self._histories:
+                raise FrontierError(f"element {target!r} already exists")
+        self._histories[left] = history
+        self._histories[right] = history
+        return left, right
+
+    def join(self, first: str, second: str, new_label: Optional[str] = None) -> str:
+        """``join(first, second)``: one element with the union of histories."""
+        if first == second:
+            raise FrontierError("cannot join an element with itself")
+        first_history = self.history_of(first)
+        second_history = self.history_of(second)
+        target = (
+            new_label
+            if new_label is not None
+            else self._fresh_label(f"{first}{second}")
+        )
+        del self._histories[first]
+        del self._histories[second]
+        if target in self._histories:
+            raise FrontierError(f"element {target!r} already exists")
+        self._histories[target] = first_history.union(second_history)
+        return target
+
+    def sync(
+        self,
+        first: str,
+        second: str,
+        left_label: Optional[str] = None,
+        right_label: Optional[str] = None,
+    ) -> Tuple[str, str]:
+        """Synchronization as join-then-fork (Section 1.1)."""
+        joined = self.join(first, second)
+        return self.fork(
+            joined,
+            left_label if left_label is not None else first,
+            right_label if right_label is not None else second,
+        )
+
+    # -- queries -----------------------------------------------------------------
+
+    def compare(self, first: str, second: str) -> Ordering:
+        """Three-way comparison of two elements by history inclusion."""
+        return self.history_of(first).compare(self.history_of(second))
+
+    def equivalent(self, first: str, second: str) -> bool:
+        """Section 2 equivalence: identical histories."""
+        return self.compare(first, second) is Ordering.EQUAL
+
+    def obsolete(self, first: str, second: str) -> bool:
+        """Section 2 obsolescence of ``first`` relative to ``second``."""
+        return self.compare(first, second) is Ordering.BEFORE
+
+    def inconsistent(self, first: str, second: str) -> bool:
+        """Section 2 mutual inconsistency."""
+        return self.compare(first, second) is Ordering.CONCURRENT
+
+    def ordering_matrix(self) -> Dict[Tuple[str, str], Ordering]:
+        """All pairwise comparisons of the current configuration."""
+        labels = self.labels()
+        matrix: Dict[Tuple[str, str], Ordering] = {}
+        for x in labels:
+            for y in labels:
+                if x != y:
+                    matrix[(x, y)] = self.compare(x, y)
+        return matrix
+
+    def dominated_by_set(self, label: str, others: Iterable[str]) -> bool:
+        """Whether ``C(label) ⊆ ∪ C[others]`` (the relation of Prop. 5.1)."""
+        union: set = set()
+        for other in others:
+            union |= self.history_of(other).events
+        return self.history_of(label).events <= union
+
+    def copy(self) -> "RefCausalConfiguration":
+        """A copy sharing the same event source (histories are immutable)."""
+        return RefCausalConfiguration(self._histories, events=self._events)

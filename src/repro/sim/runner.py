@@ -27,6 +27,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..causal.configuration import CausalConfiguration
+from ..causal.refhistory import RefCausalConfiguration
 from ..core.frontier import Frontier
 from ..core.invariants import check_all
 from ..core.order import Ordering
@@ -42,6 +43,7 @@ from .trace import OpKind, Operation, Trace
 __all__ = [
     "MechanismAdapter",
     "CausalAdapter",
+    "RefCausalAdapter",
     "StampAdapter",
     "DynamicVVAdapter",
     "ITCAdapter",
@@ -76,6 +78,16 @@ class MechanismAdapter:
         """Pairwise comparison of two live elements."""
         raise NotImplementedError
 
+    def comparison_table(self) -> Optional[Mapping[str, object]]:
+        """Optional label -> comparable mapping for bulk comparisons.
+
+        When an adapter can expose its live elements as objects with a
+        ``compare`` method, the lockstep runner compares through this table
+        directly, skipping the per-call label resolution of :meth:`compare`.
+        Returning ``None`` (the default) keeps the label-based path.
+        """
+        return None
+
     def size_in_bits(self, label: str) -> int:
         """Metadata size of one live element (0 when not meaningful)."""
         return 0
@@ -86,21 +98,24 @@ class MechanismAdapter:
 
 
 class CausalAdapter(MechanismAdapter):
-    """The causal-history oracle (global view)."""
+    """The causal-history oracle (global view), bitset-backed."""
 
     name = "causal-history"
 
+    #: The configuration implementation this adapter drives.
+    configuration_class = CausalConfiguration
+
     def __init__(self) -> None:
-        self._configuration: Optional[CausalConfiguration] = None
+        self._configuration = None
 
     @property
-    def configuration(self) -> CausalConfiguration:
+    def configuration(self):
         if self._configuration is None:
             raise SimulationError("adapter not started")
         return self._configuration
 
     def start(self, seed: str) -> None:
-        self._configuration = CausalConfiguration.initial(seed)
+        self._configuration = self.configuration_class.initial(seed)
 
     def apply(self, operation: Operation) -> None:
         configuration = self.configuration
@@ -119,8 +134,23 @@ class CausalAdapter(MechanismAdapter):
     def compare(self, first: str, second: str) -> Ordering:
         return self.configuration.compare(first, second)
 
+    def comparison_table(self) -> Mapping[str, object]:
+        return self.configuration.histories_view()
+
     def size_in_bits(self, label: str) -> int:
-        # One event identifier is modelled as a 64-bit value.
+        # One event identifier is modelled as a 64-bit value; ``event_count``
+        # is a cached popcount, so no event set is ever materialized here.
+        return 64 * self.configuration.history_of(label).event_count
+
+
+class RefCausalAdapter(CausalAdapter):
+    """The seed frozenset oracle, kept as a differential/perf baseline."""
+
+    name = "causal-history-ref"
+
+    configuration_class = RefCausalConfiguration
+
+    def size_in_bits(self, label: str) -> int:
         return 64 * len(self.configuration.history_of(label).events)
 
 
@@ -466,27 +496,57 @@ class LockstepRunner:
     adapters:
         Mechanisms to compare against the causal-history oracle; defaults to
         :func:`default_adapters`.
+    oracle:
+        The oracle adapter to cross-check against; defaults to the
+        bitset-backed :class:`CausalAdapter`.  Pass :class:`RefCausalAdapter`
+        to run against the retained frozenset implementation (used by the
+        differential tests and the lockstep benchmark).
     compare_every_step:
         When ``True`` (default) the full pairwise ordering of the frontier is
         cross-checked after every operation; when ``False`` only after the
         final operation (cheaper for very long traces).
     check_invariants:
         When ``True`` each adapter's self-check runs after every step.
+    incremental:
+        When ``True`` (default) the pairwise-comparison caches are kept
+        *incrementally*: only canonical ``(min, max)`` pairs are stored (the
+        mirror ordering is derived with :meth:`Ordering.flipped`), a
+        ``label -> cached pairs`` reverse index makes each operation's
+        invalidation O(pairs actually touched), and the per-step refill only
+        walks pairs involving labels produced since the last cross-check.
+        When ``False`` the runner uses the retained seed strategy -- a full
+        O(F²) matrix rescan per operation and a full alive×alive refill per
+        cross-check -- kept as the baseline for the lockstep benchmark and
+        the differential tests.  Both strategies produce identical
+        :class:`AgreementReport`/:class:`SizeSample` results: only the
+        oracle's mirror ordering is derived with :meth:`Ordering.flipped`
+        (valid for a preorder by construction); each mechanism under test is
+        still *measured* in both argument orders, so a direction-inconsistent
+        ``compare`` is caught under either strategy.
+
+    Notes
+    -----
+    Invalidation runs on every operation even when ``compare_every_step`` is
+    off, so a cache can never serve a pair whose labels were consumed and
+    recycled (e.g. by a relabelling ``sync``) between cross-checks.
     """
 
     def __init__(
         self,
         adapters: Optional[Sequence[MechanismAdapter]] = None,
         *,
+        oracle: Optional[MechanismAdapter] = None,
         compare_every_step: bool = True,
         check_invariants: bool = True,
+        incremental: bool = True,
     ) -> None:
-        self.oracle = CausalAdapter()
+        self.oracle = oracle if oracle is not None else CausalAdapter()
         self.adapters: List[MechanismAdapter] = (
             list(adapters) if adapters is not None else default_adapters()
         )
         self._compare_every_step = compare_every_step
         self._check_invariants = check_invariants
+        self._incremental = incremental
 
     def run(self, trace: Trace) -> Tuple[Dict[str, AgreementReport], Dict[str, SizeSample]]:
         """Replay ``trace``; return per-mechanism agreement and size reports."""
@@ -500,13 +560,23 @@ class LockstepRunner:
         for adapter in self.adapters:
             adapter.start(trace.seed)
 
-        # Per-mechanism pairwise-comparison caches, keyed (x, y).  Each trace
-        # operation removes and creates a handful of elements; every other
-        # pair's comparison is unchanged, so with per-step cross-checking the
-        # work per step drops from O(F²) comparisons to O(F) fresh ones.
+        # Per-mechanism pairwise-comparison caches.  Each trace operation
+        # removes and creates a handful of elements; every other pair's
+        # comparison is unchanged, so with per-step cross-checking the work
+        # per step drops from O(F²) comparisons to O(F) fresh ones.  In
+        # incremental mode the cache is keyed by canonical (min, max) pairs
+        # and a reverse index (label -> cached pairs) bounds invalidation;
+        # in seed mode it is keyed by ordered (x, y) pairs and rescanned.
         self._matrices = {self.oracle.name: {}}
+        self._pair_index: Dict[str, Dict[str, set]] = {self.oracle.name: {}}
         for adapter in self.adapters:
             self._matrices[adapter.name] = {}
+            self._pair_index[adapter.name] = {}
+        # Labels produced since the last cross-check.  Any canonical pair
+        # missing from a matrix involves one of them (invalidation only
+        # drops pairs whose endpoints died or were re-produced), so the
+        # incremental refill walks fresh × alive instead of alive × alive.
+        self._fresh_labels = {trace.seed}
 
         steps = list(trace.operations)
         for index, operation in enumerate(steps):
@@ -527,10 +597,61 @@ class LockstepRunner:
         dirty.add(operation.source)
         if operation.other is not None:
             dirty.add(operation.other)
-        for matrix in self._matrices.values():
-            stale = [pair for pair in matrix if pair[0] in dirty or pair[1] in dirty]
-            for pair in stale:
-                del matrix[pair]
+        if self._incremental:
+            self._fresh_labels.difference_update(dirty)
+            self._fresh_labels.update(operation.results)
+            # Reverse-index invalidation: O(cached pairs touching a dirty
+            # label).  A pair lives in both endpoints' buckets; the partner
+            # bucket is cleaned lazily (its matrix.pop is a no-op later),
+            # which keeps the hot path to one dict pop per dirty label.
+            for name, matrix in self._matrices.items():
+                index = self._pair_index[name]
+                for label in dirty:
+                    pairs = index.pop(label, None)
+                    if pairs:
+                        for pair in pairs:
+                            matrix.pop(pair, None)
+        else:
+            # Seed strategy: rescan every cached pair of every matrix.
+            for matrix in self._matrices.values():
+                stale = [
+                    pair for pair in matrix if pair[0] in dirty or pair[1] in dirty
+                ]
+                for pair in stale:
+                    del matrix[pair]
+
+    def _fill_oracle_matrix(self, labels: List[str]) -> Dict:
+        """Bring the oracle's comparison cache up to date for ``labels``."""
+        oracle_matrix = self._matrices[self.oracle.name]
+        if not self._incremental:
+            # Seed strategy: rescan alive × alive, both directions.
+            for x in labels:
+                for y in labels:
+                    if x != y and (x, y) not in oracle_matrix:
+                        oracle_matrix[(x, y)] = self.oracle.compare(x, y)
+            return oracle_matrix
+        # Incremental: only pairs involving a label produced since the last
+        # cross-check can be missing; store the canonical direction only.
+        fresh = [label for label in labels if label in self._fresh_labels]
+        if fresh:
+            table = self.oracle.comparison_table()
+            index = self._pair_index[self.oracle.name]
+            oracle = self.oracle
+            for x in fresh:
+                for y in labels:
+                    if x == y:
+                        continue
+                    pair = (x, y) if x < y else (y, x)
+                    if pair not in oracle_matrix:
+                        if table is not None:
+                            ordering = table[pair[0]].compare(table[pair[1]])
+                        else:
+                            ordering = oracle.compare(pair[0], pair[1])
+                        oracle_matrix[pair] = ordering
+                        index.setdefault(pair[0], set()).add(pair)
+                        index.setdefault(pair[1], set()).add(pair)
+        self._fresh_labels.clear()
+        return oracle_matrix
 
     def _cross_check(
         self,
@@ -538,15 +659,12 @@ class LockstepRunner:
         sizes: Dict[str, SizeSample],
     ) -> None:
         labels = self.oracle.labels()
-        oracle_matrix = self._matrices[self.oracle.name]
-        for x in labels:
-            for y in labels:
-                if x != y and (x, y) not in oracle_matrix:
-                    oracle_matrix[(x, y)] = self.oracle.compare(x, y)
+        oracle_matrix = self._fill_oracle_matrix(labels)
         sizes[self.oracle.name].record(
             [self.oracle.size_in_bits(label) for label in labels]
         )
 
+        incremental = self._incremental
         for adapter in self.adapters:
             adapter_labels = set(adapter.labels())
             if adapter_labels != set(labels):
@@ -556,12 +674,31 @@ class LockstepRunner:
                 )
             report = reports[adapter.name]
             matrix = self._matrices[adapter.name]
-            for pair, oracle_ordering in oracle_matrix.items():
-                observed = matrix.get(pair)
-                if observed is None:
-                    observed = adapter.compare(*pair)
-                    matrix[pair] = observed
-                report.record(oracle_ordering, observed)
+            index = self._pair_index[adapter.name]
+            if incremental:
+                # Canonical pairs, but both directions are *measured* on the
+                # mechanism under test (a direction-inconsistent compare must
+                # not be masked by deriving the mirror with flipped()); only
+                # the oracle side, a preorder by construction, is flipped.
+                for pair, oracle_ordering in oracle_matrix.items():
+                    observed = matrix.get(pair)
+                    if observed is None:
+                        observed = (
+                            adapter.compare(pair[0], pair[1]),
+                            adapter.compare(pair[1], pair[0]),
+                        )
+                        matrix[pair] = observed
+                        index.setdefault(pair[0], set()).add(pair)
+                        index.setdefault(pair[1], set()).add(pair)
+                    report.record(oracle_ordering, observed[0])
+                    report.record(oracle_ordering.flipped(), observed[1])
+            else:
+                for pair, oracle_ordering in oracle_matrix.items():
+                    observed = matrix.get(pair)
+                    if observed is None:
+                        observed = adapter.compare(*pair)
+                        matrix[pair] = observed
+                    report.record(oracle_ordering, observed)
             if self._check_invariants and not adapter.check_invariants():
                 report.invariant_failures += 1
             sizes[adapter.name].record(

@@ -1,6 +1,6 @@
 """Unit tests for globally unique update events."""
 
-from repro.causal.events import EventSource, UpdateEvent
+from repro.causal.events import EventSource, UpdateEvent, label_of, materialize
 
 
 class TestUpdateEvent:
@@ -43,3 +43,29 @@ class TestEventSource:
     def test_labels_are_attached(self):
         source = EventSource()
         assert source.fresh("replica-a").label == "replica-a"
+
+
+class TestArena:
+    def test_fresh_index_is_dense(self):
+        source = EventSource()
+        assert [source.fresh_index() for _ in range(3)] == [0, 1, 2]
+        assert source.issued == 3
+
+    def test_fresh_index_respects_start(self):
+        source = EventSource(start=5)
+        assert source.fresh_index() == 5
+
+    def test_materialize_recovers_label(self):
+        source = EventSource()
+        index = source.fresh_index("replica-b")
+        assert label_of(index) == "replica-b"
+        view = materialize(index)
+        assert view == UpdateEvent(index)
+        assert view.label == "replica-b"
+
+    def test_materialize_unlabelled_index(self):
+        # A start beyond other tests' ranges: the label table is global, so
+        # an index reused by another source could carry a stale display tag.
+        source = EventSource(start=10**9)
+        index = source.fresh_index()
+        assert materialize(index).label == ""

@@ -46,6 +46,59 @@ class TestBasics:
         assert "e0" in repr(CausalHistory([events[0]]))
 
 
+class TestPackedRepresentation:
+    def test_interning_makes_equal_histories_pointer_equal(self, events):
+        assert CausalHistory([events[0], events[2]]) is CausalHistory(
+            [events[2], events[0]]
+        )
+        assert CausalHistory.empty() is CausalHistory()
+
+    def test_bits_pack_event_sequences(self, events):
+        history = CausalHistory([events[0], events[2]])
+        assert history.bits == (1 << events[0].sequence) | (1 << events[2].sequence)
+
+    def test_from_bits_roundtrip(self, events):
+        history = CausalHistory([events[1], events[3]])
+        assert CausalHistory.from_bits(history.bits) is history
+
+    def test_from_bits_rejects_negative(self):
+        with pytest.raises(ValueError):
+            CausalHistory.from_bits(-1)
+
+    def test_event_count_matches_len(self, events):
+        history = CausalHistory(events[:3])
+        assert history.event_count == len(history) == 3
+
+    def test_with_event_accepts_bare_index(self, events):
+        via_event = CausalHistory.empty().with_event(events[0])
+        via_index = CausalHistory.empty().with_event(events[0].sequence)
+        assert via_event is via_index
+
+    def test_union_identity_fast_path(self, events):
+        history = CausalHistory(events[:2])
+        assert history.union(history) is history
+
+    def test_sorted_view_is_cached(self, events):
+        history = CausalHistory([events[2], events[0]])
+        assert history._view is None
+        first = list(history)
+        assert history._view is not None
+        assert list(history) == first == [events[0], events[2]]
+
+    def test_hash_is_cached(self, events):
+        history = CausalHistory([events[1]])
+        assert history._hash is None
+        value = hash(history)
+        assert history._hash == value
+        assert hash(history) == value
+
+    def test_materialized_views_carry_labels(self):
+        source = EventSource()
+        history = CausalHistory.empty().with_event(source.fresh("replica-a"))
+        assert [event.label for event in history] == ["replica-a"]
+        assert "replica-a" in repr(history)
+
+
 class TestComparison:
     def test_equivalence(self, events):
         left = CausalHistory([events[0]])

@@ -1,0 +1,148 @@
+"""Differential tests: bitset causal oracle vs the retained frozenset oracle.
+
+Mirrors ``tests/core/test_packed_differential.py`` for the causal layer: the
+same traces replay through the packed-bitset implementation
+(:mod:`repro.causal.history` / :mod:`repro.causal.configuration`) and through
+the seed frozenset implementation kept in :mod:`repro.causal.refhistory`,
+and every observable — orderings, matrices, dominance, event sets, sizes,
+lockstep agreement reports — must be identical.  Any divergence is a bug in
+the bitset representation (or in the incremental comparison-cache strategy,
+which is cross-checked against the seed full-rescan strategy here too).
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.causal.configuration import CausalConfiguration
+from repro.causal.refhistory import RefCausalConfiguration
+from repro.sim.runner import (
+    CausalAdapter,
+    ITCAdapter,
+    LockstepRunner,
+    RefCausalAdapter,
+    StampAdapter,
+)
+from repro.sim.trace import OpKind, Trace
+from repro.sim.workload import random_dynamic_trace
+from repro.testing import trace_operations
+
+
+def _apply(configuration, operation):
+    if operation.kind == OpKind.UPDATE:
+        configuration.update(operation.source, operation.results[0])
+    elif operation.kind == OpKind.FORK:
+        configuration.fork(operation.source, *operation.results)
+    elif operation.kind == OpKind.JOIN:
+        configuration.join(operation.source, operation.other, operation.results[0])
+    else:
+        configuration.sync(operation.source, operation.other, *operation.results)
+
+
+def _event_sequences(history):
+    return sorted(event.sequence for event in history.events)
+
+
+def _assert_configurations_agree(packed, reference, rng):
+    labels = packed.labels()
+    assert labels == reference.labels()
+    for label in labels:
+        assert _event_sequences(packed.history_of(label)) == _event_sequences(
+            reference.history_of(label)
+        )
+        assert len(packed.history_of(label)) == len(reference.history_of(label))
+    assert packed.ordering_matrix() == reference.ordering_matrix()
+    assert sorted(e.sequence for e in packed.all_events()) == sorted(
+        e.sequence for e in reference.all_events()
+    )
+    if len(labels) >= 2:
+        label = rng.choice(labels)
+        subset = rng.sample(labels, rng.randint(1, len(labels)))
+        assert packed.dominated_by_set(label, subset) == reference.dominated_by_set(
+            label, subset
+        )
+
+
+def _replay_both(trace):
+    packed = CausalConfiguration.initial(trace.seed)
+    reference = RefCausalConfiguration.initial(trace.seed)
+    rng = random.Random(20260730)
+    for operation in trace.operations:
+        _apply(packed, operation)
+        _apply(reference, operation)
+        _assert_configurations_agree(packed, reference, rng)
+
+
+class TestConfigurationDifferential:
+    @pytest.mark.parametrize("seed", [0, 3, 11, 42, 97])
+    def test_long_traces_agree_step_by_step(self, seed):
+        trace = random_dynamic_trace(
+            220, seed=seed, update_weight=0.5, fork_weight=0.3, join_weight=0.2,
+            max_frontier=10,
+        )
+        assert len(trace) >= 200
+        _replay_both(trace)
+
+    @settings(max_examples=40, deadline=None)
+    @given(trace=trace_operations(max_operations=30, max_frontier=5))
+    def test_random_traces_agree(self, trace):
+        _replay_both(trace)
+
+
+def _run_lockstep(trace, oracle, incremental):
+    runner = LockstepRunner(
+        [StampAdapter(reducing=True), ITCAdapter()],
+        oracle=oracle,
+        incremental=incremental,
+    )
+    return runner.run(trace)
+
+
+class TestLockstepDifferential:
+    """Bitset+incremental and refhistory+seed runner stacks agree exactly."""
+
+    @pytest.mark.parametrize("seed", [5, 23])
+    def test_agreement_reports_identical_on_long_traces(self, seed):
+        trace = random_dynamic_trace(
+            210, seed=seed, update_weight=0.5, fork_weight=0.3, join_weight=0.2,
+            max_frontier=8,
+        )
+        assert len(trace) >= 200
+        packed_reports, packed_sizes = _run_lockstep(trace, CausalAdapter(), True)
+        ref_reports, ref_sizes = _run_lockstep(trace, RefCausalAdapter(), False)
+        assert packed_reports == ref_reports
+        for report in packed_reports.values():
+            assert report.comparisons > 0
+            assert report.agreement_rate == 1.0
+        # Oracle size samples agree too (64 bits per event on both sides).
+        packed_oracle = packed_sizes["causal-history"]
+        ref_oracle = ref_sizes["causal-history-ref"]
+        assert packed_oracle.per_step_mean_bits == ref_oracle.per_step_mean_bits
+        assert packed_oracle.per_step_max_bits == ref_oracle.per_step_max_bits
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        trace=trace_operations(max_operations=25, max_frontier=5),
+        compare_every_step=st.booleans(),
+    )
+    def test_strategies_identical_on_random_traces(self, trace, compare_every_step):
+        results = {}
+        for key, (oracle, incremental) in {
+            "packed-incremental": (CausalAdapter(), True),
+            "packed-seed": (CausalAdapter(), False),
+            "ref-incremental": (RefCausalAdapter(), True),
+            "ref-seed": (RefCausalAdapter(), False),
+        }.items():
+            runner = LockstepRunner(
+                [StampAdapter(reducing=True)],
+                oracle=oracle,
+                incremental=incremental,
+                compare_every_step=compare_every_step,
+            )
+            reports, _ = runner.run(trace)
+            results[key] = reports
+        baseline = results.pop("ref-seed")
+        for key, reports in results.items():
+            assert reports == baseline, key

@@ -10,6 +10,7 @@ from repro.sim.runner import (
     ITCAdapter,
     LockstepRunner,
     PlausibleAdapter,
+    RefCausalAdapter,
     SizeSample,
     StampAdapter,
     default_adapters,
@@ -38,6 +39,7 @@ ADAPTER_FACTORIES = [
     pytest.param(lambda: DynamicVVAdapter(), id="dynamic-vv"),
     pytest.param(lambda: ITCAdapter(), id="itc"),
     pytest.param(lambda: CausalAdapter(), id="causal"),
+    pytest.param(lambda: RefCausalAdapter(), id="causal-ref"),
 ]
 
 
@@ -174,3 +176,71 @@ class TestLockstepRunner:
         reports, sizes = LockstepRunner().run(trace)
         for report in reports.values():
             assert report.comparisons == 0
+
+    def test_ref_oracle_full_agreement(self):
+        runner = LockstepRunner(oracle=RefCausalAdapter())
+        reports, sizes = runner.run(FIGURE2_TRACE)
+        assert "causal-history-ref" in sizes
+        for report in reports.values():
+            assert report.agreement_rate == 1.0
+
+    def test_seed_strategy_matches_incremental(self):
+        trace = random_dynamic_trace(60, seed=11, max_frontier=8)
+        incremental, _ = LockstepRunner(incremental=True).run(trace)
+        rescan, _ = LockstepRunner(incremental=False).run(trace)
+        assert incremental == rescan
+
+    def test_recycled_labels_not_served_from_stale_cache(self):
+        # Syncs that reuse their operands' labels recycle "b" and "c" on
+        # every step; with compare_every_step=False the caches are only
+        # populated at the end, and invalidation must still have dropped
+        # anything cached for the recycled labels along the way.
+        operations = [Operation.fork("a", "b", "c")]
+        for _ in range(6):
+            operations.append(Operation.update("b", "b"))
+            operations.append(Operation.sync("b", "c", "b", "c"))
+        trace = Trace(seed="a", operations=tuple(operations))
+        for compare_every_step in (True, False):
+            runner = LockstepRunner(compare_every_step=compare_every_step)
+            reports, _ = runner.run(trace)
+            for report in reports.values():
+                assert report.agreement_rate == 1.0
+
+    def test_direction_inconsistent_adapter_is_caught(self):
+        # The incremental strategy stores only canonical pairs, but it must
+        # still measure the mechanism in both argument orders: an adapter
+        # whose compare ignores argument order has to show up as a
+        # disagreement, exactly as it does under the seed strategy.
+        class OneDirectionAdapter(StampAdapter):
+            name = "one-direction"
+
+            def compare(self, first, second):
+                first, second = sorted((first, second))
+                return super().compare(first, second)
+
+        trace = Trace(
+            seed="a",
+            operations=(
+                Operation.fork("a", "b", "c"),
+                Operation.update("b", "b2"),
+            ),
+        )
+        for incremental in (True, False):
+            adapter = OneDirectionAdapter()
+            adapter.name = "one-direction"
+            runner = LockstepRunner(
+                [adapter], incremental=incremental, check_invariants=False
+            )
+            reports, _ = runner.run(trace)
+            assert reports["one-direction"].agreement_rate < 1.0, incremental
+
+    def test_reverse_index_consistent_with_matrices(self):
+        trace = random_dynamic_trace(40, seed=3, max_frontier=6)
+        runner = LockstepRunner()
+        runner.run(trace)
+        for name, matrix in runner._matrices.items():
+            index = runner._pair_index[name]
+            for pair in matrix:
+                assert pair[0] < pair[1]  # canonical storage
+                assert pair in index[pair[0]]
+                assert pair in index[pair[1]]
