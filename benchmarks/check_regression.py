@@ -6,13 +6,24 @@ and a freshly measured one -- on the two tracked *speedup ratios*:
 * ``join_normalize[<frontier>].speedup_vs_reference`` (packed stamp core vs
   the text-based seed implementation), at frontier 32 by default;
 * ``lockstep.speedup_vs_refhistory`` (bitset oracle + incremental lockstep
-  cross-check vs the retained frozenset oracle + seed full-rescan strategy).
+  cross-check vs the retained frozenset oracle + seed full-rescan strategy);
+* ``reroot.speedup_vs_raw`` (Section 7 re-rooting GC vs raw reducing stamps
+  on a sibling-starved sync chain).
 
 Ratios rather than absolute ops/sec are checked because both sides of each
 ratio run on the same machine in the same process, so the ratio is stable
 across runner hardware while absolute throughput is not.  A tolerance
 (default 30%) absorbs scheduler noise on shared CI runners: the check fails
 only when ``fresh < committed * (1 - tolerance)``.
+
+A top-level section *wholly absent from the committed snapshot* is skipped
+with a note instead of failing: the committed file predates the section,
+which is exactly the state of the first PR introducing a new benchmark (the
+chicken-and-egg this rule breaks).  Everything else stays strict: a section
+that is present but malformed errors, a ratio absent from the *fresh*
+snapshot errors (that is a benchmark disappearing, not appearing), and a
+committed snapshot with none of the tracked sections fails outright
+(an empty or corrupted floor file must not wave CI through).
 
 Usage::
 
@@ -32,6 +43,14 @@ from pathlib import Path
 DEFAULT_TOLERANCE = 0.30
 JOIN_NORMALIZE_FRONTIER = "32"
 
+#: Sections whose floors are already committed.  These may never be
+#: skipped: deleting one from the committed snapshot must fail the check,
+#: otherwise a regressing PR could disable its own floor by dropping the
+#: section.  The new-section skip below applies only to sections *not*
+#: listed here (i.e. benchmarks newer than this file).  When a new section
+#: lands, add it to this set in the same PR that commits its first floor.
+ESTABLISHED_SECTIONS = frozenset({"join_normalize", "lockstep", "reroot"})
+
 
 def _load(path):
     try:
@@ -42,7 +61,7 @@ def _load(path):
 
 
 def _ratio(data, label, *keys):
-    """Fetch a nested float or report what is missing."""
+    """Fetch a nested float or report what is missing/malformed."""
     node = data
     for key in keys:
         if not isinstance(node, dict) or key not in node:
@@ -53,7 +72,7 @@ def _ratio(data, label, *keys):
             )
             return None
         node = node[key]
-    if not isinstance(node, (int, float)):
+    if not isinstance(node, (int, float)) or isinstance(node, bool):
         print(f"error: {label} {'.'.join(keys)} is not a number", file=sys.stderr)
         return None
     return float(node)
@@ -62,17 +81,34 @@ def _ratio(data, label, *keys):
 def check(committed, fresh, *, tolerance=DEFAULT_TOLERANCE):
     """Return True when every tracked ratio holds within ``tolerance``."""
     ok = True
-    for keys in (
+    skipped = 0
+    tracked = (
         ("join_normalize", JOIN_NORMALIZE_FRONTIER, "speedup_vs_reference"),
         ("lockstep", "speedup_vs_refhistory"),
-    ):
+        ("reroot", "speedup_vs_raw"),
+    )
+    for keys in tracked:
+        name = ".".join(keys)
+        if (
+            isinstance(committed, dict)
+            and keys[0] not in committed
+            and keys[0] not in ESTABLISHED_SECTIONS
+        ):
+            # Newly-added bench section: there is no committed floor yet, so
+            # there is nothing to regress against.  Skipping (instead of
+            # failing) lets the PR that introduces the section also commit
+            # its first floor.  Only a *wholly absent*, not-yet-established
+            # top-level section qualifies -- a present-but-malformed one and
+            # a deleted established one still error below.
+            print(f"skip: committed snapshot has no {name} (new section)")
+            skipped += 1
+            continue
         floor = _ratio(committed, "committed", *keys)
         value = _ratio(fresh, "fresh", *keys)
         if floor is None or value is None:
             ok = False
             continue
         allowed = floor * (1.0 - tolerance)
-        name = ".".join(keys)
         if value < allowed:
             print(
                 f"REGRESSION: {name} = {value:.2f}x, below the committed "
@@ -85,6 +121,16 @@ def check(committed, fresh, *, tolerance=DEFAULT_TOLERANCE):
                 f"ok: {name} = {value:.2f}x (floor {floor:.2f}x, "
                 f"allowed >= {allowed:.2f}x)"
             )
+    if skipped == len(tracked):
+        # Every tracked section "new" means the committed snapshot is empty
+        # or corrupted, not newer than one benchmark -- fail loudly rather
+        # than waving CI through with no floor enforced at all.
+        print(
+            "error: committed snapshot has none of the tracked sections "
+            "(corrupted floor file? regenerate with perf_snapshot.py)",
+            file=sys.stderr,
+        )
+        return False
     return ok
 
 

@@ -15,6 +15,14 @@ Measures three things:
   steps/sec for each and the speedup.  This is the oracle-dominated regime
   of the long-trace experiments: histories hold hundreds of events and the
   per-step frontier cross-check is where the time goes.
+* a **re-rooting GC** benchmark (``reroot``): a sibling-starved sync-chain
+  trace (:func:`repro.sim.workload.sync_chain_trace`) replayed through a
+  plain frontier and through one with the Section 7 re-rooting garbage
+  collector enabled (:mod:`repro.core.reroot`).  Raw stamps compound
+  exponentially on this workload, so the trace is kept just long enough
+  for the raw arm to stay measurable; the tracked ratio is the GC'd
+  replay's speedup over the raw replay, plus a long GC'd-only soak
+  throughput for context.
 
 The output file makes the perf trajectory a tracked artifact: CI runs the
 quick mode on every push and ``benchmarks/check_regression.py`` fails the
@@ -41,10 +49,12 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
+from repro.core.frontier import Frontier
 from repro.core.refimpl import RefStamp
 from repro.core.stamp import VersionStamp
 from repro.sim.runner import CausalAdapter, LockstepRunner, RefCausalAdapter
-from repro.sim.workload import random_dynamic_trace
+from repro.sim.trace import apply_operation
+from repro.sim.workload import random_dynamic_trace, sync_chain_trace
 
 DEFAULT_FRONTIER_SIZES = (8, 16, 32, 64)
 QUICK_FRONTIER_SIZES = (8, 32)
@@ -53,6 +63,17 @@ QUICK_FRONTIER_SIZES = (8, 32)
 #: events, wide enough that the per-step cross-check dominates.
 LOCKSTEP_TRACE_STEPS = 500
 LOCKSTEP_MAX_FRONTIER = 64
+
+#: Re-rooting benchmark shape.  42 sync-chain steps is the sweet spot: the
+#: raw (no-GC) arm has already blown up ~4 orders of magnitude (hundreds of
+#: kilobits per stamp) yet still replays in tens of milliseconds; the GC'd
+#: arm holds stamps around a hundred bits throughout.  The soak arm is the
+#: long GC'd-only replay showing throughput stays flat at trace lengths the
+#: raw stamps could never reach.
+REROOT_CHAIN_STEPS = 42
+REROOT_SOAK_STEPS = 1500
+REROOT_REPLICAS = 4
+REROOT_THRESHOLD_BITS = 256
 
 
 def _build_frontier(width, *, reducing=True, cls=VersionStamp):
@@ -238,6 +259,64 @@ def measure_lockstep(
     }
 
 
+def _replay_frontier(trace, threshold, *, track_peak=False):
+    frontier = Frontier.initial(trace.seed, reroot_threshold=threshold)
+    peak = 0
+    for operation in trace.operations:
+        apply_operation(frontier, operation)
+        if track_peak:
+            peak = max(peak, frontier.max_stamp_bits())
+    return frontier, peak
+
+
+def measure_reroot(
+    *,
+    chain_steps=REROOT_CHAIN_STEPS,
+    soak_steps=REROOT_SOAK_STEPS,
+    replicas=REROOT_REPLICAS,
+    threshold=REROOT_THRESHOLD_BITS,
+    repeats,
+    min_time,
+):
+    """Re-rooting GC vs raw reducing stamps on a sibling-starved sync chain.
+
+    The same ``chain_steps``-operation :func:`sync_chain_trace` replays
+    through a plain frontier and one with ``reroot_threshold=threshold``;
+    the speedup of the GC'd replay is the tracked ratio (stable across
+    machines, both arms run in the same process).  A second, GC'd-only
+    replay of a ``soak_steps`` trace reports absolute soak throughput and
+    the peak stamp size, demonstrating the bounded regime the raw stamps
+    cannot enter at all.
+    """
+    trace = sync_chain_trace(chain_steps, replicas=replicas, seed=11)
+    rerooted_rate = _best_rate(
+        lambda: _replay_frontier(trace, threshold), len(trace),
+        repeats=repeats, min_time=min_time,
+    )
+    raw_rate = _best_rate(
+        lambda: _replay_frontier(trace, None), len(trace),
+        repeats=repeats, min_time=min_time,
+    )
+    soak_trace = sync_chain_trace(soak_steps, replicas=replicas, seed=11)
+    soak_rate = _best_rate(
+        lambda: _replay_frontier(soak_trace, threshold), len(soak_trace),
+        repeats=max(1, repeats - 1), min_time=min_time,
+    )
+    final, soak_peak = _replay_frontier(soak_trace, threshold, track_peak=True)
+    return {
+        "chain_steps": chain_steps,
+        "soak_steps": soak_steps,
+        "replicas": replicas,
+        "threshold_bits": threshold,
+        "rerooted_steps_per_sec": rerooted_rate,
+        "raw_steps_per_sec": raw_rate,
+        "speedup_vs_raw": rerooted_rate / raw_rate if raw_rate else None,
+        "soak_steps_per_sec": soak_rate,
+        "soak_peak_stamp_bits": soak_peak,
+        "soak_reroots": final.reroots_performed,
+    }
+
+
 def snapshot(*, frontier_sizes=DEFAULT_FRONTIER_SIZES, repeats=3, min_time=0.05):
     """Collect the full snapshot dictionary (no I/O)."""
     data = {
@@ -256,6 +335,7 @@ def snapshot(*, frontier_sizes=DEFAULT_FRONTIER_SIZES, repeats=3, min_time=0.05)
             width, repeats=repeats, min_time=min_time
         )
     data["lockstep"] = measure_lockstep(repeats=repeats, min_time=min_time)
+    data["reroot"] = measure_reroot(repeats=repeats, min_time=min_time)
     return data
 
 
@@ -270,10 +350,13 @@ def main(argv=None):
             f"{LOCKSTEP_MAX_FRONTIER} replayed through LockstepRunner: "
             "bitset causal oracle + incremental comparison caching vs the "
             "retained frozenset oracle + seed full-rescan strategy, in trace "
-            "steps/sec).  benchmarks/check_regression.py compares the "
-            "join_normalize@32 and lockstep speedups of a fresh snapshot "
-            "against the committed BENCH_ops.json and fails CI when either "
-            "drops more than 30 percent below its floor."
+            "steps/sec), and reroot (a sibling-starved sync chain replayed "
+            "with and without the Section 7 re-rooting GC, speedup tracked). "
+            "benchmarks/check_regression.py compares the join_normalize@32, "
+            "lockstep and reroot speedups of a fresh snapshot against the "
+            "committed BENCH_ops.json and fails CI when one drops more than "
+            "30 percent below its floor (sections absent from the committed "
+            "snapshot are skipped, so a PR adding a section can land)."
         ),
     )
     parser.add_argument(
@@ -320,6 +403,16 @@ def main(argv=None):
         f"{lockstep['bitset_steps_per_sec']:,.0f} steps/s vs refhistory "
         f"{lockstep['refhistory_steps_per_sec']:,.0f} steps/s "
         f"-> {lockstep['speedup_vs_refhistory']:.1f}x"
+    )
+    reroot = data["reroot"]
+    print(
+        f"  reroot {reroot['chain_steps']}-step sync chain: GC'd "
+        f"{reroot['rerooted_steps_per_sec']:,.0f} steps/s vs raw "
+        f"{reroot['raw_steps_per_sec']:,.0f} steps/s "
+        f"-> {reroot['speedup_vs_raw']:.1f}x; soak {reroot['soak_steps']} "
+        f"steps at {reroot['soak_steps_per_sec']:,.0f} steps/s, peak stamp "
+        f"{reroot['soak_peak_stamp_bits']} bits over {reroot['soak_reroots']} "
+        f"reroots"
     )
     return 0
 

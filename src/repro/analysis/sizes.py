@@ -11,6 +11,10 @@ packages the measurements the SPACE and ABL-ITC experiments report:
   replicas in a closed system.
 * :func:`churn_sweep` -- metadata size as a function of replica churn
   (creation + retirement), the regime where the difference matters most.
+* :func:`reroot_growth_curve` -- bounded-vs-unbounded growth on the
+  sibling-starved sync chain: re-rooted stamps against raw reducing stamps,
+  whose size compounds exponentially (the raw arm is advanced only until it
+  blows past a cap, then censored).
 
 All results come back as :class:`~repro.sim.metrics.SweepTable` objects so
 the benchmarks can both assert on them and print them.
@@ -20,15 +24,17 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Sequence
 
+from ..core.frontier import Frontier
 from ..sim.metrics import SweepTable, summarize
 from ..sim.runner import LockstepRunner, SizeSample, default_adapters
-from ..sim.trace import Trace
-from ..sim.workload import churn_trace, fixed_replica_trace
+from ..sim.trace import Trace, apply_operation
+from ..sim.workload import churn_trace, fixed_replica_trace, sync_chain_trace
 
 __all__ = [
     "measure_trace_sizes",
     "replica_count_sweep",
     "churn_sweep",
+    "reroot_growth_curve",
 ]
 
 
@@ -107,4 +113,45 @@ def churn_sweep(
             dynamic_vv_bits=sizes["dynamic-version-vectors"].final_mean_bits,
             itc_bits=sizes["interval-tree-clocks"].final_mean_bits,
         )
+    return table
+
+
+def reroot_growth_curve(
+    operations: int,
+    *,
+    replicas: int = 4,
+    threshold: int = 256,
+    sample_every: int = 50,
+    raw_cap_bits: int = 1 << 20,
+    seed: int = 0,
+) -> SweepTable:
+    """Bounded-vs-unbounded stamp growth on a sibling-starved sync chain.
+
+    Replays one :func:`~repro.sim.workload.sync_chain_trace` through two
+    frontiers -- re-rooting at ``threshold`` encoded bits, and the paper's
+    plain Section 6 behaviour -- sampling the largest live stamp every
+    ``sample_every`` steps.  The raw arm compounds exponentially, so it is
+    advanced only until its largest stamp passes ``raw_cap_bits``; later
+    rows leave ``raw_bits`` empty (the curve is censored, not flat).  The
+    columns also carry the cumulative re-root count so the curve shows the
+    trigger cadence.
+    """
+    trace = sync_chain_trace(operations, replicas=replicas, seed=seed)
+    rerooted = Frontier.initial(trace.seed, reroot_threshold=threshold)
+    raw: Optional[Frontier] = Frontier.initial(trace.seed)
+    table = SweepTable(["step", "rerooted_bits", "raw_bits", "reroots"])
+    for index, operation in enumerate(trace.operations):
+        apply_operation(rerooted, operation)
+        if raw is not None:
+            apply_operation(raw, operation)
+            if raw.max_stamp_bits() > raw_cap_bits:
+                raw = None
+        step = index + 1
+        if step % sample_every == 0 or step == len(trace):
+            table.add_row(
+                step=step,
+                rerooted_bits=rerooted.max_stamp_bits(),
+                raw_bits=raw.max_stamp_bits() if raw is not None else None,
+                reroots=rerooted.reroots_performed,
+            )
     return table

@@ -11,6 +11,8 @@ The public surface of this subpackage:
 * :class:`~repro.core.frontier.Frontier` -- configurations of stamped
   elements following Definition 4.3.
 * :mod:`~repro.core.reduction` -- the Section 6 join-simplification rule.
+* :mod:`~repro.core.reroot` -- the Section 7 re-rooting garbage collector
+  (discard the causally-dominated common past, re-root onto short strings).
 * :mod:`~repro.core.invariants` -- executable checks of invariants I1-I3.
 * :mod:`~repro.core.encoding` -- text/JSON/binary codecs and size accounting.
 * :class:`~repro.core.order.Ordering` -- the shared comparison vocabulary.
@@ -60,6 +62,14 @@ from .reduction import (
     reduce_stamp_pair,
     rewrite_once,
 )
+from .reroot import (
+    RerootResult,
+    common_past,
+    complete_tiling,
+    reroot_names,
+    reroot_stamps,
+    signature_partition,
+)
 from .stamp import VersionStamp
 
 __all__ = [
@@ -79,6 +89,12 @@ __all__ = [
     "normalize",
     "reduce_stamp_pair",
     "rewrite_once",
+    "RerootResult",
+    "common_past",
+    "complete_tiling",
+    "reroot_names",
+    "reroot_stamps",
+    "signature_partition",
     "InvariantReport",
     "Violation",
     "assert_invariants",

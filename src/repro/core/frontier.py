@@ -37,6 +37,7 @@ from typing import Callable, Dict, Iterable, Iterator, List, Mapping, Optional, 
 
 from .errors import FrontierError
 from .order import Ordering
+from .reroot import RerootResult, reroot_stamps
 from .stamp import VersionStamp
 
 __all__ = ["Frontier"]
@@ -53,6 +54,18 @@ class Frontier:
     reducing:
         Flavour used for stamps created by :meth:`initial`; stamps supplied
         explicitly keep their own flavour.
+    reroot_threshold:
+        When set, the re-rooting garbage collector (:mod:`repro.core.reroot`)
+        fires automatically after any transformation that pushes the encoded
+        size of any live stamp past this many bits.  (Size, not string
+        depth, is the right trigger: on sibling-starved sync chains depth
+        grows one bit per sync while the *number* of strings compounds
+        exponentially, so a depth trigger would fire long after stamps are
+        astronomically wide.)  The automatic trigger additionally waits for
+        a doubling of the size the last re-root attained, so a threshold
+        tuned at or below the frontier's achievable floor degrades
+        gracefully instead of re-collecting on every operation.  ``None``
+        (the default) keeps the paper's plain Section 4/6 behaviour.
     """
 
     def __init__(
@@ -60,9 +73,20 @@ class Frontier:
         stamps: Optional[Mapping[str, VersionStamp]] = None,
         *,
         reducing: bool = True,
+        reroot_threshold: Optional[int] = None,
     ) -> None:
+        if reroot_threshold is not None and reroot_threshold < 1:
+            raise FrontierError("reroot_threshold must be at least 1")
         self._stamps: Dict[str, VersionStamp] = dict(stamps or {})
         self._reducing = reducing
+        self._reroot_threshold = reroot_threshold
+        self._reroots_performed = 0
+        self._last_reroot: Optional[RerootResult] = None
+        # Largest stamp left by the most recent re-root (0 before any).
+        # When a threshold is unattainably small for the frontier's
+        # knowledge structure, this floor keeps the automatic trigger from
+        # re-collecting after every operation: see :meth:`_maybe_reroot`.
+        self._reroot_floor = 0
         self._op_log: List[Tuple[str, Tuple[str, ...]]] = []
         # Pairwise-comparison cache: label -> {other label -> Ordering}.
         # Stamps are immutable, so an entry stays valid until one of its two
@@ -70,13 +94,25 @@ class Frontier:
         # pruning and repeated ordering_matrix() calls then only recompare
         # the pairs an operation actually touched.
         self._cmp_cache: Dict[str, Dict[str, Ordering]] = {}
+        # Caller-supplied stamps may already be oversized.  Collecting once
+        # here establishes the invariant the per-operation trigger relies
+        # on: between operations every live stamp fits the threshold, so
+        # only the stamps an operation just produced need re-checking.
+        if reroot_threshold is not None and self._stamps:
+            self._maybe_reroot(*self._stamps)
 
     # -- constructors -------------------------------------------------
 
     @classmethod
-    def initial(cls, label: str = "a", *, reducing: bool = True) -> "Frontier":
+    def initial(
+        cls,
+        label: str = "a",
+        *,
+        reducing: bool = True,
+        reroot_threshold: Optional[int] = None,
+    ) -> "Frontier":
         """The paper's initial configuration ``{label ↦ (ε, ε)}``."""
-        frontier = cls(reducing=reducing)
+        frontier = cls(reducing=reducing, reroot_threshold=reroot_threshold)
         frontier._stamps[label] = VersionStamp.seed(reducing=reducing)
         frontier._op_log.append(("seed", (label,)))
         return frontier
@@ -159,6 +195,7 @@ class Frontier:
         self._stamps[target] = stamp.update()
         self._invalidate(label, target)
         self._op_log.append(("update", (label, target)))
+        self._maybe_reroot(target)
         return target
 
     def fork(
@@ -186,6 +223,7 @@ class Frontier:
         self._stamps[right] = right_stamp
         self._invalidate(label, left, right)
         self._op_log.append(("fork", (label, left, right)))
+        self._maybe_reroot(left, right)
         return left, right
 
     def join(
@@ -208,6 +246,7 @@ class Frontier:
         self._stamps[target] = first_stamp.join(second_stamp)
         self._invalidate(first, second, target)
         self._op_log.append(("join", (first, second, target)))
+        self._maybe_reroot(target)
         return target
 
     def sync(
@@ -224,6 +263,88 @@ class Frontier:
             left_label if left_label is not None else first,
             right_label if right_label is not None else second,
         )
+
+    # -- re-rooting garbage collection -------------------------------------
+
+    @property
+    def reroot_threshold(self) -> Optional[int]:
+        """The automatic re-root trigger (largest stamp, in encoded bits)."""
+        return self._reroot_threshold
+
+    @property
+    def reroots_performed(self) -> int:
+        """How many re-roots this frontier has executed."""
+        return self._reroots_performed
+
+    @property
+    def last_reroot(self) -> Optional[RerootResult]:
+        """Statistics of the most recent re-root, if one has happened."""
+        return self._last_reroot
+
+    def max_stamp_bits(self) -> int:
+        """Encoded size of the largest live stamp, in bits.
+
+        This is the growth metric the automatic re-root watches: sync
+        chains that starve the Section 6 sibling collapse compound the
+        *number* of strings per stamp (the depth only creeps up one bit per
+        sync), so encoded size is the quantity that explodes -- and the one
+        the threshold bounds.
+        """
+        if not self._stamps:
+            return 0
+        return max(stamp.size_in_bits() for stamp in self._stamps.values())
+
+    def _maybe_reroot(self, *labels: str) -> None:
+        """Fire the automatic re-root if one of ``labels`` is oversized.
+
+        Only the stamps an operation just produced can newly exceed the
+        trigger size (every other stamp already fit it after the previous
+        operation -- the constructor establishes the base case), so the
+        trigger checks those alone instead of rescanning the frontier.
+
+        A re-root cannot shrink stamps below what the frontier's knowledge
+        structure needs, so a threshold at or below that floor would
+        otherwise re-collect after nearly every operation.  The trigger is
+        therefore ``max(threshold, 2 x floor)``: collections only fire
+        after a doubling of the last attained floor, keeping them amortized
+        in every regime (including a threshold tuned close to the floor)
+        while observable stamp sizes stay bounded by the trigger -- at most
+        twice the threshold, since ``floor <= threshold`` whenever the
+        threshold is attainable at all.
+        """
+        threshold = self._reroot_threshold
+        if threshold is None:
+            return
+        trigger = max(threshold, 2 * self._reroot_floor)
+        stamps = self._stamps
+        for label in labels:
+            stamp = stamps.get(label)
+            if stamp is not None and stamp.size_in_bits() > trigger:
+                self.reroot()
+                return
+
+    def reroot(self) -> RerootResult:
+        """Garbage-collect the frontier by re-rooting every live stamp.
+
+        The causally-dominated common past is discarded and the surviving
+        knowledge regions are re-encoded on fresh short bitstrings
+        (:func:`repro.core.reroot.reroot_stamps`).  Labels are untouched and
+        every pairwise ordering among live elements is preserved, so cached
+        comparisons held by *callers* stay valid; the frontier still drops
+        its own comparison cache, as the conservative choice for an
+        operation that rebinds every stamp.  The operation log records the
+        re-root so replays see it.
+        """
+        result = reroot_stamps(self._stamps)
+        self._stamps.update(result.stamps)
+        self._cmp_cache.clear()
+        self._reroots_performed += 1
+        self._last_reroot = result
+        self._reroot_floor = max(
+            stamp.size_in_bits() for stamp in result.stamps.values()
+        )
+        self._op_log.append(("reroot", tuple(self._stamps)))
+        return result
 
     # -- queries ------------------------------------------------------------
 
@@ -292,7 +413,13 @@ class Frontier:
 
     def copy(self) -> "Frontier":
         """An independent copy of the frontier (stamps are immutable)."""
+        # The threshold is installed after construction: the constructor's
+        # oversized-input collection must not run on a faithful copy.
         clone = Frontier(self._stamps, reducing=self._reducing)
+        clone._reroot_threshold = self._reroot_threshold
         clone._op_log = list(self._op_log)
         clone._cmp_cache = {label: dict(row) for label, row in self._cmp_cache.items()}
+        clone._reroots_performed = self._reroots_performed
+        clone._last_reroot = self._last_reroot
+        clone._reroot_floor = self._reroot_floor
         return clone

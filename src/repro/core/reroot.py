@@ -1,0 +1,315 @@
+"""Re-rooting garbage collection for version stamps (Section 7 of the paper).
+
+The Section 6 rewriting rule only collapses *sibling* id strings, so a
+synchronization chain that never reassembles siblings (``sync(a,b)``,
+``sync(b,c)``, ``sync(c,a)``, ...) grows ids and update names without bound.
+Section 7 observes that most of that structure is *causally dominated common
+past*: knowledge every live element already shares, which can never again
+discriminate an ordering among them.  This module implements the discussion
+as a concrete algorithm: compute the common past of a frontier, discard it,
+and re-root the surviving stamps onto fresh short bitstrings.
+
+The construction
+----------------
+Write ``↓n`` for the down-set denoted by a name ``n`` (the set of all
+prefixes of its member strings).  For a frontier ``{l ↦ (u_l, i_l)}`` define
+the *signature* of a binary string ``s`` as ``sig(s) = {l | s ∈ ↓u_l}`` --
+the set of live elements whose update knowledge covers ``s``.  Two facts
+drive the algorithm:
+
+* every pairwise comparison is decided by signatures alone:
+  ``u_a ⊑ u_b  ⟺  ↓u_a ⊆ ↓u_b  ⟺  every realized signature containing a
+  contains b``;
+* comparisons of any *future* joins of live elements are decided by which
+  signatures are realized, because a join's down-set is the union of its
+  inputs' down-sets (new post-reroot updates occupy fresh strings and are
+  ordered by the mechanism itself).
+
+So a re-rooted frontier is correct -- now and for every continuation --
+exactly when it realizes the same signatures (the construction below may
+additionally realize *unions* of old signatures, which cannot flip any
+inclusion: an element hitting a union hits one of its realized parts).
+The algorithm:
+
+1. enumerate the realized signatures ``Σ`` by walking every prefix of every
+   update string (``O(total bits)`` integer shifts on the packed codes);
+2. build a complete balanced tiling of the binary tree with ``|Σ|`` leaves
+   and assign each signature ``σ`` a *branch root* ``p_σ`` (larger
+   signatures get the shallower leaves);
+3. within branch ``σ``, tile the subtree among the members of ``σ``:
+   element ``l ∈ σ`` owns the tile ``p_σ · t_l``;
+4. emit, for each live element ``l``:
+
+   * ``id'_l  = { p_σ · t_l : σ ∋ l }`` -- its tiles, one per signature,
+   * ``u'_l   = { p_σ : σ ∋ l }``      -- the branch roots it knows,
+
+   normalized with the Section 6 rule.
+
+The common past -- the region whose signature is the full frontier -- is
+where the unbounded structure lived; it collapses to the single branch
+``p_Σmax`` (to ``ε`` itself when knowledge is uniform), which is the
+"discard what is common knowledge" of Section 7.
+
+Why it is correct
+-----------------
+* **Orderings**: ``u'_a ⊑ u'_b ⟺ ∀σ: a ∈ σ ⇒ b ∈ σ ⟺ u_a ⊑ u_b`` --
+  branch roots form an antichain, so ``p_σ`` is covered by ``u'_b`` iff
+  ``b ∈ σ``.  Equality, strict dominance and concurrency follow.
+* **I1**: each ``p_σ ∈ u'_l`` is a prefix of the tile ``p_σ · t_l ∈ id'_l``.
+* **I2**: tiles of distinct elements sit in distinct branches or are
+  distinct tiles of one branch tiling -- pairwise incomparable either way.
+* **I3**: ``p_σ`` is below ``id'_y`` only via ``y``'s tile in branch ``σ``,
+  i.e. only when ``y ∈ σ``, and then ``p_σ ∈ u'_y``.
+* **Reachability**: the output is a configuration a fresh system could have
+  reached (fork the seed into the branch antichain; update and fork each
+  branch element into its tiles; join each element's tiles), so every
+  theorem about reachable configurations keeps applying afterwards.
+
+The paper leaves the *coordination* required to re-root underspecified; the
+choice made here is the simplest sound one: re-rooting is a frontier-wide
+synchronous operation (every live stamp is rewritten at once), suitable for
+a store that owns its frontier.  See ``ROADMAP.md`` for the trade-offs.
+
+Sizes after a re-root depend only on the frontier, never on trace length:
+at most ``2^|L| - 1`` signatures can be realized, and on the sync-chain
+workloads that trigger the pathology ``|Σ|`` stays near ``|L|``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
+
+from .bitstring import BitString
+from .errors import StampError
+from .names import Name
+from .reduction import normalize
+from .stamp import VersionStamp
+
+__all__ = [
+    "common_past",
+    "signature_partition",
+    "complete_tiling",
+    "reroot_names",
+    "reroot_stamps",
+    "RerootResult",
+]
+
+
+def common_past(updates: Iterable[Name]) -> Name:
+    """The causally-dominated common past of a collection of update names.
+
+    Returns the greatest lower bound of the update components in the name
+    order: the antichain of maximal strings covered by *every* name.  This
+    is exactly the structure a re-root discards -- it is common knowledge,
+    so it can never again discriminate an ordering among the live elements.
+    """
+    names = list(updates)
+    if not names:
+        return Name.empty()
+    first, rest = names[0], names[1:]
+    shared: List[BitString] = []
+    for string in first:
+        # Walk up from each member of the first name to the deepest prefix
+        # covered by every other name; collect and keep the maximal ones.
+        candidate = string
+        while rest and not all(name.covers_string(candidate) for name in rest):
+            if not candidate:
+                break
+            candidate = candidate.parent()
+        if all(name.covers_string(candidate) for name in rest):
+            shared.append(candidate)
+    return Name.from_down_set(shared)
+
+
+def signature_partition(
+    updates: Mapping[str, Name]
+) -> Dict[Tuple[str, ...], List[BitString]]:
+    """Partition the covered string space by *signature*.
+
+    Maps each realized signature -- a sorted tuple of the labels whose
+    update component covers a string -- to the maximal strings realizing
+    it.  The union of all down-sets is walked once: every prefix of every
+    member string of every update, ``O(total bits)`` packed-integer shifts.
+    """
+    masks: Dict[int, int] = {}
+    labels = sorted(updates)
+    for position, label in enumerate(labels):
+        bit = 1 << position
+        for string in updates[label]:
+            code = string.code
+            while code:
+                if masks.get(code, 0) & bit:
+                    # This label already walked this prefix to the root via
+                    # an earlier member, so everything above is credited too.
+                    break
+                masks[code] = masks.get(code, 0) | bit
+                code >>= 1
+    by_signature: Dict[Tuple[str, ...], List[int]] = {}
+    for code, mask in masks.items():
+        signature = tuple(
+            label for position, label in enumerate(labels) if mask & (1 << position)
+        )
+        by_signature.setdefault(signature, []).append(code)
+    result: Dict[Tuple[str, ...], List[BitString]] = {}
+    for signature, codes in by_signature.items():
+        strings = [BitString._from_code(code) for code in codes]
+        result[signature] = sorted(Name.from_down_set(strings))
+    return result
+
+
+def complete_tiling(count: int) -> List[BitString]:
+    """A canonical complete tiling of the binary tree with ``count`` tiles.
+
+    The tiles are pairwise incomparable and their name-join collapses to
+    ``{ε}``: they partition the whole string space.  Built breadth-first
+    (split the shallowest tile until enough exist), so the tiling is
+    balanced -- depths differ by at most one -- and deterministic.  The
+    result is ordered shallowest-first.
+    """
+    if count < 1:
+        raise StampError("a tiling needs at least one tile")
+    tiles: List[BitString] = [BitString.empty()]
+    head = 0
+    while len(tiles) - head < count:
+        parent = tiles[head]
+        head += 1
+        tiles.append(parent.zero())
+        tiles.append(parent.one())
+    live = tiles[head:]
+    return sorted(live, key=lambda tile: (len(tile), tile.code))
+
+
+def _assign_branches(
+    updates: Mapping[str, Name],
+    signatures: Sequence[Tuple[str, ...]],
+) -> Dict[str, Tuple[Name, Name]]:
+    """Build the re-rooted ``(update', id')`` pairs from realized signatures."""
+    branches = complete_tiling(len(signatures))
+    new_updates: Dict[str, List[BitString]] = {label: [] for label in updates}
+    new_ids: Dict[str, List[BitString]] = {label: [] for label in updates}
+    for signature, branch in zip(signatures, branches):
+        tiles = complete_tiling(len(signature))
+        for label, tile in zip(signature, tiles):
+            new_updates[label].append(branch)
+            new_ids[label].append(branch + tile)
+    return {
+        label: (Name(new_updates[label]), Name(new_ids[label]))
+        for label in updates
+    }
+
+
+def _validated_partition(
+    updates: Mapping[str, Name]
+) -> Dict[Tuple[str, ...], List[BitString]]:
+    for label, update in updates.items():
+        if not update:
+            raise StampError(
+                f"cannot re-root element {label!r} with an empty update name"
+            )
+    return signature_partition(updates)
+
+
+def _branch_order(partition: Iterable[Tuple[str, ...]]) -> List[Tuple[str, ...]]:
+    """Realized signatures in deterministic branch-assignment order.
+
+    The largest signatures -- the common past first among them -- take the
+    shallowest branch roots of the new tiling.
+    """
+    return sorted(partition, key=lambda sig: (-len(sig), sig))
+
+
+def reroot_names(updates: Mapping[str, Name]) -> Dict[str, Tuple[Name, Name]]:
+    """Re-root a frontier's update components onto fresh short bitstrings.
+
+    Returns ``label -> (update', id')`` built by the signature construction
+    described in the module docstring.  Both components are returned
+    *before* Section 6 normalization; callers building stamps should
+    normalize the pair (:func:`reroot_stamps` does).
+    """
+    if not updates:
+        return {}
+    return _assign_branches(updates, _branch_order(_validated_partition(updates)))
+
+
+@dataclass(frozen=True)
+class RerootResult:
+    """What one frontier-wide re-root did.
+
+    Attributes
+    ----------
+    stamps:
+        The re-rooted ``label -> stamp`` mapping.
+    discarded_past:
+        The common-past name that was causally dominated by every live
+        element and is no longer explicitly represented.
+    signature_count:
+        Number of distinct knowledge regions preserved (``|Σ|``).
+    bits_before / bits_after:
+        Total encoded stamp bits across the frontier, before and after.
+    """
+
+    stamps: Dict[str, VersionStamp]
+    discarded_past: Name
+    signature_count: int
+    bits_before: int
+    bits_after: int
+
+    @property
+    def bits_saved(self) -> int:
+        """Encoded bits reclaimed by the re-root (negative if it grew)."""
+        return self.bits_before - self.bits_after
+
+    def __str__(self) -> str:
+        return (
+            f"reroot: {len(self.stamps)} stamps, {self.signature_count} "
+            f"signatures, {self.bits_before} -> {self.bits_after} bits "
+            f"(saved {self.bits_saved})"
+        )
+
+
+def reroot_stamps(stamps: Mapping[str, VersionStamp]) -> RerootResult:
+    """Re-root a whole frontier of version stamps.
+
+    Every live stamp is rewritten at once: the causally-dominated common
+    past is discarded and the surviving knowledge regions are re-encoded on
+    fresh short bitstrings.  All pairwise orderings among the live stamps
+    (and among any of their future derivations) are preserved, and the
+    output satisfies invariants I1-I3; the property tests cross-check both
+    claims against the pre-GC matrix and the reference implementation.
+
+    Raises
+    ------
+    StampError
+        If the mapping is empty or a stamp has an empty update component
+        (impossible for stamps reachable from a seed).
+    """
+    if not stamps:
+        raise StampError("cannot re-root an empty frontier")
+    bits_before = sum(stamp.size_in_bits() for stamp in stamps.values())
+    updates = {label: stamp.update_component for label, stamp in stamps.items()}
+    partition = _validated_partition(updates)
+    signatures = _branch_order(partition)
+    # The common past is exactly the full-frontier signature's region (a
+    # string is common knowledge iff *every* live update covers it), so the
+    # partition already holds it -- no extra meet computation.
+    past = Name(partition.get(tuple(sorted(updates)), ()))
+    rerooted = _assign_branches(updates, signatures)
+    new_stamps: Dict[str, VersionStamp] = {}
+    for label, stamp in stamps.items():
+        update, identity = rerooted[label]
+        if stamp.reducing:
+            update, identity, _steps = normalize(update, identity)
+        # The public constructor re-validates I1 -- a re-root must never
+        # emit an ill-formed stamp, and this runs far from any hot path.
+        new_stamps[label] = VersionStamp(
+            update, identity, reducing=stamp.reducing
+        )
+    bits_after = sum(stamp.size_in_bits() for stamp in new_stamps.values())
+    return RerootResult(
+        stamps=new_stamps,
+        discarded_past=past,
+        signature_count=len(signatures),
+        bits_before=bits_before,
+        bits_after=bits_after,
+    )

@@ -16,10 +16,11 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
 from ..core.errors import ReplicationError
 from ..core.order import Ordering
+from ..core.reroot import RerootResult, reroot_stamps
 from .conflict import ConflictPolicy, KeepBoth
 from .tracker import CausalityTracker, StampTracker
 
@@ -221,3 +222,53 @@ class Replica:
     def metadata_size_in_bits(self) -> int:
         """Encoded size of the causal metadata currently held."""
         return self._version.tracker.size_in_bits()
+
+    # -- garbage collection --------------------------------------------------
+
+    @staticmethod
+    def compact(replicas: Sequence["Replica"]) -> RerootResult:
+        """Re-root the causal metadata of a complete replica group in place.
+
+        Long synchronization chains that never retire replicas grow version
+        stamps without bound (the Section 6 rule only collapses siblings).
+        ``compact`` applies the Section 7 re-rooting garbage collector
+        (:func:`repro.core.reroot.reroot_stamps`) across the group: the
+        causally-dominated common past is discarded and every replica's
+        stamp is rewritten onto fresh short bitstrings.  All pairwise
+        ``compare``/``conflicts_with`` answers among the group -- and among
+        anything later derived from it by writes, forks and syncs -- are
+        unchanged.
+
+        The group must be *complete*: every live replica of the item has to
+        participate, because a stamp left out would still be compared
+        against re-rooted strings it knows nothing about.  This mirrors the
+        frontier-wide coordination the paper's Section 7 leaves open; the
+        implementation takes the simplest sound interpretation (a store
+        that owns its replica set compacts them together).  Values and
+        statistics are untouched.
+
+        Raises
+        ------
+        ReplicationError
+            If the group is empty, contains duplicate replicas, or any
+            member does not track causality with version stamps.
+        """
+        if not replicas:
+            raise ReplicationError("cannot compact an empty replica group")
+        if len({id(replica) for replica in replicas}) != len(replicas):
+            raise ReplicationError("cannot compact a group with duplicate replicas")
+        stamps = {}
+        for index, replica in enumerate(replicas):
+            tracker = replica.tracker
+            if not isinstance(tracker, StampTracker):
+                raise ReplicationError(
+                    f"compact requires version-stamp trackers; replica "
+                    f"{replica.name!r} uses {type(tracker).__name__}"
+                )
+            stamps[str(index)] = tracker.stamp
+        result = reroot_stamps(stamps)
+        for index, replica in enumerate(replicas):
+            replica._version = Version(
+                replica._version.value, StampTracker(result.stamps[str(index)])
+            )
+        return result

@@ -20,6 +20,7 @@ from .runner import (
     LockstepRunner,
     MechanismAdapter,
     PlausibleAdapter,
+    RerootingStampAdapter,
     SizeSample,
     StampAdapter,
     default_adapters,
@@ -30,6 +31,7 @@ from .workload import (
     fixed_replica_trace,
     partitioned_trace,
     random_dynamic_trace,
+    sync_chain_trace,
 )
 
 __all__ = [
@@ -41,10 +43,12 @@ __all__ = [
     "fixed_replica_trace",
     "partitioned_trace",
     "churn_trace",
+    "sync_chain_trace",
     "LockstepRunner",
     "MechanismAdapter",
     "CausalAdapter",
     "StampAdapter",
+    "RerootingStampAdapter",
     "DynamicVVAdapter",
     "ITCAdapter",
     "PlausibleAdapter",

@@ -38,13 +38,14 @@ from ..vv.id_source import CentralIdSource, IdSource
 from ..vv.lamport import LamportClock
 from ..vv.plausible import PlausibleClock
 from ..core.errors import SimulationError
-from .trace import OpKind, Operation, Trace
+from .trace import OpKind, Operation, Trace, apply_operation
 
 __all__ = [
     "MechanismAdapter",
     "CausalAdapter",
     "RefCausalAdapter",
     "StampAdapter",
+    "RerootingStampAdapter",
     "DynamicVVAdapter",
     "ITCAdapter",
     "PlausibleAdapter",
@@ -118,15 +119,7 @@ class CausalAdapter(MechanismAdapter):
         self._configuration = self.configuration_class.initial(seed)
 
     def apply(self, operation: Operation) -> None:
-        configuration = self.configuration
-        if operation.kind == OpKind.UPDATE:
-            configuration.update(operation.source, operation.results[0])
-        elif operation.kind == OpKind.FORK:
-            configuration.fork(operation.source, *operation.results)
-        elif operation.kind == OpKind.JOIN:
-            configuration.join(operation.source, operation.other, operation.results[0])
-        else:
-            configuration.sync(operation.source, operation.other, *operation.results)
+        apply_operation(self.configuration, operation)
 
     def labels(self) -> List[str]:
         return self.configuration.labels()
@@ -172,15 +165,7 @@ class StampAdapter(MechanismAdapter):
         self._frontier = Frontier.initial(seed, reducing=self._reducing)
 
     def apply(self, operation: Operation) -> None:
-        frontier = self.frontier
-        if operation.kind == OpKind.UPDATE:
-            frontier.update(operation.source, operation.results[0])
-        elif operation.kind == OpKind.FORK:
-            frontier.fork(operation.source, *operation.results)
-        elif operation.kind == OpKind.JOIN:
-            frontier.join(operation.source, operation.other, operation.results[0])
-        else:
-            frontier.sync(operation.source, operation.other, *operation.results)
+        apply_operation(self.frontier, operation)
 
     def labels(self) -> List[str]:
         return self.frontier.labels()
@@ -193,6 +178,41 @@ class StampAdapter(MechanismAdapter):
 
     def check_invariants(self) -> bool:
         return check_all(self.frontier.stamps()).ok
+
+
+class RerootingStampAdapter(StampAdapter):
+    """Reducing version stamps with the Section 7 re-rooting GC enabled.
+
+    Drives a :class:`~repro.core.frontier.Frontier` whose automatic re-root
+    fires whenever any live stamp's encoded size exceeds ``threshold``
+    bits.  Run
+    alongside a plain :class:`StampAdapter` in one lockstep replay this
+    measures GC'd and raw stamps side by side on the same trace -- and
+    because the runner cross-checks every mechanism against the causal
+    oracle after every step, it *proves* on that trace that re-rooting
+    preserved the frontier ordering (the re-rooted stamps must keep a 100%
+    agreement rate with ground truth for the whole run).
+    """
+
+    def __init__(self, *, threshold: int = 256) -> None:
+        super().__init__(reducing=True)
+        self.name = f"version-stamps-rerooting-{threshold}"
+        self._threshold = threshold
+
+    @property
+    def threshold(self) -> int:
+        """The re-root trigger: largest allowed stamp, in encoded bits."""
+        return self._threshold
+
+    @property
+    def reroots_performed(self) -> int:
+        """How many re-roots the replay has triggered so far."""
+        return self.frontier.reroots_performed
+
+    def start(self, seed: str) -> None:
+        self._frontier = Frontier.initial(
+            seed, reducing=True, reroot_threshold=self._threshold
+        )
 
 
 class DynamicVVAdapter(MechanismAdapter):

@@ -19,7 +19,7 @@ from typing import Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 from ..core.errors import SimulationError
 
-__all__ = ["OpKind", "Operation", "Trace", "validate_trace"]
+__all__ = ["OpKind", "Operation", "Trace", "apply_operation", "validate_trace"]
 
 
 class OpKind:
@@ -104,6 +104,24 @@ class Operation:
         else:
             call = f"{self.kind}({self.source})"
         return f"{call} -> {', '.join(self.results)}"
+
+
+def apply_operation(target, operation: "Operation") -> None:
+    """Dispatch one trace operation onto a configuration-like object.
+
+    ``target`` is anything with the label-based ``update``/``fork``/
+    ``join``/``sync`` methods of :class:`~repro.core.frontier.Frontier` and
+    the causal configurations -- the one switch every replay loop
+    (adapters, benchmarks, analysis sweeps, soak tests) shares.
+    """
+    if operation.kind == OpKind.UPDATE:
+        target.update(operation.source, operation.results[0])
+    elif operation.kind == OpKind.FORK:
+        target.fork(operation.source, *operation.results)
+    elif operation.kind == OpKind.JOIN:
+        target.join(operation.source, operation.other, operation.results[0])
+    else:
+        target.sync(operation.source, operation.other, *operation.results)
 
 
 @dataclass(frozen=True)

@@ -18,6 +18,10 @@ generators produce them:
   without an authority), and partitions merge at the end.
 * :func:`churn_trace` -- aggressive replica creation and retirement, the
   worst case for identifier-based mechanisms.
+* :func:`sync_chain_trace` -- a rotating ring of pairwise synchronizations
+  that provably starves the Section 6 sibling collapse, growing stamps
+  without bound; the workload the re-rooting garbage collector
+  (:mod:`repro.core.reroot`) exists for.
 
 All generators are deterministic given a seed and return
 :class:`~repro.sim.trace.Trace` objects.
@@ -36,6 +40,7 @@ __all__ = [
     "fixed_replica_trace",
     "partitioned_trace",
     "churn_trace",
+    "sync_chain_trace",
 ]
 
 
@@ -336,4 +341,85 @@ def churn_trace(
         seed=seed_label,
         operations=tuple(trace_operations),
         name=name or f"churn(ops={operations}, target={target_frontier}, seed={seed})",
+    )
+
+
+def sync_chain_trace(
+    operations: int,
+    *,
+    replicas: int = 4,
+    seed: int = 0,
+    update_probability: float = 0.5,
+    name: str = "",
+) -> Trace:
+    """A rotating synchronization ring that starves the sibling collapse.
+
+    ``replicas`` elements are arranged in a ring; each step synchronizes one
+    adjacent pair, rotating one position per step (``sync(r0,r1)``,
+    ``sync(r1,r2)``, ..., wrapping around), with the pair's first element
+    updated beforehand with probability ``update_probability`` so update
+    components keep growing too.
+
+    This is the growth pathology of the mechanism: the Section 6 rule only
+    collapses *sibling* id strings, and siblings are exactly what this
+    schedule never reassembles.  A ``sync`` leaves its two participants with
+    ids that are mutual siblings (``n·0`` / ``n·1``), so only an immediate
+    re-sync of the same pair could collapse them -- but the rotation always
+    moves on to the neighbouring pair first, whose ids come from different
+    joins and share no sibling pairs.  Every sync therefore *adds* strings
+    (the join keeps both input antichains) and then lengthens all of them by
+    one bit (the fork), compounding: with ``replicas ≥ 3`` stamp sizes grow
+    exponentially in the number of ring rounds.  With ``replicas = 2`` the
+    ring degenerates to re-syncing one pair, which collapses fine -- hence
+    the minimum of 3.
+
+    This is the workload the re-rooting garbage collector exists for; the
+    soak test drives thousands of these steps and checks GC'd stamps stay
+    bounded while raw stamps blow past any fixed bound within a few rounds.
+
+    The trace contains exactly ``operations`` operations -- the initial
+    ring-building forks included -- whenever ``operations >= replicas``
+    (below that only the ring-building forks are emitted).
+    """
+    if replicas < 3:
+        raise SimulationError("a sibling-starved sync chain needs >= 3 replicas")
+    if operations < 0:
+        raise SimulationError("operation count must be non-negative")
+    if not 0.0 <= update_probability <= 1.0:
+        raise SimulationError("update_probability must be within [0, 1]")
+
+    rng = random.Random(seed)
+    labels = _LabelFactory()
+    seed_label = labels.fresh()
+    trace_operations: List[Operation] = []
+
+    ring = [seed_label]
+    while len(ring) < replicas:
+        source = ring.pop(0)
+        left, right = labels.fresh(), labels.fresh()
+        trace_operations.append(Operation.fork(source, left, right))
+        ring.extend((left, right))
+
+    position = 0
+    while len(trace_operations) < operations:
+        index = position % replicas
+        position += 1
+        first, second = ring[index], ring[(index + 1) % replicas]
+        if (
+            rng.random() < update_probability
+            and len(trace_operations) + 1 < operations
+        ):
+            updated = labels.fresh()
+            trace_operations.append(Operation.update(first, updated))
+            ring[index] = first = updated
+        left, right = labels.fresh(), labels.fresh()
+        trace_operations.append(Operation.sync(first, second, left, right))
+        ring[index] = left
+        ring[(index + 1) % replicas] = right
+
+    return Trace(
+        seed=seed_label,
+        operations=tuple(trace_operations),
+        name=name
+        or f"sync-chain(ops={operations}, replicas={replicas}, seed={seed})",
     )

@@ -2,7 +2,12 @@
 
 import pytest
 
-from repro.analysis.sizes import churn_sweep, measure_trace_sizes, replica_count_sweep
+from repro.analysis.sizes import (
+    churn_sweep,
+    measure_trace_sizes,
+    replica_count_sweep,
+    reroot_growth_curve,
+)
 from repro.sim.workload import churn_trace, random_dynamic_trace
 
 
@@ -66,3 +71,36 @@ class TestSweeps:
         stamps = table.column("stamps_bits")[0]
         dynamic = table.column("dynamic_vv_bits")[0]
         assert dynamic > stamps
+
+
+class TestRerootGrowthCurve:
+    def test_bounded_vs_censored_unbounded(self):
+        table = reroot_growth_curve(
+            200,
+            replicas=4,
+            threshold=256,
+            sample_every=20,
+            raw_cap_bits=1 << 16,
+            seed=1,
+        )
+        assert table.column("step")[-1] == 200
+        rerooted = table.column("rerooted_bits")
+        raw = table.column("raw_bits")
+        # The GC'd curve is bounded throughout; the raw curve blows past the
+        # cap and is censored (None) from then on -- the "unbounded" arm.
+        assert all(bits <= 256 for bits in rerooted)
+        assert raw[-1] is None
+        observed = [bits for bits in raw if bits is not None]
+        if len(observed) >= 2:
+            assert observed[-1] >= observed[0]
+        # While both curves exist the raw one dominates the GC'd one by the
+        # time it is censored; and reroots actually fired.
+        assert table.column("reroots")[-1] > 0
+
+    def test_renders(self):
+        table = reroot_growth_curve(
+            60, sample_every=30, raw_cap_bits=1 << 16, seed=2
+        )
+        text = table.render(title="reroot growth")
+        assert "rerooted_bits" in text
+        assert "raw_bits" in text

@@ -26,7 +26,7 @@ from repro.sim.runner import (
     StampAdapter,
 )
 from repro.sim.trace import OpKind, Trace
-from repro.sim.workload import random_dynamic_trace
+from repro.sim.workload import churn_trace, partitioned_trace, random_dynamic_trace
 from repro.testing import trace_operations
 
 
@@ -146,3 +146,60 @@ class TestLockstepDifferential:
         baseline = results.pop("ref-seed")
         for key, reports in results.items():
             assert reports == baseline, key
+
+
+def _structured_traces():
+    """The two structured generators previously untested end to end.
+
+    ``random_dynamic_trace`` and ``fixed_replica_trace`` shapes are covered
+    above and in ``tests/sim``; these two stress different lockstep paths:
+    partition phases re-shuffle membership (long-lived concurrent clusters,
+    then a multi-join heal), and churn retires labels aggressively (the
+    invalidation-heavy regime for the incremental comparison caches).
+    """
+    return [
+        partitioned_trace(
+            initial_replicas=5,
+            partitions=2,
+            phases=3,
+            operations_per_phase=18,
+            seed=31,
+        ),
+        churn_trace(140, target_frontier=7, seed=17),
+    ]
+
+
+class TestStructuredTraceDifferential:
+    """partitioned/churn generators through every oracle/strategy combo."""
+
+    @pytest.mark.parametrize(
+        "trace", _structured_traces(), ids=["partitioned", "churn"]
+    )
+    def test_configurations_agree_step_by_step(self, trace):
+        _replay_both(trace)
+
+    @pytest.mark.parametrize(
+        "trace", _structured_traces(), ids=["partitioned", "churn"]
+    )
+    @pytest.mark.parametrize("incremental", [True, False], ids=["incr", "seed"])
+    @pytest.mark.parametrize(
+        "oracle_factory", [CausalAdapter, RefCausalAdapter], ids=["bitset", "ref"]
+    )
+    def test_all_combos_agree_and_match_baseline(
+        self, trace, oracle_factory, incremental
+    ):
+        reports, sizes = _run_lockstep(trace, oracle_factory(), incremental)
+        baseline_reports, baseline_sizes = _run_lockstep(
+            trace, RefCausalAdapter(), False
+        )
+        assert reports == baseline_reports
+        for report in reports.values():
+            assert report.comparisons > 0
+            assert report.agreement_rate == 1.0
+            assert report.invariant_failures == 0
+        for name, sample in sizes.items():
+            if name in baseline_sizes:
+                assert (
+                    sample.per_step_max_bits
+                    == baseline_sizes[name].per_step_max_bits
+                )

@@ -1,0 +1,370 @@
+"""Unit and property tests for the Section 7 re-rooting garbage collector.
+
+The correctness contract of :mod:`repro.core.reroot` is sharp: a re-root
+must preserve the *entire* pairwise ordering matrix and dominance relation
+among live stamps, keep invariants I1-I3, and stay correct for any
+continuation of the run.  The hypothesis tests here check all three against
+random frontiers (built by replaying random traces), cross-checking the
+matrices against the retained text-based reference implementation
+(:mod:`repro.core.refimpl`) and the causal-history oracle.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.causal.configuration import CausalConfiguration
+from repro.core.bitstring import BitString
+from repro.core.errors import StampError
+from repro.core.frontier import Frontier
+from repro.core.invariants import check_all
+from repro.core.names import Name
+from repro.core.refimpl import RefStamp
+from repro.core.reroot import (
+    common_past,
+    complete_tiling,
+    reroot_names,
+    reroot_stamps,
+    signature_partition,
+)
+from repro.core.stamp import VersionStamp
+from repro.sim.trace import OpKind
+from repro.testing import trace_operations
+
+
+def _matrix(stamps):
+    """Full pairwise ordering matrix of a label -> stamp mapping."""
+    return {
+        (x, y): stamps[x].compare(stamps[y])
+        for x in stamps
+        for y in stamps
+        if x != y
+    }
+
+
+def _dominance(stamps):
+    """The leq (dominated-by) relation of a label -> stamp mapping."""
+    return {
+        (x, y): stamps[x].leq(stamps[y])
+        for x in stamps
+        for y in stamps
+        if x != y
+    }
+
+
+def _replay(trace, make_seed, apply_sync_as_pair=False):
+    """Replay a trace over a dict of stamp-like objects with the 3 ops."""
+    stamps = {trace.seed: make_seed()}
+    for op in trace.operations:
+        if op.kind == OpKind.UPDATE:
+            stamps[op.results[0]] = stamps.pop(op.source).update()
+        elif op.kind == OpKind.FORK:
+            left, right = stamps.pop(op.source).fork()
+            stamps[op.results[0]] = left
+            stamps[op.results[1]] = right
+        elif op.kind == OpKind.JOIN:
+            joined = stamps.pop(op.source).join(stamps.pop(op.other))
+            stamps[op.results[0]] = joined
+        else:
+            joined = stamps.pop(op.source).join(stamps.pop(op.other))
+            left, right = joined.fork()
+            stamps[op.results[0]] = left
+            stamps[op.results[1]] = right
+    return stamps
+
+
+class TestCommonPast:
+    def test_seed_knows_only_epsilon(self):
+        assert common_past([Name.seed(), Name.seed()]) == Name.seed()
+
+    def test_empty_collection(self):
+        assert common_past([]) == Name.empty()
+
+    def test_shared_prefix_is_found(self):
+        first = Name.parse("001+01")
+        second = Name.parse("0010+1")
+        past = common_past([first, second])
+        assert past == Name.parse("001")
+
+    def test_disjoint_knowledge_meets_at_epsilon(self):
+        past = common_past([Name.parse("0"), Name.parse("1")])
+        assert past == Name.seed()
+
+    def test_single_name_is_its_own_past(self):
+        name = Name.parse("00+01+1")
+        assert common_past([name]) == name
+
+    def test_past_is_dominated_by_every_input(self):
+        names = [Name.parse("0010+010"), Name.parse("001+0101"), Name.parse("0+1")]
+        past = common_past(names)
+        assert all(past.dominated_by(name) for name in names)
+
+
+class TestCompleteTiling:
+    @pytest.mark.parametrize("count", list(range(1, 18)))
+    def test_tiles_partition_the_tree(self, count):
+        tiles = complete_tiling(count)
+        assert len(tiles) == count
+        # Pairwise incomparable and Kraft-complete: they tile the whole
+        # space exactly (sum of 2^-depth over a complete tiling is 1).
+        for i, a in enumerate(tiles):
+            for b in tiles[i + 1:]:
+                assert a.incomparable(b)
+        assert sum(2.0 ** -len(tile) for tile in tiles) == pytest.approx(1.0)
+
+    def test_balanced_depths(self):
+        tiles = complete_tiling(11)
+        depths = sorted(len(tile) for tile in tiles)
+        assert depths[-1] - depths[0] <= 1
+
+    def test_single_tile_is_epsilon(self):
+        assert complete_tiling(1) == [BitString.empty()]
+
+    def test_rejects_zero(self):
+        with pytest.raises(StampError):
+            complete_tiling(0)
+
+
+class TestSignaturePartition:
+    def test_uniform_knowledge_is_one_signature(self):
+        updates = {"a": Name.parse("0+1"), "b": Name.parse("0+1")}
+        partition = signature_partition(updates)
+        assert set(partition) == {("a", "b")}
+
+    def test_private_knowledge_splits(self):
+        updates = {"a": Name.parse("00"), "b": Name.parse("0")}
+        partition = signature_partition(updates)
+        # "00" is a's alone; "0" and "ε" are shared.
+        assert set(partition) == {("a",), ("a", "b")}
+        assert partition[("a",)] == [BitString("00")]
+
+
+class TestRerootStamps:
+    def test_lone_element_collapses_to_seed(self):
+        frontier = Frontier.initial("a")
+        frontier.update("a", "a2")
+        frontier.fork("a2", "b", "c")
+        frontier.update("b", "b2")
+        frontier.join("b2", "c", "d")
+        result = reroot_stamps({"d": frontier.stamp_of("d")})
+        assert result.stamps["d"] == VersionStamp.seed()
+        assert result.signature_count == 1
+
+    def test_uniform_frontier_collapses_to_fresh_fork(self):
+        frontier = Frontier.initial("a")
+        frontier.fork("a", "b", "c")
+        result = reroot_stamps(frontier.stamps())
+        for stamp in result.stamps.values():
+            assert stamp.update_component == Name.seed()
+        assert result.signature_count == 1
+
+    def test_rejects_empty_frontier(self):
+        with pytest.raises(StampError):
+            reroot_stamps({})
+
+    def test_rejects_empty_update_name(self):
+        with pytest.raises(StampError):
+            reroot_names({"a": Name.empty()})
+
+    def test_reroot_is_idempotent_on_sizes(self):
+        frontier = Frontier.initial("a")
+        frontier.fork("a", "b", "c")
+        frontier.update("b", "b2")
+        frontier.sync("b2", "c", "b3", "c2")
+        frontier.update("c2", "c3")
+        once = reroot_stamps(frontier.stamps())
+        twice = reroot_stamps(once.stamps)
+        assert twice.bits_after == once.bits_after
+        assert _matrix(twice.stamps) == _matrix(once.stamps)
+
+    def test_non_reducing_stamps_keep_flavour(self):
+        frontier = Frontier.initial("a", reducing=False)
+        frontier.fork("a", "b", "c")
+        frontier.update("b", "b2")
+        frontier.sync("b2", "c", "b3", "c2")
+        frontier.update("c2", "c3")
+        before = _matrix(frontier.stamps())
+        result = reroot_stamps(frontier.stamps())
+        assert _matrix(result.stamps) == before
+        assert all(not stamp.reducing for stamp in result.stamps.values())
+        assert check_all(result.stamps).ok
+
+    def test_result_reports_sizes(self):
+        frontier = Frontier.initial("a")
+        frontier.fork("a", "b", "c")
+        frontier.update("b", "b2")
+        result = reroot_stamps(frontier.stamps())
+        assert result.bits_before == sum(
+            s.size_in_bits() for s in frontier.stamps().values()
+        )
+        assert result.bits_after == sum(
+            s.size_in_bits() for s in result.stamps.values()
+        )
+        assert result.bits_saved == result.bits_before - result.bits_after
+        assert "signatures" in str(result)
+
+
+class TestRerootProperties:
+    """The contract, hammered with random frontiers from random traces."""
+
+    @given(trace=trace_operations(max_operations=30, max_frontier=6))
+    def test_matrix_and_dominance_preserved(self, trace):
+        stamps = _replay(trace, VersionStamp.seed)
+        before_matrix = _matrix(stamps)
+        before_dominance = _dominance(stamps)
+        result = reroot_stamps(stamps)
+        assert _matrix(result.stamps) == before_matrix
+        assert _dominance(result.stamps) == before_dominance
+
+    @given(trace=trace_operations(max_operations=30, max_frontier=6))
+    def test_matches_refimpl_oracle_before_and_after(self, trace):
+        stamps = _replay(trace, VersionStamp.seed)
+        reference = _replay(trace, RefStamp.seed)
+        ref_matrix = {
+            (x, y): reference[x].compare(reference[y])
+            for x in reference
+            for y in reference
+            if x != y
+        }
+        assert _matrix(stamps) == ref_matrix
+        assert _matrix(reroot_stamps(stamps).stamps) == ref_matrix
+
+    @given(trace=trace_operations(max_operations=30, max_frontier=6))
+    def test_invariants_hold_after_reroot(self, trace):
+        stamps = _replay(trace, VersionStamp.seed)
+        report = check_all(reroot_stamps(stamps).stamps)
+        assert report.ok, str(report)
+
+    @given(trace=trace_operations(max_operations=30, max_frontier=6))
+    def test_discarded_past_was_common_knowledge(self, trace):
+        stamps = _replay(trace, VersionStamp.seed)
+        result = reroot_stamps(stamps)
+        for stamp in stamps.values():
+            assert result.discarded_past.dominated_by(stamp.update_component)
+        # The partition-derived past equals the explicit name-order meet.
+        assert result.discarded_past == common_past(
+            stamp.update_component for stamp in stamps.values()
+        )
+
+    @given(
+        trace=trace_operations(max_operations=36, max_frontier=5),
+        cut=st.integers(min_value=0, max_value=36),
+    )
+    @settings(max_examples=40)
+    def test_future_operations_stay_correct(self, trace, cut):
+        """Re-rooting mid-run must not disturb any later comparison.
+
+        The same trace replays twice -- once untouched, once with a forced
+        frontier-wide re-root after operation ``cut`` -- and both final
+        matrices must agree with each other and with the causal-history
+        ground truth.
+        """
+        cut = min(cut, len(trace.operations))
+        plain = _replay(trace, VersionStamp.seed)
+
+        rerooted = {trace.seed: VersionStamp.seed()}
+        oracle = CausalConfiguration.initial(trace.seed)
+        if cut == 0:
+            rerooted = reroot_stamps(rerooted).stamps
+        for index, op in enumerate(trace.operations):
+            if op.kind == OpKind.UPDATE:
+                rerooted[op.results[0]] = rerooted.pop(op.source).update()
+                oracle.update(op.source, op.results[0])
+            elif op.kind == OpKind.FORK:
+                left, right = rerooted.pop(op.source).fork()
+                rerooted[op.results[0]] = left
+                rerooted[op.results[1]] = right
+                oracle.fork(op.source, *op.results)
+            elif op.kind == OpKind.JOIN:
+                joined = rerooted.pop(op.source).join(rerooted.pop(op.other))
+                rerooted[op.results[0]] = joined
+                oracle.join(op.source, op.other, op.results[0])
+            else:
+                joined = rerooted.pop(op.source).join(rerooted.pop(op.other))
+                left, right = joined.fork()
+                rerooted[op.results[0]] = left
+                rerooted[op.results[1]] = right
+                oracle.sync(op.source, op.other, *op.results)
+            if index + 1 == cut:
+                rerooted = reroot_stamps(rerooted).stamps
+
+        assert _matrix(rerooted) == _matrix(plain)
+        assert _matrix(rerooted) == oracle.ordering_matrix()
+
+
+class TestFrontierReroot:
+    def test_manual_reroot_preserves_matrix_and_logs(self):
+        frontier = Frontier.initial("a")
+        frontier.fork("a", "b", "c")
+        frontier.update("b", "b2")
+        frontier.sync("b2", "c", "b3", "c2")
+        frontier.update("b3", "b4")
+        before = frontier.ordering_matrix()
+        result = frontier.reroot()
+        assert frontier.ordering_matrix() == before
+        assert frontier.reroots_performed == 1
+        assert frontier.last_reroot is result
+        assert frontier.operation_log()[-1][0] == "reroot"
+
+    def test_auto_reroot_fires_on_size(self):
+        frontier = Frontier.initial("a", reroot_threshold=64)
+        frontier.fork("a", "b", "c")
+        frontier.fork("c", "d", "e")
+        labels = ["b", "d", "e"]
+        for round_index in range(20):
+            for index in range(3):
+                x, y = labels[index], labels[(index + 1) % 3]
+                renamed = frontier.update(x)
+                frontier.sync(renamed, y, x, y)
+        assert frontier.reroots_performed > 0
+        assert frontier.max_stamp_bits() <= 64 + 32  # bounded, not exploding
+
+    def test_unattainable_threshold_backs_off_instead_of_thrashing(self):
+        """A threshold below the frontier's achievable floor must not
+        re-collect after every single operation; the trigger backs off to
+        twice the attained floor, so collections fire only after a
+        doubling (each one then costs O(floor), not O(accumulated trace))
+        and stamp sizes stay bounded by a small multiple of the floor."""
+        frontier = Frontier.initial("seed", reroot_threshold=2)
+        frontier.fork("seed", "a", "t")
+        frontier.fork("t", "b", "c")
+        labels = ["a", "b", "c"]
+        operations = 0
+        peak = 0
+        for _ in range(30):
+            for index in range(3):
+                x, y = labels[index], labels[(index + 1) % 3]
+                renamed = frontier.update(x)
+                frontier.sync(renamed, y, x, y)
+                operations += 2
+                peak = max(peak, frontier.max_stamp_bits())
+        assert frontier.reroots_performed < operations // 2
+        floor = max(
+            stamp.size_in_bits()
+            for stamp in frontier.last_reroot.stamps.values()
+        )
+        assert peak <= 6 * floor
+
+    def test_copy_does_not_recollect(self):
+        frontier = Frontier.initial("a", reroot_threshold=2)
+        frontier.fork("a", "b", "c")
+        performed = frontier.reroots_performed
+        clone = frontier.copy()
+        assert clone.reroots_performed == performed
+        assert clone.stamps() == frontier.stamps()
+        assert clone.operation_log() == frontier.operation_log()
+
+    def test_threshold_validation(self):
+        from repro.core.errors import FrontierError
+
+        with pytest.raises(FrontierError):
+            Frontier(reroot_threshold=0)
+
+    def test_copy_carries_reroot_state(self):
+        frontier = Frontier.initial("a", reroot_threshold=512)
+        frontier.fork("a", "b", "c")
+        frontier.reroot()
+        clone = frontier.copy()
+        assert clone.reroot_threshold == 512
+        assert clone.reroots_performed == 1
+        assert clone.last_reroot is frontier.last_reroot

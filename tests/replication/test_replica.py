@@ -153,3 +153,75 @@ class TestSynchronization:
         outcome = clone.sync_with(origin)
         assert outcome.value == 1
         assert origin.compare(clone) is Ordering.EQUAL
+
+
+class TestCompact:
+    def _sync_ring(self, replicas, rounds):
+        count = len(replicas)
+        for _ in range(rounds):
+            for index in range(count):
+                first = replicas[index]
+                second = replicas[(index + 1) % count]
+                first.write(f"{first.name}-write")
+                first.sync_with(second)
+
+    def test_compact_shrinks_and_preserves_comparisons(self):
+        root = Replica("r0", value=0)
+        replicas = [root, root.fork("r1"), root.fork("r2"), root.fork("r3")]
+        self._sync_ring(replicas, rounds=6)
+        replicas[0].write("private")
+        before_bits = sum(r.metadata_size_in_bits() for r in replicas)
+        before = {
+            (x.name, y.name): x.compare(y)
+            for x in replicas
+            for y in replicas
+            if x is not y
+        }
+        result = Replica.compact(replicas)
+        after = {
+            (x.name, y.name): x.compare(y)
+            for x in replicas
+            for y in replicas
+            if x is not y
+        }
+        assert after == before
+        assert result.bits_before == before_bits
+        assert result.bits_after < before_bits
+        assert sum(r.metadata_size_in_bits() for r in replicas) == result.bits_after
+
+    def test_compact_keeps_values_and_counters(self):
+        root = Replica("r0", value="v")
+        other = root.fork("r1")
+        root.write("w")
+        root.sync_with(other)
+        writes, syncs = root.writes, root.syncs
+        Replica.compact([root, other])
+        assert root.value == "w"
+        assert other.value == "w"
+        assert (root.writes, root.syncs) == (writes, syncs)
+
+    def test_later_syncs_still_work_after_compact(self):
+        root = Replica("r0", value=0)
+        replicas = [root, root.fork("r1"), root.fork("r2")]
+        self._sync_ring(replicas, rounds=4)
+        Replica.compact(replicas)
+        replicas[0].write("fresh")
+        outcome = replicas[0].sync_with(replicas[1])
+        assert outcome.relation is Ordering.AFTER
+        assert not outcome.conflict
+        assert replicas[1].value == "fresh"
+        # Concurrent writes still conflict after a compact.
+        replicas[1].write("left")
+        replicas[2].write("right")
+        assert replicas[1].conflicts_with(replicas[2])
+
+    def test_compact_rejects_bad_groups(self):
+        from repro.core.errors import ReplicationError
+
+        with pytest.raises(ReplicationError):
+            Replica.compact([])
+        replica = Replica("r0")
+        with pytest.raises(ReplicationError):
+            Replica.compact([replica, replica])
+        with pytest.raises(ReplicationError):
+            Replica.compact([Replica("itc", tracker=ITCTracker())])

@@ -9,6 +9,7 @@ from repro.sim.workload import (
     fixed_replica_trace,
     partitioned_trace,
     random_dynamic_trace,
+    sync_chain_trace,
 )
 
 
@@ -123,3 +124,63 @@ class TestChurnTrace:
 
     def test_deterministic(self):
         assert churn_trace(50, seed=4) == churn_trace(50, seed=4)
+
+
+class TestSyncChainTrace:
+    def test_exact_operation_count(self):
+        for operations in (10, 57, 300):
+            assert len(sync_chain_trace(operations, replicas=4, seed=1)) == operations
+
+    def test_valid_traces(self):
+        for seed in range(5):
+            validate_trace(sync_chain_trace(80, replicas=5, seed=seed))
+
+    def test_deterministic(self):
+        assert sync_chain_trace(60, seed=9) == sync_chain_trace(60, seed=9)
+
+    def test_frontier_width_is_the_ring(self):
+        trace = sync_chain_trace(120, replicas=6, seed=2)
+        assert trace.max_frontier_width() == 6
+        assert len(trace.final_frontier()) == 6
+
+    def test_only_ring_forks_then_updates_and_syncs(self):
+        trace = sync_chain_trace(100, replicas=4, seed=3)
+        kinds = [operation.kind for operation in trace.operations]
+        assert kinds[: 3] == [OpKind.FORK] * 3
+        assert set(kinds[3:]) <= {OpKind.UPDATE, OpKind.SYNC}
+        assert OpKind.SYNC in kinds[3:]
+
+    def test_no_updates_when_probability_zero(self):
+        trace = sync_chain_trace(50, replicas=4, seed=4, update_probability=0.0)
+        assert trace.update_count() == 0
+
+    def test_starves_sibling_collapse(self):
+        """The pathology the generator exists to trigger: raw reducing
+        stamps grow every ring round instead of collapsing."""
+        from repro.core.frontier import Frontier
+        from repro.sim.trace import apply_operation
+
+        trace = sync_chain_trace(40, replicas=4, seed=5)
+        frontier = Frontier.initial(trace.seed)
+        growth = []
+        for operation in trace.operations:
+            apply_operation(frontier, operation)
+            growth.append(frontier.max_stamp_bits())
+        # Strictly escalating by ring rounds: each quartile *window* of the
+        # trace peaks above the previous one (prefix maxima would be
+        # trivially sorted), and the overall blow-up is orders of magnitude.
+        quarter = len(growth) // 4
+        windows = [
+            max(growth[index * quarter: (index + 1) * quarter])
+            for index in range(4)
+        ]
+        assert all(late > early for early, late in zip(windows, windows[1:]))
+        assert windows[-1] > 50 * windows[0]
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(SimulationError):
+            sync_chain_trace(10, replicas=2)
+        with pytest.raises(SimulationError):
+            sync_chain_trace(-1)
+        with pytest.raises(SimulationError):
+            sync_chain_trace(10, update_probability=1.5)
