@@ -13,7 +13,8 @@ Two ablations called out in DESIGN.md:
 
 from repro.analysis.sizes import measure_trace_sizes
 from repro.sim.metrics import SweepTable
-from repro.sim.runner import LockstepRunner, default_adapters
+from repro.kernel.adapters import default_adapters
+from repro.sim.runner import LockstepRunner
 from repro.sim.workload import churn_trace, fixed_replica_trace, partitioned_trace
 
 

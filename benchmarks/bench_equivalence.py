@@ -8,13 +8,9 @@ flavours, and contrast with plausible clocks (which, being approximate, are
 the one mechanism *expected* to miss conflicts).
 """
 
+from repro.kernel.adapters import LamportAdapter, PlausibleAdapter, StampAdapter
 from repro.sim.exhaustive import explore
-from repro.sim.runner import (
-    LamportAdapter,
-    LockstepRunner,
-    PlausibleAdapter,
-    StampAdapter,
-)
+from repro.sim.runner import LockstepRunner
 from repro.sim.workload import churn_trace, partitioned_trace, random_dynamic_trace
 
 

@@ -9,7 +9,8 @@ throughout the evolution.
 from repro.analysis.figures import figure2_frontiers, figure2_trace
 from repro.core.frontier import Frontier
 from repro.core.order import Ordering
-from repro.sim.runner import LockstepRunner, StampAdapter
+from repro.kernel.adapters import StampAdapter
+from repro.sim.runner import LockstepRunner
 
 
 def _run_figure2():

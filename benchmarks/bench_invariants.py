@@ -10,7 +10,7 @@ its cost matters).
 
 from repro.core.invariants import check_all
 from repro.sim.exhaustive import explore
-from repro.sim.runner import StampAdapter
+from repro.kernel.adapters import StampAdapter
 from repro.sim.workload import churn_trace, random_dynamic_trace
 
 

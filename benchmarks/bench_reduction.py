@@ -9,7 +9,8 @@ frontier order, and normal forms are reached in finitely many steps.
 from repro.core.frontier import Frontier
 from repro.core.invariants import check_all
 from repro.sim.metrics import ReductionAccumulator
-from repro.sim.runner import LockstepRunner, StampAdapter
+from repro.kernel.adapters import StampAdapter
+from repro.sim.runner import LockstepRunner
 from repro.sim.trace import OpKind
 from repro.sim.workload import churn_trace
 

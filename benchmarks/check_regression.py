@@ -8,7 +8,10 @@ and a freshly measured one -- on the two tracked *speedup ratios*:
 * ``lockstep.speedup_vs_refhistory`` (bitset oracle + incremental lockstep
   cross-check vs the retained frozenset oracle + seed full-rescan strategy);
 * ``reroot.speedup_vs_raw`` (Section 7 re-rooting GC vs raw reducing stamps
-  on a sibling-starved sync chain).
+  on a sibling-starved sync chain);
+* ``codec.envelope_vs_json_roundtrip`` (a version-stamp frontier
+  round-tripped through the kernel's binary wire envelope vs through the
+  JSON codec).
 
 Ratios rather than absolute ops/sec are checked because both sides of each
 ratio run on the same machine in the same process, so the ratio is stable
@@ -49,7 +52,7 @@ JOIN_NORMALIZE_FRONTIER = "32"
 #: section.  The new-section skip below applies only to sections *not*
 #: listed here (i.e. benchmarks newer than this file).  When a new section
 #: lands, add it to this set in the same PR that commits its first floor.
-ESTABLISHED_SECTIONS = frozenset({"join_normalize", "lockstep", "reroot"})
+ESTABLISHED_SECTIONS = frozenset({"join_normalize", "lockstep", "reroot", "codec"})
 
 
 def _load(path):
@@ -86,6 +89,7 @@ def check(committed, fresh, *, tolerance=DEFAULT_TOLERANCE):
         ("join_normalize", JOIN_NORMALIZE_FRONTIER, "speedup_vs_reference"),
         ("lockstep", "speedup_vs_refhistory"),
         ("reroot", "speedup_vs_raw"),
+        ("codec", "envelope_vs_json_roundtrip"),
     )
     for keys in tracked:
         name = ".".join(keys)

@@ -23,6 +23,13 @@ Measures three things:
   for the raw arm to stay measurable; the tracked ratio is the GC'd
   replay's speedup over the raw replay, plus a long GC'd-only soak
   throughput for context.
+* a **wire codec** benchmark (``codec``): encode/decode throughput of the
+  kernel's epoch-tagged envelope (:mod:`repro.kernel.envelope`) for every
+  registered clock family at each frontier width, plus the tracked ratio
+  ``envelope_vs_json_roundtrip`` -- a version-stamp frontier round-tripped
+  through the binary envelope vs through the JSON codec of
+  :mod:`repro.core.encoding` (both arms in-process, so the ratio is stable
+  across machines).
 
 The output file makes the perf trajectory a tracked artifact: CI runs the
 quick mode on every push and ``benchmarks/check_regression.py`` fails the
@@ -49,10 +56,13 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
+from repro import kernel
+from repro.core.encoding import stamp_from_json, stamp_to_json
 from repro.core.frontier import Frontier
 from repro.core.refimpl import RefStamp
 from repro.core.stamp import VersionStamp
-from repro.sim.runner import CausalAdapter, LockstepRunner, RefCausalAdapter
+from repro.kernel.adapters import CausalAdapter, RefCausalAdapter
+from repro.sim.runner import LockstepRunner
 from repro.sim.trace import apply_operation
 from repro.sim.workload import random_dynamic_trace, sync_chain_trace
 
@@ -317,6 +327,67 @@ def measure_reroot(
     }
 
 
+def _build_kernel_frontier(family, width):
+    """``width`` coexisting kernel clocks with mixed knowledge."""
+    clocks = [kernel.make(family)]
+    while len(clocks) < width:
+        left, right = clocks.pop(0).fork()
+        clocks.extend((left, right))
+    return [
+        clock.event() if index % 3 == 0 else clock
+        for index, clock in enumerate(clocks)
+    ]
+
+
+def measure_codec(frontier_sizes, *, repeats, min_time):
+    """Envelope encode/decode throughput for every registered clock family.
+
+    Per family and frontier width: clocks/sec through ``to_bytes`` and
+    ``from_bytes`` plus the mean envelope size.  The tracked floor is
+    ``envelope_vs_json_roundtrip``: one full round-trip of a version-stamp
+    frontier through the binary envelope vs through the JSON codec, at the
+    largest measured width.  Both arms run in the same process, so the
+    ratio (unlike the absolute rates) transfers across runner hardware.
+    """
+    section = {"frontier_sizes": list(frontier_sizes), "families": {}}
+    for family in kernel.families():
+        per_width = {}
+        for width in frontier_sizes:
+            clocks = _build_kernel_frontier(family, width)
+            blobs = [clock.to_bytes() for clock in clocks]
+            per_width[str(width)] = {
+                "encode_ops_per_sec": _best_rate(
+                    lambda clocks=clocks: [c.to_bytes() for c in clocks],
+                    len(clocks), repeats=repeats, min_time=min_time,
+                ),
+                "decode_ops_per_sec": _best_rate(
+                    lambda blobs=blobs: [kernel.from_bytes(b) for b in blobs],
+                    len(blobs), repeats=repeats, min_time=min_time,
+                ),
+                "mean_envelope_bytes": sum(len(b) for b in blobs) / len(blobs),
+            }
+        section["families"][family] = per_width
+
+    width = max(frontier_sizes)
+    clocks = _build_kernel_frontier("version-stamp", width)
+    stamps = [clock.stamp for clock in clocks]
+    envelope_rate = _best_rate(
+        lambda: [kernel.from_bytes(c.to_bytes()) for c in clocks],
+        len(clocks), repeats=repeats, min_time=min_time,
+    )
+    json_rate = _best_rate(
+        lambda: [stamp_from_json(stamp_to_json(s)) for s in stamps],
+        len(stamps), repeats=repeats, min_time=min_time,
+    )
+    section["roundtrip_width"] = width
+    section["envelope_roundtrips_per_sec"] = envelope_rate
+    section["json_roundtrips_per_sec"] = json_rate
+    section["envelope_vs_json_roundtrip"] = (
+        envelope_rate / json_rate if json_rate else None
+    )
+    return section
+
+
 def snapshot(*, frontier_sizes=DEFAULT_FRONTIER_SIZES, repeats=3, min_time=0.05):
     """Collect the full snapshot dictionary (no I/O)."""
     data = {
@@ -336,6 +407,7 @@ def snapshot(*, frontier_sizes=DEFAULT_FRONTIER_SIZES, repeats=3, min_time=0.05)
         )
     data["lockstep"] = measure_lockstep(repeats=repeats, min_time=min_time)
     data["reroot"] = measure_reroot(repeats=repeats, min_time=min_time)
+    data["codec"] = measure_codec(frontier_sizes, repeats=repeats, min_time=min_time)
     return data
 
 
@@ -350,13 +422,16 @@ def main(argv=None):
             f"{LOCKSTEP_MAX_FRONTIER} replayed through LockstepRunner: "
             "bitset causal oracle + incremental comparison caching vs the "
             "retained frozenset oracle + seed full-rescan strategy, in trace "
-            "steps/sec), and reroot (a sibling-starved sync chain replayed "
-            "with and without the Section 7 re-rooting GC, speedup tracked). "
+            "steps/sec), reroot (a sibling-starved sync chain replayed "
+            "with and without the Section 7 re-rooting GC, speedup tracked), "
+            "and codec (kernel envelope encode/decode per clock family, with "
+            "the envelope-vs-JSON roundtrip ratio tracked). "
             "benchmarks/check_regression.py compares the join_normalize@32, "
-            "lockstep and reroot speedups of a fresh snapshot against the "
-            "committed BENCH_ops.json and fails CI when one drops more than "
-            "30 percent below its floor (sections absent from the committed "
-            "snapshot are skipped, so a PR adding a section can land)."
+            "lockstep, reroot and codec ratios of a fresh snapshot against "
+            "the committed BENCH_ops.json and fails CI when one drops more "
+            "than 30 percent below its floor (sections absent from the "
+            "committed snapshot are skipped, so a PR adding a section can "
+            "land)."
         ),
     )
     parser.add_argument(
@@ -413,6 +488,20 @@ def main(argv=None):
         f"steps at {reroot['soak_steps_per_sec']:,.0f} steps/s, peak stamp "
         f"{reroot['soak_peak_stamp_bits']} bits over {reroot['soak_reroots']} "
         f"reroots"
+    )
+    codec = data["codec"]
+    for family, widths in codec["families"].items():
+        widest = str(max(int(w) for w in widths))
+        rates = widths[widest]
+        print(
+            f"  codec {family:<16} @ {widest:>3}: encode "
+            f"{rates['encode_ops_per_sec']:,.0f}/s, decode "
+            f"{rates['decode_ops_per_sec']:,.0f}/s, "
+            f"{rates['mean_envelope_bytes']:.0f} B/envelope"
+        )
+    print(
+        f"  codec envelope vs JSON roundtrip @ {codec['roundtrip_width']}: "
+        f"{codec['envelope_vs_json_roundtrip']:.1f}x"
     )
     return 0
 

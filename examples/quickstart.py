@@ -1,67 +1,65 @@
 #!/usr/bin/env python3
-"""Quickstart: version stamps in five minutes.
+"""Quickstart: the causality kernel in five minutes.
 
-Shows the whole life cycle of the mechanism on a single data item:
+Shows the whole life cycle of a causality clock through the public
+``CausalityClock`` protocol (``repro.kernel``):
 
-1. start with one replica (the seed stamp ``[ε | ε]``),
-2. fork it to create a second replica -- no server, no unique-id registry,
-3. update the replicas independently,
-4. compare them (equivalent / obsolete / conflicting),
-5. join them back and watch the identities collapse to the seed.
+1. pick a clock family from the registry (version stamps by default --
+   every step below works identically for ``itc``, ``vv-dynamic``, ...),
+2. ``fork`` it to create a second replica -- no server, no id registry,
+3. ``event`` the replicas independently,
+4. ``compare`` them (equivalent / obsolete / conflicting),
+5. ``join`` them back together,
+6. round-trip a clock through the versioned, epoch-tagged wire envelope.
 
 Run with::
 
-    python examples/quickstart.py
+    PYTHONPATH=src python examples/quickstart.py [family]
 """
 
-from repro import VersionStamp
+import sys
+
+from repro import kernel
 
 
-def main() -> None:
-    print("=== Version stamps quickstart ===\n")
+def main(family: str = "version-stamp") -> None:
+    print(f"=== Causality kernel quickstart ({family}) ===\n")
+    print(f"registered families: {', '.join(kernel.families())}\n")
 
-    # 1. A brand new data item has the seed stamp.
-    original = VersionStamp.seed()
-    print(f"seed stamp:                      {original}")
+    # 1. A brand new data item has the family's seed clock.
+    original = kernel.make(family)
+    print(f"seed clock:                       {original!r}")
 
-    # 2. Fork it: this is how a new replica is created.  Note that no global
-    #    identifier was needed -- the two ids extend the parent's id with a
-    #    0 and a 1.  Fork once more to keep a third copy on a USB stick.
+    # 2. Fork it: this is how a new replica is created.  No global
+    #    identifier authority is consulted -- that is the paper's point.
     laptop, desktop = original.fork()
-    desktop, usb = desktop.fork()
-    print(f"after forks:  laptop  = {laptop}")
-    print(f"              desktop = {desktop}")
-    print(f"              usb     = {usb}")
-    print(f"freshly forked replicas compare as: {laptop.compare(desktop)}\n")
+    print(f"freshly forked replicas compare:  {laptop.compare(desktop).value}\n")
 
-    # 3. Update the laptop copy only.
-    laptop = laptop.update()
-    print(f"after an update on the laptop:   {laptop}")
-    print(f"laptop  vs desktop: {laptop.compare(desktop)}   (laptop dominates)")
-    print(f"desktop vs laptop : {desktop.compare(laptop)}   (desktop is obsolete)\n")
+    # 3. Record an update on the laptop copy only.
+    laptop = laptop.event()
+    print(f"laptop  vs desktop: {laptop.compare(desktop).value}   (laptop dominates)")
+    print(f"desktop vs laptop : {desktop.compare(laptop).value}   (desktop is obsolete)\n")
 
-    # 4. Now update the desktop too -- the copies have diverged.
-    desktop = desktop.update()
-    print(f"after an update on the desktop:  {desktop}")
-    print(f"laptop vs desktop: {laptop.compare(desktop)}   (mutually inconsistent)\n")
+    # 4. Update the desktop too -- the copies have diverged.
+    desktop = desktop.event()
+    print(f"after both update:  {laptop.compare(desktop).value}   (a genuine conflict)\n")
 
-    # 5. Reconcile laptop and desktop: join combines their knowledge and the
-    #    sibling identities collapse (Section 6 of the paper), so the merged
-    #    stamp stays small.  The inputs of a join are retired -- stamps order
-    #    *coexisting* replicas, so we compare the result against the replica
-    #    that is still around: the untouched USB copy.
+    # 5. Reconcile: join combines their knowledge; the inputs retire.
     merged = laptop.join(desktop)
-    print(f"after joining laptop and desktop: {merged}")
-    print(f"merged vs usb: {merged.compare(usb)}   (the usb copy is obsolete)")
-    print(f"usb vs merged: {usb.compare(merged)}\n")
+    print(f"after join, vs itself: {merged.compare(merged).value}")
+    print(f"metadata size:         {merged.encoded_size_bits()} bits\n")
 
-    # Synchronization of two live replicas = join followed by fork.
-    merged, usb = merged.sync(usb)
-    print("after synchronizing with the usb copy, both replicas are equivalent")
-    print(f"  merged = {merged}")
-    print(f"  usb    = {usb}")
-    print(f"  merged vs usb: {merged.compare(usb)}")
+    # 6. Ship it: the envelope is self-describing (magic, format version,
+    #    family tag, re-rooting epoch, payload), so the receiver needs no
+    #    out-of-band knowledge to decode it -- and a clock from an older
+    #    re-rooting epoch is detected instead of silently miscompared.
+    payload = merged.to_bytes()
+    info = kernel.envelope_info(payload)
+    print(f"envelope: {len(payload)} bytes, family={info.family!r}, "
+          f"format v{info.format_version}, epoch={info.epoch}")
+    restored = kernel.from_bytes(payload)
+    print(f"round-trip intact: {restored == merged}")
 
 
 if __name__ == "__main__":
-    main()
+    main(*sys.argv[1:2])

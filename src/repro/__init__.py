@@ -11,17 +11,22 @@ simulation/benchmark harness that regenerates every figure of the paper.
 
 Quick start
 -----------
->>> from repro import VersionStamp
->>> left, right = VersionStamp.seed().fork()
->>> left = left.update()
+>>> from repro import kernel
+>>> left, right = kernel.make("version-stamp").fork()
+>>> left = left.event()
 >>> left.compare(right).name
 'AFTER'
->>> merged = left.join(right)
->>> str(merged)
-'[ε | ε]'
+>>> kernel.from_bytes(left.to_bytes()) == left
+True
+
+(The same four lines work for every registered family:
+``kernel.families()`` lists them.)
 
 Subpackages
 -----------
+* :mod:`repro.kernel` -- the public causality kernel: the
+  :class:`~repro.kernel.protocol.CausalityClock` protocol, the clock-family
+  registry, the epoch-tagged wire envelope and the mechanism adapters.
 * :mod:`repro.core` -- bit strings, names, version stamps, frontiers,
   invariants, reduction, encoding.
 * :mod:`repro.causal` -- the causal-history oracle (Section 2).
@@ -36,6 +41,7 @@ Subpackages
 * :mod:`repro.analysis` -- figure reconstructions, size sweeps, reporting.
 """
 
+from . import kernel
 from .causal import CausalConfiguration, CausalHistory
 from .core import (
     BitString,
@@ -61,6 +67,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "__version__",
+    "kernel",
     "BitString",
     "Name",
     "VersionStamp",

@@ -7,6 +7,9 @@ packages the measurements the SPACE and ABL-ITC experiments report:
 
 * :func:`measure_trace_sizes` -- replay one trace with the lockstep runner
   and return per-mechanism size statistics.
+* :func:`kernel_family_matrix` -- agreement + size summary of every
+  registered clock family on one trace (the cross-family comparison the
+  CLI's ``simulate --clock`` flag exposes one row of).
 * :func:`replica_count_sweep` -- metadata size as a function of the number of
   replicas in a closed system.
 * :func:`churn_sweep` -- metadata size as a function of replica churn
@@ -16,26 +19,73 @@ packages the measurements the SPACE and ABL-ITC experiments report:
   whose size compounds exponentially (the raw arm is advanced only until it
   blows past a cap, then censored).
 
+Measurement convention (the one yardstick)
+------------------------------------------
+Every curve in this module measures clocks through the kernel protocol's
+``encoded_size_bits()``: the **exact bit length of the family's compact
+binary wire payload** (the envelope payload of :mod:`repro.kernel.envelope`,
+excluding the fixed 12-byte envelope framing shared by all families).
+Concretely that means the trie bit stream for version stamps, the
+gamma-coded tree stream for ITC, fixed UUID-sized (128-bit) identifier
+slots plus 32-bit counters for dynamic version vectors, and one 64-bit
+identity per event for the causal-history oracle.  Earlier revisions mixed
+per-adapter cost models (e.g. ``CausalAdapter.size_in_bits`` counting
+64 bits per event while stamps reported raw, un-encoded string lengths),
+which made curves for different families incommensurable; routing everything
+through the protocol removes that drift.
+
+One documented exception: the optional ``include_plausible`` row of
+:func:`measure_trace_sizes` is not a registered kernel family (plausible
+clocks are a lossy contrast baseline with no wire codec here), so its
+sizes come from the mechanism's abstract fixed-width model
+(``entries × 32`` counter bits) -- by construction constant, which is the
+only property the plausible-clock comparisons rely on.  Do not read its
+absolute bits against the kernel rows.
+
 All results come back as :class:`~repro.sim.metrics.SweepTable` objects so
 the benchmarks can both assert on them and print them.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from ..core.frontier import Frontier
-from ..sim.metrics import SweepTable, summarize
-from ..sim.runner import LockstepRunner, SizeSample, default_adapters
+from ..kernel.adapters import (
+    KernelClockAdapter,
+    MechanismAdapter,
+    PlausibleAdapter,
+)
+from ..kernel.registry import families as registered_families
+from ..sim.metrics import SweepTable
+from ..sim.runner import LockstepRunner, SizeSample
 from ..sim.trace import Trace, apply_operation
 from ..sim.workload import churn_trace, fixed_replica_trace, sync_chain_trace
 
 __all__ = [
     "measure_trace_sizes",
+    "kernel_family_matrix",
     "replica_count_sweep",
     "churn_sweep",
     "reroot_growth_curve",
 ]
+
+
+def _protocol_adapters() -> List[MechanismAdapter]:
+    """The standard measurement set, driven purely by the kernel protocol.
+
+    Adapter names keep the historical mechanism labels so downstream tables
+    and tests stay stable; the *measurements* all flow through
+    ``CausalityClock.encoded_size_bits()``.
+    """
+    return [
+        KernelClockAdapter("version-stamp", name="version-stamps"),
+        KernelClockAdapter(
+            "version-stamp", name="version-stamps-nonreducing", reducing=False
+        ),
+        KernelClockAdapter("vv-dynamic", name="dynamic-version-vectors"),
+        KernelClockAdapter("itc", name="interval-tree-clocks"),
+    ]
 
 
 def measure_trace_sizes(
@@ -48,14 +98,46 @@ def measure_trace_sizes(
 
     Correctness cross-checking is a by-product (the runner raises if a
     mechanism's frontier diverges); only the size samples are returned.
+    The oracle's sample appears under ``"causal-history"``.
     """
+    adapters = _protocol_adapters()
+    if include_plausible:
+        adapters.append(PlausibleAdapter())
     runner = LockstepRunner(
-        default_adapters(include_plausible=include_plausible),
+        adapters,
         compare_every_step=compare_every_step,
         check_invariants=False,
     )
     _reports, sizes = runner.run(trace)
     return sizes
+
+
+def kernel_family_matrix(trace: Trace) -> SweepTable:
+    """Cross-family comparison matrix: every registered family on one trace.
+
+    One lockstep replay per row would skew the oracle's shared event arena,
+    so all families ride in a single replay; each row reports the family's
+    ordering agreement with the causal-history oracle and its size summary
+    under the common ``encoded_size_bits()`` yardstick.
+    """
+    adapters = [KernelClockAdapter(name) for name in registered_families()]
+    runner = LockstepRunner(adapters, compare_every_step=True, check_invariants=False)
+    reports, sizes = runner.run(trace)
+    table = SweepTable(
+        ["family", "agreement", "missed", "false", "mean_bits", "peak_bits"]
+    )
+    for adapter in adapters:
+        report = reports[adapter.name]
+        sample = sizes[adapter.name]
+        table.add_row(
+            family=adapter.family,
+            agreement=report.agreement_rate,
+            missed=report.missed_conflicts,
+            false=report.false_conflicts,
+            mean_bits=sample.final_mean_bits,
+            peak_bits=sample.peak_bits,
+        )
+    return table
 
 
 def replica_count_sweep(
@@ -134,7 +216,10 @@ def reroot_growth_curve(
     advanced only until its largest stamp passes ``raw_cap_bits``; later
     rows leave ``raw_bits`` empty (the curve is censored, not flat).  The
     columns also carry the cumulative re-root count so the curve shows the
-    trigger cadence.
+    trigger cadence.  (This curve intentionally stays on
+    :class:`~repro.core.frontier.Frontier` -- it measures the version-stamp
+    GC trigger, which keys on the same encoded size the kernel yardstick
+    reports.)
     """
     trace = sync_chain_trace(operations, replicas=replicas, seed=seed)
     rerooted = Frontier.initial(trace.seed, reroot_threshold=threshold)

@@ -116,6 +116,17 @@ class EventSource:
         """How many events this source has handed out."""
         return self._issued
 
+    @property
+    def next_index(self) -> int:
+        """The index the next :meth:`fresh` call will hand out.
+
+        Every identity this source has ever issued is strictly below it, so
+        codecs can use it to recognize identities that were never minted
+        here (the causal-history wire format only travels within one
+        arena).
+        """
+        return self._next
+
     def __iter__(self) -> Iterator[UpdateEvent]:
         while True:
             yield self.fresh()

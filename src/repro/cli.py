@@ -9,7 +9,10 @@ repro.cli``).  The CLI exposes the pieces a user reaches for first:
 * ``repro check``         -- run the exhaustive model checker (invariants +
   Proposition 5.1) up to a bounded number of operations;
 * ``repro simulate``      -- generate a workload, replay it against every
-  mechanism, and report ordering agreement and metadata sizes;
+  mechanism (or one registered clock family via ``--clock``), and report
+  ordering agreement and metadata sizes;
+* ``repro kernel ...``    -- list the registered clock families and
+  round-trip clocks through the epoch-tagged wire envelope;
 * ``repro panasync ...``  -- track dependencies among file copies on disk.
 
 Every command prints plain text and exits non-zero on failure, so the CLI is
@@ -24,6 +27,7 @@ from pathlib import Path
 from typing import List, Optional, Sequence
 
 from . import __version__
+from . import kernel
 from .analysis.diagrams import render_trace
 from .analysis.figures import (
     FIGURE1_EXPECTED,
@@ -168,7 +172,13 @@ _WORKLOADS = {
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
     trace = _WORKLOADS[args.workload](args)
-    runner = LockstepRunner(compare_every_step=not args.fast)
+    if args.clock == "all":
+        adapters = None  # the historical default mechanism set
+    else:
+        # One registered clock family, driven purely through the kernel's
+        # CausalityClock protocol -- the same trace, any family, one flag.
+        adapters = [kernel.KernelClockAdapter(args.clock)]
+    runner = LockstepRunner(adapters, compare_every_step=not args.fast)
     reports, sizes = runner.run(trace)
 
     print(f"workload: {trace.name}")
@@ -199,6 +209,36 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         print()
         print(render_trace(trace))
     return 0 if all(report.agreement_rate == 1.0 for report in reports.values()) else 1
+
+
+# ---------------------------------------------------------------------------
+# kernel subcommand
+# ---------------------------------------------------------------------------
+
+
+def _cmd_kernel(args: argparse.Namespace) -> int:
+    action = args.kernel_command
+    if action == "families":
+        for name in kernel.families():
+            entry = kernel.family(name)
+            print(f"{entry.tag:>3}  {entry.name:<16} {entry.description}")
+        return 0
+    if action == "roundtrip":
+        clock = kernel.make(args.clock).with_epoch(args.epoch)
+        left, right = clock.fork()
+        left = left.event()
+        payload = left.to_bytes()
+        info = kernel.envelope_info(payload)
+        restored = kernel.from_bytes(payload)
+        print(f"family:   {info.family} (format v{info.format_version})")
+        print(f"epoch:    {info.epoch}")
+        print(f"payload:  {info.payload_size} bytes "
+              f"({left.encoded_size_bits()} payload bits)")
+        print(f"envelope: {payload.hex()}")
+        print(f"restored == original: {restored == left}")
+        print(f"restored vs peer:     {restored.compare(right).value}")
+        return 0 if restored == left else 1
+    raise AssertionError(f"unhandled kernel action {action!r}")  # pragma: no cover
 
 
 # ---------------------------------------------------------------------------
@@ -297,9 +337,31 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--replicas", type=int, default=4)
     simulate.add_argument("--max-frontier", type=int, default=8)
     simulate.add_argument("--seed", type=int, default=0)
+    simulate.add_argument(
+        "--clock",
+        choices=["all"] + kernel.families(),
+        default="all",
+        help=(
+            "replay against one registered clock family through the kernel "
+            "CausalityClock protocol (default: the full mechanism set)"
+        ),
+    )
     simulate.add_argument("--fast", action="store_true", help="compare only at the end of the trace")
     simulate.add_argument("--diagram", action="store_true", help="print an ASCII diagram of the trace")
     simulate.set_defaults(handler=_cmd_simulate)
+
+    # kernel
+    kernel_parser = subparsers.add_parser(
+        "kernel", help="inspect the causality kernel (clock families, envelopes)"
+    )
+    kernel_sub = kernel_parser.add_subparsers(dest="kernel_command", required=True)
+    kernel_sub.add_parser("families", help="list the registered clock families")
+    roundtrip = kernel_sub.add_parser(
+        "roundtrip", help="fork/event a seed clock and round-trip it through the envelope"
+    )
+    roundtrip.add_argument("--clock", choices=kernel.families(), default="version-stamp")
+    roundtrip.add_argument("--epoch", type=int, default=0, help="epoch tag to stamp on the clock")
+    kernel_parser.set_defaults(handler=_cmd_kernel)
 
     # panasync
     panasync = subparsers.add_parser("panasync", help="track dependencies among file copies")

@@ -227,40 +227,29 @@ def stamp_from_bitstream(bits: Iterable[int], *, reducing: bool = True) -> Versi
 
 
 def stamp_to_bytes(stamp: VersionStamp) -> bytes:
-    """Encode a stamp to bytes: a 2-byte bit count followed by packed bits."""
-    bits = stamp_to_bitstream(stamp)
-    if len(bits) > 0xFFFF:
-        raise EncodingError("stamp too large for the 16-bit length prefix")
-    packed = bytearray(len(bits).to_bytes(2, "big"))
-    current = 0
-    filled = 0
-    for bit in bits:
-        current = (current << 1) | bit
-        filled += 1
-        if filled == 8:
-            packed.append(current)
-            current = 0
-            filled = 0
-    if filled:
-        packed.append(current << (8 - filled))
-    return bytes(packed)
+    """Encode a stamp to bytes: a 2-byte bit count followed by packed bits.
+
+    The packing (and its canonical-form validation on decode) is the
+    length-prefixed packed-bits codec shared with the other bit-level
+    codecs (:mod:`repro.kernel.wire`).
+    """
+    from ..kernel.wire import bits_to_length_prefixed
+
+    return bits_to_length_prefixed(stamp_to_bitstream(stamp), count_bytes=2)
 
 
 def stamp_from_bytes(payload: bytes, *, reducing: bool = True) -> VersionStamp:
-    """Decode a stamp produced by :func:`stamp_to_bytes`."""
-    if len(payload) < 2:
-        raise EncodingError("stamp byte payload must contain a 2-byte length prefix")
-    bit_count = int.from_bytes(payload[:2], "big")
-    body = payload[2:]
-    if len(body) * 8 < bit_count:
-        raise EncodingError(
-            f"payload declares {bit_count} bits but only carries {len(body) * 8}"
-        )
-    bits: List[int] = []
-    for index in range(bit_count):
-        byte = body[index // 8]
-        bits.append((byte >> (7 - index % 8)) & 1)
-    return stamp_from_bitstream(bits, reducing=reducing)
+    """Decode a stamp produced by :func:`stamp_to_bytes`.
+
+    Rejects (with :class:`EncodingError` subclasses) truncation, byte
+    lengths that disagree with the declared bit count, and nonzero padding
+    bits -- distinct byte strings never decode to equal stamps.
+    """
+    from ..kernel.wire import bits_from_length_prefixed
+
+    return stamp_from_bitstream(
+        bits_from_length_prefixed(payload, count_bytes=2), reducing=reducing
+    )
 
 
 # -- size accounting --------------------------------------------------------------

@@ -13,6 +13,14 @@ which part of the system rejected an input:
 * :class:`FrontierError` -- invalid frontier/configuration manipulation
   (unknown element labels, joining an element with itself, ...).
 * :class:`EncodingError` -- serialization or deserialization failures.
+* :class:`EnvelopeError` -- failures of the kernel wire envelope, with one
+  typed subclass per rejection reason (:class:`EnvelopeMagicError`,
+  :class:`EnvelopeVersionError`, :class:`EnvelopeTruncatedError`,
+  :class:`UnknownClockFamily`); a malformed envelope is always reported as
+  one of these, never as a raw ``struct``/``IndexError``.
+* :class:`EpochMismatch` -- two clocks from different re-rooting epochs were
+  compared or joined (their histories are not directly comparable until the
+  straggler is upgraded).
 * :class:`ReplicationError` -- errors in the replication substrate.
 * :class:`SimulationError` -- malformed traces or workload parameters.
 """
@@ -27,6 +35,12 @@ __all__ = [
     "InvariantViolation",
     "FrontierError",
     "EncodingError",
+    "EnvelopeError",
+    "EnvelopeMagicError",
+    "EnvelopeVersionError",
+    "EnvelopeTruncatedError",
+    "UnknownClockFamily",
+    "EpochMismatch",
     "ReplicationError",
     "SimulationError",
 ]
@@ -63,6 +77,47 @@ class FrontierError(ReproError, KeyError):
 
 class EncodingError(ReproError, ValueError):
     """A stamp, name or configuration could not be (de)serialized."""
+
+
+class EnvelopeError(EncodingError):
+    """The kernel wire envelope is malformed or cannot be honoured."""
+
+
+class EnvelopeMagicError(EnvelopeError):
+    """The payload does not start with the envelope magic bytes."""
+
+
+class EnvelopeVersionError(EnvelopeError):
+    """The envelope declares a format version this library cannot decode."""
+
+
+class EnvelopeTruncatedError(EnvelopeError):
+    """The envelope (or its payload) is shorter than it declares."""
+
+
+class UnknownClockFamily(EnvelopeError):
+    """No registered clock family matches the requested name or wire tag."""
+
+
+class EpochMismatch(ReproError, ValueError):
+    """Two clocks from different re-rooting epochs met in compare/join.
+
+    Re-rooting rewrites every live stamp onto fresh identifiers; the epoch
+    tag records how many frontier-wide re-roots a clock has been through.
+    Clocks from different epochs speak about different identifier spaces,
+    so comparing or joining them directly would be meaningless -- the
+    straggler must first be upgraded to the newer epoch (the decentralized
+    lazy-upgrade protocol is tracked as an open roadmap item).
+    """
+
+    def __init__(self, mine: int, theirs: int, operation: str = "compare") -> None:
+        super().__init__(
+            f"cannot {operation} clocks from different re-rooting epochs "
+            f"({mine} vs {theirs}); upgrade the older clock first"
+        )
+        self.mine = mine
+        self.theirs = theirs
+        self.operation = operation
 
 
 class ReplicationError(ReproError, RuntimeError):

@@ -81,6 +81,13 @@ class Frontier:
         self._reducing = reducing
         self._reroot_threshold = reroot_threshold
         self._reroots_performed = 0
+        # The re-rooting epoch of every live stamp.  A frontier owns its
+        # whole replica group, so all its stamps always share one epoch;
+        # each reroot() bumps it.  The kernel's wire envelope carries this
+        # tag so a stamp that leaves the frontier can be recognized as a
+        # straggler after later re-roots (the decentralized lazy-upgrade
+        # protocol is the open roadmap item this field enables).
+        self._epoch = 0
         self._last_reroot: Optional[RerootResult] = None
         # Largest stamp left by the most recent re-root (0 before any).
         # When a threshold is unattainably small for the frontier's
@@ -277,6 +284,11 @@ class Frontier:
         return self._reroots_performed
 
     @property
+    def epoch(self) -> int:
+        """The re-rooting epoch shared by every live stamp (bumped by reroot)."""
+        return self._epoch
+
+    @property
     def last_reroot(self) -> Optional[RerootResult]:
         """Statistics of the most recent re-root, if one has happened."""
         return self._last_reroot
@@ -339,6 +351,7 @@ class Frontier:
         self._stamps.update(result.stamps)
         self._cmp_cache.clear()
         self._reroots_performed += 1
+        self._epoch += 1
         self._last_reroot = result
         self._reroot_floor = max(
             stamp.size_in_bits() for stamp in result.stamps.values()
@@ -420,6 +433,7 @@ class Frontier:
         clone._op_log = list(self._op_log)
         clone._cmp_cache = {label: dict(row) for label, row in self._cmp_cache.items()}
         clone._reroots_performed = self._reroots_performed
+        clone._epoch = self._epoch
         clone._last_reroot = self._last_reroot
         clone._reroot_floor = self._reroot_floor
         return clone

@@ -261,6 +261,10 @@ class VersionStamp:
         """
         return VersionStamp._make(self._identity, self._identity, self._reducing)
 
+    def event(self) -> "VersionStamp":
+        """Protocol alias for :meth:`update` (the kernel's fork/event/join name)."""
+        return self.update()
+
     def fork(self) -> Tuple["VersionStamp", "VersionStamp"]:
         """Split into two stamps with distinct, autonomous identities.
 
@@ -392,6 +396,35 @@ class VersionStamp:
     def size_in_bits(self) -> int:
         """Encoded size of the stamp (both components), in bits."""
         return self._update.size_in_bits() + self._identity.size_in_bits()
+
+    def encoded_size_bits(self) -> int:
+        """Exact bit size of the compact trie encoding (the kernel yardstick).
+
+        Unlike :meth:`size_in_bits` (the sum of the raw string lengths, the
+        model used by the paper's informal size arguments), this is the
+        length of the self-delimiting trie bit stream actually put on the
+        wire by :func:`repro.core.encoding.stamp_to_bitstream`.
+        """
+        from .encoding import encoded_size_bits
+
+        return encoded_size_bits(self)
+
+    def to_bytes(self) -> bytes:
+        """Compact binary encoding (:func:`repro.core.encoding.stamp_to_bytes`).
+
+        This is the raw family payload; the epoch-tagged wire envelope lives
+        one level up, in :mod:`repro.kernel.envelope`.
+        """
+        from .encoding import stamp_to_bytes
+
+        return stamp_to_bytes(self)
+
+    @classmethod
+    def from_bytes(cls, payload: bytes, *, reducing: bool = True) -> "VersionStamp":
+        """Decode :meth:`to_bytes` output."""
+        from .encoding import stamp_from_bytes
+
+        return stamp_from_bytes(payload, reducing=reducing)
 
     def id_depth(self) -> int:
         """Length of the longest string in the id component."""

@@ -1,0 +1,177 @@
+"""Compact binary serialization of Interval Tree Clock stamps.
+
+Mirrors the trie codec of :mod:`repro.core.encoding` for the ITC family: a
+stamp is encoded as a self-delimiting bit stream -- the identity tree first,
+then the event tree -- and the byte form carries an explicit bit count so
+the zero padding of the final byte is unambiguous.
+
+Bit grammar::
+
+    id    := 0 v          -- leaf owning nothing (v=0) or everything (v=1)
+           | 1 id id      -- interior node (left half, right half)
+    event := 0 gamma(n)   -- leaf: n events everywhere in the subinterval
+           | 1 gamma(n) event event
+    gamma(n)              -- Elias gamma code of n+1 (so n = 0 is encodable)
+
+The counters use Elias gamma rather than fixed-width fields, so the encoded
+size reflects the actual information content -- this is the family's
+``encoded_size_bits()`` yardstick in the space experiments.
+
+All decoding failures raise :class:`~repro.core.errors.EncodingError` (or a
+subclass), never a raw struct/index error.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..core.errors import EncodingError, EnvelopeTruncatedError
+from .event_tree import EventTree
+from .id_tree import IdTree
+
+__all__ = [
+    "stamp_components_to_bits",
+    "stamp_components_from_bits",
+    "itc_to_bytes",
+    "itc_from_bytes",
+    "itc_encoded_size_bits",
+]
+
+
+def _gamma_bits(value: int, out: List[int]) -> None:
+    """Elias gamma code of ``value + 1`` (handles the frequent zero)."""
+    shifted = value + 1
+    width = shifted.bit_length()
+    out.extend([0] * (width - 1))
+    for shift in range(width - 1, -1, -1):
+        out.append((shifted >> shift) & 1)
+
+
+def _id_bits(tree: IdTree, out: List[int]) -> None:
+    if isinstance(tree, tuple):
+        out.append(1)
+        _id_bits(tree[0], out)
+        _id_bits(tree[1], out)
+    else:
+        out.append(0)
+        out.append(1 if tree else 0)
+
+
+def _event_bits(tree: EventTree, out: List[int]) -> None:
+    if isinstance(tree, tuple):
+        out.append(1)
+        _gamma_bits(tree[0], out)
+        _event_bits(tree[1], out)
+        _event_bits(tree[2], out)
+    else:
+        out.append(0)
+        _gamma_bits(tree, out)
+
+
+#: Deepest tree nesting the decoder will follow.  Honest ITC trees are
+#: shallow (depth tracks the number of live interval splits); a crafted
+#: all-ones payload would otherwise recurse until the interpreter dies with
+#: a raw RecursionError instead of a typed rejection.
+_MAX_TREE_DEPTH = 512
+
+
+class _BitReader:
+    __slots__ = ("_bits", "_pos")
+
+    def __init__(self, bits: List[int]) -> None:
+        self._bits = bits
+        self._pos = 0
+
+    def read(self) -> int:
+        if self._pos >= len(self._bits):
+            raise EnvelopeTruncatedError("truncated ITC bit stream")
+        bit = self._bits[self._pos]
+        self._pos += 1
+        return bit
+
+    def remaining(self) -> int:
+        return len(self._bits) - self._pos
+
+
+def _read_gamma(reader: _BitReader) -> int:
+    zeros = 0
+    while reader.read() == 0:
+        zeros += 1
+        if zeros > 128:
+            raise EncodingError("ITC counter gamma code wider than 128 bits")
+    value = 1
+    for _ in range(zeros):
+        value = (value << 1) | reader.read()
+    return value - 1
+
+
+def _read_id(reader: _BitReader, depth: int = 0) -> IdTree:
+    if depth > _MAX_TREE_DEPTH:
+        raise EncodingError(f"ITC id tree deeper than {_MAX_TREE_DEPTH}")
+    if reader.read():
+        return (_read_id(reader, depth + 1), _read_id(reader, depth + 1))
+    return reader.read()
+
+
+def _read_event(reader: _BitReader, depth: int = 0) -> EventTree:
+    if depth > _MAX_TREE_DEPTH:
+        raise EncodingError(f"ITC event tree deeper than {_MAX_TREE_DEPTH}")
+    if reader.read():
+        base = _read_gamma(reader)
+        return (
+            base,
+            _read_event(reader, depth + 1),
+            _read_event(reader, depth + 1),
+        )
+    return _read_gamma(reader)
+
+
+def stamp_components_to_bits(identity: IdTree, events: EventTree) -> List[int]:
+    """Encode an (identity, events) pair as one self-delimiting bit list."""
+    bits: List[int] = []
+    _id_bits(identity, bits)
+    _event_bits(events, bits)
+    return bits
+
+
+def stamp_components_from_bits(bits: List[int]) -> Tuple[IdTree, EventTree]:
+    """Decode :func:`stamp_components_to_bits` output; rejects trailing bits."""
+    reader = _BitReader(bits)
+    identity = _read_id(reader)
+    events = _read_event(reader)
+    if reader.remaining():
+        raise EncodingError(
+            f"{reader.remaining()} trailing bits after decoding an ITC stamp"
+        )
+    return identity, events
+
+
+def itc_encoded_size_bits(stamp) -> int:
+    """Exact bit length of the compact encoding of ``stamp``."""
+    return len(stamp_components_to_bits(stamp.identity, stamp.events))
+
+
+def itc_to_bytes(stamp) -> bytes:
+    """Encode a stamp to bytes: a 4-byte bit count followed by packed bits."""
+    from ..kernel.wire import bits_to_length_prefixed
+
+    bits = stamp_components_to_bits(stamp.identity, stamp.events)
+    return bits_to_length_prefixed(bits, count_bytes=4)
+
+
+def itc_from_bytes(payload: bytes):
+    """Decode :func:`itc_to_bytes` output back into an :class:`ITCStamp`.
+
+    Canonical-form validation (exact byte length, zero padding) happens in
+    :func:`repro.kernel.wire.bits_from_length_prefixed`, shared with the
+    other bit-level codecs.
+    """
+    from ..kernel.wire import bits_from_length_prefixed
+    from .stamp import ITCStamp
+
+    bits = bits_from_length_prefixed(payload, count_bytes=4)
+    identity, events = stamp_components_from_bits(bits)
+    try:
+        return ITCStamp(identity, events)
+    except Exception as exc:  # noqa: BLE001 - normalize to EncodingError
+        raise EncodingError(f"decoded trees do not form an ITC stamp: {exc}") from exc

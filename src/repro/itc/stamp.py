@@ -156,3 +156,28 @@ class ITCStamp:
         id_nodes = id_size_in_nodes(self._identity)
         event_nodes = event_size_in_nodes(self._events)
         return id_nodes * 2 + event_nodes * (2 + counter_bits)
+
+    # -- kernel protocol serialization ---------------------------------------
+
+    def encoded_size_bits(self) -> int:
+        """Exact bit size of the compact binary encoding (the kernel yardstick)."""
+        from .encoding import itc_encoded_size_bits
+
+        return itc_encoded_size_bits(self)
+
+    def to_bytes(self) -> bytes:
+        """Compact binary encoding of both trees (:mod:`repro.itc.encoding`).
+
+        This is the raw family payload; the epoch-tagged wire envelope lives
+        one level up, in :mod:`repro.kernel.envelope`.
+        """
+        from .encoding import itc_to_bytes
+
+        return itc_to_bytes(self)
+
+    @classmethod
+    def from_bytes(cls, payload: bytes) -> "ITCStamp":
+        """Decode :meth:`to_bytes` output."""
+        from .encoding import itc_from_bytes
+
+        return itc_from_bytes(payload)

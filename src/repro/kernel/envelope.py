@@ -1,0 +1,154 @@
+"""The versioned, self-describing, epoch-tagged wire envelope.
+
+Every kernel clock serializes to one common frame so a receiver can tell --
+before touching the payload -- what it is holding, whether it can decode it,
+and which re-rooting epoch it belongs to::
+
+    offset  size  field
+    ------  ----  ----------------------------------------------------------
+         0     2  magic  b"CK"
+         2     1  format version (currently 1)
+         3     1  clock-family wire tag (see repro.kernel.registry)
+         4     4  re-rooting epoch, big-endian unsigned
+         8     4  payload length, big-endian unsigned
+        12     n  family payload (each family's compact binary codec)
+
+Rejection is always a typed :class:`~repro.core.errors.EncodingError`
+subclass, one per reason:
+
+* wrong magic                     -> :class:`EnvelopeMagicError`
+* version this library predates   -> :class:`EnvelopeVersionError`
+* unknown family tag              -> :class:`UnknownClockFamily`
+* header/payload shorter than declared -> :class:`EnvelopeTruncatedError`
+* trailing bytes or a payload the family codec rejects -> plain
+  :class:`EnvelopeError` / the codec's own ``EncodingError``
+
+The epoch field is the groundwork for decentralized re-rooting: the frame
+carries it unconditionally, ``compare``/``join`` across mismatched epochs
+raise :class:`~repro.core.errors.EpochMismatch`, and lazily upgrading
+stragglers is the planned follow-up.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+from ..core.errors import (
+    EncodingError,
+    EnvelopeError,
+    EnvelopeMagicError,
+    EnvelopeTruncatedError,
+    EnvelopeVersionError,
+    ReproError,
+)
+from .clocks import KernelClock
+from .registry import family, family_by_tag
+
+__all__ = [
+    "MAGIC",
+    "FORMAT_VERSION",
+    "HEADER_SIZE",
+    "EnvelopeInfo",
+    "encode_envelope",
+    "decode_envelope",
+    "envelope_info",
+]
+
+MAGIC = b"CK"
+FORMAT_VERSION = 1
+HEADER_SIZE = 12
+
+_MAX_EPOCH = (1 << 32) - 1
+
+
+class EnvelopeInfo(NamedTuple):
+    """The header fields of an envelope, decoded without touching the payload."""
+
+    family: str
+    format_version: int
+    epoch: int
+    payload_size: int
+
+
+def encode_envelope(clock: KernelClock) -> bytes:
+    """Frame ``clock`` as a self-describing wire envelope."""
+    entry = family(clock.family)
+    if clock.epoch > _MAX_EPOCH:
+        raise EnvelopeError(
+            f"epoch {clock.epoch} exceeds the 32-bit envelope field"
+        )
+    payload = clock.payload_bytes()
+    return b"".join(
+        (
+            MAGIC,
+            bytes((FORMAT_VERSION, entry.tag)),
+            clock.epoch.to_bytes(4, "big"),
+            len(payload).to_bytes(4, "big"),
+            payload,
+        )
+    )
+
+
+def _header(data: bytes) -> EnvelopeInfo:
+    if not isinstance(data, (bytes, bytearray, memoryview)):
+        raise EnvelopeError(
+            f"envelopes are byte strings, got {type(data).__name__}"
+        )
+    data = bytes(data)
+    if len(data) < HEADER_SIZE:
+        raise EnvelopeTruncatedError(
+            f"envelope header needs {HEADER_SIZE} bytes, got {len(data)}"
+        )
+    if data[:2] != MAGIC:
+        raise EnvelopeMagicError(
+            f"bad envelope magic {data[:2]!r} (expected {MAGIC!r})"
+        )
+    version = data[2]
+    if version == 0 or version > FORMAT_VERSION:
+        raise EnvelopeVersionError(
+            f"envelope format version {version} is not supported "
+            f"(this library speaks versions 1..{FORMAT_VERSION})"
+        )
+    entry = family_by_tag(data[3])
+    epoch = int.from_bytes(data[4:8], "big")
+    payload_size = int.from_bytes(data[8:12], "big")
+    return EnvelopeInfo(entry.name, version, epoch, payload_size)
+
+
+def envelope_info(data: bytes) -> EnvelopeInfo:
+    """Decode only the envelope header (family, version, epoch, payload size).
+
+    Useful for routing and for straggler detection: a synchronizer can spot
+    an epoch mismatch without paying for payload decoding.
+    """
+    info = _header(data)
+    if len(data) - HEADER_SIZE < info.payload_size:
+        raise EnvelopeTruncatedError(
+            f"envelope declares a {info.payload_size}-byte payload but only "
+            f"{len(data) - HEADER_SIZE} bytes follow the header"
+        )
+    return info
+
+
+def decode_envelope(data: bytes) -> KernelClock:
+    """Decode an envelope back into a kernel clock.
+
+    The inverse of :func:`encode_envelope`; rejects trailing bytes so a
+    framing bug cannot silently drop data.
+    """
+    info = envelope_info(data)
+    if len(data) - HEADER_SIZE > info.payload_size:
+        raise EnvelopeError(
+            f"{len(data) - HEADER_SIZE - info.payload_size} trailing bytes "
+            f"after the declared payload"
+        )
+    payload = bytes(data)[HEADER_SIZE : HEADER_SIZE + info.payload_size]
+    entry = family(info.family)
+    try:
+        return entry.decoder(payload, info.epoch)
+    except ReproError:
+        raise
+    except Exception as exc:  # noqa: BLE001 - codecs must not leak raw errors
+        raise EncodingError(
+            f"malformed {info.family!r} payload: {exc}"
+        ) from exc

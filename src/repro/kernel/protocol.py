@@ -1,0 +1,84 @@
+"""The unified ``CausalityClock`` kernel protocol.
+
+The repo reproduces a whole *family* of causality trackers -- version stamps
+(the paper's mechanism), interval tree clocks, dynamic version vectors and
+the causal-history oracle -- and every consumer layer used to be hard-wired
+to ``core.VersionStamp`` with ad-hoc adapter shims.  This module defines the
+one public contract they all share, phrased in the paper's fork/event/join
+vocabulary (Definition 4.3 calls ``event`` *update*):
+
+* ``fork()``               -- split into two clocks with autonomous identities;
+* ``event()``              -- record one local update;
+* ``join(other)``          -- merge the knowledge of two clocks;
+* ``compare(other)``       -- the frontier pre-order, as a
+  :class:`PartialOrder` (equal / before / after / concurrent);
+* ``encoded_size_bits()``  -- exact size of the clock's compact binary
+  payload, the common yardstick of the space experiments;
+* ``to_bytes()`` / ``from_bytes()`` -- the versioned, epoch-tagged wire
+  envelope (:mod:`repro.kernel.envelope`).
+
+Clocks are immutable values: every operation returns new instances.  Each
+clock also carries
+
+* ``family`` -- the registry name of its clock family (e.g.
+  ``"version-stamp"``), doubling as the envelope's family tag; and
+* ``epoch``  -- the re-rooting epoch tag.  Re-rooting garbage collection
+  (Section 7) rewrites every live stamp onto fresh identifiers; clocks from
+  different epochs describe different identifier spaces, so ``compare`` and
+  ``join`` across mismatched epochs raise
+  :class:`~repro.core.errors.EpochMismatch` instead of returning garbage.
+  The envelope carries the epoch so stragglers can be detected on the wire;
+  lazily *upgrading* them is the decentralized re-rooting follow-up.
+
+:class:`CausalityClock` is a :class:`typing.Protocol`, so conformance is
+structural: ``isinstance(clock, CausalityClock)`` works on any object with
+the right surface, including the concrete implementations in
+:mod:`repro.kernel.clocks`.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, Tuple, runtime_checkable
+
+from ..core.order import Ordering
+
+__all__ = ["CausalityClock", "PartialOrder"]
+
+#: The four-way outcome of a causal comparison.  This is the same
+#: :class:`~repro.core.order.Ordering` every mechanism in the repo already
+#: speaks; the kernel exposes it under the protocol's name.
+PartialOrder = Ordering
+
+
+@runtime_checkable
+class CausalityClock(Protocol):
+    """Structural protocol implemented by every registered clock family."""
+
+    @property
+    def family(self) -> str:
+        """Registry name of this clock's family (the envelope family tag)."""
+
+    @property
+    def epoch(self) -> int:
+        """The re-rooting epoch this clock belongs to."""
+
+    def fork(self) -> Tuple["CausalityClock", "CausalityClock"]:
+        """Split into two clocks with distinct, autonomous identities."""
+
+    def event(self) -> "CausalityClock":
+        """Record one local update (the paper's *update* operation)."""
+
+    def join(self, other: "CausalityClock") -> "CausalityClock":
+        """Merge with ``other``; both inputs are retired by the merge."""
+
+    def compare(self, other: "CausalityClock") -> PartialOrder:
+        """Three-way comparison of update knowledge (the frontier pre-order)."""
+
+    def encoded_size_bits(self) -> int:
+        """Exact bit size of this clock's compact binary wire payload."""
+
+    def to_bytes(self) -> bytes:
+        """Serialize as a self-describing, versioned, epoch-tagged envelope."""
+
+    def with_epoch(self, epoch: int) -> "CausalityClock":
+        """The same clock state tagged with another re-rooting epoch."""

@@ -1,0 +1,146 @@
+"""The clock-family registry behind :func:`repro.kernel.make`.
+
+Every causality mechanism the repo implements registers here under a short
+stable name and a one-byte wire tag.  Consumers -- the CLI, the lockstep
+runner, the replication substrate, the envelope decoder -- look families up
+by name (or tag) and then speak only the
+:class:`~repro.kernel.protocol.CausalityClock` protocol, which is what turns
+every replication scenario, lockstep trace and size curve into a
+cross-family comparison matrix driven by a single flag.
+
+Wire tags are part of the serialization format: once a family has shipped
+envelopes, its tag must never be reassigned.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List
+
+from ..core.errors import EncodingError, UnknownClockFamily
+from .clocks import (
+    CausalHistoryClock,
+    DynamicVVClock,
+    ITCClock,
+    KernelClock,
+    VersionStampClock,
+)
+
+__all__ = ["ClockFamily", "register", "make", "families", "family", "family_by_tag"]
+
+
+@dataclass(frozen=True)
+class ClockFamily:
+    """One registered clock family: name, wire tag, factory and decoder."""
+
+    name: str
+    tag: int
+    factory: Callable[..., KernelClock]
+    decoder: Callable[[bytes, int], KernelClock]
+    description: str = ""
+
+
+_BY_NAME: Dict[str, ClockFamily] = {}
+_BY_TAG: Dict[int, ClockFamily] = {}
+
+
+def register(entry: ClockFamily) -> ClockFamily:
+    """Register a clock family; names and wire tags must be unique."""
+    if not 0 < entry.tag < 256:
+        raise EncodingError(f"family wire tags are single bytes, got {entry.tag}")
+    existing = _BY_NAME.get(entry.name)
+    if existing is not None and existing is not entry:
+        raise EncodingError(f"clock family {entry.name!r} is already registered")
+    tagged = _BY_TAG.get(entry.tag)
+    if tagged is not None and tagged is not entry:
+        raise EncodingError(
+            f"wire tag {entry.tag} is already taken by {tagged.name!r}"
+        )
+    _BY_NAME[entry.name] = entry
+    _BY_TAG[entry.tag] = entry
+    return entry
+
+
+def families() -> List[str]:
+    """The registered family names, in wire-tag order."""
+    return [_BY_TAG[tag].name for tag in sorted(_BY_TAG)]
+
+
+def family(name: str) -> ClockFamily:
+    """Look a family up by name."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise UnknownClockFamily(
+            f"unknown clock family {name!r} (registered: {', '.join(families())})"
+        ) from None
+
+
+def family_by_tag(tag: int) -> ClockFamily:
+    """Look a family up by its envelope wire tag."""
+    try:
+        return _BY_TAG[tag]
+    except KeyError:
+        raise UnknownClockFamily(
+            f"unknown clock family wire tag {tag} "
+            f"(registered tags: {sorted(_BY_TAG)})"
+        ) from None
+
+
+def make(name: str, **kwargs) -> KernelClock:
+    """Create the seed clock of family ``name``.
+
+    Keyword arguments are passed to the family's factory (e.g.
+    ``make("version-stamp", reducing=False)`` for the paper's non-reducing
+    Section 4 model).
+
+    Examples
+    --------
+    >>> from repro import kernel
+    >>> clock = kernel.make("version-stamp")
+    >>> left, right = clock.fork()
+    >>> left.event().compare(right).name
+    'AFTER'
+    """
+    return family(name).factory(**kwargs)
+
+
+# -- the built-in families ---------------------------------------------------
+# Tags are frozen wire format; never renumber.
+
+register(
+    ClockFamily(
+        name="version-stamp",
+        tag=1,
+        factory=VersionStampClock,
+        decoder=VersionStampClock._decode_payload,
+        description="version stamps, the paper's decentralized mechanism",
+    )
+)
+register(
+    ClockFamily(
+        name="itc",
+        tag=2,
+        factory=ITCClock,
+        decoder=ITCClock._decode_payload,
+        description="interval tree clocks, the authors' successor mechanism",
+    )
+)
+register(
+    ClockFamily(
+        name="vv-dynamic",
+        tag=3,
+        factory=DynamicVVClock,
+        decoder=DynamicVVClock._decode_payload,
+        description="dynamic version vectors with UUID-sized replica ids",
+    )
+)
+register(
+    ClockFamily(
+        name="causal-history",
+        tag=4,
+        factory=CausalHistoryClock,
+        decoder=CausalHistoryClock._decode_payload,
+        description="the causal-history oracle (explicit global view)",
+    )
+)

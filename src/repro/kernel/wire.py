@@ -1,0 +1,182 @@
+"""Low-level byte helpers shared by the kernel clock payload codecs.
+
+Every clock family serializes its payload through these primitives so that
+malformed input is always reported as a typed
+:class:`~repro.core.errors.EncodingError` subclass -- a truncated or
+corrupted payload must never surface as a raw ``struct.error`` or
+``IndexError``.  The envelope (:mod:`repro.kernel.envelope`) frames the
+payloads these helpers produce.
+
+Conventions:
+
+* unsigned LEB128 varints for counts and counters;
+* fixed big-endian slots for identifiers whose *width* is part of the cost
+  model (e.g. the 128-bit replica identifiers of the dynamic-VV family and
+  the 64-bit event identifiers of the causal-history oracle);
+* bit streams packed most-significant-bit first with an explicit bit count,
+  for the trie/tree codecs that are not byte-aligned.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..core.errors import EnvelopeTruncatedError, EncodingError
+
+__all__ = [
+    "ByteReader",
+    "append_uvarint",
+    "pack_bits",
+    "unpack_bits",
+    "bits_to_length_prefixed",
+    "bits_from_length_prefixed",
+]
+
+
+def append_uvarint(out: bytearray, value: int) -> None:
+    """Append ``value`` as an unsigned LEB128 varint."""
+    if value < 0:
+        raise EncodingError(f"varints encode non-negative integers, got {value}")
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return
+
+
+def pack_bits(bits: List[int]) -> bytes:
+    """Pack a 0/1 list MSB-first, padding the final byte with zeros."""
+    out = bytearray()
+    current = 0
+    filled = 0
+    for bit in bits:
+        if bit not in (0, 1):
+            raise EncodingError(f"bit streams may only contain 0/1, got {bit!r}")
+        current = (current << 1) | bit
+        filled += 1
+        if filled == 8:
+            out.append(current)
+            current = 0
+            filled = 0
+    if filled:
+        out.append(current << (8 - filled))
+    return bytes(out)
+
+
+def unpack_bits(payload: bytes, count: int) -> List[int]:
+    """Invert :func:`pack_bits`: read ``count`` bits MSB-first."""
+    if len(payload) * 8 < count:
+        raise EnvelopeTruncatedError(
+            f"bit stream declares {count} bits but only carries {len(payload) * 8}"
+        )
+    return [(payload[i // 8] >> (7 - i % 8)) & 1 for i in range(count)]
+
+
+def bits_to_length_prefixed(bits: List[int], *, count_bytes: int) -> bytes:
+    """A bit stream as a fixed-width big-endian bit count + packed bits.
+
+    The one canonical byte form of a bit-level codec (version-stamp tries,
+    ITC trees): the count is exact, the final byte is zero-padded, and
+    :func:`bits_from_length_prefixed` rejects any deviation -- so distinct
+    byte strings never decode to equal values.
+    """
+    if len(bits) >= 1 << (8 * count_bytes):
+        raise EncodingError(
+            f"bit stream too large for the {8 * count_bytes}-bit length prefix"
+        )
+    return len(bits).to_bytes(count_bytes, "big") + pack_bits(bits)
+
+
+def bits_from_length_prefixed(payload: bytes, *, count_bytes: int) -> List[int]:
+    """Invert :func:`bits_to_length_prefixed`, enforcing canonical form.
+
+    Rejects (with typed errors) a missing/short prefix, a body whose byte
+    length disagrees with the declared bit count, and nonzero padding bits
+    in the final byte.
+    """
+    if len(payload) < count_bytes:
+        raise EnvelopeTruncatedError(
+            f"packed bit stream needs a {count_bytes}-byte length prefix, "
+            f"got {len(payload)} bytes"
+        )
+    bit_count = int.from_bytes(payload[:count_bytes], "big")
+    body = payload[count_bytes:]
+    if (bit_count + 7) // 8 != len(body):
+        raise EncodingError(
+            f"payload declares {bit_count} bits but carries {len(body)} bytes"
+        )
+    if bit_count % 8 and body[-1] & ((1 << (8 - bit_count % 8)) - 1):
+        raise EncodingError("nonzero padding bits in the final payload byte")
+    return unpack_bits(body, bit_count)
+
+
+class ByteReader:
+    """Sequential bounds-checked reader over a payload.
+
+    All read failures raise :class:`EnvelopeTruncatedError` so family
+    decoders never leak raw slicing errors.
+    """
+
+    __slots__ = ("_data", "_pos")
+
+    def __init__(self, data: bytes) -> None:
+        self._data = data
+        self._pos = 0
+
+    def take(self, size: int) -> bytes:
+        if size < 0 or self._pos + size > len(self._data):
+            raise EnvelopeTruncatedError(
+                f"payload truncated: needed {size} bytes at offset {self._pos}, "
+                f"have {len(self._data) - self._pos}"
+            )
+        chunk = self._data[self._pos : self._pos + size]
+        self._pos += size
+        return chunk
+
+    def uvarint(self, *, max_bits: int = 64) -> int:
+        value = 0
+        shift = 0
+        while True:
+            if self._pos >= len(self._data):
+                raise EnvelopeTruncatedError(
+                    f"payload truncated inside a varint at offset {self._pos}"
+                )
+            byte = self._data[self._pos]
+            self._pos += 1
+            value |= (byte & 0x7F) << shift
+            if not byte & 0x80:
+                # Canonical LEB128: the encoder never emits a redundant
+                # zero high group, so a multi-byte varint ending in 0x00
+                # is a second spelling of a smaller value -- reject it,
+                # or two distinct byte strings would decode equal.
+                if byte == 0 and shift:
+                    raise EncodingError(
+                        f"non-minimal varint encoding at offset {self._pos}"
+                    )
+                break
+            shift += 7
+            if shift >= max_bits:
+                raise EncodingError(
+                    f"varint wider than {max_bits} bits at offset {self._pos}"
+                )
+        if value.bit_length() > max_bits:
+            raise EncodingError(
+                f"varint value {value} wider than {max_bits} bits "
+                f"at offset {self._pos}"
+            )
+        return value
+
+    def fixed_uint(self, size: int) -> int:
+        return int.from_bytes(self.take(size), "big")
+
+    def remaining(self) -> int:
+        return len(self._data) - self._pos
+
+    def expect_exhausted(self, context: str) -> None:
+        if self.remaining():
+            raise EncodingError(
+                f"{self.remaining()} trailing bytes after decoding {context}"
+            )

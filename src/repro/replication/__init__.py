@@ -32,6 +32,7 @@ from .tracker import (
     CausalityTracker,
     DynamicVVTracker,
     ITCTracker,
+    KernelTracker,
     StampTracker,
 )
 
@@ -40,6 +41,7 @@ __all__ = [
     "StampTracker",
     "ITCTracker",
     "DynamicVVTracker",
+    "KernelTracker",
     "Replica",
     "Version",
     "SyncOutcome",

@@ -22,7 +22,7 @@ from ..core.errors import ReplicationError
 from ..core.order import Ordering
 from ..core.reroot import RerootResult, reroot_stamps
 from .conflict import ConflictPolicy, KeepBoth
-from .tracker import CausalityTracker, StampTracker
+from .tracker import CausalityTracker, KernelTracker, StampTracker
 
 __all__ = ["Version", "Replica", "SyncOutcome"]
 
@@ -247,28 +247,56 @@ class Replica:
         that owns its replica set compacts them together).  Values and
         statistics are untouched.
 
+        Kernel trackers (:class:`~repro.replication.tracker.KernelTracker`
+        around a version-stamp clock) participate too: their re-rooted
+        clocks come back with the **epoch bumped by one**, so any stale
+        envelope shipped before the compaction is detectable as a straggler
+        (``compare``/``join`` against it raises ``EpochMismatch``).  The
+        whole group must enter the compaction at one common epoch.
+
         Raises
         ------
         ReplicationError
-            If the group is empty, contains duplicate replicas, or any
-            member does not track causality with version stamps.
+            If the group is empty, contains duplicate replicas, mixes
+            epochs, or any member does not track causality with version
+            stamps.
         """
+        from ..kernel.clocks import VersionStampClock
+
         if not replicas:
             raise ReplicationError("cannot compact an empty replica group")
         if len({id(replica) for replica in replicas}) != len(replicas):
             raise ReplicationError("cannot compact a group with duplicate replicas")
         stamps = {}
+        epochs = set()
         for index, replica in enumerate(replicas):
             tracker = replica.tracker
-            if not isinstance(tracker, StampTracker):
+            if isinstance(tracker, StampTracker):
+                stamps[str(index)] = tracker.stamp
+            elif isinstance(tracker, KernelTracker) and isinstance(
+                tracker.clock, VersionStampClock
+            ):
+                stamps[str(index)] = tracker.clock.stamp
+                epochs.add(tracker.clock.epoch)
+            else:
                 raise ReplicationError(
                     f"compact requires version-stamp trackers; replica "
                     f"{replica.name!r} uses {type(tracker).__name__}"
                 )
-            stamps[str(index)] = tracker.stamp
+        if len(epochs) > 1:
+            raise ReplicationError(
+                f"cannot compact replicas from different re-rooting epochs "
+                f"{sorted(epochs)}; upgrade the stragglers first"
+            )
+        next_epoch = (epochs.pop() + 1) if epochs else None
         result = reroot_stamps(stamps)
         for index, replica in enumerate(replicas):
-            replica._version = Version(
-                replica._version.value, StampTracker(result.stamps[str(index)])
-            )
+            stamp = result.stamps[str(index)]
+            if isinstance(replica.tracker, KernelTracker):
+                tracker: CausalityTracker = KernelTracker(
+                    VersionStampClock(stamp, epoch=next_epoch)
+                )
+            else:
+                tracker = StampTracker(stamp)
+            replica._version = Version(replica._version.value, tracker)
         return result

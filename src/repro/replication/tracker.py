@@ -13,12 +13,20 @@ stamps (the paper's mechanism and the default), Interval Tree Clocks (the
 extension) and dynamic version vectors (the identifier-dependent baseline).
 Having the baselines behind the same interface is what lets the end-to-end
 replication benchmarks swap the mechanism without touching the scenario.
+
+:class:`KernelTracker` closes the loop with :mod:`repro.kernel`: it wraps
+any registered clock family behind the tracker contract, speaking only the
+:class:`~repro.kernel.protocol.CausalityClock` protocol -- so every
+replication scenario (replicas, stores, mobile nodes, anti-entropy) runs
+over any family via ``KernelTracker.factory("itc")`` etc., and the causal
+metadata it ships serializes through the epoch-tagged wire envelope.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Callable, Optional, Tuple
 
+from .. import kernel
 from ..core.order import Ordering
 from ..core.stamp import VersionStamp
 from ..itc.stamp import ITCStamp
@@ -31,6 +39,7 @@ __all__ = [
     "StampTracker",
     "ITCTracker",
     "DynamicVVTracker",
+    "KernelTracker",
 ]
 
 
@@ -179,3 +188,74 @@ class DynamicVVTracker(CausalityTracker):
 
     def __repr__(self) -> str:
         return f"DynamicVVTracker({self.element!r})"
+
+
+class KernelTracker(CausalityTracker):
+    """Causality tracking through any registered kernel clock family.
+
+    The tracker holds one :class:`~repro.kernel.clocks.KernelClock` and
+    translates the tracker vocabulary to the protocol's
+    (``updated``/``forked``/``joined`` to ``event``/``fork``/``join``);
+    sizes come from ``encoded_size_bits()`` and :meth:`to_bytes` ships the
+    clock in the epoch-tagged wire envelope, so replicated metadata is
+    self-describing on the wire.
+
+    Use :meth:`factory` to get a zero-argument constructor for
+    :class:`~repro.replication.store.StoreReplica`-style
+    ``tracker_factory`` parameters.
+    """
+
+    def __init__(self, clock=None, *, family: str = "version-stamp", **make_kwargs):
+        self.clock = clock if clock is not None else kernel.make(family, **make_kwargs)
+
+    @classmethod
+    def factory(cls, family: str, **make_kwargs) -> Callable[[], "KernelTracker"]:
+        """A no-argument tracker factory for the given clock family."""
+
+        def build() -> "KernelTracker":
+            return cls(family=family, **make_kwargs)
+
+        build.__name__ = f"kernel_tracker_{family.replace('-', '_')}"
+        return build
+
+    @property
+    def family(self) -> str:
+        """The registry name of the wrapped clock's family."""
+        return self.clock.family
+
+    @property
+    def epoch(self) -> int:
+        """The re-rooting epoch of the wrapped clock."""
+        return self.clock.epoch
+
+    def updated(self) -> "KernelTracker":
+        return KernelTracker(self.clock.event())
+
+    def forked(self, *, connected: bool = True) -> Tuple["KernelTracker", "KernelTracker"]:
+        left, right = self.clock.fork()
+        return KernelTracker(left), KernelTracker(right)
+
+    def joined(self, other: "CausalityTracker") -> "KernelTracker":
+        if not isinstance(other, KernelTracker):
+            raise TypeError("cannot join trackers of different kinds")
+        return KernelTracker(self.clock.join(other.clock))
+
+    def compare(self, other: "CausalityTracker") -> Ordering:
+        if not isinstance(other, KernelTracker):
+            raise TypeError("cannot compare trackers of different kinds")
+        return self.clock.compare(other.clock)
+
+    def size_in_bits(self) -> int:
+        return self.clock.encoded_size_bits()
+
+    def to_bytes(self) -> bytes:
+        """The clock's epoch-tagged wire envelope."""
+        return self.clock.to_bytes()
+
+    @classmethod
+    def from_bytes(cls, payload: bytes) -> "KernelTracker":
+        """Rebuild a tracker from an envelope produced by :meth:`to_bytes`."""
+        return cls(kernel.from_bytes(payload))
+
+    def __repr__(self) -> str:
+        return f"KernelTracker({self.clock!r})"

@@ -9,22 +9,22 @@
 * :mod:`~repro.sim.metrics` -- statistics containers used by the benchmarks.
 """
 
-from .exhaustive import ExhaustiveReport, explore
-from .metrics import ReductionAccumulator, Summary, summarize, SweepTable
-from .runner import (
-    AgreementReport,
+from ..kernel.adapters import (
     CausalAdapter,
     DynamicVVAdapter,
     ITCAdapter,
+    KernelClockAdapter,
     LamportAdapter,
-    LockstepRunner,
     MechanismAdapter,
     PlausibleAdapter,
     RerootingStampAdapter,
-    SizeSample,
     StampAdapter,
     default_adapters,
+    kernel_adapters,
 )
+from .exhaustive import ExhaustiveReport, explore
+from .metrics import ReductionAccumulator, Summary, summarize, SweepTable
+from .runner import AgreementReport, LockstepRunner, SizeSample
 from .trace import OpKind, Operation, Trace, validate_trace
 from .workload import (
     churn_trace,
@@ -46,6 +46,8 @@ __all__ = [
     "sync_chain_trace",
     "LockstepRunner",
     "MechanismAdapter",
+    "KernelClockAdapter",
+    "kernel_adapters",
     "CausalAdapter",
     "StampAdapter",
     "RerootingStampAdapter",

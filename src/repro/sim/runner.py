@@ -3,42 +3,38 @@
 Proposition 5.1 is an equivalence between the orders induced by causal
 histories and by version stamps *for the same system execution*.  The
 :class:`LockstepRunner` makes that statement executable: it replays a single
-:class:`~repro.sim.trace.Trace` simultaneously against
+:class:`~repro.sim.trace.Trace` simultaneously against the causal-history
+oracle and any set of mechanism adapters, and after every step compares each
+mechanism's pairwise ordering of the current frontier with the oracle's.
 
-* the causal-history oracle (:class:`CausalAdapter`),
-* version stamps, reducing and non-reducing (:class:`StampAdapter`),
-* dynamic version vectors (:class:`DynamicVVAdapter`),
-* Interval Tree Clocks (:class:`ITCAdapter`),
-* plausible clocks (:class:`PlausibleAdapter`),
+The adapters themselves live in :mod:`repro.kernel.adapters`: the generic
+:class:`~repro.kernel.adapters.KernelClockAdapter` drives any registered
+clock family through the :class:`~repro.kernel.protocol.CausalityClock`
+protocol alone, so one lockstep replay doubles as a cross-family comparison
+matrix; the specialised adapters (oracle, Frontier-backed stamps, the
+identifier-authority VV baseline, the lossy contrast clocks) are retained
+for what the protocol deliberately does not expose.  Importing adapter
+names from this module still works but emits a :class:`DeprecationWarning`.
 
-and after every step compares each mechanism's pairwise ordering of the
-current frontier with the oracle's.  The per-mechanism
-:class:`AgreementReport` records exact agreement counts plus the two
-interesting error kinds: *missed conflicts* (mechanism says ordered, oracle
-says concurrent -- expected only for plausible clocks) and *false conflicts*
-(the reverse).  Size statistics are collected at the same time so a single
-trace replay feeds both the correctness and the space experiments.
+The per-mechanism :class:`AgreementReport` records exact agreement counts
+plus the two interesting error kinds: *missed conflicts* (mechanism says
+ordered, oracle says concurrent -- expected only for plausible clocks) and
+*false conflicts* (the reverse).  Size statistics are collected at the same
+time so a single trace replay feeds both the correctness and the space
+experiments.
 """
 
 from __future__ import annotations
 
 import statistics
+import warnings
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..causal.configuration import CausalConfiguration
-from ..causal.refhistory import RefCausalConfiguration
-from ..core.frontier import Frontier
-from ..core.invariants import check_all
-from ..core.order import Ordering
-from ..core.stamp import VersionStamp
-from ..itc.stamp import ITCStamp
-from ..vv.dynamic_vv import DynamicVVSystem
-from ..vv.id_source import CentralIdSource, IdSource
-from ..vv.lamport import LamportClock
-from ..vv.plausible import PlausibleClock
 from ..core.errors import SimulationError
-from .trace import OpKind, Operation, Trace, apply_operation
+from ..core.order import Ordering
+from ..kernel import adapters as _adapters
+from .trace import Operation, Trace
 
 __all__ = [
     "MechanismAdapter",
@@ -56,370 +52,32 @@ __all__ = [
     "default_adapters",
 ]
 
-
-class MechanismAdapter:
-    """Uniform driver interface: replay trace operations, answer comparisons."""
-
-    #: Short name used in reports and benchmark tables.
-    name = "mechanism"
-
-    def start(self, seed: str) -> None:
-        """Initialize with a single element labelled ``seed``."""
-        raise NotImplementedError
-
-    def apply(self, operation: Operation) -> None:
-        """Apply one trace operation."""
-        raise NotImplementedError
-
-    def labels(self) -> List[str]:
-        """Labels of the currently coexisting elements."""
-        raise NotImplementedError
-
-    def compare(self, first: str, second: str) -> Ordering:
-        """Pairwise comparison of two live elements."""
-        raise NotImplementedError
-
-    def comparison_table(self) -> Optional[Mapping[str, object]]:
-        """Optional label -> comparable mapping for bulk comparisons.
-
-        When an adapter can expose its live elements as objects with a
-        ``compare`` method, the lockstep runner compares through this table
-        directly, skipping the per-call label resolution of :meth:`compare`.
-        Returning ``None`` (the default) keeps the label-based path.
-        """
-        return None
-
-    def size_in_bits(self, label: str) -> int:
-        """Metadata size of one live element (0 when not meaningful)."""
-        return 0
-
-    def check_invariants(self) -> bool:
-        """Mechanism-specific self-check (True when nothing is violated)."""
-        return True
+#: Adapter names that moved to :mod:`repro.kernel.adapters`; accessed here
+#: they still resolve (via module ``__getattr__``) but warn.
+_MOVED_TO_KERNEL = (
+    "MechanismAdapter",
+    "CausalAdapter",
+    "RefCausalAdapter",
+    "StampAdapter",
+    "RerootingStampAdapter",
+    "DynamicVVAdapter",
+    "ITCAdapter",
+    "PlausibleAdapter",
+    "LamportAdapter",
+    "default_adapters",
+)
 
 
-class CausalAdapter(MechanismAdapter):
-    """The causal-history oracle (global view), bitset-backed."""
-
-    name = "causal-history"
-
-    #: The configuration implementation this adapter drives.
-    configuration_class = CausalConfiguration
-
-    def __init__(self) -> None:
-        self._configuration = None
-
-    @property
-    def configuration(self):
-        if self._configuration is None:
-            raise SimulationError("adapter not started")
-        return self._configuration
-
-    def start(self, seed: str) -> None:
-        self._configuration = self.configuration_class.initial(seed)
-
-    def apply(self, operation: Operation) -> None:
-        apply_operation(self.configuration, operation)
-
-    def labels(self) -> List[str]:
-        return self.configuration.labels()
-
-    def compare(self, first: str, second: str) -> Ordering:
-        return self.configuration.compare(first, second)
-
-    def comparison_table(self) -> Mapping[str, object]:
-        return self.configuration.histories_view()
-
-    def size_in_bits(self, label: str) -> int:
-        # One event identifier is modelled as a 64-bit value; ``event_count``
-        # is a cached popcount, so no event set is ever materialized here.
-        return 64 * self.configuration.history_of(label).event_count
-
-
-class RefCausalAdapter(CausalAdapter):
-    """The seed frozenset oracle, kept as a differential/perf baseline."""
-
-    name = "causal-history-ref"
-
-    configuration_class = RefCausalConfiguration
-
-    def size_in_bits(self, label: str) -> int:
-        return 64 * len(self.configuration.history_of(label).events)
-
-
-class StampAdapter(MechanismAdapter):
-    """Version stamps, in either the reducing or the non-reducing flavour."""
-
-    def __init__(self, *, reducing: bool = True) -> None:
-        self._reducing = reducing
-        self.name = "version-stamps" if reducing else "version-stamps-nonreducing"
-        self._frontier: Optional[Frontier] = None
-
-    @property
-    def frontier(self) -> Frontier:
-        if self._frontier is None:
-            raise SimulationError("adapter not started")
-        return self._frontier
-
-    def start(self, seed: str) -> None:
-        self._frontier = Frontier.initial(seed, reducing=self._reducing)
-
-    def apply(self, operation: Operation) -> None:
-        apply_operation(self.frontier, operation)
-
-    def labels(self) -> List[str]:
-        return self.frontier.labels()
-
-    def compare(self, first: str, second: str) -> Ordering:
-        return self.frontier.compare(first, second)
-
-    def size_in_bits(self, label: str) -> int:
-        return self.frontier.stamp_of(label).size_in_bits()
-
-    def check_invariants(self) -> bool:
-        return check_all(self.frontier.stamps()).ok
-
-
-class RerootingStampAdapter(StampAdapter):
-    """Reducing version stamps with the Section 7 re-rooting GC enabled.
-
-    Drives a :class:`~repro.core.frontier.Frontier` whose automatic re-root
-    fires whenever any live stamp's encoded size exceeds ``threshold``
-    bits.  Run
-    alongside a plain :class:`StampAdapter` in one lockstep replay this
-    measures GC'd and raw stamps side by side on the same trace -- and
-    because the runner cross-checks every mechanism against the causal
-    oracle after every step, it *proves* on that trace that re-rooting
-    preserved the frontier ordering (the re-rooted stamps must keep a 100%
-    agreement rate with ground truth for the whole run).
-    """
-
-    def __init__(self, *, threshold: int = 256) -> None:
-        super().__init__(reducing=True)
-        self.name = f"version-stamps-rerooting-{threshold}"
-        self._threshold = threshold
-
-    @property
-    def threshold(self) -> int:
-        """The re-root trigger: largest allowed stamp, in encoded bits."""
-        return self._threshold
-
-    @property
-    def reroots_performed(self) -> int:
-        """How many re-roots the replay has triggered so far."""
-        return self.frontier.reroots_performed
-
-    def start(self, seed: str) -> None:
-        self._frontier = Frontier.initial(
-            seed, reducing=True, reroot_threshold=self._threshold
+def __getattr__(name: str):
+    if name in _MOVED_TO_KERNEL:
+        warnings.warn(
+            f"importing {name} from repro.sim.runner is deprecated; "
+            f"import it from repro.kernel.adapters (or repro.sim) instead",
+            DeprecationWarning,
+            stacklevel=2,
         )
-
-
-class DynamicVVAdapter(MechanismAdapter):
-    """Dynamic version vectors driven by an identifier source."""
-
-    name = "dynamic-version-vectors"
-
-    def __init__(self, id_source: Optional[IdSource] = None) -> None:
-        self._id_source = id_source
-        self._system: Optional[DynamicVVSystem] = None
-
-    @property
-    def system(self) -> DynamicVVSystem:
-        if self._system is None:
-            raise SimulationError("adapter not started")
-        return self._system
-
-    def start(self, seed: str) -> None:
-        source = self._id_source if self._id_source is not None else CentralIdSource()
-        self._system = DynamicVVSystem.initial(seed, id_source=source)
-
-    def apply(self, operation: Operation) -> None:
-        system = self.system
-        if operation.kind == OpKind.UPDATE:
-            system.update(operation.source, operation.results[0])
-        elif operation.kind == OpKind.FORK:
-            system.fork(operation.source, *operation.results)
-        elif operation.kind == OpKind.JOIN:
-            system.join(operation.source, operation.other, operation.results[0])
-        else:
-            joined = system.join(operation.source, operation.other)
-            system.fork(joined, *operation.results)
-
-    def labels(self) -> List[str]:
-        return self.system.labels()
-
-    def compare(self, first: str, second: str) -> Ordering:
-        return self.system.compare(first, second)
-
-    def size_in_bits(self, label: str) -> int:
-        return self.system.element(label).size_in_bits()
-
-
-class ITCAdapter(MechanismAdapter):
-    """Interval Tree Clocks (the extension mechanism)."""
-
-    name = "interval-tree-clocks"
-
-    def __init__(self) -> None:
-        self._stamps: Dict[str, ITCStamp] = {}
-
-    def start(self, seed: str) -> None:
-        self._stamps = {seed: ITCStamp.seed()}
-
-    def _take(self, label: str) -> ITCStamp:
-        try:
-            return self._stamps.pop(label)
-        except KeyError:
-            raise SimulationError(f"ITC adapter has no element {label!r}") from None
-
-    def apply(self, operation: Operation) -> None:
-        if operation.kind == OpKind.UPDATE:
-            stamp = self._take(operation.source)
-            self._stamps[operation.results[0]] = stamp.event()
-        elif operation.kind == OpKind.FORK:
-            stamp = self._take(operation.source)
-            left, right = stamp.fork()
-            self._stamps[operation.results[0]] = left
-            self._stamps[operation.results[1]] = right
-        elif operation.kind == OpKind.JOIN:
-            first = self._take(operation.source)
-            second = self._take(operation.other)
-            self._stamps[operation.results[0]] = first.join(second)
-        else:
-            first = self._take(operation.source)
-            second = self._take(operation.other)
-            left, right = first.join(second).fork()
-            self._stamps[operation.results[0]] = left
-            self._stamps[operation.results[1]] = right
-
-    def labels(self) -> List[str]:
-        return list(self._stamps)
-
-    def compare(self, first: str, second: str) -> Ordering:
-        return self._stamps[first].compare(self._stamps[second])
-
-    def size_in_bits(self, label: str) -> int:
-        return self._stamps[label].size_in_bits()
-
-
-class PlausibleAdapter(MechanismAdapter):
-    """Plausible clocks: constant size, approximate ordering."""
-
-    def __init__(self, entries: int = 4) -> None:
-        self.name = f"plausible-clocks-{entries}"
-        self._entries = entries
-        self._clocks: Dict[str, PlausibleClock] = {}
-        self._next_replica = 0
-
-    def _fresh_replica_id(self) -> str:
-        identifier = f"p{self._next_replica}"
-        self._next_replica += 1
-        return identifier
-
-    def start(self, seed: str) -> None:
-        self._clocks = {seed: PlausibleClock(self._entries, self._fresh_replica_id())}
-
-    def _take(self, label: str) -> PlausibleClock:
-        try:
-            return self._clocks.pop(label)
-        except KeyError:
-            raise SimulationError(f"plausible adapter has no element {label!r}") from None
-
-    def apply(self, operation: Operation) -> None:
-        if operation.kind == OpKind.UPDATE:
-            clock = self._take(operation.source)
-            self._clocks[operation.results[0]] = clock.update()
-        elif operation.kind == OpKind.FORK:
-            clock = self._take(operation.source)
-            self._clocks[operation.results[0]] = clock
-            self._clocks[operation.results[1]] = clock.for_replica(self._fresh_replica_id())
-        elif operation.kind == OpKind.JOIN:
-            first = self._take(operation.source)
-            second = self._take(operation.other)
-            self._clocks[operation.results[0]] = first.merge(second)
-        else:
-            first = self._take(operation.source)
-            second = self._take(operation.other)
-            merged = first.merge(second)
-            self._clocks[operation.results[0]] = merged
-            self._clocks[operation.results[1]] = merged.for_replica(
-                self._fresh_replica_id()
-            )
-
-    def labels(self) -> List[str]:
-        return list(self._clocks)
-
-    def compare(self, first: str, second: str) -> Ordering:
-        return self._clocks[first].compare(self._clocks[second])
-
-    def size_in_bits(self, label: str) -> int:
-        return self._clocks[label].size_in_bits()
-
-
-class LamportAdapter(MechanismAdapter):
-    """Scalar Lamport clocks: causality-consistent but blind to concurrency.
-
-    Included purely as a contrast baseline -- every pair the oracle reports
-    as concurrent is (arbitrarily) ordered by a scalar clock, so the
-    agreement rate quantifies how much information the single integer loses.
-    """
-
-    name = "lamport-clocks"
-
-    def __init__(self) -> None:
-        self._clocks: Dict[str, LamportClock] = {}
-        self._next_process = 0
-
-    def _fresh_process(self) -> str:
-        identifier = f"l{self._next_process}"
-        self._next_process += 1
-        return identifier
-
-    def start(self, seed: str) -> None:
-        self._clocks = {seed: LamportClock(0, self._fresh_process())}
-
-    def _take(self, label: str) -> LamportClock:
-        try:
-            return self._clocks.pop(label)
-        except KeyError:
-            raise SimulationError(f"lamport adapter has no element {label!r}") from None
-
-    def apply(self, operation: Operation) -> None:
-        if operation.kind == OpKind.UPDATE:
-            clock = self._take(operation.source)
-            self._clocks[operation.results[0]] = clock.tick()
-        elif operation.kind == OpKind.FORK:
-            clock = self._take(operation.source)
-            self._clocks[operation.results[0]] = clock
-            self._clocks[operation.results[1]] = LamportClock(
-                clock.counter, self._fresh_process()
-            )
-        elif operation.kind == OpKind.JOIN:
-            first = self._take(operation.source)
-            second = self._take(operation.other)
-            self._clocks[operation.results[0]] = LamportClock(
-                max(first.counter, second.counter), first.process
-            )
-        else:
-            first = self._take(operation.source)
-            second = self._take(operation.other)
-            merged = max(first.counter, second.counter)
-            self._clocks[operation.results[0]] = LamportClock(merged, first.process)
-            self._clocks[operation.results[1]] = LamportClock(merged, second.process)
-
-    def labels(self) -> List[str]:
-        return list(self._clocks)
-
-    def compare(self, first: str, second: str) -> Ordering:
-        mine = self._clocks[first]
-        theirs = self._clocks[second]
-        if mine.counter == theirs.counter:
-            return Ordering.EQUAL
-        return Ordering.BEFORE if mine.counter < theirs.counter else Ordering.AFTER
-
-    def size_in_bits(self, label: str) -> int:
-        return self._clocks[label].size_in_bits()
+        return getattr(_adapters, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 @dataclass
@@ -495,19 +153,6 @@ class SizeSample:
         return statistics.fmean(self.per_step_mean_bits)
 
 
-def default_adapters(*, include_plausible: bool = False) -> List[MechanismAdapter]:
-    """The standard set of non-oracle mechanisms used by the experiments."""
-    adapters: List[MechanismAdapter] = [
-        StampAdapter(reducing=True),
-        StampAdapter(reducing=False),
-        DynamicVVAdapter(),
-        ITCAdapter(),
-    ]
-    if include_plausible:
-        adapters.append(PlausibleAdapter())
-    return adapters
-
-
 class LockstepRunner:
     """Replay one trace against the oracle and a set of mechanisms.
 
@@ -515,12 +160,15 @@ class LockstepRunner:
     ----------
     adapters:
         Mechanisms to compare against the causal-history oracle; defaults to
-        :func:`default_adapters`.
+        :func:`repro.kernel.adapters.default_adapters`.  Pass
+        :func:`repro.kernel.adapters.kernel_adapters` to compare every
+        registered clock family through the kernel protocol instead.
     oracle:
         The oracle adapter to cross-check against; defaults to the
-        bitset-backed :class:`CausalAdapter`.  Pass :class:`RefCausalAdapter`
-        to run against the retained frozenset implementation (used by the
-        differential tests and the lockstep benchmark).
+        bitset-backed :class:`~repro.kernel.adapters.CausalAdapter`.  Pass
+        :class:`~repro.kernel.adapters.RefCausalAdapter` to run against the
+        retained frozenset implementation (used by the differential tests
+        and the lockstep benchmark).
     compare_every_step:
         When ``True`` (default) the full pairwise ordering of the frontier is
         cross-checked after every operation; when ``False`` only after the
@@ -553,16 +201,16 @@ class LockstepRunner:
 
     def __init__(
         self,
-        adapters: Optional[Sequence[MechanismAdapter]] = None,
+        adapters: Optional[Sequence["_adapters.MechanismAdapter"]] = None,
         *,
-        oracle: Optional[MechanismAdapter] = None,
+        oracle: Optional["_adapters.MechanismAdapter"] = None,
         compare_every_step: bool = True,
         check_invariants: bool = True,
         incremental: bool = True,
     ) -> None:
-        self.oracle = oracle if oracle is not None else CausalAdapter()
-        self.adapters: List[MechanismAdapter] = (
-            list(adapters) if adapters is not None else default_adapters()
+        self.oracle = oracle if oracle is not None else _adapters.CausalAdapter()
+        self.adapters: List["_adapters.MechanismAdapter"] = (
+            list(adapters) if adapters is not None else _adapters.default_adapters()
         )
         self._compare_every_step = compare_every_step
         self._check_invariants = check_invariants
@@ -570,6 +218,12 @@ class LockstepRunner:
 
     def run(self, trace: Trace) -> Tuple[Dict[str, AgreementReport], Dict[str, SizeSample]]:
         """Replay ``trace``; return per-mechanism agreement and size reports."""
+        names = [adapter.name for adapter in self.adapters] + [self.oracle.name]
+        if len(set(names)) != len(names):
+            raise SimulationError(
+                f"adapter names must be unique (reports and comparison caches "
+                f"are keyed by them): {sorted(names)}"
+            )
         reports = {
             adapter.name: AgreementReport(adapter.name) for adapter in self.adapters
         }

@@ -24,7 +24,7 @@ from repro.core.bitstring import BitString
 from repro.core.names import Name, maximal_strings
 from repro.sim.trace import Operation, Trace
 
-__all__ = ["bitstrings", "names", "trace_operations"]
+__all__ = ["bitstrings", "names", "trace_operations", "kernel_clocks"]
 
 
 @st.composite
@@ -93,3 +93,37 @@ def trace_operations(draw, max_operations: int = 25, max_frontier: int = 6):
             alive.remove(other)
             alive.extend((left, right))
     return Trace(seed=seed_label, operations=tuple(operations), name="hypothesis")
+
+
+@st.composite
+def kernel_clocks(draw, family: str, max_operations: int = 12, max_epoch: int = 5):
+    """Arbitrary clocks of one kernel family, reached by random evolutions.
+
+    Starts from the family's seed clock, applies a random fork/event/join
+    walk, picks one survivor and stamps it with a random re-rooting epoch --
+    so round-trip properties cover non-trivial states *and* the epoch tag.
+    """
+    from repro import kernel
+
+    count = draw(st.integers(min_value=0, max_value=max_operations))
+    rng = random.Random(draw(st.integers(min_value=0, max_value=2**32 - 1)))
+    epoch = draw(st.integers(min_value=0, max_value=max_epoch))
+    pool = [kernel.make(family)]
+    for _ in range(count):
+        kinds = ["event", "fork"]
+        if len(pool) >= 2:
+            kinds.append("join")
+        kind = rng.choice(kinds)
+        if kind == "event":
+            index = rng.randrange(len(pool))
+            pool[index] = pool[index].event()
+        elif kind == "fork":
+            left, right = pool.pop(rng.randrange(len(pool))).fork()
+            pool.extend((left, right))
+        else:
+            first, second = rng.sample(range(len(pool)), 2)
+            joined = pool[first].join(pool[second])
+            for index in sorted((first, second), reverse=True):
+                del pool[index]
+            pool.append(joined)
+    return rng.choice(pool).with_epoch(epoch)

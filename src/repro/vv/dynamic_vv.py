@@ -49,6 +49,10 @@ class DynamicVVElement:
         """Record a local update (increment our own entry)."""
         return DynamicVVElement(self.replica_id, self.vector.increment(self.replica_id))
 
+    def event(self) -> "DynamicVVElement":
+        """Kernel-protocol alias for :meth:`update` (fork/event/join naming)."""
+        return self.update()
+
     def merge_from(self, other: "DynamicVVElement") -> "DynamicVVElement":
         """Absorb the knowledge of ``other`` without changing identity."""
         return DynamicVVElement(self.replica_id, self.vector.merge(other.vector))

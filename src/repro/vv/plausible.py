@@ -117,6 +117,10 @@ class PlausibleClock:
         counters[self.slot] += 1
         return PlausibleClock(self._entries, self._replica_id, tuple(counters))
 
+    def event(self) -> "PlausibleClock":
+        """Kernel-protocol alias for :meth:`update` (fork/event/join naming)."""
+        return self.update()
+
     def merge(self, other: "PlausibleClock") -> "PlausibleClock":
         """Slot-wise maximum (combined knowledge)."""
         if self._entries != other._entries:

@@ -18,13 +18,13 @@ from hypothesis import strategies as st
 
 from repro.causal.configuration import CausalConfiguration
 from repro.causal.refhistory import RefCausalConfiguration
-from repro.sim.runner import (
+from repro.kernel.adapters import (
     CausalAdapter,
     ITCAdapter,
-    LockstepRunner,
     RefCausalAdapter,
     StampAdapter,
 )
+from repro.sim.runner import LockstepRunner
 from repro.sim.trace import OpKind, Trace
 from repro.sim.workload import churn_trace, partitioned_trace, random_dynamic_trace
 from repro.testing import trace_operations

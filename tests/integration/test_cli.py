@@ -78,10 +78,41 @@ class TestAnalysisCommands:
         assert "version-stamps" in output
         assert "final frontier" in output
 
+    @pytest.mark.parametrize(
+        "family", ["version-stamp", "itc", "vv-dynamic", "causal-history"]
+    )
+    def test_simulate_single_clock_family(self, family, capsys):
+        # The same trace, any registered family, all through the kernel's
+        # CausalityClock protocol -- and every family must fully agree with
+        # the causal-history oracle (exit code 0).
+        args = ["simulate", "--operations", "50", "--seed", "11", "--clock", family]
+        assert main(args) == 0
+        output = capsys.readouterr().out
+        assert ("causal-history (oracle)") in output
+
+    def test_simulate_rejects_unknown_clock(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["simulate", "--clock", "sundial"])
+
     def test_version_flag(self, capsys):
         with pytest.raises(SystemExit) as excinfo:
             main(["--version"])
         assert excinfo.value.code == 0
+
+
+class TestKernelCommands:
+    def test_families_lists_the_registry(self, capsys):
+        assert main(["kernel", "families"]) == 0
+        output = capsys.readouterr().out
+        for family in ("version-stamp", "itc", "vv-dynamic", "causal-history"):
+            assert family in output
+
+    @pytest.mark.parametrize("family", ["version-stamp", "itc", "vv-dynamic"])
+    def test_roundtrip(self, family, capsys):
+        assert main(["kernel", "roundtrip", "--clock", family, "--epoch", "5"]) == 0
+        output = capsys.readouterr().out
+        assert "epoch:    5" in output
+        assert "restored == original: True" in output
 
 
 class TestPanasyncCommands:

@@ -11,7 +11,8 @@ from hypothesis import HealthCheck, given, settings
 
 from repro.core.invariants import check_all
 from repro.sim.exhaustive import explore
-from repro.sim.runner import LockstepRunner, StampAdapter, default_adapters
+from repro.kernel.adapters import StampAdapter, default_adapters
+from repro.sim.runner import LockstepRunner
 from repro.sim.workload import (
     churn_trace,
     fixed_replica_trace,
@@ -55,7 +56,7 @@ def _bounded_adapters():
     bounded mechanisms, and the non-reducing flavour is exercised on
     shorter prefixes of the same workloads.
     """
-    from repro.sim.runner import DynamicVVAdapter, ITCAdapter
+    from repro.kernel.adapters import DynamicVVAdapter, ITCAdapter
 
     return [StampAdapter(reducing=True), DynamicVVAdapter(), ITCAdapter()]
 

@@ -1,0 +1,323 @@
+"""Property tests for the versioned, epoch-tagged wire envelope.
+
+The contract under test:
+
+* ``from_bytes(to_bytes(c)) == c`` for every registered clock family, with
+  the epoch tag preserved bit-for-bit;
+* every malformed input -- truncations, bad magic, unknown family tags,
+  future format versions, trailing junk, corrupted payloads -- is rejected
+  with a *typed* :class:`~repro.core.errors.EncodingError` subclass, never a
+  raw ``struct``/``IndexError``/``KeyError``.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import kernel
+from repro.core.errors import (
+    EncodingError,
+    EnvelopeError,
+    EnvelopeMagicError,
+    EnvelopeTruncatedError,
+    EnvelopeVersionError,
+    ReproError,
+    UnknownClockFamily,
+)
+from repro.kernel.envelope import FORMAT_VERSION, HEADER_SIZE, MAGIC
+from repro.testing import kernel_clocks
+
+FAMILIES = kernel.families()
+
+
+class TestRegistry:
+    def test_four_families_registered(self):
+        assert {"version-stamp", "itc", "vv-dynamic", "causal-history"} <= set(
+            FAMILIES
+        )
+
+    def test_make_unknown_family_is_typed(self):
+        with pytest.raises(UnknownClockFamily):
+            kernel.make("no-such-clock")
+
+    def test_tags_are_stable(self):
+        # Wire tags are serialization format; renumbering them would make
+        # every shipped envelope decode as the wrong family.
+        assert {kernel.family(name).tag for name in FAMILIES} == set(
+            range(1, len(FAMILIES) + 1)
+        )
+        assert kernel.family("version-stamp").tag == 1
+        assert kernel.family("itc").tag == 2
+        assert kernel.family("vv-dynamic").tag == 3
+        assert kernel.family("causal-history").tag == 4
+
+
+@pytest.mark.parametrize("family", FAMILIES)
+class TestRoundTrip:
+    @settings(max_examples=40)
+    @given(data=st.data())
+    def test_round_trip_identity(self, family, data):
+        clock = data.draw(kernel_clocks(family))
+        payload = clock.to_bytes()
+        restored = kernel.from_bytes(payload)
+        assert restored == clock
+        assert restored.family == family
+        assert restored.epoch == clock.epoch
+        assert restored.to_bytes() == payload
+
+    @settings(max_examples=20)
+    @given(data=st.data())
+    def test_envelope_info_matches_without_decoding(self, family, data):
+        clock = data.draw(kernel_clocks(family))
+        info = kernel.envelope_info(clock.to_bytes())
+        assert info.family == family
+        assert info.epoch == clock.epoch
+        assert info.format_version == FORMAT_VERSION
+        assert info.payload_size == len(clock.to_bytes()) - HEADER_SIZE
+
+    def test_seed_round_trip_and_size_yardstick(self, family):
+        clock = kernel.make(family)
+        assert kernel.from_bytes(clock.to_bytes()) == clock
+        # encoded_size_bits measures the payload, not the envelope framing.
+        assert clock.encoded_size_bits() <= (len(clock.to_bytes()) - HEADER_SIZE) * 8
+
+    def test_epoch_survives_evolution_and_wire(self, family):
+        clock = kernel.make(family).with_epoch(7)
+        left, right = clock.fork()
+        evolved = left.event().join(right)
+        assert evolved.epoch == 7
+        assert kernel.from_bytes(evolved.to_bytes()).epoch == 7
+
+
+@pytest.mark.parametrize("family", FAMILIES)
+class TestRejection:
+    def _valid(self, family):
+        clock = kernel.make(family).event() if family != "version-stamp" else (
+            kernel.make(family).fork()[0].event()
+        )
+        return clock.to_bytes()
+
+    def test_truncations_are_typed(self, family):
+        payload = self._valid(family)
+        for cut in range(len(payload)):
+            with pytest.raises(EncodingError):
+                kernel.from_bytes(payload[:cut])
+        # Header-level truncation specifically reports as such.
+        with pytest.raises(EnvelopeTruncatedError):
+            kernel.from_bytes(payload[: HEADER_SIZE - 1])
+
+    def test_bad_magic(self, family):
+        payload = bytearray(self._valid(family))
+        payload[0] ^= 0xFF
+        with pytest.raises(EnvelopeMagicError):
+            kernel.from_bytes(bytes(payload))
+
+    def test_future_format_version(self, family):
+        payload = bytearray(self._valid(family))
+        payload[2] = FORMAT_VERSION + 1
+        with pytest.raises(EnvelopeVersionError):
+            kernel.from_bytes(bytes(payload))
+        payload[2] = 0
+        with pytest.raises(EnvelopeVersionError):
+            kernel.from_bytes(bytes(payload))
+
+    def test_unknown_family_tag(self, family):
+        payload = bytearray(self._valid(family))
+        payload[3] = 0xEE
+        with pytest.raises(UnknownClockFamily):
+            kernel.from_bytes(bytes(payload))
+
+    def test_trailing_junk_rejected(self, family):
+        with pytest.raises(EnvelopeError):
+            kernel.from_bytes(self._valid(family) + b"\x00")
+
+    @settings(max_examples=30)
+    @given(data=st.data())
+    def test_corrupted_payload_never_leaks_raw_errors(self, family, data):
+        payload = bytearray(self._valid(family))
+        flips = data.draw(
+            st.lists(
+                st.tuples(
+                    st.integers(min_value=HEADER_SIZE, max_value=len(payload) - 1),
+                    st.integers(min_value=0, max_value=255),
+                ),
+                min_size=1,
+                max_size=4,
+            )
+        )
+        for index, value in flips:
+            payload[index] = value
+        try:
+            kernel.from_bytes(bytes(payload))
+        except ReproError:
+            pass  # a typed rejection is the contract
+        # Decoding to *some* valid clock is also acceptable: a flipped
+        # counter byte can be a different, well-formed clock.
+
+
+class TestCanonicalEncoding:
+    @pytest.mark.parametrize("family", ["version-stamp", "itc"])
+    def test_nonzero_padding_bits_rejected(self, family):
+        # Bit-level payloads zero-pad their final byte; a flipped padding
+        # bit must be rejected, not silently decode to an equal clock.
+        clock = kernel.make(family).fork()[0].event()
+        payload = bytearray(clock.to_bytes())
+        assert kernel.from_bytes(bytes(payload)) == clock  # sanity
+        payload[-1] |= 0x01
+        with pytest.raises(EncodingError):
+            kernel.from_bytes(bytes(payload))
+
+    def test_causal_wire_format_only_ships_issued_identities(self):
+        # The oracle is the global view: its envelopes are only meaningful
+        # within one event arena.  Both encode and decode reject identities
+        # the arena never issued (symmetrically, so the library can never
+        # produce an envelope it refuses to read back), which also stops a
+        # crafted envelope from ballooning every later bitset.
+        from repro.causal.history import CausalHistory
+        from repro.kernel.clocks import _GLOBAL_EVENTS, CausalHistoryClock
+
+        issued = kernel.make("causal-history").event().event()
+        assert kernel.from_bytes(issued.to_bytes()) == issued
+
+        unissued_index = _GLOBAL_EVENTS.next_index + 1000
+        foreign = CausalHistoryClock(CausalHistory.from_bits(1 << unissued_index))
+        with pytest.raises(EncodingError):
+            foreign.to_bytes()
+        # The same identity smuggled in via a crafted envelope is rejected
+        # too -- and the arena is not advanced by the attempt.
+        payload = bytearray(issued.to_bytes())
+        before = _GLOBAL_EVENTS.next_index
+        payload[-8] = 0x01  # bend the last event identity to >= 2^56
+        with pytest.raises(EncodingError):
+            kernel.from_bytes(bytes(payload))
+        assert _GLOBAL_EVENTS.next_index == before
+
+    def test_vv_fork_counter_bounded_on_the_wire(self):
+        # A crafted envelope with a huge fork counter must be rejected at
+        # decode time -- fork() would otherwise loop over it bit by bit.
+        from repro.kernel.clocks import VV_ID_BYTES, DynamicVVClock
+        from repro.kernel.envelope import FORMAT_VERSION, MAGIC
+
+        body = bytearray(kernel.make("vv-dynamic").event().payload_bytes())
+        forks_offset = VV_ID_BYTES  # uvarint right after the id slot
+        assert body[forks_offset] == 0  # seed clock: no forks yet
+        # Splice in forks = 2**40 as a multi-byte uvarint.
+        crafted_forks = bytearray()
+        value = 1 << 40
+        while value:
+            crafted_forks.append((value & 0x7F) | (0x80 if value >> 7 else 0))
+            value >>= 7
+        body[forks_offset : forks_offset + 1] = crafted_forks
+        tag = kernel.family("vv-dynamic").tag
+        envelope = (
+            MAGIC
+            + bytes((FORMAT_VERSION, tag))
+            + (0).to_bytes(4, "big")
+            + len(body).to_bytes(4, "big")
+            + bytes(body)
+        )
+        with pytest.raises(EncodingError):
+            kernel.from_bytes(envelope)
+        # And the boundary itself still errors cleanly (no hang) on fork().
+        exhausted = DynamicVVClock(forks=VV_ID_BYTES * 8 - 1)
+        with pytest.raises(EncodingError):
+            exhausted.fork()
+
+    @pytest.mark.parametrize("family", ["vv-dynamic", "causal-history"])
+    @settings(max_examples=20)
+    @given(data=st.data())
+    def test_closed_form_size_matches_payload(self, family, data):
+        clock = data.draw(kernel_clocks(family))
+        assert clock.encoded_size_bits() == len(clock.payload_bytes()) * 8
+
+
+    def test_non_canonical_entry_order_rejected(self):
+        # Encoders emit event identities / vector entries in ascending
+        # order; a reordered payload must not decode to an equal clock
+        # (decode stays injective: encode(decode(x)) == x).
+        from repro.kernel.clocks import EVENT_ID_BYTES
+        from repro.kernel.envelope import HEADER_SIZE
+
+        clock = kernel.make("causal-history").event().event().event()
+        payload = bytearray(clock.to_bytes())
+        ids_start = HEADER_SIZE + 1  # after the 1-byte count varint
+        ids = payload[ids_start:]
+        assert len(ids) == 3 * EVENT_ID_BYTES
+        reordered = (
+            ids[2 * EVENT_ID_BYTES :]
+            + ids[EVENT_ID_BYTES : 2 * EVENT_ID_BYTES]
+            + ids[:EVENT_ID_BYTES]
+        )
+        payload[ids_start:] = reordered
+        with pytest.raises(EncodingError):
+            kernel.from_bytes(bytes(payload))
+
+    def test_non_minimal_varint_rejected(self):
+        # 0x80 0x00 spells the same value as 0x00; accepting it would let
+        # two distinct byte strings decode to equal clocks.
+        from repro.kernel.clocks import VV_ID_BYTES
+        from repro.kernel.envelope import FORMAT_VERSION, MAGIC
+
+        body = bytearray(kernel.make("vv-dynamic").event().payload_bytes())
+        forks_offset = VV_ID_BYTES
+        assert body[forks_offset] == 0
+        body[forks_offset : forks_offset + 1] = b"\x80\x00"
+        envelope = (
+            MAGIC
+            + bytes((FORMAT_VERSION, kernel.family("vv-dynamic").tag))
+            + (0).to_bytes(4, "big")
+            + len(body).to_bytes(4, "big")
+            + bytes(body)
+        )
+        with pytest.raises(EncodingError):
+            kernel.from_bytes(envelope)
+
+    def test_itc_depth_bomb_rejected_with_typed_error(self):
+        # An all-ones bit stream describes an unboundedly deep id tree;
+        # the decoder must reject it, not die with a raw RecursionError.
+        from repro.kernel.envelope import FORMAT_VERSION, MAGIC
+
+        bit_count = 50_000
+        body = bit_count.to_bytes(4, "big") + b"\xff" * (bit_count // 8)
+        envelope = (
+            MAGIC
+            + bytes((FORMAT_VERSION, kernel.family("itc").tag))
+            + (0).to_bytes(4, "big")
+            + len(body).to_bytes(4, "big")
+            + body
+        )
+        with pytest.raises(EncodingError):
+            kernel.from_bytes(envelope)
+
+
+class TestFrontierEpoch:
+    def test_reroot_bumps_epoch_and_clone_preserves_it(self):
+        from repro.core.frontier import Frontier
+
+        frontier = Frontier.initial("a")
+        frontier.fork("a", "b", "c")
+        frontier.update("b", "b1")
+        assert frontier.epoch == 0
+        frontier.reroot()
+        assert frontier.epoch == 1
+        assert frontier.reroots_performed == 1
+        copied = frontier.copy()
+        assert copied.epoch == 1
+        frontier.reroot()
+        assert frontier.epoch == 2
+        assert copied.epoch == 1  # copies diverge independently
+
+
+class TestNonBytesInput:
+    def test_non_bytes_is_typed(self):
+        with pytest.raises(EnvelopeError):
+            kernel.from_bytes("not bytes")
+
+    def test_empty_is_truncated(self):
+        with pytest.raises(EnvelopeTruncatedError):
+            kernel.from_bytes(b"")
+
+    def test_magic_constant(self):
+        assert MAGIC == b"CK"
+        for family in FAMILIES:
+            assert kernel.make(family).to_bytes()[:2] == MAGIC

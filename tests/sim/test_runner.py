@@ -3,18 +3,16 @@
 import pytest
 
 from repro.core.order import Ordering
-from repro.sim.runner import (
-    AgreementReport,
+from repro.kernel.adapters import (
     CausalAdapter,
     DynamicVVAdapter,
     ITCAdapter,
-    LockstepRunner,
     PlausibleAdapter,
     RefCausalAdapter,
-    SizeSample,
     StampAdapter,
     default_adapters,
 )
+from repro.sim.runner import AgreementReport, LockstepRunner, SizeSample
 from repro.sim.trace import Operation, Trace
 from repro.sim.workload import fixed_replica_trace, random_dynamic_trace
 

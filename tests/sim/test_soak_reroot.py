@@ -13,7 +13,8 @@ as the bound is crossed).
 import pytest
 
 from repro.core.frontier import Frontier
-from repro.sim.runner import LockstepRunner, RerootingStampAdapter
+from repro.kernel.adapters import RerootingStampAdapter
+from repro.sim.runner import LockstepRunner
 from repro.sim.trace import apply_operation
 from repro.sim.workload import sync_chain_trace
 

@@ -1,0 +1,83 @@
+"""The old adapter import paths keep working and warn, exactly once per use.
+
+The mechanism adapter stack moved from :mod:`repro.sim.runner` to
+:mod:`repro.kernel.adapters` in the kernel redesign; ``repro.sim.runner``
+keeps resolving the old names through a module ``__getattr__`` shim that
+emits one :class:`DeprecationWarning` per access.  The silent re-exports on
+:mod:`repro.sim` are the supported compatibility path and must *not* warn.
+"""
+
+import warnings
+
+import pytest
+
+import repro.kernel.adapters as kernel_adapters_module
+import repro.sim
+import repro.sim.runner as runner
+
+MOVED_NAMES = [
+    "MechanismAdapter",
+    "CausalAdapter",
+    "RefCausalAdapter",
+    "StampAdapter",
+    "RerootingStampAdapter",
+    "DynamicVVAdapter",
+    "ITCAdapter",
+    "PlausibleAdapter",
+    "LamportAdapter",
+    "default_adapters",
+]
+
+
+def _deprecations(caught):
+    return [w for w in caught if issubclass(w.category, DeprecationWarning)]
+
+
+@pytest.mark.parametrize("name", MOVED_NAMES)
+def test_old_path_resolves_to_the_moved_object_and_warns_once(name):
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        via_old_path = getattr(runner, name)
+    emitted = _deprecations(caught)
+    assert len(emitted) == 1, f"expected exactly one warning, got {len(emitted)}"
+    assert name in str(emitted[0].message)
+    assert "repro.kernel.adapters" in str(emitted[0].message)
+    # The shim returns the *same* object, so isinstance/subclass
+    # relationships written against the old path keep holding.
+    assert via_old_path is getattr(kernel_adapters_module, name)
+
+
+def test_old_constructors_still_work():
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        adapter = runner.StampAdapter(reducing=False)
+    assert len(_deprecations(caught)) == 1
+    adapter.start("a")
+    assert adapter.labels() == ["a"]
+    assert adapter.name == "version-stamps-nonreducing"
+    adapters = runner.default_adapters(include_plausible=True)
+    assert any(a.name.startswith("plausible") for a in adapters)
+
+
+def test_from_import_still_works_and_warns():
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        from repro.sim.runner import CausalAdapter  # noqa: F401
+
+    assert len(_deprecations(caught)) == 1
+
+
+def test_modern_paths_do_not_warn():
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        _ = repro.sim.StampAdapter
+        _ = kernel_adapters_module.StampAdapter
+        _ = runner.LockstepRunner
+        _ = runner.AgreementReport
+        _ = runner.SizeSample
+    assert _deprecations(caught) == []
+
+
+def test_unknown_attribute_still_raises():
+    with pytest.raises(AttributeError):
+        runner.definitely_not_a_thing
