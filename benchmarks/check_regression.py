@@ -11,7 +11,10 @@ and a freshly measured one -- on the two tracked *speedup ratios*:
   on a sibling-starved sync chain);
 * ``codec.envelope_vs_json_roundtrip`` (a version-stamp frontier
   round-tripped through the kernel's binary wire envelope vs through the
-  JSON codec).
+  JSON codec);
+* ``replication.batched_vs_per_envelope`` (steady-state anti-entropy
+  rounds/sec with the batched stream sync engine vs the per-envelope
+  baseline, version-stamp family at 32 replicas).
 
 Ratios rather than absolute ops/sec are checked because both sides of each
 ratio run on the same machine in the same process, so the ratio is stable
@@ -52,7 +55,9 @@ JOIN_NORMALIZE_FRONTIER = "32"
 #: section.  The new-section skip below applies only to sections *not*
 #: listed here (i.e. benchmarks newer than this file).  When a new section
 #: lands, add it to this set in the same PR that commits its first floor.
-ESTABLISHED_SECTIONS = frozenset({"join_normalize", "lockstep", "reroot", "codec"})
+ESTABLISHED_SECTIONS = frozenset(
+    {"join_normalize", "lockstep", "reroot", "codec", "replication"}
+)
 
 
 def _load(path):
@@ -90,6 +95,7 @@ def check(committed, fresh, *, tolerance=DEFAULT_TOLERANCE):
         ("lockstep", "speedup_vs_refhistory"),
         ("reroot", "speedup_vs_raw"),
         ("codec", "envelope_vs_json_roundtrip"),
+        ("replication", "batched_vs_per_envelope"),
     )
     for keys in tracked:
         name = ".".join(keys)

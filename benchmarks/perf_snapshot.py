@@ -29,7 +29,20 @@ Measures three things:
   ``envelope_vs_json_roundtrip`` -- a version-stamp frontier round-tripped
   through the binary envelope vs through the JSON codec of
   :mod:`repro.core.encoding` (both arms in-process, so the ratio is stable
-  across machines).
+  across machines).  Encode is measured through the encode-once clock
+  cache and decode through the decode-side intern (both on by design), so
+  the rates reflect the steady state of a process re-shipping live
+  metadata -- exactly the anti-entropy regime the replication benchmark
+  drives end to end.
+* a **replication sync** benchmark (``replication``): steady-state
+  anti-entropy throughput of the wire sync engine
+  (:class:`repro.replication.synchronizer.WireSyncEngine`) over a
+  fully-connected population, for every clock family at several replica
+  counts -- gossip rounds/sec and stamps/sec, batched streams vs the
+  per-envelope baseline, plus per-round message/byte counts.  The tracked
+  ratio is ``batched_vs_per_envelope``: the version-stamp batched/
+  per-envelope rounds-per-second ratio at 32 replicas (both arms
+  in-process).
 
 The output file makes the perf trajectory a tracked artifact: CI runs the
 quick mode on every push and ``benchmarks/check_regression.py`` fails the
@@ -62,12 +75,30 @@ from repro.core.frontier import Frontier
 from repro.core.refimpl import RefStamp
 from repro.core.stamp import VersionStamp
 from repro.kernel.adapters import CausalAdapter, RefCausalAdapter
+from repro.replication import (
+    AntiEntropy,
+    FullyConnectedNetwork,
+    KernelTracker,
+    MobileNode,
+    WireSyncEngine,
+)
 from repro.sim.runner import LockstepRunner
 from repro.sim.trace import apply_operation
 from repro.sim.workload import random_dynamic_trace, sync_chain_trace
 
 DEFAULT_FRONTIER_SIZES = (8, 16, 32, 64)
 QUICK_FRONTIER_SIZES = (8, 32)
+
+#: Replication benchmark shape: replica populations per family, the number
+#: of replicated keys, and the warm-up rounds that bring the population to
+#: the steady state (everything replicated everywhere, metadata stable).
+DEFAULT_REPLICA_COUNTS = (8, 16, 32, 64)
+QUICK_REPLICA_COUNTS = (8, 32)
+REPLICATION_KEYS = 24
+REPLICATION_WARMUP_ROUNDS = 6
+#: The tracked replication ratio is measured at this population size.
+REPLICATION_TRACKED_REPLICAS = 32
+REPLICATION_TRACKED_FAMILY = "version-stamp"
 
 #: Lockstep benchmark shape: long enough that histories hold hundreds of
 #: events, wide enough that the per-step cross-check dominates.
@@ -388,7 +419,117 @@ def measure_codec(frontier_sizes, *, repeats, min_time):
     return section
 
 
-def snapshot(*, frontier_sizes=DEFAULT_FRONTIER_SIZES, repeats=3, min_time=0.05):
+def _build_population(family, replicas, keys, *, seed=0):
+    """A fully-connected gossip population with ``keys`` replicated keys."""
+    import random
+
+    network = FullyConnectedNetwork()
+    nodes = [
+        MobileNode.first(
+            "n0", network, tracker_factory=KernelTracker.factory(family)
+        )
+    ]
+    for index in range(1, replicas):
+        nodes.append(nodes[-1].spawn_peer(f"n{index}"))
+    rng = random.Random(seed)
+    for index in range(keys):
+        rng.choice(nodes).write(f"key{index}", f"value{index}")
+    return nodes
+
+
+def _measure_sync_arm(family, replicas, *, batched, repeats, min_time):
+    """Steady-state gossip throughput of one engine mode.
+
+    Builds a population, replicates every key everywhere during warm-up
+    rounds, then times further anti-entropy rounds.  In the steady state
+    no values move, so what is measured is exactly the cost of shipping,
+    decoding and comparing causal metadata -- the wire path this PR
+    optimizes.  Returns (rounds/sec, stamps per round, messages per
+    round, bytes per round).
+    """
+    import random
+
+    nodes = _build_population(family, replicas, REPLICATION_KEYS)
+    engine = WireSyncEngine(batched=batched)
+    gossip = AntiEntropy(nodes, rng=random.Random(7), engine=engine)
+    for _ in range(REPLICATION_WARMUP_ROUNDS):
+        gossip.run_round()
+    shipped_before = engine.stamps_shipped
+    messages_before, bytes_before = engine.meter.snapshot()
+    rounds_before = len(gossip.reports)
+    rate = _best_rate(
+        gossip.run_round, 1, repeats=repeats, min_time=min_time
+    )
+    rounds = len(gossip.reports) - rounds_before
+    return (
+        rate,
+        (engine.stamps_shipped - shipped_before) / rounds,
+        (engine.meter.messages - messages_before) / rounds,
+        (engine.meter.bytes_sent - bytes_before) / rounds,
+    )
+
+
+def measure_replication(replica_counts, *, repeats, min_time):
+    """Batched vs per-envelope anti-entropy for every clock family.
+
+    Both arms run the identical merge logic over the identical population
+    shape; they differ only in wire framing (one stream per peer pair and
+    direction vs one envelope per stamp) and decode strategy (lazy,
+    interned frames vs individual envelope decodes).  The tracked floor is
+    the version-stamp batched/per-envelope rounds-per-second ratio at
+    ``REPLICATION_TRACKED_REPLICAS`` replicas; both arms share the
+    process, so the ratio transfers across runner hardware.
+    """
+    section = {
+        "replica_counts": list(replica_counts),
+        "keys": REPLICATION_KEYS,
+        "warmup_rounds": REPLICATION_WARMUP_ROUNDS,
+        "tracked_family": REPLICATION_TRACKED_FAMILY,
+        "tracked_replicas": REPLICATION_TRACKED_REPLICAS,
+        "families": {},
+    }
+    for family in kernel.families():
+        per_count = {}
+        for replicas in replica_counts:
+            batched_rate, stamps, b_messages, b_bytes = _measure_sync_arm(
+                family, replicas, batched=True,
+                repeats=repeats, min_time=min_time,
+            )
+            envelope_rate, _, e_messages, e_bytes = _measure_sync_arm(
+                family, replicas, batched=False,
+                repeats=repeats, min_time=min_time,
+            )
+            per_count[str(replicas)] = {
+                "batched_rounds_per_sec": batched_rate,
+                "per_envelope_rounds_per_sec": envelope_rate,
+                "speedup_batched_vs_per_envelope": (
+                    batched_rate / envelope_rate if envelope_rate else None
+                ),
+                "stamps_per_round": stamps,
+                "batched_stamps_per_sec": batched_rate * stamps,
+                "per_envelope_stamps_per_sec": envelope_rate * stamps,
+                "batched_messages_per_round": b_messages,
+                "per_envelope_messages_per_round": e_messages,
+                "batched_bytes_per_round": b_bytes,
+                "per_envelope_bytes_per_round": e_bytes,
+            }
+        section["families"][family] = per_count
+    tracked = section["families"][REPLICATION_TRACKED_FAMILY][
+        str(REPLICATION_TRACKED_REPLICAS)
+    ]
+    section["batched_vs_per_envelope"] = tracked[
+        "speedup_batched_vs_per_envelope"
+    ]
+    return section
+
+
+def snapshot(
+    *,
+    frontier_sizes=DEFAULT_FRONTIER_SIZES,
+    replica_counts=DEFAULT_REPLICA_COUNTS,
+    repeats=3,
+    min_time=0.05,
+):
     """Collect the full snapshot dictionary (no I/O)."""
     data = {
         "schema": "repro-bench-ops/2",
@@ -408,6 +549,9 @@ def snapshot(*, frontier_sizes=DEFAULT_FRONTIER_SIZES, repeats=3, min_time=0.05)
     data["lockstep"] = measure_lockstep(repeats=repeats, min_time=min_time)
     data["reroot"] = measure_reroot(repeats=repeats, min_time=min_time)
     data["codec"] = measure_codec(frontier_sizes, repeats=repeats, min_time=min_time)
+    data["replication"] = measure_replication(
+        replica_counts, repeats=repeats, min_time=min_time
+    )
     return data
 
 
@@ -424,14 +568,18 @@ def main(argv=None):
             "retained frozenset oracle + seed full-rescan strategy, in trace "
             "steps/sec), reroot (a sibling-starved sync chain replayed "
             "with and without the Section 7 re-rooting GC, speedup tracked), "
-            "and codec (kernel envelope encode/decode per clock family, with "
-            "the envelope-vs-JSON roundtrip ratio tracked). "
+            "codec (kernel envelope encode/decode per clock family, with "
+            "the envelope-vs-JSON roundtrip ratio tracked), and replication "
+            "(steady-state anti-entropy rounds/sec and stamps/sec per clock "
+            "family at 8-64 replicas, batched streams vs the per-envelope "
+            "baseline, with the batched-vs-per-envelope ratio at 32 "
+            "replicas tracked). "
             "benchmarks/check_regression.py compares the join_normalize@32, "
-            "lockstep, reroot and codec ratios of a fresh snapshot against "
-            "the committed BENCH_ops.json and fails CI when one drops more "
-            "than 30 percent below its floor (sections absent from the "
-            "committed snapshot are skipped, so a PR adding a section can "
-            "land)."
+            "lockstep, reroot, codec and replication ratios of a fresh "
+            "snapshot against the committed BENCH_ops.json and fails CI "
+            "when one drops more than 30 percent below its floor (sections "
+            "absent from the committed snapshot are skipped, so a PR adding "
+            "a section can land)."
         ),
     )
     parser.add_argument(
@@ -447,7 +595,10 @@ def main(argv=None):
 
     if args.quick:
         data = snapshot(
-            frontier_sizes=QUICK_FRONTIER_SIZES, repeats=2, min_time=0.02
+            frontier_sizes=QUICK_FRONTIER_SIZES,
+            replica_counts=QUICK_REPLICA_COUNTS,
+            repeats=2,
+            min_time=0.02,
         )
     else:
         data = snapshot()
@@ -502,6 +653,23 @@ def main(argv=None):
     print(
         f"  codec envelope vs JSON roundtrip @ {codec['roundtrip_width']}: "
         f"{codec['envelope_vs_json_roundtrip']:.1f}x"
+    )
+    replication = data["replication"]
+    for family, counts in replication["families"].items():
+        widest = str(max(int(c) for c in counts))
+        arm = counts[widest]
+        print(
+            f"  sync {family:<16} @ {widest:>3} replicas: batched "
+            f"{arm['batched_rounds_per_sec']:,.0f} rounds/s "
+            f"({arm['batched_stamps_per_sec']:,.0f} stamps/s) vs "
+            f"per-envelope {arm['per_envelope_rounds_per_sec']:,.0f} rounds/s "
+            f"-> {arm['speedup_batched_vs_per_envelope']:.1f}x"
+        )
+    print(
+        f"  sync batched vs per-envelope "
+        f"({replication['tracked_family']} @ "
+        f"{replication['tracked_replicas']} replicas): "
+        f"{replication['batched_vs_per_envelope']:.1f}x"
     )
     return 0
 

@@ -13,6 +13,8 @@ repro.cli``).  The CLI exposes the pieces a user reaches for first:
   ordering agreement and metadata sizes;
 * ``repro kernel ...``    -- list the registered clock families and
   round-trip clocks through the epoch-tagged wire envelope;
+* ``repro sync-bench``    -- measure batched-stream vs per-envelope
+  anti-entropy throughput of the wire sync engine for any clock family;
 * ``repro panasync ...``  -- track dependencies among file copies on disk.
 
 Every command prints plain text and exits non-zero on failure, so the CLI is
@@ -242,6 +244,92 @@ def _cmd_kernel(args: argparse.Namespace) -> int:
 
 
 # ---------------------------------------------------------------------------
+# sync-bench subcommand
+# ---------------------------------------------------------------------------
+
+
+def _cmd_sync_bench(args: argparse.Namespace) -> int:
+    import random
+    import time
+
+    from .replication import (
+        AntiEntropy,
+        FullyConnectedNetwork,
+        KernelTracker,
+        MobileNode,
+        WireSyncEngine,
+    )
+
+    if args.rounds < 1:
+        print("error: --rounds must be at least 1", file=sys.stderr)
+        return 1
+    if args.warmup < 0 or args.replicas < 2 or args.keys < 1:
+        print(
+            "error: need --warmup >= 0, --replicas >= 2 and --keys >= 1",
+            file=sys.stderr,
+        )
+        return 1
+    families = kernel.families() if args.clock == "all" else [args.clock]
+    print(
+        f"steady-state anti-entropy: {args.replicas} replicas, "
+        f"{args.keys} keys, {args.rounds} timed rounds per arm"
+    )
+    print(
+        f"{'family':<16} {'mode':<13} {'rounds/s':>9} {'stamps/s':>10} "
+        f"{'msgs/round':>11} {'bytes/round':>12} {'speedup':>8}"
+    )
+    worst = None
+    for family in families:
+        rates = {}
+        for batched in (True, False):
+            network = FullyConnectedNetwork()
+            nodes = [
+                MobileNode.first(
+                    "n0", network, tracker_factory=KernelTracker.factory(family)
+                )
+            ]
+            for index in range(1, args.replicas):
+                nodes.append(nodes[-1].spawn_peer(f"n{index}"))
+            rng = random.Random(args.seed)
+            for index in range(args.keys):
+                rng.choice(nodes).write(f"key{index}", f"value{index}")
+            engine = WireSyncEngine(batched=batched)
+            gossip = AntiEntropy(
+                nodes, rng=random.Random(args.seed + 1), engine=engine
+            )
+            for _ in range(args.warmup):
+                gossip.run_round()
+            shipped = engine.stamps_shipped
+            messages, sent = engine.meter.snapshot()
+            start = time.perf_counter()
+            for _ in range(args.rounds):
+                gossip.run_round()
+            elapsed = time.perf_counter() - start
+            rate = args.rounds / elapsed if elapsed else float("inf")
+            stamps = (engine.stamps_shipped - shipped) / args.rounds
+            rates[batched] = rate
+            mode = "batched" if batched else "per-envelope"
+            print(
+                f"{family:<16} {mode:<13} {rate:>9,.1f} "
+                f"{rate * stamps:>10,.0f} "
+                f"{(engine.meter.messages - messages) / args.rounds:>11,.1f} "
+                f"{(engine.meter.bytes_sent - sent) / args.rounds:>12,.0f} "
+                + (f"{rates[True] / rates[False]:>8.1f}x" if not batched else f"{'':>8}")
+            )
+        speedup = rates[True] / rates[False]
+        worst = speedup if worst is None else min(worst, speedup)
+    if args.min_speedup is not None and worst is not None:
+        if worst < args.min_speedup:
+            print(
+                f"FAIL: worst batched speedup {worst:.2f}x is below "
+                f"--min-speedup {args.min_speedup:.2f}x"
+            )
+            return 1
+        print(f"ok: worst batched speedup {worst:.2f}x")
+    return 0
+
+
+# ---------------------------------------------------------------------------
 # panasync subcommand
 # ---------------------------------------------------------------------------
 
@@ -362,6 +450,36 @@ def build_parser() -> argparse.ArgumentParser:
     roundtrip.add_argument("--clock", choices=kernel.families(), default="version-stamp")
     roundtrip.add_argument("--epoch", type=int, default=0, help="epoch tag to stamp on the clock")
     kernel_parser.set_defaults(handler=_cmd_kernel)
+
+    # sync-bench
+    sync_bench = subparsers.add_parser(
+        "sync-bench",
+        help="measure batched vs per-envelope anti-entropy sync throughput",
+    )
+    sync_bench.add_argument(
+        "--clock", default="all",
+        choices=["all"] + kernel.families(),
+        help="clock family to benchmark (default: all registered families)",
+    )
+    sync_bench.add_argument(
+        "--replicas", type=int, default=16, help="population size (default: 16)"
+    )
+    sync_bench.add_argument(
+        "--keys", type=int, default=24, help="replicated keys (default: 24)"
+    )
+    sync_bench.add_argument(
+        "--rounds", type=int, default=30, help="timed gossip rounds per arm (default: 30)"
+    )
+    sync_bench.add_argument(
+        "--warmup", type=int, default=6,
+        help="untimed rounds to reach the steady state (default: 6)",
+    )
+    sync_bench.add_argument("--seed", type=int, default=0, help="workload seed")
+    sync_bench.add_argument(
+        "--min-speedup", type=float, default=None,
+        help="exit non-zero when the worst batched speedup falls below this",
+    )
+    sync_bench.set_defaults(handler=_cmd_sync_bench)
 
     # panasync
     panasync = subparsers.add_parser("panasync", help="track dependencies among file copies")

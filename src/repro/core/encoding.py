@@ -17,6 +17,23 @@ the space benchmarks:
 
 All functions raise :class:`~repro.core.errors.EncodingError` on malformed
 input.
+
+Fast path
+---------
+The byte form (:func:`stamp_to_bytes` / :func:`stamp_from_bytes`) never
+materializes a Python list of 0/1 ints.  Encoding walks the lex-sorted
+packed codes of each name directly (lexicographic order *is* trie
+pre-order, so the child partition of any trie node is one contiguous run)
+and accumulates the bit stream in a single arbitrary-precision integer
+that one bulk ``int.to_bytes`` turns into the payload; decoding is the
+inverse -- one bulk ``int.from_bytes``, then an iterative trie walk
+reading bits straight off the integer and appending packed codes in
+pre-order, which lands them already in the canonical sorted order
+:meth:`Name._from_codes` wants.  Trie leaves are prefix-free by
+construction, so the decoded codes are an antichain without a validation
+pass.  The list-based functions (:func:`name_to_bitstream` and friends)
+are retained as the readable reference implementation and are pinned to
+the fast path by differential tests.
 """
 
 from __future__ import annotations
@@ -25,7 +42,7 @@ import json
 from typing import Dict, Iterable, List, Tuple
 
 from .bitstring import BitString
-from .errors import EncodingError
+from .errors import EncodingError, EnvelopeTruncatedError
 from .names import Name
 from .stamp import VersionStamp
 
@@ -38,6 +55,8 @@ __all__ = [
     "stamp_from_text",
     "name_to_bitstream",
     "name_from_bitstream",
+    "name_to_packed",
+    "stamp_to_packed",
     "stamp_to_bitstream",
     "stamp_from_bitstream",
     "stamp_to_bytes",
@@ -211,6 +230,137 @@ def stamp_to_bitstream(stamp: VersionStamp) -> List[int]:
     return name_to_bitstream(stamp.update_component) + name_to_bitstream(stamp.identity)
 
 
+# -- packed fast path ----------------------------------------------------------
+
+#: Decode-side intern: the codec is canonical (distinct byte strings never
+#: decode to equal stamps), so payload bytes are a perfect identity for the
+#: decoded value and stamps decoded twice can share one object -- the same
+#: idiom as the BitString and CausalHistory intern tables and the compare
+#: memo.  This is what makes the anti-entropy steady state cheap: a peer
+#: re-ships mostly-unchanged metadata every round, and every re-decode
+#: after the first is a dictionary hit.  Bounded FIFO so a long-lived
+#: process cannot grow it without limit; only successful decodes are
+#: cached, so malformed payloads are re-rejected each time.
+_DECODE_INTERN: Dict[tuple, VersionStamp] = {}
+_DECODE_INTERN_MAX = 1 << 15
+
+# Bound lazily on first use: importing :mod:`repro.kernel.wire` at module
+# load would run the kernel package __init__ (which circles back through
+# the clock classes), and a per-call ``import`` statement costs more than
+# the byte conversion it serves on the hot path.
+_wire = None
+
+
+def _bind_wire() -> None:
+    global _wire
+    from ..kernel import wire
+
+    _wire = wire
+
+
+def _emit_name_packed(codes, lo, hi, depth, value, count):
+    """Emit the trie of ``codes[lo:hi]`` (all sharing ``depth`` leading bits)
+    into the packed accumulator, returning the updated ``(value, count)``.
+
+    ``codes`` is a lex-sorted antichain of sentinel-prefixed packed codes;
+    because lex order is trie pre-order, each child subtree is a contiguous
+    slice found with one linear partition scan, so the whole walk is
+    O(total bits) with no trie dictionary ever built.
+    """
+    code = codes[lo]
+    if code.bit_length() - 1 == depth:
+        # The shared prefix itself is a member: an antichain has nothing
+        # below it, so this is a leaf (and lo + 1 == hi).
+        return (value << 1) | 1, count + 1
+    value <<= 1  # member? no
+    count += 1
+    mid = lo
+    while mid < hi:
+        c = codes[mid]
+        if (c >> (c.bit_length() - 2 - depth)) & 1:
+            break
+        mid += 1
+    if mid > lo:
+        value, count = _emit_name_packed(
+            codes, lo, mid, depth + 1, (value << 1) | 1, count + 1
+        )
+    else:
+        value <<= 1
+        count += 1
+    if hi > mid:
+        return _emit_name_packed(
+            codes, mid, hi, depth + 1, (value << 1) | 1, count + 1
+        )
+    return value << 1, count + 1
+
+
+def name_to_packed(name: Name) -> Tuple[int, int]:
+    """The trie encoding of ``name`` as a packed ``(value, count)`` pair."""
+    codes = name._codes
+    if not codes:
+        # Single non-member node with no children: bits 0 0 0.
+        return 0, 3
+    return _emit_name_packed(codes, 0, len(codes), 0, 0, 0)
+
+
+def stamp_to_packed(stamp: VersionStamp) -> Tuple[int, int]:
+    """The full stamp bit stream as one packed ``(value, count)`` pair."""
+    value, count = name_to_packed(stamp.update_component)
+    id_value, id_count = name_to_packed(stamp.identity)
+    return (value << id_count) | id_value, count + id_count
+
+
+def _read_name_codes(bits, pos):
+    """Read one trie-coded name starting at character ``pos`` of ``bits``.
+
+    ``bits`` is the payload's bit stream rendered as a ``'0'``/``'1'``
+    string (one C-level ``format`` call), so each bit is a constant-time
+    character compare instead of a fresh big-int shift.  Returns
+    ``(codes, new_pos)`` with the member codes in pre-order -- which for a
+    binary trie is exactly lexicographic order, so the result feeds
+    :meth:`Name._from_codes` directly.  Iterative (explicit stack) so a
+    deep crafted payload cannot blow the interpreter stack; running off
+    the end of ``bits`` surfaces as ``IndexError`` for the caller to remap
+    to a typed truncation error.
+    """
+    codes = []
+    # Allocation-free DFS: ``prefix`` carries the current path (sentinel
+    # code), and ``pending`` is a depth-indexed bitmask of nodes whose
+    # right-presence bit still has to be read once their left subtree is
+    # done -- those nodes are exactly the current path's ancestors, at
+    # most one per depth, so one int replaces a stack of tuples.
+    prefix = 1
+    pending = 0
+    depth = 0
+    while True:
+        if bits[pos] == "1":  # member leaf
+            pos += 1
+            codes.append(prefix)
+        else:
+            pos += 1
+            pending |= 1 << depth
+            if bits[pos] == "1":  # left child present: descend
+                pos += 1
+                prefix <<= 1
+                depth += 1
+                continue
+            pos += 1
+        # Subtree finished: resume at the deepest pending right-presence.
+        while True:
+            if not pending:
+                return codes, pos
+            d = pending.bit_length() - 1
+            pending ^= 1 << d
+            prefix >>= depth - d
+            depth = d
+            if bits[pos] == "1":
+                pos += 1
+                prefix = (prefix << 1) | 1
+                depth += 1
+                break
+            pos += 1
+
+
 def stamp_from_bitstream(bits: Iterable[int], *, reducing: bool = True) -> VersionStamp:
     """Decode a stamp produced by :func:`stamp_to_bitstream`."""
     reader = _BitReader(bits)
@@ -231,25 +381,69 @@ def stamp_to_bytes(stamp: VersionStamp) -> bytes:
 
     The packing (and its canonical-form validation on decode) is the
     length-prefixed packed-bits codec shared with the other bit-level
-    codecs (:mod:`repro.kernel.wire`).
+    codecs (:mod:`repro.kernel.wire`); the bit stream is built as one
+    packed integer and converted with a single bulk ``int.to_bytes``.
     """
-    from ..kernel.wire import bits_to_length_prefixed
+    if _wire is None:
+        _bind_wire()
+    value, count = stamp_to_packed(stamp)
+    return _wire.packed_to_length_prefixed(value, count, count_bytes=2)
 
-    return bits_to_length_prefixed(stamp_to_bitstream(stamp), count_bytes=2)
 
-
-def stamp_from_bytes(payload: bytes, *, reducing: bool = True) -> VersionStamp:
+def stamp_from_bytes(payload, *, reducing: bool = True) -> VersionStamp:
     """Decode a stamp produced by :func:`stamp_to_bytes`.
 
-    Rejects (with :class:`EncodingError` subclasses) truncation, byte
-    lengths that disagree with the declared bit count, and nonzero padding
-    bits -- distinct byte strings never decode to equal stamps.
+    Accepts any byte buffer (``bytes``/``bytearray``/``memoryview``)
+    without copying it.  Rejects (with :class:`EncodingError` subclasses)
+    truncation, byte lengths that disagree with the declared bit count,
+    and nonzero padding bits -- distinct byte strings never decode to
+    equal stamps.
     """
-    from ..kernel.wire import bits_from_length_prefixed
-
-    return stamp_from_bitstream(
-        bits_from_length_prefixed(payload, count_bytes=2), reducing=reducing
-    )
+    key = (bytes(payload), bool(reducing))
+    cached = _DECODE_INTERN.get(key)
+    if cached is not None:
+        return cached
+    # Inlined packed_from_length_prefixed(count_bytes=2): this is the
+    # per-message hot path of every replication exchange.
+    if len(payload) < 2:
+        raise EnvelopeTruncatedError(
+            f"packed bit stream needs a 2-byte length prefix, "
+            f"got {len(payload)} bytes"
+        )
+    nbits = int.from_bytes(payload[:2], "big")
+    body = payload[2:]
+    if (nbits + 7) >> 3 != len(body):
+        raise EncodingError(
+            f"payload declares {nbits} bits but carries {len(body)} bytes"
+        )
+    padded = int.from_bytes(body, "big")
+    pad = (-nbits) % 8
+    if padded & ((1 << pad) - 1):
+        raise EncodingError("nonzero padding bits in the final payload byte")
+    bits = format(padded >> pad, "b").rjust(nbits, "0")
+    try:
+        update_codes, pos = _read_name_codes(bits, 0)
+        identity_codes, pos = _read_name_codes(bits, pos)
+    except IndexError:
+        raise EncodingError("truncated bit stream") from None
+    if pos != nbits:
+        raise EncodingError(
+            f"{nbits - pos} trailing bits after decoding a stamp"
+        )
+    # Trie leaves are prefix-free and arrive in pre-order, i.e. already the
+    # canonical lex-sorted antichain the trusted Name factory expects.
+    update = Name._from_codes(tuple(update_codes))
+    identity = Name._from_codes(tuple(identity_codes))
+    if not update.dominated_by(identity):
+        raise EncodingError(
+            f"decoded components do not form a stamp: invariant I1 violated "
+            f"(update {update} is not dominated by id {identity})"
+        )
+    stamp = VersionStamp._make(update, identity, key[1])
+    if len(_DECODE_INTERN) >= _DECODE_INTERN_MAX:
+        del _DECODE_INTERN[next(iter(_DECODE_INTERN))]
+    _DECODE_INTERN[key] = stamp
+    return stamp
 
 
 # -- size accounting --------------------------------------------------------------
@@ -257,7 +451,9 @@ def stamp_from_bytes(payload: bytes, *, reducing: bool = True) -> VersionStamp:
 
 def encoded_size_bits(stamp: VersionStamp) -> int:
     """Exact size, in bits, of the compact binary encoding of ``stamp``."""
-    return len(stamp_to_bitstream(stamp))
+    _, update_count = name_to_packed(stamp.update_component)
+    _, identity_count = name_to_packed(stamp.identity)
+    return update_count + identity_count
 
 
 def encoded_size_bytes(stamp: VersionStamp) -> int:

@@ -64,6 +64,20 @@ class ITCStamp:
         """The initial stamp ``(1, 0)``: owns everything, has seen nothing."""
         return cls(1, 0)
 
+    @classmethod
+    def _trusted(cls, identity: IdTree, events: EventTree) -> "ITCStamp":
+        """Internal fast constructor for pre-validated, pre-normalized trees.
+
+        The wire decoder's grammar cannot produce a malformed tree and its
+        readers normalize bottom-up, so re-running ``validate_*`` and
+        ``normalize_*`` there would only repeat the walk.  Callers must
+        guarantee both properties; everything else uses ``__init__``.
+        """
+        self = object.__new__(cls)
+        object.__setattr__(self, "_identity", identity)
+        object.__setattr__(self, "_events", events)
+        return self
+
     # -- accessors ------------------------------------------------------
 
     @property

@@ -12,6 +12,9 @@ mechanism the repo reproduces:
 * :mod:`~repro.kernel.registry` -- :func:`make` and the family registry;
 * :mod:`~repro.kernel.envelope` -- the versioned, self-describing,
   epoch-tagged wire envelope shared by every family;
+* :mod:`~repro.kernel.stream`   -- the batched envelope stream (one header
+  + N length-prefixed frames, single shared epoch, lazy zero-copy decode
+  with an interning table) that anti-entropy batches ride on;
 * :mod:`~repro.kernel.adapters` -- the lockstep mechanism adapters,
   including the generic :class:`KernelClockAdapter` that drives any
   registered family through the protocol alone.
@@ -61,6 +64,17 @@ from .envelope import (
 )
 from .protocol import CausalityClock, PartialOrder
 from .registry import ClockFamily, families, family, family_by_tag, make, register
+from .stream import (
+    STREAM_FORMAT_VERSION,
+    STREAM_HEADER_SIZE,
+    STREAM_MAGIC,
+    ClockStream,
+    InternTable,
+    StreamInfo,
+    decode_stream,
+    encode_stream,
+    stream_info,
+)
 
 #: The envelope decoder, exposed under the protocol's name.
 from_bytes = decode_envelope
@@ -89,6 +103,15 @@ __all__ = [
     "envelope_info",
     "from_bytes",
     "to_bytes",
+    "STREAM_MAGIC",
+    "STREAM_FORMAT_VERSION",
+    "STREAM_HEADER_SIZE",
+    "StreamInfo",
+    "InternTable",
+    "ClockStream",
+    "encode_stream",
+    "decode_stream",
+    "stream_info",
     "MechanismAdapter",
     "KernelClockAdapter",
     "default_adapters",

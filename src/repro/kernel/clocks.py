@@ -40,9 +40,16 @@ from typing import ClassVar, Dict, Tuple
 
 from ..causal.events import EventSource
 from ..causal.history import CausalHistory
-from ..core.errors import EncodingError, EpochMismatch, StampError
+from ..core.encoding import stamp_from_bytes
+from ..core.errors import (
+    EncodingError,
+    EnvelopeTruncatedError,
+    EpochMismatch,
+    StampError,
+)
 from ..core.order import Ordering
 from ..core.stamp import VersionStamp
+from ..itc.encoding import itc_from_bytes
 from ..itc.stamp import ITCStamp
 from .wire import ByteReader, append_uvarint
 
@@ -82,17 +89,30 @@ def _uvarint_len(value: int) -> int:
 
 
 class KernelClock:
-    """Common machinery of the kernel clock families (epoch + envelope)."""
+    """Common machinery of the kernel clock families (epoch + envelope).
+
+    Instances are immutable values, which makes them **encode-once**: the
+    compact payload, the full envelope frame, the exact payload bit size
+    and the hash are each computed on first use and cached in dedicated
+    slots (no instance ever grows a ``__dict__``).  A clock that is
+    serialized repeatedly -- the common case in anti-entropy, where the
+    same stamp is re-shipped every round until it changes -- pays for
+    encoding exactly once.
+    """
 
     #: Registry name; doubles as the envelope family tag (via the registry).
     family: ClassVar[str] = "abstract"
 
-    __slots__ = ("_epoch",)
+    __slots__ = ("_epoch", "_hash", "_wire", "_payload", "_payload_bits")
 
     def __init__(self, *, epoch: int = 0) -> None:
         if epoch < 0:
             raise StampError(f"epochs are non-negative, got {epoch}")
         object.__setattr__(self, "_epoch", epoch)
+        object.__setattr__(self, "_hash", None)
+        object.__setattr__(self, "_wire", None)
+        object.__setattr__(self, "_payload", None)
+        object.__setattr__(self, "_payload_bits", None)
 
     def __setattr__(self, name: str, value: object) -> None:
         raise AttributeError(f"{type(self).__name__} instances are immutable")
@@ -114,10 +134,18 @@ class KernelClock:
     # -- envelope glue ---------------------------------------------------
 
     def to_bytes(self) -> bytes:
-        """Serialize as the versioned, epoch-tagged wire envelope."""
-        from .envelope import encode_envelope
+        """Serialize as the versioned, epoch-tagged wire envelope.
 
-        return encode_envelope(self)
+        Encode-once: the frame is built on first call and cached (the
+        clock is immutable, so the bytes can never go stale).
+        """
+        cached = self._wire
+        if cached is None:
+            from .envelope import encode_envelope
+
+            cached = encode_envelope(self)
+            object.__setattr__(self, "_wire", cached)
+        return cached
 
     @classmethod
     def from_bytes(cls, data: bytes) -> "KernelClock":
@@ -135,8 +163,46 @@ class KernelClock:
     # -- family payload hooks (implemented per subclass) ------------------
 
     def payload_bytes(self) -> bytes:
-        """The family's compact binary payload (without envelope framing)."""
+        """The family's compact binary payload (without envelope framing).
+
+        Cached on first call; subclasses implement :meth:`_payload_bytes`.
+        """
+        cached = self._payload
+        if cached is None:
+            cached = self._payload_bytes()
+            object.__setattr__(self, "_payload", cached)
+        return cached
+
+    def encoded_size_bits(self) -> int:
+        """Exact bit length of the compact binary payload (cached)."""
+        cached = self._payload_bits
+        if cached is None:
+            cached = self._encoded_size_bits()
+            object.__setattr__(self, "_payload_bits", cached)
+        return cached
+
+    def _payload_bytes(self) -> bytes:
         raise NotImplementedError
+
+    def _encoded_size_bits(self) -> int:
+        raise NotImplementedError
+
+    @classmethod
+    def _blank(cls, epoch: int) -> "KernelClock":
+        """Fast partial constructor for the decode hot path.
+
+        Skips ``__init__`` (the epoch arrives from an unsigned wire field,
+        so the non-negativity check is already discharged) and leaves the
+        family slots for the caller to fill with ``object.__setattr__``.
+        """
+        self = object.__new__(cls)
+        _set = object.__setattr__
+        _set(self, "_epoch", epoch)
+        _set(self, "_hash", None)
+        _set(self, "_wire", None)
+        _set(self, "_payload", None)
+        _set(self, "_payload_bits", None)
+        return self
 
     @classmethod
     def _decode_payload(cls, payload: bytes, epoch: int) -> "KernelClock":
@@ -154,7 +220,11 @@ class KernelClock:
         return NotImplemented
 
     def __hash__(self) -> int:
-        return hash((type(self).__name__, self._epoch, self._state()))
+        cached = self._hash
+        if cached is None:
+            cached = hash((type(self).__name__, self._epoch, self._state()))
+            object.__setattr__(self, "_hash", cached)
+        return cached
 
 
 class VersionStampClock(KernelClock):
@@ -205,23 +275,26 @@ class VersionStampClock(KernelClock):
         self._require_peer(other, "compare")
         return self._stamp.compare(other._stamp)
 
-    def encoded_size_bits(self) -> int:
+    def _encoded_size_bits(self) -> int:
         return self._stamp.encoded_size_bits()
 
-    def payload_bytes(self) -> bytes:
+    def _payload_bytes(self) -> bytes:
         flags = 0x01 if self._stamp.reducing else 0x00
         return bytes((flags,)) + self._stamp.to_bytes()
 
     @classmethod
     def _decode_payload(cls, payload: bytes, epoch: int) -> "VersionStampClock":
-        reader = ByteReader(payload)
-        flags = reader.fixed_uint(1)
+        if not len(payload):
+            raise EnvelopeTruncatedError(
+                "version-stamp payload truncated: missing the flags byte"
+            )
+        flags = payload[0]
         if flags & ~0x01:
             raise EncodingError(f"unknown version-stamp flags 0x{flags:02x}")
-        stamp = VersionStamp.from_bytes(
-            reader.take(reader.remaining()), reducing=bool(flags & 0x01)
-        )
-        return cls(stamp, epoch=epoch)
+        stamp = stamp_from_bytes(payload[1:], reducing=bool(flags & 0x01))
+        clock = cls._blank(epoch)
+        object.__setattr__(clock, "_stamp", stamp)
+        return clock
 
     def _state(self) -> Tuple:
         return (self._stamp, self._stamp.reducing)
@@ -266,15 +339,17 @@ class ITCClock(KernelClock):
         self._require_peer(other, "compare")
         return self._stamp.compare(other._stamp)
 
-    def encoded_size_bits(self) -> int:
+    def _encoded_size_bits(self) -> int:
         return self._stamp.encoded_size_bits()
 
-    def payload_bytes(self) -> bytes:
+    def _payload_bytes(self) -> bytes:
         return self._stamp.to_bytes()
 
     @classmethod
     def _decode_payload(cls, payload: bytes, epoch: int) -> "ITCClock":
-        return cls(ITCStamp.from_bytes(payload), epoch=epoch)
+        clock = cls._blank(epoch)
+        object.__setattr__(clock, "_stamp", itc_from_bytes(payload))
+        return clock
 
     def _state(self) -> Tuple:
         return (repr(self._stamp.identity), repr(self._stamp.events))
@@ -405,7 +480,7 @@ class DynamicVVClock(KernelClock):
             return Ordering.AFTER
         return Ordering.CONCURRENT
 
-    def encoded_size_bits(self) -> int:
+    def _encoded_size_bits(self) -> int:
         # Closed form of len(payload_bytes()) * 8 -- this sits on the
         # per-step size-sampling hot path, so don't build the payload.
         entries = len(self._counters)
@@ -416,7 +491,7 @@ class DynamicVVClock(KernelClock):
             + entries * (VV_ID_BYTES + VV_COUNTER_BYTES)
         )
 
-    def payload_bytes(self) -> bytes:
+    def _payload_bytes(self) -> bytes:
         out = bytearray()
         out += self._id_slot(self._replica)
         append_uvarint(out, self._forks)
@@ -555,7 +630,7 @@ class CausalHistoryClock(KernelClock):
         self._require_peer(other, "compare")
         return self._history.compare(other._history)
 
-    def encoded_size_bits(self) -> int:
+    def _encoded_size_bits(self) -> int:
         # Closed form of len(payload_bytes()) * 8: event_count is a cached
         # popcount, so no event views or payload bytes are materialized on
         # the per-step size-sampling hot path.
@@ -580,7 +655,7 @@ class CausalHistoryClock(KernelClock):
                 f"does not cover arenas this old"
             )
 
-    def payload_bytes(self) -> bytes:
+    def _payload_bytes(self) -> bytes:
         out = bytearray()
         events = list(self._history)
         append_uvarint(out, len(events))

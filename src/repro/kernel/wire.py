@@ -15,11 +15,24 @@ Conventions:
   the 64-bit event identifiers of the causal-history oracle);
 * bit streams packed most-significant-bit first with an explicit bit count,
   for the trie/tree codecs that are not byte-aligned.
+
+Fast path
+---------
+A bit stream travels through this module as a **packed pair** ``(value,
+count)``: one arbitrary-precision integer holding the bits MSB-first (bit
+``i`` of the stream is ``(value >> (count - 1 - i)) & 1``) plus the exact
+bit count.  Packing to bytes is then a single ``int.to_bytes`` and
+unpacking a single ``int.from_bytes`` -- no per-bit Python loop, no
+intermediate list of 0/1 ints -- and every function accepts a
+``memoryview`` so decoding slices an envelope without copying it.  The
+historical list-of-bits API (:func:`pack_bits`, :func:`unpack_bits`, ...)
+is kept as the readable reference implementation; the differential tests
+in ``tests/core/test_encoding.py`` pin the two forms to identical bytes.
 """
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import List, Tuple, Union
 
 from ..core.errors import EnvelopeTruncatedError, EncodingError
 
@@ -30,7 +43,11 @@ __all__ = [
     "unpack_bits",
     "bits_to_length_prefixed",
     "bits_from_length_prefixed",
+    "packed_to_length_prefixed",
+    "packed_from_length_prefixed",
 ]
+
+Buffer = Union[bytes, bytearray, memoryview]
 
 
 def append_uvarint(out: bytearray, value: int) -> None:
@@ -49,30 +66,70 @@ def append_uvarint(out: bytearray, value: int) -> None:
 
 def pack_bits(bits: List[int]) -> bytes:
     """Pack a 0/1 list MSB-first, padding the final byte with zeros."""
-    out = bytearray()
-    current = 0
-    filled = 0
+    value = 0
     for bit in bits:
         if bit not in (0, 1):
             raise EncodingError(f"bit streams may only contain 0/1, got {bit!r}")
-        current = (current << 1) | bit
-        filled += 1
-        if filled == 8:
-            out.append(current)
-            current = 0
-            filled = 0
-    if filled:
-        out.append(current << (8 - filled))
-    return bytes(out)
+        value = (value << 1) | bit
+    count = len(bits)
+    pad = (-count) % 8
+    return (value << pad).to_bytes((count + 7) // 8, "big")
 
 
-def unpack_bits(payload: bytes, count: int) -> List[int]:
+def unpack_bits(payload: Buffer, count: int) -> List[int]:
     """Invert :func:`pack_bits`: read ``count`` bits MSB-first."""
     if len(payload) * 8 < count:
         raise EnvelopeTruncatedError(
             f"bit stream declares {count} bits but only carries {len(payload) * 8}"
         )
-    return [(payload[i // 8] >> (7 - i % 8)) & 1 for i in range(count)]
+    value = int.from_bytes(payload, "big") >> (len(payload) * 8 - count)
+    return [(value >> (count - 1 - i)) & 1 for i in range(count)]
+
+
+def packed_to_length_prefixed(value: int, count: int, *, count_bytes: int) -> bytes:
+    """A packed ``(value, count)`` bit stream as bit count + packed bits.
+
+    The fast form of :func:`bits_to_length_prefixed`: one shift and one
+    bulk ``int.to_bytes`` instead of a per-bit loop.
+    """
+    if count >= 1 << (8 * count_bytes):
+        raise EncodingError(
+            f"bit stream too large for the {8 * count_bytes}-bit length prefix"
+        )
+    pad = (-count) % 8
+    return count.to_bytes(count_bytes, "big") + (value << pad).to_bytes(
+        (count + 7) // 8, "big"
+    )
+
+
+def packed_from_length_prefixed(
+    payload: Buffer, *, count_bytes: int
+) -> Tuple[int, int]:
+    """Invert :func:`packed_to_length_prefixed`, enforcing canonical form.
+
+    Returns the packed ``(value, count)`` pair after one bulk
+    ``int.from_bytes`` conversion.  Rejects (with typed errors) a
+    missing/short prefix, a body whose byte length disagrees with the
+    declared bit count, and nonzero padding bits in the final byte.
+    Accepts any buffer (``bytes``/``bytearray``/``memoryview``) without
+    copying it.
+    """
+    if len(payload) < count_bytes:
+        raise EnvelopeTruncatedError(
+            f"packed bit stream needs a {count_bytes}-byte length prefix, "
+            f"got {len(payload)} bytes"
+        )
+    count = int.from_bytes(payload[:count_bytes], "big")
+    body = payload[count_bytes:]
+    if (count + 7) // 8 != len(body):
+        raise EncodingError(
+            f"payload declares {count} bits but carries {len(body)} bytes"
+        )
+    padded = int.from_bytes(body, "big")
+    pad = (-count) % 8
+    if padded & ((1 << pad) - 1):
+        raise EncodingError("nonzero padding bits in the final payload byte")
+    return padded >> pad, count
 
 
 def bits_to_length_prefixed(bits: List[int], *, count_bytes: int) -> bytes:
@@ -90,43 +147,34 @@ def bits_to_length_prefixed(bits: List[int], *, count_bytes: int) -> bytes:
     return len(bits).to_bytes(count_bytes, "big") + pack_bits(bits)
 
 
-def bits_from_length_prefixed(payload: bytes, *, count_bytes: int) -> List[int]:
+def bits_from_length_prefixed(payload: Buffer, *, count_bytes: int) -> List[int]:
     """Invert :func:`bits_to_length_prefixed`, enforcing canonical form.
 
     Rejects (with typed errors) a missing/short prefix, a body whose byte
     length disagrees with the declared bit count, and nonzero padding bits
     in the final byte.
     """
-    if len(payload) < count_bytes:
-        raise EnvelopeTruncatedError(
-            f"packed bit stream needs a {count_bytes}-byte length prefix, "
-            f"got {len(payload)} bytes"
-        )
-    bit_count = int.from_bytes(payload[:count_bytes], "big")
-    body = payload[count_bytes:]
-    if (bit_count + 7) // 8 != len(body):
-        raise EncodingError(
-            f"payload declares {bit_count} bits but carries {len(body)} bytes"
-        )
-    if bit_count % 8 and body[-1] & ((1 << (8 - bit_count % 8)) - 1):
-        raise EncodingError("nonzero padding bits in the final payload byte")
-    return unpack_bits(body, bit_count)
+    value, count = packed_from_length_prefixed(payload, count_bytes=count_bytes)
+    return [(value >> (count - 1 - i)) & 1 for i in range(count)]
 
 
 class ByteReader:
     """Sequential bounds-checked reader over a payload.
 
-    All read failures raise :class:`EnvelopeTruncatedError` so family
-    decoders never leak raw slicing errors.
+    Accepts any byte buffer; a ``memoryview`` is read in place (``take``
+    returns zero-copy subviews), so decoding a frame sliced out of a batch
+    never duplicates the batch.  All read failures raise
+    :class:`EnvelopeTruncatedError` so family decoders never leak raw
+    slicing errors.
     """
 
     __slots__ = ("_data", "_pos")
 
-    def __init__(self, data: bytes) -> None:
+    def __init__(self, data: Buffer) -> None:
         self._data = data
         self._pos = 0
 
-    def take(self, size: int) -> bytes:
+    def take(self, size: int) -> Buffer:
         if size < 0 or self._pos + size > len(self._data):
             raise EnvelopeTruncatedError(
                 f"payload truncated: needed {size} bytes at offset {self._pos}, "

@@ -17,6 +17,7 @@ partition-prone environments.  This subpackage builds that environment:
 from .conflict import ConflictPolicy, KeepBoth, MergeWith, PreferNewest
 from .network import (
     FullyConnectedNetwork,
+    NetworkMeter,
     NodePosition,
     PartitionSchedule,
     PartitionedNetwork,
@@ -27,7 +28,7 @@ from .network import (
 from .node import MobileNode
 from .replica import Replica, SyncOutcome, Version
 from .store import MergeReport, StoreReplica
-from .synchronizer import AntiEntropy, RoundReport
+from .synchronizer import AntiEntropy, RoundReport, WireSyncEngine
 from .tracker import (
     CausalityTracker,
     DynamicVVTracker,
@@ -58,7 +59,9 @@ __all__ = [
     "PartitionSchedule",
     "ProximityNetwork",
     "NodePosition",
+    "NetworkMeter",
     "MobileNode",
     "AntiEntropy",
     "RoundReport",
+    "WireSyncEngine",
 ]

@@ -35,7 +35,42 @@ __all__ = [
     "ScheduledNetwork",
     "ProximityNetwork",
     "NodePosition",
+    "NetworkMeter",
 ]
+
+
+@dataclass
+class NetworkMeter:
+    """Message and byte accounting for wire-level synchronization.
+
+    The wire sync engine records every transfer it performs here, so
+    benchmarks and tests can compare framing strategies by their real
+    traffic: a batched anti-entropy round sends one stream per peer pair
+    and direction, a per-envelope round sends one message per stamp.
+    Per-pair totals are kept under ``(source, destination)`` keys.
+    """
+
+    messages: int = 0
+    bytes_sent: int = 0
+    per_pair: Dict[Tuple[str, str], Tuple[int, int]] = field(default_factory=dict)
+
+    def record(self, source: str, destination: str, nbytes: int, count: int = 1) -> None:
+        """Record ``count`` messages totalling ``nbytes`` from source to destination."""
+        self.messages += count
+        self.bytes_sent += nbytes
+        pair = (source, destination)
+        messages, total = self.per_pair.get(pair, (0, 0))
+        self.per_pair[pair] = (messages + count, total + nbytes)
+
+    def snapshot(self) -> Tuple[int, int]:
+        """The current ``(messages, bytes)`` totals."""
+        return self.messages, self.bytes_sent
+
+    def reset(self) -> None:
+        """Zero all counters (e.g. between benchmark phases)."""
+        self.messages = 0
+        self.bytes_sent = 0
+        self.per_pair.clear()
 
 
 class SimulatedNetwork:

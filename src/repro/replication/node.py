@@ -92,8 +92,13 @@ class MobileNode:
         """Whether the network currently lets this node talk to ``other``."""
         return self.network.can_communicate(self.node_id, other.node_id)
 
-    def sync_with(self, other: "MobileNode") -> MergeReport:
+    def sync_with(self, other: "MobileNode", *, engine=None) -> MergeReport:
         """Synchronize stores with ``other`` if the network allows it.
+
+        With ``engine`` (a :class:`~repro.replication.synchronizer.
+        WireSyncEngine`) the exchange runs over the kernel wire formats --
+        batched streams or per-stamp envelopes -- instead of the in-memory
+        tracker handoff.
 
         Raises
         ------
@@ -106,12 +111,14 @@ class MobileNode:
             raise ReplicationError(
                 f"nodes {self.node_id!r} and {other.node_id!r} are partitioned"
             )
+        if engine is not None:
+            return engine.sync(self.store, other.store)
         return self.store.sync_with(other.store)
 
-    def try_sync_with(self, other: "MobileNode") -> Optional[MergeReport]:
+    def try_sync_with(self, other: "MobileNode", *, engine=None) -> Optional[MergeReport]:
         """Like :meth:`sync_with` but returns ``None`` instead of raising."""
         try:
-            return self.sync_with(other)
+            return self.sync_with(other, engine=engine)
         except ReplicationError:
             return None
 

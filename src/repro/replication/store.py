@@ -213,6 +213,28 @@ class StoreReplica:
             report.values_taken += len(state.values)
             return
 
+        self._merge_key_states(mine, theirs, report)
+
+    def _merge_key_states(
+        self,
+        mine: KeyState,
+        theirs: KeyState,
+        report: MergeReport,
+        *,
+        refork_equal: bool = True,
+    ) -> None:
+        """Reconcile two held key states (values + trackers) in place.
+
+        The core of a pairwise synchronization, shared between the
+        in-memory path (:meth:`_sync_key`) and the wire sync engine, which
+        substitutes ``theirs.tracker`` with metadata decoded off the wire
+        before calling in.  With ``refork_equal=False`` a pair of causally
+        EQUAL trackers is left untouched -- both already carry identical
+        knowledge, so the join-and-fork would only churn metadata.  The
+        wire engine relies on that stability: unchanged trackers re-ship
+        as byte-identical frames, which its decode intern turns into
+        dictionary hits.
+        """
         relation = mine.tracker.compare(theirs.tracker)
         independent_origins = (
             mine.independently_created
@@ -235,7 +257,12 @@ class StoreReplica:
             report.values_dropped_stale += len(theirs.values)
             theirs.values = list(mine.values)
             report.values_taken += len(mine.values)
-        # EQUAL: both sides already hold the same version; nothing to move.
+        elif not refork_equal:
+            # EQUAL and stability requested: both sides already hold the
+            # same version with equivalent causal knowledge.
+            return
+        # EQUAL (refork path): both sides already hold the same version;
+        # nothing to move, but knowledge is still combined below.
 
         joined = mine.tracker.joined(theirs.tracker)
         if relation is Ordering.CONCURRENT and self._policy.collapses:

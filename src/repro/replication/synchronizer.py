@@ -11,18 +11,51 @@ objects and a :class:`~repro.replication.network.SimulatedNetwork`:
   independently inside every partition -- the paper's partitioned operation;
 * the collected :class:`RoundReport` objects let benchmarks measure how many
   rounds convergence takes and how many conflicts were detected.
+
+The wire sync engine
+--------------------
+:class:`WireSyncEngine` is the batched replication path: instead of the
+in-memory tracker handoff of :meth:`StoreReplica.sync_with`, every piece of
+causal metadata a pairwise synchronization moves actually crosses a wire
+boundary as bytes.  A reconciliation between stores ``A`` and ``B`` is two
+transfers:
+
+1. *request* -- ``B`` ships the trackers of every key it holds; batched
+   mode frames them as **one stream per (family, epoch) group**
+   (:mod:`repro.kernel.stream`), per-envelope mode as one envelope per
+   stamp (the PR-4 baseline);
+2. ``A`` decodes (lazily and through a shared
+   :class:`~repro.kernel.stream.InternTable` in batched mode), runs the
+   same per-key merge as the in-memory path, and
+3. *response* -- ships back only the trackers that changed, which ``B``
+   installs after decoding, so what a store holds after a wire sync has
+   genuinely round-tripped the codec.
+
+Causally EQUAL keys are left untouched (``refork_equal=False``), so the
+steady state of anti-entropy -- most keys unchanged between rounds --
+re-ships byte-identical frames, and the batched engine's intern table
+turns their re-decode into dictionary hits while byte-equality doubles as
+a free EQUAL check (the codecs are canonical, so equal bytes mean equal
+clocks).  The per-envelope baseline re-decodes every envelope every round.
+Both modes drive the identical merge logic, so they produce identical
+configurations -- a property test locks this in against the causal oracle.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from ..core.errors import ReplicationError
+from ..kernel.envelope import decode_envelope
+from ..kernel.stream import InternTable, decode_stream, encode_stream
+from .network import NetworkMeter
 from .node import MobileNode
-from .store import MergeReport
+from .store import KeyState, MergeReport, StoreReplica
+from .tracker import KernelTracker
 
-__all__ = ["RoundReport", "AntiEntropy"]
+__all__ = ["RoundReport", "AntiEntropy", "WireSyncEngine"]
 
 
 @dataclass
@@ -34,6 +67,9 @@ class RoundReport:
     skipped_partitioned: int = 0
     conflicts_detected: int = 0
     values_exchanged: int = 0
+    #: Wire traffic of the round (zero when syncing in memory).
+    messages_sent: int = 0
+    bytes_sent: int = 0
 
     def record(self, merge: MergeReport) -> None:
         """Fold one pairwise merge into the round statistics."""
@@ -42,17 +78,260 @@ class RoundReport:
         self.values_exchanged += merge.values_taken
 
 
+class _LazyFrame:
+    """A not-yet-decoded stream frame (decoded on demand, intern-backed)."""
+
+    __slots__ = ("_stream", "_index")
+
+    def __init__(self, stream, index: int) -> None:
+        self._stream = stream
+        self._index = index
+
+    def get(self):
+        return self._stream[self._index]
+
+
+def _materialize(frame):
+    """The decoded clock behind ``frame`` (a clock or a lazy frame)."""
+    return frame.get() if type(frame) is _LazyFrame else frame
+
+
+class WireSyncEngine:
+    """Pairwise store synchronization over the kernel wire formats.
+
+    Parameters
+    ----------
+    batched:
+        ``True`` (default) ships one envelope stream per (family, epoch)
+        group and direction and decodes through a shared
+        :class:`~repro.kernel.stream.InternTable`; ``False`` is the
+        per-envelope baseline -- one self-describing envelope per stamp,
+        decoded individually.
+    meter:
+        The :class:`~repro.replication.network.NetworkMeter` recording
+        messages and bytes; a fresh one is created when omitted.
+    intern_entries:
+        Capacity of the batched mode's intern table.
+
+    Both modes run the identical merge logic
+    (:meth:`StoreReplica._merge_key_states` with ``refork_equal=False``),
+    so they produce identical configurations; they differ only in framing
+    and decode strategy.  Values move by reference -- this is a
+    simulation -- but every piece of *causal metadata* a sync transfers
+    crosses the codec boundary as real bytes, in both directions.
+
+    Only stores whose keys are tracked by
+    :class:`~repro.replication.tracker.KernelTracker` can sync over the
+    wire (the baselines have no byte form); anything else raises
+    :class:`~repro.core.errors.ReplicationError`.
+    """
+
+    def __init__(
+        self,
+        *,
+        batched: bool = True,
+        meter: Optional[NetworkMeter] = None,
+        intern_entries: int = 65536,
+    ) -> None:
+        self.batched = batched
+        self.meter = meter if meter is not None else NetworkMeter()
+        self.intern = InternTable(max_entries=intern_entries) if batched else None
+        #: Stamps that crossed the wire (both directions, all syncs).
+        self.stamps_shipped = 0
+        #: Keys settled by the canonical-bytes EQUAL fast path alone.
+        self.equal_bytes_skips = 0
+        #: Keys settled by the pointer-identity EQUAL verdict cache.
+        self.equal_cache_hits = 0
+        # The pointer-equality dividend of the intern table: once a frame
+        # decodes to the *same object* round after round, a previously
+        # computed EQUAL verdict for (my clock, that object) can be reused
+        # with one dictionary hit.  Keyed by object identity -- the cached
+        # entry holds strong references, so the ids cannot be recycled
+        # while the verdict lives.  Clock immutability makes this sound;
+        # bounded FIFO like every other cache in this codebase.
+        self._equal_verdicts: Dict[Tuple[int, int], Tuple[object, object]] = {}
+        # One tracker wrapper per decoded clock object (wrappers are
+        # stateless beyond the clock, so sharing them is safe; the wrapper
+        # holds the clock alive, so a live cache entry's id is never
+        # recycled -- the identity check makes a stale hit impossible).
+        self._wrappers: Dict[int, KernelTracker] = {}
+
+    _MAX_CACHED = 1 << 16
+
+    def _wrap(self, clock) -> KernelTracker:
+        key = id(clock)
+        cached = self._wrappers.get(key)
+        if cached is not None and cached.clock is clock:
+            return cached
+        tracker = KernelTracker(clock)
+        if len(self._wrappers) >= self._MAX_CACHED:
+            self._wrappers.clear()
+        self._wrappers[key] = tracker
+        return tracker
+
+    @staticmethod
+    def _clock_of(store: StoreReplica, key: str, state: KeyState):
+        tracker = state.tracker
+        if not isinstance(tracker, KernelTracker):
+            raise ReplicationError(
+                f"wire sync needs kernel clock trackers; key {key!r} on "
+                f"replica {store.name!r} is tracked by "
+                f"{type(tracker).__name__}"
+            )
+        return tracker.clock
+
+    def _ship(
+        self,
+        sender: StoreReplica,
+        receiver: StoreReplica,
+        items: List[Tuple[str, KeyState]],
+    ) -> Dict[str, Tuple[object, object]]:
+        """Transfer the trackers of ``items`` from sender to receiver.
+
+        Returns ``key -> (decoded clock, raw frame payload)`` on the
+        receiving side; the raw payload feeds the canonical-bytes EQUAL
+        fast path, and the decoded clock is materialized lazily (a
+        ``ClockStream`` index access) only for keys that need a real
+        merge.  One stream per (family, epoch) group in batched mode, one
+        envelope per stamp otherwise; either way the meter sees every
+        message.
+        """
+        self.stamps_shipped += len(items)
+        received: Dict[str, Tuple[object, object]] = {}
+        if not self.batched:
+            for key, state in items:
+                blob = self._clock_of(sender, key, state).to_bytes()
+                self.meter.record(sender.name, receiver.name, len(blob))
+                received[key] = (decode_envelope(blob), None)
+            return received
+        groups: Dict[Tuple[str, int], List[Tuple[str, object]]] = {}
+        for key, state in items:
+            clock = self._clock_of(sender, key, state)
+            groups.setdefault((clock.family, clock.epoch), []).append((key, clock))
+        for (family_name, epoch), members in groups.items():
+            blob = encode_stream(
+                [clock for _, clock in members],
+                family_name=family_name,
+                epoch=epoch,
+            )
+            self.meter.record(sender.name, receiver.name, len(blob))
+            stream = decode_stream(memoryview(blob), intern=self.intern)
+            for index, (key, _) in enumerate(members):
+                received[key] = (
+                    _LazyFrame(stream, index),
+                    (family_name, epoch, stream.frame_bytes(index)),
+                )
+        return received
+
+    def sync(self, first: StoreReplica, second: StoreReplica) -> MergeReport:
+        """Two-way reconciliation of ``first`` and ``second`` over the wire.
+
+        Equivalent to :meth:`StoreReplica.sync_with` except that causally
+        EQUAL keys keep their trackers (metadata stability) and all causal
+        metadata round-trips the codec.
+        """
+        if first is second:
+            raise ReplicationError("a store replica cannot synchronize with itself")
+        report = MergeReport()
+        keys = sorted(set(first._keys) | set(second._keys))
+
+        # Request leg: second ships everything it holds to first.
+        held = [(key, second._keys[key]) for key in keys if key in second._keys]
+        received = self._ship(second, first, held)
+
+        changed: List[str] = []
+        for key in keys:
+            mine = first._keys.get(key)
+            theirs = second._keys.get(key)
+            report.keys_examined += 1
+            if theirs is None:
+                # Replicate first -> second: fork the holder's tracker; the
+                # remote half rides the response leg to its new home.
+                local, remote = mine.tracker.forked()
+                mine.tracker = local
+                second._keys[key] = KeyState(values=list(mine.values), tracker=remote)
+                mine.independently_created = False
+                report.keys_replicated += 1
+                report.values_taken += len(mine.values)
+                changed.append(key)
+                continue
+            frame, raw = received[key]
+            if mine is None:
+                # Replicate second -> first from the decoded wire copy.
+                holder = KernelTracker(_materialize(frame))
+                local, remote = holder.forked()
+                theirs.tracker = local
+                first._keys[key] = KeyState(values=list(theirs.values), tracker=remote)
+                theirs.independently_created = False
+                report.keys_replicated += 1
+                report.values_taken += len(theirs.values)
+                changed.append(key)
+                continue
+            independent = mine.independently_created and theirs.independently_created
+            if raw is not None and not independent:
+                # Canonical-bytes fast path: the codec maps equal clocks to
+                # equal bytes, so a frame matching our own payload proves
+                # EQUAL without decoding it (the converse does not hold --
+                # distinct EQUAL clocks still decode and compare below).
+                clock = mine.tracker.clock
+                if (
+                    (clock.family, clock.epoch) == raw[:2]
+                    and clock.payload_bytes() == raw[2]
+                ):
+                    self.equal_bytes_skips += 1
+                    continue
+            remote_clock = _materialize(frame)
+            mine_clock = mine.tracker.clock
+            verdict_key = (id(mine_clock), id(remote_clock))
+            if not independent and verdict_key in self._equal_verdicts:
+                # Both objects are pointer-stable (intern table) and were
+                # proven causally EQUAL before: nothing to move, nothing
+                # to re-fork, nothing to ship back.
+                self.equal_cache_hits += 1
+                theirs.tracker = self._wrap(remote_clock)
+                continue
+            before = self._wrap(remote_clock)
+            theirs.tracker = before
+            mine_before = mine.tracker
+            first._merge_key_states(mine, theirs, report, refork_equal=False)
+            if theirs.tracker is not before:
+                changed.append(key)
+            elif mine.tracker is mine_before and not independent:
+                # EQUAL no-op: remember the verdict for the next round.
+                if len(self._equal_verdicts) >= self._MAX_CACHED:
+                    self._equal_verdicts.clear()
+                self._equal_verdicts[verdict_key] = (mine_clock, remote_clock)
+
+        # Response leg: only second-side trackers that changed go back.
+        returned = self._ship(
+            first, second, [(key, second._keys[key]) for key in changed]
+        )
+        for key in changed:
+            frame, _ = returned[key]
+            second._keys[key].tracker = KernelTracker(_materialize(frame))
+        return report
+
+
 class AntiEntropy:
-    """Round-based gossip reconciliation over a node population."""
+    """Round-based gossip reconciliation over a node population.
+
+    Pass a :class:`WireSyncEngine` as ``engine`` to run every pairwise
+    exchange over the kernel wire formats (batched streams or per-stamp
+    envelopes); each :class:`RoundReport` then carries the round's real
+    message and byte counts.  Without an engine, stores reconcile in
+    memory exactly as before.
+    """
 
     def __init__(
         self,
         nodes: Sequence[MobileNode],
         *,
         rng: Optional[random.Random] = None,
+        engine: Optional[WireSyncEngine] = None,
     ) -> None:
         self.nodes: List[MobileNode] = list(nodes)
         self._rng = rng if rng is not None else random.Random(0)
+        self.engine = engine
         self.reports: List[RoundReport] = []
 
     def add_node(self, node: MobileNode) -> None:
@@ -62,6 +341,9 @@ class AntiEntropy:
     def run_round(self) -> RoundReport:
         """Run one gossip round: every node tries to sync with one peer."""
         report = RoundReport(round_number=len(self.reports) + 1)
+        engine = self.engine
+        if engine is not None:
+            messages_before, bytes_before = engine.meter.snapshot()
         order = list(self.nodes)
         self._rng.shuffle(order)
         for node in order:
@@ -73,11 +355,15 @@ class AntiEntropy:
                 report.skipped_partitioned += 1
                 continue
             peer = self._rng.choice(reachable)
-            merge = node.try_sync_with(peer)
+            merge = node.try_sync_with(peer, engine=engine)
             if merge is None:
                 report.skipped_partitioned += 1
             else:
                 report.record(merge)
+        if engine is not None:
+            messages_after, bytes_after = engine.meter.snapshot()
+            report.messages_sent = messages_after - messages_before
+            report.bytes_sent = bytes_after - bytes_before
         self.reports.append(report)
         return report
 

@@ -48,7 +48,13 @@ class CausalityTracker:
 
     Implementations are immutable: every operation returns new tracker
     instances, matching the value semantics of the underlying mechanisms.
+    Every operation allocating a new tracker sits on the per-key merge
+    path of a store synchronization, so the concrete classes declare
+    ``__slots__`` -- a tracker is one pointer-sized wrapper, never a
+    dict-carrying object.
     """
+
+    __slots__ = ()
 
     def updated(self) -> "CausalityTracker":
         """Return the tracker after recording one local update."""
@@ -79,6 +85,8 @@ class CausalityTracker:
 class StampTracker(CausalityTracker):
     """Causality tracking with version stamps (the paper's mechanism)."""
 
+    __slots__ = ("stamp",)
+
     def __init__(self, stamp: Optional[VersionStamp] = None, *, reducing: bool = True) -> None:
         self.stamp = stamp if stamp is not None else VersionStamp.seed(reducing=reducing)
 
@@ -108,6 +116,8 @@ class StampTracker(CausalityTracker):
 
 class ITCTracker(CausalityTracker):
     """Causality tracking with Interval Tree Clocks (the extension)."""
+
+    __slots__ = ("stamp",)
 
     def __init__(self, stamp: Optional[ITCStamp] = None) -> None:
         self.stamp = stamp if stamp is not None else ITCStamp.seed()
@@ -144,6 +154,8 @@ class DynamicVVTracker(CausalityTracker):
     node is partitioned away from the authority -- the precise limitation the
     paper's mechanism removes.
     """
+
+    __slots__ = ("element", "id_source")
 
     def __init__(
         self,
@@ -204,6 +216,8 @@ class KernelTracker(CausalityTracker):
     :class:`~repro.replication.store.StoreReplica`-style
     ``tracker_factory`` parameters.
     """
+
+    __slots__ = ("clock",)
 
     def __init__(self, clock=None, *, family: str = "version-stamp", **make_kwargs):
         self.clock = clock if clock is not None else kernel.make(family, **make_kwargs)

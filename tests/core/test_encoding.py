@@ -125,3 +125,90 @@ class TestBinaryCodec:
         small = VersionStamp.parse("[ε | 0]")
         large = VersionStamp.parse("[ε | 000+001+01+1]", reducing=False)
         assert encoded_size_bits(large) > encoded_size_bits(small)
+
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.testing import kernel_clocks
+
+
+@st.composite
+def stamps(draw):
+    """Arbitrary version stamps reached by real fork/update/join walks."""
+    return draw(kernel_clocks("version-stamp", max_operations=14, max_epoch=0)).stamp
+
+
+class TestPackedFastPath:
+    """The packed int codec is pinned to the list-based reference.
+
+    ``stamp_to_bytes``/``stamp_from_bytes`` run the bulk int fast path;
+    the list-of-bits functions are the retained readable reference.  The
+    two must agree bit-for-bit on every stamp, and the fast decoder must
+    accept buffers without copying and intern repeated payloads.
+    """
+
+    @settings(max_examples=60, deadline=None)
+    @given(stamp=stamps())
+    def test_packed_encode_matches_list_reference(self, stamp):
+        from repro.core.encoding import name_to_packed, stamp_to_packed
+        from repro.kernel.wire import bits_to_length_prefixed
+
+        reference = bits_to_length_prefixed(
+            stamp_to_bitstream(stamp), count_bytes=2
+        )
+        assert stamp_to_bytes(stamp) == reference
+        value, count = stamp_to_packed(stamp)
+        assert count == len(stamp_to_bitstream(stamp))
+        assert encoded_size_bits(stamp) == count
+        update_value, update_count = name_to_packed(stamp.update_component)
+        assert update_count == len(name_to_bitstream(stamp.update_component))
+
+    @settings(max_examples=60, deadline=None)
+    @given(stamp=stamps())
+    def test_packed_decode_matches_list_reference(self, stamp):
+        from repro.kernel.wire import bits_from_length_prefixed
+
+        payload = stamp_to_bytes(stamp)
+        fast = stamp_from_bytes(payload)
+        reference = stamp_from_bitstream(
+            bits_from_length_prefixed(payload, count_bytes=2)
+        )
+        assert fast == reference == stamp
+
+    @settings(max_examples=40, deadline=None)
+    @given(stamp=stamps(), data=st.data())
+    def test_mutations_agree_with_list_reference(self, stamp, data):
+        from repro.kernel.wire import bits_from_length_prefixed
+
+        payload = bytearray(stamp_to_bytes(stamp))
+        for _ in range(data.draw(st.integers(1, 3))):
+            index = data.draw(st.integers(0, len(payload) - 1))
+            payload[index] ^= 1 << data.draw(st.integers(0, 7))
+        payload = bytes(payload)
+        try:
+            fast = stamp_from_bytes(payload)
+        except EncodingError:
+            fast = "rejected"
+        try:
+            reference = stamp_from_bitstream(
+                bits_from_length_prefixed(payload, count_bytes=2)
+            )
+        except EncodingError:
+            reference = "rejected"
+        assert fast == reference
+
+    def test_decode_accepts_memoryview(self):
+        stamp = VersionStamp.parse("[00+01 | 00+01+1]")
+        payload = stamp_to_bytes(stamp)
+        assert stamp_from_bytes(memoryview(payload)) == stamp
+        assert stamp_from_bytes(bytearray(payload)) == stamp
+
+    def test_decode_intern_is_pointer_equal(self):
+        stamp = VersionStamp.parse("[00+01 | 00+01+1]")
+        payload = stamp_to_bytes(stamp)
+        assert stamp_from_bytes(payload) is stamp_from_bytes(payload)
+        # The reducing flag partitions the intern keyspace.
+        assert stamp_from_bytes(payload) is not stamp_from_bytes(
+            payload, reducing=False
+        )

@@ -321,3 +321,36 @@ class TestNonBytesInput:
         assert MAGIC == b"CK"
         for family in FAMILIES:
             assert kernel.make(family).to_bytes()[:2] == MAGIC
+
+
+@pytest.mark.parametrize("family", FAMILIES)
+class TestZeroCopyBuffers:
+    """Envelopes decode from any byte buffer without copying it."""
+
+    def test_envelope_info_accepts_memoryview(self, family):
+        clock = kernel.make(family).event().with_epoch(4)
+        blob = clock.to_bytes()
+        view = memoryview(blob)
+        assert kernel.envelope_info(view) == kernel.envelope_info(blob)
+        assert kernel.envelope_info(view).epoch == 4
+        # A subview of a larger transfer works too (no bytes() round-trip).
+        framed = b"prefix" + blob + b"suffix"
+        inner = memoryview(framed)[6 : 6 + len(blob)]
+        assert kernel.envelope_info(inner) == kernel.envelope_info(blob)
+
+    def test_envelope_info_accepts_bytearray(self, family):
+        blob = kernel.make(family).event().to_bytes()
+        assert kernel.envelope_info(bytearray(blob)) == kernel.envelope_info(blob)
+
+    def test_decode_envelope_accepts_memoryview(self, family):
+        clock = kernel.make(family).event().with_epoch(2)
+        blob = clock.to_bytes()
+        assert kernel.from_bytes(memoryview(blob)) == clock
+        assert kernel.from_bytes(bytearray(blob)) == clock
+
+    def test_truncated_memoryview_is_typed(self, family):
+        blob = kernel.make(family).event().to_bytes()
+        with pytest.raises(EnvelopeTruncatedError):
+            kernel.envelope_info(memoryview(blob)[: HEADER_SIZE - 1])
+        with pytest.raises(EnvelopeTruncatedError):
+            kernel.envelope_info(memoryview(blob)[:-1])
