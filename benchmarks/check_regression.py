@@ -14,7 +14,11 @@ and a freshly measured one -- on the two tracked *speedup ratios*:
   JSON codec);
 * ``replication.batched_vs_per_envelope`` (steady-state anti-entropy
   rounds/sec with the batched stream sync engine vs the per-envelope
-  baseline, version-stamp family at 32 replicas).
+  baseline, version-stamp family at 32 replicas);
+* ``chaos.convergence_efficiency`` (fault-free rounds-to-convergence over
+  rounds-to-convergence under the 10%-loss fault matrix -- a deterministic
+  seeded count ratio, so any drift at all is a real behaviour change in
+  the retry/skip machinery, not noise).
 
 Ratios rather than absolute ops/sec are checked because both sides of each
 ratio run on the same machine in the same process, so the ratio is stable
@@ -56,7 +60,7 @@ JOIN_NORMALIZE_FRONTIER = "32"
 #: listed here (i.e. benchmarks newer than this file).  When a new section
 #: lands, add it to this set in the same PR that commits its first floor.
 ESTABLISHED_SECTIONS = frozenset(
-    {"join_normalize", "lockstep", "reroot", "codec", "replication"}
+    {"join_normalize", "lockstep", "reroot", "codec", "replication", "chaos"}
 )
 
 
@@ -96,6 +100,7 @@ def check(committed, fresh, *, tolerance=DEFAULT_TOLERANCE):
         ("reroot", "speedup_vs_raw"),
         ("codec", "envelope_vs_json_roundtrip"),
         ("replication", "batched_vs_per_envelope"),
+        ("chaos", "convergence_efficiency"),
     )
     for keys in tracked:
         name = ".".join(keys)

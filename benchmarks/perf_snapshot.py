@@ -34,6 +34,16 @@ Measures three things:
   the rates reflect the steady state of a process re-shipping live
   metadata -- exactly the anti-entropy regime the replication benchmark
   drives end to end.
+* a **chaos resilience** benchmark (``chaos``): the same anti-entropy
+  population driven through :class:`repro.replication.faults.
+  FaultyTransport` at several loss levels (plus duplication, reordering
+  and bit corruption), reporting rounds-to-convergence, goodput and the
+  full fault-counter breakdown per level.  Every number in the section is
+  a **deterministic seeded count** -- no wall clock is involved (retry
+  backoff is simulated latency), so the figures are bit-identical across
+  machines.  The tracked ratio is ``convergence_efficiency``: fault-free
+  rounds-to-convergence over rounds-to-convergence at 10% loss -- how
+  little the fault matrix stretches the protocol.
 * a **replication sync** benchmark (``replication``): steady-state
   anti-entropy throughput of the wire sync engine
   (:class:`repro.replication.synchronizer.WireSyncEngine`) over a
@@ -77,11 +87,15 @@ from repro.core.stamp import VersionStamp
 from repro.kernel.adapters import CausalAdapter, RefCausalAdapter
 from repro.replication import (
     AntiEntropy,
+    FaultPlan,
+    FaultyTransport,
     FullyConnectedNetwork,
     KernelTracker,
     MobileNode,
+    RetryPolicy,
     WireSyncEngine,
 )
+from repro.replication.network import PartitionedNetwork
 from repro.sim.runner import LockstepRunner
 from repro.sim.trace import apply_operation
 from repro.sim.workload import random_dynamic_trace, sync_chain_trace
@@ -99,6 +113,22 @@ REPLICATION_WARMUP_ROUNDS = 6
 #: The tracked replication ratio is measured at this population size.
 REPLICATION_TRACKED_REPLICAS = 32
 REPLICATION_TRACKED_FAMILY = "version-stamp"
+
+#: Chaos benchmark shape: a small population, every key written up front,
+#: then faulty anti-entropy rounds until convergence.  Everything is
+#: seeded and counted (retry backoff is simulated), so the section is
+#: deterministic -- the tolerance of the regression check absorbs nothing
+#: and any drift is a real behaviour change.
+CHAOS_LOSS_LEVELS = (0.0, 0.1, 0.3)
+CHAOS_REPLICAS = 5
+CHAOS_KEYS = 12
+CHAOS_SEED = 424242
+CHAOS_RETRY_ATTEMPTS = 4
+CHAOS_MAX_ROUNDS = 200
+#: The tracked efficiency ratio compares fault-free convergence against
+#: this loss level.
+CHAOS_TRACKED_LOSS = 0.1
+CHAOS_FAMILY = "version-stamp"
 
 #: Lockstep benchmark shape: long enough that histories hold hundreds of
 #: events, wide enough that the per-step cross-check dominates.
@@ -523,6 +553,92 @@ def measure_replication(replica_counts, *, repeats, min_time):
     return section
 
 
+def _chaos_arm(loss):
+    """Rounds-to-convergence and fault counters at one loss level.
+
+    Fully deterministic: the transport schedule, the gossip pairings and
+    the simulated retry backoff all derive from :data:`CHAOS_SEED`, so
+    the returned counts are bit-identical across machines and runs.
+    """
+    import random
+
+    network = PartitionedNetwork()
+    plan = FaultPlan.perfect() if loss == 0.0 else FaultPlan.chaos(loss=loss)
+    transport = FaultyTransport(network, plan=plan, seed=CHAOS_SEED)
+    engine = WireSyncEngine(
+        transport=transport,
+        retry=RetryPolicy(attempts=CHAOS_RETRY_ATTEMPTS),
+    )
+    nodes = [
+        MobileNode.first(
+            "n0", transport, tracker_factory=KernelTracker.factory(CHAOS_FAMILY)
+        )
+    ]
+    for index in range(1, CHAOS_REPLICAS):
+        nodes.append(nodes[-1].spawn_peer(f"n{index}"))
+    rng = random.Random(CHAOS_SEED + 1)
+    for index in range(CHAOS_KEYS):
+        rng.choice(nodes).write(f"key{index}", f"value{index}")
+    gossip = AntiEntropy(nodes, rng=random.Random(CHAOS_SEED + 2), engine=engine)
+    rounds = 0
+    while not gossip.converged() and rounds < CHAOS_MAX_ROUNDS:
+        gossip.run_round()
+        rounds += 1
+    if not gossip.converged():
+        raise RuntimeError(
+            f"chaos benchmark arm at loss={loss} failed to converge within "
+            f"{CHAOS_MAX_ROUNDS} rounds"
+        )
+    meter = engine.meter
+    return {
+        "rounds_to_convergence": rounds,
+        "goodput": meter.goodput(),
+        "messages": meter.messages,
+        "bytes_sent": meter.bytes_sent,
+        "dropped": meter.dropped,
+        "duplicated": meter.duplicated,
+        "corrupted": meter.corrupted,
+        "retried": meter.retried,
+        "retry_latency": meter.retry_latency,
+        "deliveries_failed": engine.deliveries_failed,
+        "frames_rejected": engine.frames_rejected,
+    }
+
+
+def measure_chaos(loss_levels=CHAOS_LOSS_LEVELS):
+    """Convergence cost of the fault matrix, as deterministic seeded counts.
+
+    One population shape per loss level: :data:`CHAOS_REPLICAS` replicas,
+    every key written before the first round, then faulty anti-entropy
+    rounds until ``converged()``.  The 0.0 arm runs a perfect transport
+    (the clean reference); lossy arms run the full
+    :meth:`~repro.replication.faults.FaultPlan.chaos` matrix (loss plus
+    duplication, reordering and bit corruption).  The tracked ratio is
+    ``convergence_efficiency`` = clean rounds / rounds at
+    :data:`CHAOS_TRACKED_LOSS` -- 1.0 means the fault matrix cost nothing,
+    and a drop means the retry/skip machinery got worse at hiding faults.
+    """
+    section = {
+        "replicas": CHAOS_REPLICAS,
+        "keys": CHAOS_KEYS,
+        "seed": CHAOS_SEED,
+        "family": CHAOS_FAMILY,
+        "retry_attempts": CHAOS_RETRY_ATTEMPTS,
+        "loss_levels": {},
+    }
+    for loss in loss_levels:
+        section["loss_levels"][f"{loss:.2f}"] = _chaos_arm(loss)
+    clean = section["loss_levels"]["0.00"]["rounds_to_convergence"]
+    tracked = section["loss_levels"][f"{CHAOS_TRACKED_LOSS:.2f}"]
+    section["tracked_loss"] = f"{CHAOS_TRACKED_LOSS:.2f}"
+    section["convergence_efficiency"] = (
+        clean / tracked["rounds_to_convergence"]
+        if tracked["rounds_to_convergence"]
+        else None
+    )
+    return section
+
+
 def snapshot(
     *,
     frontier_sizes=DEFAULT_FRONTIER_SIZES,
@@ -552,6 +668,7 @@ def snapshot(
     data["replication"] = measure_replication(
         replica_counts, repeats=repeats, min_time=min_time
     )
+    data["chaos"] = measure_chaos()
     return data
 
 
@@ -573,9 +690,12 @@ def main(argv=None):
             "(steady-state anti-entropy rounds/sec and stamps/sec per clock "
             "family at 8-64 replicas, batched streams vs the per-envelope "
             "baseline, with the batched-vs-per-envelope ratio at 32 "
-            "replicas tracked). "
+            "replicas tracked), and chaos (rounds-to-convergence and fault "
+            "counters under a faulty transport at 0/10/30 percent loss, all "
+            "deterministic seeded counts, with the clean-vs-10-percent "
+            "convergence-efficiency ratio tracked). "
             "benchmarks/check_regression.py compares the join_normalize@32, "
-            "lockstep, reroot, codec and replication ratios of a fresh "
+            "lockstep, reroot, codec, replication and chaos ratios of a fresh "
             "snapshot against the committed BENCH_ops.json and fails CI "
             "when one drops more than 30 percent below its floor (sections "
             "absent from the committed snapshot are skipped, so a PR adding "
@@ -670,6 +790,18 @@ def main(argv=None):
         f"({replication['tracked_family']} @ "
         f"{replication['tracked_replicas']} replicas): "
         f"{replication['batched_vs_per_envelope']:.1f}x"
+    )
+    chaos = data["chaos"]
+    for loss, arm in chaos["loss_levels"].items():
+        print(
+            f"  chaos @ {loss} loss: {arm['rounds_to_convergence']} rounds "
+            f"to convergence, goodput {arm['goodput']:.2f}, "
+            f"{arm['dropped']} dropped / {arm['duplicated']} duplicated / "
+            f"{arm['corrupted']} corrupted / {arm['retried']} retried"
+        )
+    print(
+        f"  chaos convergence efficiency @ {chaos['tracked_loss']} loss: "
+        f"{chaos['convergence_efficiency']:.2f}"
     )
     return 0
 

@@ -22,6 +22,8 @@ which part of the system rejected an input:
   compared or joined (their histories are not directly comparable until the
   straggler is upgraded).
 * :class:`ReplicationError` -- errors in the replication substrate.
+* :class:`FaultInjectionError` -- a fault-injection plan or transport is
+  misconfigured (rates outside ``[0, 1]``, malformed outage windows, ...).
 * :class:`SimulationError` -- malformed traces or workload parameters.
 """
 
@@ -42,6 +44,7 @@ __all__ = [
     "UnknownClockFamily",
     "EpochMismatch",
     "ReplicationError",
+    "FaultInjectionError",
     "SimulationError",
 ]
 
@@ -106,8 +109,12 @@ class EpochMismatch(ReproError, ValueError):
     tag records how many frontier-wide re-roots a clock has been through.
     Clocks from different epochs speak about different identifier spaces,
     so comparing or joining them directly would be meaningless -- the
-    straggler must first be upgraded to the newer epoch (the decentralized
-    lazy-upgrade protocol is tracked as an open roadmap item).
+    straggler must first be upgraded to the newer epoch.  The replication
+    layer performs that upgrade automatically (epoch bumps only happen at
+    common knowledge, so older-epoch knowledge is causally dominated --
+    see :meth:`repro.replication.store.StoreReplica._merge_key_states`);
+    this exception is what the raw kernel API raises when a caller mixes
+    epochs outside that protocol.
     """
 
     def __init__(self, mine: int, theirs: int, operation: str = "compare") -> None:
@@ -122,6 +129,10 @@ class EpochMismatch(ReproError, ValueError):
 
 class ReplicationError(ReproError, RuntimeError):
     """The replication substrate was used incorrectly."""
+
+
+class FaultInjectionError(ReproError, ValueError):
+    """A fault-injection plan or faulty transport is misconfigured."""
 
 
 class SimulationError(ReproError, ValueError):

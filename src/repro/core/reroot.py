@@ -92,6 +92,7 @@ __all__ = [
     "complete_tiling",
     "reroot_names",
     "reroot_stamps",
+    "reroot_group",
     "RerootResult",
 ]
 
@@ -313,3 +314,20 @@ def reroot_stamps(stamps: Mapping[str, VersionStamp]) -> RerootResult:
         bits_before=bits_before,
         bits_after=bits_after,
     )
+
+
+def reroot_group(stamps: Sequence[VersionStamp]) -> List[VersionStamp]:
+    """Re-root an ordered group of stamps, positionally.
+
+    The sequence form of :func:`reroot_stamps` used by the replicated
+    store's decentralized compaction (epoch gossip): the group of live
+    holders of one key is re-rooted as its own frontier, and the rewritten
+    stamps come back in input order.  All pairwise orderings within the
+    group are preserved; in the compaction protocol the group is verified
+    pairwise EQUAL first, so the result is the minimal tiling of one
+    shared knowledge region -- the stamps a freshly forked seed would
+    produce.
+    """
+    labeled = {f"member-{index}": stamp for index, stamp in enumerate(stamps)}
+    result = reroot_stamps(labeled)
+    return [result.stamps[f"member-{index}"] for index in range(len(stamps))]

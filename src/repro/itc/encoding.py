@@ -20,6 +20,16 @@ size reflects the actual information content -- this is the family's
 All decoding failures raise :class:`~repro.core.errors.EncodingError` (or a
 subclass), never a raw struct/index error.
 
+The codec is **canonical both ways**: stamps normalize their trees at
+construction, so an honest encoding is always the unique normal-form bit
+string, and the decoders *reject* non-normal trees (a collapsible id pair,
+mergeable event leaves, an unsunk child minimum) instead of quietly
+normalizing them.  Distinct byte strings therefore never decode equal --
+the property the decode interns and the stream
+:class:`~repro.kernel.stream.InternTable` key on, and what confines a
+corrupted-but-parseable payload to "typed rejection" rather than silently
+admitted damage.
+
 Fast path
 ---------
 The byte form (:func:`itc_to_bytes` / :func:`itc_from_bytes`) never builds
@@ -122,7 +132,14 @@ def _read_id(reader: _BitReader, depth: int = 0) -> IdTree:
     if depth > _MAX_TREE_DEPTH:
         raise EncodingError(f"ITC id tree deeper than {_MAX_TREE_DEPTH}")
     if reader.read():
-        return (_read_id(reader, depth + 1), _read_id(reader, depth + 1))
+        left = _read_id(reader, depth + 1)
+        right = _read_id(reader, depth + 1)
+        if type(left) is int and left == right:
+            raise EncodingError(
+                "non-canonical ITC id tree: "
+                f"({left}, {right}) must be collapsed to {left}"
+            )
+        return (left, right)
     return reader.read()
 
 
@@ -131,11 +148,22 @@ def _read_event(reader: _BitReader, depth: int = 0) -> EventTree:
         raise EncodingError(f"ITC event tree deeper than {_MAX_TREE_DEPTH}")
     if reader.read():
         base = _read_gamma(reader)
-        return (
-            base,
-            _read_event(reader, depth + 1),
-            _read_event(reader, depth + 1),
-        )
+        left = _read_event(reader, depth + 1)
+        right = _read_event(reader, depth + 1)
+        left_leaf = type(left) is int
+        if left_leaf and left == right:
+            raise EncodingError(
+                "non-canonical ITC event tree: equal leaf children must be "
+                "merged into their parent"
+            )
+        lmin = left if left_leaf else left[0]
+        rmin = right if type(right) is int else right[0]
+        if lmin and rmin:
+            raise EncodingError(
+                "non-canonical ITC event tree: the children's shared "
+                "minimum must be sunk into the base"
+            )
+        return (base, left, right)
     return _read_gamma(reader)
 
 
@@ -201,14 +229,17 @@ _OPEN = object()
 
 
 def _read_id_str(bits: str, pos: int):
-    """Decode an id tree, collapsing ``(0,0)``/``(1,1)`` on the way up.
+    """Decode an id tree, rejecting non-normal-form encodings on the way up.
 
-    The inline collapse is exactly ``normalize_id`` applied bottom-up, so
-    the returned tree is already in normal form.  Iterative: the explicit
-    stack holds, per open interior node, either the :data:`_OPEN` marker
-    (left child still parsing) or the finished left subtree -- one loop
-    iteration per grammar token instead of one Python frame per node.
-    Truncation surfaces as ``IndexError`` for the caller to remap.
+    Honest encoders only ever serialize normalized trees (stamps normalize
+    at construction), so a ``(0,0)``/``(1,1)`` subtree on the wire is
+    damage or forgery -- accepting and silently re-normalizing it would
+    let two distinct byte strings decode equal, breaking the canonicity
+    the decode interns rely on.  Iterative: the explicit stack holds, per
+    open interior node, either the :data:`_OPEN` marker (left child still
+    parsing) or the finished left subtree -- one loop iteration per
+    grammar token instead of one Python frame per node.  Truncation
+    surfaces as ``IndexError`` for the caller to remap.
     """
     stack = []
     while True:
@@ -231,20 +262,24 @@ def _read_id_str(bits: str, pos: int):
                 break
             stack.pop()
             if type(top) is int and top == value:
-                value = top  # (0,0) -> 0, (1,1) -> 1
-            else:
-                value = (top, value)
+                raise EncodingError(
+                    "non-canonical ITC id tree: "
+                    f"({top}, {value}) must be collapsed to {value}"
+                )
+            value = (top, value)
 
 
 def _read_event_str(bits: str, pos: int, depth: int):
-    """Decode an event tree, normalizing on the way up.
+    """Decode an event tree, rejecting non-normal-form encodings.
 
-    Children are normalized before their parent is assembled, so the
-    minimum of a normalized child is O(1) to read (its base / leaf value)
-    and the equal-leaves merge plus min-sinking reproduce
-    ``normalize_event`` exactly.  Leaf children (a gamma-coded counter)
-    are consumed in the parent's frame, so only interior nodes pay for a
-    call.
+    Children are verified normal before their parent is assembled, so the
+    minimum of a child is O(1) to read (its base / leaf value) and the
+    parent checks are exactly the two ``normalize_event`` rewrite
+    conditions -- equal leaf children, nonzero shared minimum -- raised as
+    typed errors instead of applied, because an honest encoder never emits
+    either (stamps normalize at construction).  Leaf children (a
+    gamma-coded counter) are consumed in the parent's frame, so only
+    interior nodes pay for a call.
     """
     if depth > _MAX_TREE_DEPTH:
         raise EncodingError(f"ITC event tree deeper than {_MAX_TREE_DEPTH}")
@@ -262,17 +297,16 @@ def _read_event_str(bits: str, pos: int, depth: int):
             right, pos = _read_event_str(bits, pos, depth + 1)
         left_leaf = type(left) is int
         if left_leaf and left == right:
-            return base + left, pos
+            raise EncodingError(
+                "non-canonical ITC event tree: equal leaf children must be "
+                "merged into their parent"
+            )
         lmin = left if left_leaf else left[0]
         rmin = right if type(right) is int else right[0]
-        shift = lmin if lmin < rmin else rmin
-        if shift:
-            base += shift
-            left = left - shift if left_leaf else (left[0] - shift, left[1], left[2])
-            right = (
-                right - shift
-                if type(right) is int
-                else (right[0] - shift, right[1], right[2])
+        if lmin and rmin:
+            raise EncodingError(
+                "non-canonical ITC event tree: the children's shared "
+                "minimum must be sunk into the base"
             )
         return (base, left, right), pos
     return _read_gamma_str(bits, pos + 1)
@@ -376,8 +410,8 @@ def itc_from_bytes(payload):
             f"{count - pos} trailing bits after decoding an ITC stamp"
         )
     # The grammar guarantees well-formed trees (0/1 id leaves, non-negative
-    # counters) and the readers normalize bottom-up, so the full validating
-    # constructor would only repeat work already done.
+    # counters) and the readers reject anything outside normal form, so the
+    # full validating constructor would only repeat work already done.
     stamp = _ITCStamp._trusted(identity, events)
     if len(_DECODE_INTERN) >= _DECODE_INTERN_MAX:
         del _DECODE_INTERN[next(iter(_DECODE_INTERN))]

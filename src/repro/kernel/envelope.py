@@ -23,10 +23,13 @@ subclass, one per reason:
 * trailing bytes or a payload the family codec rejects -> plain
   :class:`EnvelopeError` / the codec's own ``EncodingError``
 
-The epoch field is the groundwork for decentralized re-rooting: the frame
+The epoch field is what decentralized re-rooting gossips on: the frame
 carries it unconditionally, ``compare``/``join`` across mismatched epochs
-raise :class:`~repro.core.errors.EpochMismatch`, and lazily upgrading
-stragglers is the planned follow-up.
+raise :class:`~repro.core.errors.EpochMismatch` at the kernel layer, and
+the replication layer upgrades stale-epoch stragglers lazily during
+anti-entropy instead of erroring (epoch bumps only happen at common
+knowledge -- see :meth:`repro.replication.synchronizer.AntiEntropy.
+compact_key`), so a re-rooted replica and a straggler reconcile cleanly.
 """
 
 from __future__ import annotations

@@ -43,6 +43,14 @@ Rejections are the envelope's typed :class:`~repro.core.errors.EncodingError`
 subclasses: :class:`EnvelopeMagicError`, :class:`EnvelopeVersionError`,
 :class:`UnknownClockFamily`, :class:`EnvelopeTruncatedError`, and plain
 :class:`EnvelopeError` for trailing bytes and batch-rule violations.
+
+Corruption isolation: every rejection a damaged stream can provoke is one
+of those typed errors -- structural damage (header, frame table, trailing
+bytes) eagerly at :func:`decode_stream`, payload damage lazily at frame
+access -- never a raw ``struct``/``IndexError``, so a fault-tolerant
+consumer can retry or skip per frame.  The :class:`InternTable` only
+admits *successfully decoded* clocks, so a bad frame can never poison
+entries other consumers share.
 """
 
 from __future__ import annotations

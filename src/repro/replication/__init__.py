@@ -10,11 +10,15 @@ partition-prone environments.  This subpackage builds that environment:
 * :mod:`~repro.replication.store` -- a multi-value key-value store replica.
 * :mod:`~repro.replication.conflict` -- conflict resolution policies.
 * :mod:`~repro.replication.network` -- simulated partitions and mobility.
+* :mod:`~repro.replication.faults` -- fault-injecting transport (loss,
+  duplication, reordering, corruption, outages, crash/restart) plus the
+  retry policy the sync engine degrades through.
 * :mod:`~repro.replication.node` / :mod:`~repro.replication.synchronizer` --
   mobile nodes and anti-entropy gossip on top of all of the above.
 """
 
 from .conflict import ConflictPolicy, KeepBoth, MergeWith, PreferNewest
+from .faults import FaultPlan, FaultyTransport, RetryPolicy
 from .network import (
     FullyConnectedNetwork,
     NetworkMeter,
@@ -27,7 +31,7 @@ from .network import (
 )
 from .node import MobileNode
 from .replica import Replica, SyncOutcome, Version
-from .store import MergeReport, StoreReplica
+from .store import FrameRejected, MergeReport, StoreReplica
 from .synchronizer import AntiEntropy, RoundReport, WireSyncEngine
 from .tracker import (
     CausalityTracker,
@@ -48,6 +52,7 @@ __all__ = [
     "SyncOutcome",
     "StoreReplica",
     "MergeReport",
+    "FrameRejected",
     "ConflictPolicy",
     "KeepBoth",
     "MergeWith",
@@ -60,6 +65,9 @@ __all__ = [
     "ProximityNetwork",
     "NodePosition",
     "NetworkMeter",
+    "FaultPlan",
+    "FaultyTransport",
+    "RetryPolicy",
     "MobileNode",
     "AntiEntropy",
     "RoundReport",

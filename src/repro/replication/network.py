@@ -41,17 +41,38 @@ __all__ = [
 
 @dataclass
 class NetworkMeter:
-    """Message and byte accounting for wire-level synchronization.
+    """Message, byte and fault accounting for wire-level synchronization.
 
     The wire sync engine records every transfer it performs here, so
     benchmarks and tests can compare framing strategies by their real
     traffic: a batched anti-entropy round sends one stream per peer pair
     and direction, a per-envelope round sends one message per stamp.
     Per-pair totals are kept under ``(source, destination)`` keys.
+
+    Under a fault-injecting transport (:mod:`repro.replication.faults`)
+    the meter additionally tracks the fault economy of a run: how many
+    messages the transport dropped, duplicated or corrupted, how many
+    resends the engine's retry policy issued, and the total simulated
+    latency those retries cost.  ``messages``/``bytes_sent`` count every
+    *attempt* (retries included), so ``goodput()`` -- the fraction of
+    sent bytes that carried metadata the receiver actually accepted --
+    is what chaos benchmarks report instead of raw throughput.
     """
 
     messages: int = 0
     bytes_sent: int = 0
+    #: Messages the transport lost (loss rate, outage windows, crashes).
+    dropped: int = 0
+    #: Extra deliveries the transport injected beyond the first copy.
+    duplicated: int = 0
+    #: Resend attempts issued by the engine's retry policy.
+    retried: int = 0
+    #: Messages whose payload the transport damaged in flight.
+    corrupted: int = 0
+    #: Total simulated backoff latency spent waiting between retries.
+    retry_latency: float = 0.0
+    #: Bytes of payloads the receiving engine accepted (first valid copy).
+    bytes_delivered: int = 0
     per_pair: Dict[Tuple[str, str], Tuple[int, int]] = field(default_factory=dict)
 
     def record(self, source: str, destination: str, nbytes: int, count: int = 1) -> None:
@@ -62,14 +83,62 @@ class NetworkMeter:
         messages, total = self.per_pair.get(pair, (0, 0))
         self.per_pair[pair] = (messages + count, total + nbytes)
 
+    def record_drop(self, count: int = 1) -> None:
+        """Record messages lost in flight."""
+        self.dropped += count
+
+    def record_duplicate(self, count: int = 1) -> None:
+        """Record extra copies delivered beyond the first."""
+        self.duplicated += count
+
+    def record_corrupt(self, count: int = 1) -> None:
+        """Record messages whose payload was damaged in flight."""
+        self.corrupted += count
+
+    def record_retry(self, count: int = 1, latency: float = 0.0) -> None:
+        """Record resend attempts and the backoff latency they waited."""
+        self.retried += count
+        self.retry_latency += latency
+
+    def record_delivery(self, nbytes: int) -> None:
+        """Record payload bytes the receiver accepted as valid."""
+        self.bytes_delivered += nbytes
+
+    def goodput(self) -> float:
+        """Accepted payload bytes as a fraction of all bytes sent.
+
+        1.0 on a perfect transport (every byte sent is delivered and
+        accepted); drops, retries, duplicates and corrupted frames all
+        push it down.  0.0 when nothing was sent.
+        """
+        if self.bytes_sent <= 0:
+            return 0.0
+        return self.bytes_delivered / self.bytes_sent
+
     def snapshot(self) -> Tuple[int, int]:
         """The current ``(messages, bytes)`` totals."""
         return self.messages, self.bytes_sent
+
+    def fault_snapshot(self) -> Tuple[int, int, int, int, float]:
+        """The current ``(dropped, duplicated, retried, corrupted, retry_latency)``."""
+        return (
+            self.dropped,
+            self.duplicated,
+            self.retried,
+            self.corrupted,
+            self.retry_latency,
+        )
 
     def reset(self) -> None:
         """Zero all counters (e.g. between benchmark phases)."""
         self.messages = 0
         self.bytes_sent = 0
+        self.dropped = 0
+        self.duplicated = 0
+        self.retried = 0
+        self.corrupted = 0
+        self.retry_latency = 0.0
+        self.bytes_delivered = 0
         self.per_pair.clear()
 
 

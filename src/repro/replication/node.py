@@ -46,6 +46,9 @@ class MobileNode:
         self.network = network
         self.sync_attempts = 0
         self.sync_failures = 0
+        #: Crash-stop flag: a dead node neither gossips nor answers peers.
+        self.alive = True
+        self.crashes = 0
 
     # -- construction ------------------------------------------------------
 
@@ -88,8 +91,27 @@ class MobileNode:
         """Read all sibling values of ``key`` held locally."""
         return self.store.get(key)
 
+    def crash(self) -> None:
+        """Crash-stop: keep the (now unreachable) state but stop operating."""
+        self.alive = False
+        self.crashes += 1
+
+    def restart(self) -> None:
+        """Recover from a crash by rejoining *empty*.
+
+        Restoring the pre-crash store would resurrect identifier space
+        that post-crash forks elsewhere may already have split away (an I2
+        violation able to manufacture false orderings), so recovery drops
+        local state and re-replicates from peers -- each key flowing back
+        mints fresh identities through the normal replication fork.
+        """
+        self.store.reset()
+        self.alive = True
+
     def can_reach(self, other: "MobileNode") -> bool:
         """Whether the network currently lets this node talk to ``other``."""
+        if not (self.alive and other.alive):
+            return False
         return self.network.can_communicate(self.node_id, other.node_id)
 
     def sync_with(self, other: "MobileNode", *, engine=None) -> MergeReport:

@@ -34,7 +34,7 @@ flags that situation as a conflict of independent origins.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from ..core.errors import ReplicationError
@@ -42,7 +42,27 @@ from ..core.order import Ordering
 from .conflict import ConflictPolicy, KeepBoth
 from .tracker import CausalityTracker, StampTracker
 
-__all__ = ["StoreReplica", "MergeReport", "KeyState"]
+__all__ = ["StoreReplica", "MergeReport", "KeyState", "FrameRejected"]
+
+
+@dataclass(frozen=True)
+class FrameRejected:
+    """One wire frame the sync engine skipped instead of merging.
+
+    Produced by the wire sync engine when a frame survives transport-level
+    retries but still fails to decode (e.g. payload bits flipped in
+    flight past the stream's structural checks).  The affected key keeps
+    its local state and is healed by a later round; the rest of the
+    pairwise sync proceeds.  ``stage`` says where the damage surfaced
+    (``"request"`` or ``"response"`` leg), ``reason`` carries the typed
+    decode error's message.
+    """
+
+    key: str
+    family: str
+    epoch: int
+    stage: str
+    reason: str
 
 
 @dataclass
@@ -55,6 +75,10 @@ class MergeReport:
     conflicts_detected: int = 0
     conflicts_resolved: int = 0
     keys_replicated: int = 0
+    #: Stale-epoch trackers fiat-upgraded to the newer epoch during merge.
+    epoch_upgrades: int = 0
+    #: Frames skipped (not merged) because they failed decode after retries.
+    frames_rejected: List[FrameRejected] = field(default_factory=list)
 
     def __iadd__(self, other: "MergeReport") -> "MergeReport":
         self.keys_examined += other.keys_examined
@@ -63,6 +87,8 @@ class MergeReport:
         self.conflicts_detected += other.conflicts_detected
         self.conflicts_resolved += other.conflicts_resolved
         self.keys_replicated += other.keys_replicated
+        self.epoch_upgrades += other.epoch_upgrades
+        self.frames_rejected.extend(other.frames_rejected)
         return self
 
 
@@ -173,6 +199,17 @@ class StoreReplica:
         """Remove ``key`` locally (modelled as writing a tombstone value)."""
         self.put(key, None)
 
+    def reset(self) -> None:
+        """Drop all keys, values and trackers (crash-stop recovery).
+
+        A replica that crashes rejoins *empty* and re-replicates from
+        peers: restoring an old snapshot would resurrect identifier space
+        that later forks already split away (an I2 violation that can
+        manufacture false orderings).  Fresh identities are minted per key
+        by the normal replication fork when the key flows back in.
+        """
+        self._keys.clear()
+
     def fork(self, name: str, *, connected: bool = True) -> "StoreReplica":
         """Create a new store replica holding the same data, entirely locally.
 
@@ -234,7 +271,36 @@ class StoreReplica:
         wire engine relies on that stability: unchanged trackers re-ship
         as byte-identical frames, which its decode intern turns into
         dictionary hits.
+
+        Epoch-gossip straggler upgrade: when the two trackers disagree on
+        their re-rooting epoch, the older-epoch side is a straggler that
+        missed a compaction.  Epoch bumps only happen once every live
+        holder of the key reached pairwise-EQUAL common knowledge (see
+        :meth:`repro.replication.synchronizer.AntiEntropy.compact_key`),
+        so the straggler's knowledge is causally dominated by the
+        newer-epoch state *by construction* -- the merge adopts the newer
+        side's values wholesale and re-seats the straggler on a fresh fork
+        of the newer tracker, instead of raising :class:`EpochMismatch`.
         """
+        my_epoch = getattr(mine.tracker, "epoch", None)
+        their_epoch = getattr(theirs.tracker, "epoch", None)
+        if (
+            my_epoch is not None
+            and their_epoch is not None
+            and my_epoch != their_epoch
+        ):
+            fresh, stale = (mine, theirs) if my_epoch > their_epoch else (theirs, mine)
+            report.epoch_upgrades += 1
+            report.values_dropped_stale += len(stale.values)
+            stale.values = list(fresh.values)
+            report.values_taken += len(fresh.values)
+            local, remote = fresh.tracker.forked()
+            fresh.tracker = local
+            stale.tracker = remote
+            mine.independently_created = False
+            theirs.independently_created = False
+            return
+
         relation = mine.tracker.compare(theirs.tracker)
         independent_origins = (
             mine.independently_created

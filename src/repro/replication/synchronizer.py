@@ -5,12 +5,14 @@ can communicate, they exchange what they know.  :class:`AntiEntropy` drives
 that process over a collection of :class:`~repro.replication.node.MobileNode`
 objects and a :class:`~repro.replication.network.SimulatedNetwork`:
 
-* each *round*, every node picks a reachable peer (at random or round-robin)
-  and performs a two-way store synchronization;
-* partitions simply limit who can be picked, so progress continues
-  independently inside every partition -- the paper's partitioned operation;
+* each *round*, every live node picks a reachable peer (at random) and
+  performs a two-way store synchronization;
+* partitions and crashed nodes simply limit who can be picked, so progress
+  continues independently inside every partition -- the paper's partitioned
+  operation;
 * the collected :class:`RoundReport` objects let benchmarks measure how many
-  rounds convergence takes and how many conflicts were detected.
+  rounds convergence takes, how many conflicts were detected, and -- under a
+  fault-injecting transport -- the effective goodput of the exchange.
 
 The wire sync engine
 --------------------
@@ -39,20 +41,56 @@ a free EQUAL check (the codecs are canonical, so equal bytes mean equal
 clocks).  The per-envelope baseline re-decodes every envelope every round.
 Both modes drive the identical merge logic, so they produce identical
 configurations -- a property test locks this in against the causal oracle.
+
+Degrading gracefully under faults
+---------------------------------
+Give the engine a :class:`~repro.replication.faults.FaultyTransport` and a
+:class:`~repro.replication.faults.RetryPolicy` and every transfer leg runs
+through scheduled loss, duplication, reordering and corruption:
+
+* each wire message carries a CRC32 transport checksum; a copy that fails
+  the checksum (or fails eager structural decode) is discarded and the
+  message is *resent* under bounded exponential backoff with jitter --
+  ``messages``/``bytes_sent`` on the meter count every attempt, so goodput
+  is honest;
+* duplicate copies of an already-accepted message are no-ops (positional
+  reassembly plus canonical bytes make re-delivery idempotent), and
+  reordering is absorbed the same way;
+* a frame that fails *lazy* payload decode at merge time costs exactly one
+  key one round: the key is skipped and reported as a typed
+  :class:`~repro.replication.store.FrameRejected` in the
+  :class:`~repro.replication.store.MergeReport`, the rest of the pairwise
+  sync proceeds, and the key heals on a later round (the intern table is
+  never poisoned -- it only admits successfully decoded clocks);
+* keys whose *response* leg is lost past the retry budget are rolled back
+  on **both** sides to their pre-sync state: a half-installed join/fork
+  would strand one half of freshly split identifier space, an I2 hazard
+  that could manufacture false orderings;
+* a stale-epoch straggler is *upgraded* instead of rejected: epoch bumps
+  only happen at common knowledge (:meth:`AntiEntropy.compact_key`), so
+  the merge adopts the newer-epoch state wholesale rather than raising
+  :class:`~repro.core.errors.EpochMismatch` -- reroot announcements simply
+  piggyback on the normal sync legs.
 """
 
 from __future__ import annotations
 
 import random
+import zlib
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
-from ..core.errors import ReplicationError
+from .. import kernel
+from ..core.errors import EncodingError, ReplicationError
+from ..core.order import Ordering
+from ..core.reroot import reroot_group
+from ..kernel.clocks import VersionStampClock
 from ..kernel.envelope import decode_envelope
 from ..kernel.stream import InternTable, decode_stream, encode_stream
+from .faults import FaultyTransport, RetryPolicy
 from .network import NetworkMeter
 from .node import MobileNode
-from .store import KeyState, MergeReport, StoreReplica
+from .store import FrameRejected, KeyState, MergeReport, StoreReplica
 from .tracker import KernelTracker
 
 __all__ = ["RoundReport", "AntiEntropy", "WireSyncEngine"]
@@ -70,12 +108,26 @@ class RoundReport:
     #: Wire traffic of the round (zero when syncing in memory).
     messages_sent: int = 0
     bytes_sent: int = 0
+    #: Fault economy of the round (all zero on a perfect transport).
+    dropped: int = 0
+    duplicated: int = 0
+    retried: int = 0
+    corrupted: int = 0
+    retry_latency: float = 0.0
+    #: Accepted payload bytes over sent bytes for this round's traffic.
+    goodput: float = 0.0
+    #: Frames skipped via :class:`~repro.replication.store.FrameRejected`.
+    frames_rejected: int = 0
+    #: Stale-epoch stragglers fiat-upgraded during this round's merges.
+    epoch_upgrades: int = 0
 
     def record(self, merge: MergeReport) -> None:
         """Fold one pairwise merge into the round statistics."""
         self.exchanges += 1
         self.conflicts_detected += merge.conflicts_detected
         self.values_exchanged += merge.values_taken
+        self.frames_rejected += len(merge.frames_rejected)
+        self.epoch_upgrades += merge.epoch_upgrades
 
 
 class _LazyFrame:
@@ -109,9 +161,25 @@ class WireSyncEngine:
         decoded individually.
     meter:
         The :class:`~repro.replication.network.NetworkMeter` recording
-        messages and bytes; a fresh one is created when omitted.
+        messages, bytes and fault counters; a fresh one is created when
+        omitted.
     intern_entries:
         Capacity of the batched mode's intern table.
+    transport:
+        Optional :class:`~repro.replication.faults.FaultyTransport`; when
+        given, every transfer leg is delivered through its fault plan and
+        retried under ``retry``.  Without it the wire is perfect (the
+        pre-fault behaviour, bit for bit).
+    retry:
+        The :class:`~repro.replication.faults.RetryPolicy` used with a
+        transport; defaults to a fresh policy.
+    verify_checksums:
+        Whether transport messages carry a CRC32 end-to-end check (the
+        simulated analogue of a datagram checksum).  Disable only to
+        deliberately let damaged frames reach the decode layer, e.g. to
+        exercise the skip-and-report path.
+    retry_seed:
+        Seed of the jitter RNG, so retry schedules are reproducible.
 
     Both modes run the identical merge logic
     (:meth:`StoreReplica._merge_key_states` with ``refork_equal=False``),
@@ -132,16 +200,35 @@ class WireSyncEngine:
         batched: bool = True,
         meter: Optional[NetworkMeter] = None,
         intern_entries: int = 65536,
+        transport: Optional[FaultyTransport] = None,
+        retry: Optional[RetryPolicy] = None,
+        verify_checksums: bool = True,
+        retry_seed: int = 0x5EED,
     ) -> None:
         self.batched = batched
         self.meter = meter if meter is not None else NetworkMeter()
         self.intern = InternTable(max_entries=intern_entries) if batched else None
+        self.transport = transport
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.verify_checksums = verify_checksums
+        self._retry_rng = random.Random(retry_seed)
+        if transport is not None and transport.meter is None:
+            # One meter carries the whole fault economy: the transport
+            # records ground truth (drops, duplicates, corruption), the
+            # engine records attempts, retries and accepted deliveries.
+            transport.meter = self.meter
         #: Stamps that crossed the wire (both directions, all syncs).
         self.stamps_shipped = 0
         #: Keys settled by the canonical-bytes EQUAL fast path alone.
         self.equal_bytes_skips = 0
         #: Keys settled by the pointer-identity EQUAL verdict cache.
         self.equal_cache_hits = 0
+        #: Messages given up on after exhausting the retry budget.
+        self.deliveries_failed = 0
+        #: Frames skipped via the typed FrameRejected path (all syncs).
+        self.frames_rejected = 0
+        #: Stale-epoch stragglers fiat-upgraded during merges (all syncs).
+        self.epoch_upgrades = 0
         # The pointer-equality dividend of the intern table: once a frame
         # decodes to the *same object* round after round, a previously
         # computed EQUAL verdict for (my clock, that object) can be reused
@@ -157,6 +244,7 @@ class WireSyncEngine:
         self._wrappers: Dict[int, KernelTracker] = {}
 
     _MAX_CACHED = 1 << 16
+    _CRC_BYTES = 4
 
     def _wrap(self, clock) -> KernelTracker:
         key = id(clock)
@@ -180,6 +268,84 @@ class WireSyncEngine:
             )
         return tracker.clock
 
+    # -- faulty delivery ---------------------------------------------------
+
+    def _seal(self, blob: bytes) -> bytes:
+        """Prepend the transport checksum (a simulated datagram CRC)."""
+        if not self.verify_checksums:
+            return blob
+        return (zlib.crc32(blob) & 0xFFFFFFFF).to_bytes(self._CRC_BYTES, "big") + blob
+
+    def _unseal(self, payload) -> bytes:
+        """Verify and strip the transport checksum of one delivered copy."""
+        if not self.verify_checksums:
+            return bytes(payload)
+        if len(payload) < self._CRC_BYTES:
+            raise EncodingError("transport frame shorter than its checksum")
+        expected = int.from_bytes(payload[: self._CRC_BYTES], "big")
+        body = bytes(payload[self._CRC_BYTES :])
+        if (zlib.crc32(body) & 0xFFFFFFFF) != expected:
+            raise EncodingError("transport frame failed its checksum")
+        return body
+
+    def _deliver_batch(
+        self,
+        source: str,
+        destination: str,
+        blobs: Sequence[bytes],
+        validate: Callable[[int, bytes], object],
+    ) -> Dict[int, object]:
+        """Send ``blobs`` through the transport, retrying failed messages.
+
+        Returns ``blob index -> validated result``; an index missing from
+        the result exhausted the retry budget (lost or damaged on every
+        attempt) and the caller degrades without it.  ``validate`` is the
+        eager acceptance check: checksum-stripped payloads it rejects with
+        a typed :class:`EncodingError` count as not delivered and are
+        retried.  Duplicate copies of an already-accepted message are
+        discarded (idempotent re-delivery); reordering is absorbed by the
+        positional index riding with each copy.
+        """
+        results: Dict[int, object] = {}
+        if self.transport is None:
+            for index, blob in enumerate(blobs):
+                self.meter.record(source, destination, len(blob))
+                self.meter.record_delivery(len(blob))
+                results[index] = validate(index, blob)
+            return results
+        policy = self.retry
+        sealed = [self._seal(blob) for blob in blobs]
+        pending = list(range(len(blobs)))
+        for attempt in range(1, policy.attempts + 1):
+            if not pending:
+                break
+            if attempt > 1:
+                latency = sum(
+                    policy.delay(attempt - 1, self._retry_rng) for _ in pending
+                )
+                self.meter.record_retry(len(pending), latency)
+            for index in pending:
+                self.meter.record(source, destination, len(sealed[index]))
+            deliveries = self.transport.transfer_batch(
+                source, destination, [sealed[index] for index in pending]
+            )
+            for position, payload in deliveries:
+                index = pending[position]
+                if index in results:
+                    # An extra copy of a message we already accepted:
+                    # re-delivery is a no-op by construction.
+                    continue
+                try:
+                    body = self._unseal(payload)
+                    results[index] = validate(index, body)
+                except EncodingError:
+                    # Damaged in flight; a later attempt may succeed.
+                    continue
+                self.meter.record_delivery(len(payload))
+            pending = [index for index in pending if index not in results]
+        self.deliveries_failed += len(pending)
+        return results
+
     def _ship(
         self,
         sender: StoreReplica,
@@ -194,46 +360,136 @@ class WireSyncEngine:
         ``ClockStream`` index access) only for keys that need a real
         merge.  One stream per (family, epoch) group in batched mode, one
         envelope per stamp otherwise; either way the meter sees every
-        message.
+        message and attempt.  Keys whose message exhausted the transport
+        retry budget are simply absent from the result -- the caller skips
+        them and a later round heals the difference.
         """
         self.stamps_shipped += len(items)
         received: Dict[str, Tuple[object, object]] = {}
         if not self.batched:
-            for key, state in items:
-                blob = self._clock_of(sender, key, state).to_bytes()
-                self.meter.record(sender.name, receiver.name, len(blob))
-                received[key] = (decode_envelope(blob), None)
+            blobs = [
+                self._clock_of(sender, key, state).to_bytes()
+                for key, state in items
+            ]
+
+            def validate_envelope(index: int, body: bytes):
+                return decode_envelope(body)
+
+            results = self._deliver_batch(
+                sender.name, receiver.name, blobs, validate_envelope
+            )
+            for index, (key, _) in enumerate(items):
+                if index in results:
+                    received[key] = (results[index], None)
             return received
         groups: Dict[Tuple[str, int], List[Tuple[str, object]]] = {}
         for key, state in items:
             clock = self._clock_of(sender, key, state)
             groups.setdefault((clock.family, clock.epoch), []).append((key, clock))
-        for (family_name, epoch), members in groups.items():
-            blob = encode_stream(
+        ordered = list(groups.items())
+        blobs = [
+            encode_stream(
                 [clock for _, clock in members],
                 family_name=family_name,
                 epoch=epoch,
             )
-            self.meter.record(sender.name, receiver.name, len(blob))
-            stream = decode_stream(memoryview(blob), intern=self.intern)
-            for index, (key, _) in enumerate(members):
+            for (family_name, epoch), members in ordered
+        ]
+
+        def validate_stream(index: int, body: bytes):
+            (family_name, epoch), members = ordered[index]
+            stream = decode_stream(memoryview(body), intern=self.intern)
+            # The session's control data (which keys, which group) rides a
+            # reliable out-of-band channel; a delivered stream must match
+            # its announcement, or bits were flipped in the header.
+            if (stream.family, stream.epoch, len(stream)) != (
+                family_name,
+                epoch,
+                len(members),
+            ):
+                raise EncodingError(
+                    f"stream header does not match its announced group "
+                    f"({family_name!r}, epoch {epoch}, {len(members)} frames)"
+                )
+            return stream
+
+        results = self._deliver_batch(
+            sender.name, receiver.name, blobs, validate_stream
+        )
+        for index, ((family_name, epoch), members) in enumerate(ordered):
+            stream = results.get(index)
+            if stream is None:
+                continue
+            for frame_index, (key, _) in enumerate(members):
                 received[key] = (
-                    _LazyFrame(stream, index),
-                    (family_name, epoch, stream.frame_bytes(index)),
+                    _LazyFrame(stream, frame_index),
+                    (family_name, epoch, stream.frame_bytes(frame_index)),
                 )
         return received
+
+    # -- per-key transactionality ------------------------------------------
+
+    @staticmethod
+    def _snapshot(state: Optional[KeyState]):
+        if state is None:
+            return None
+        return (list(state.values), state.tracker, state.independently_created)
+
+    @staticmethod
+    def _restore(store: StoreReplica, key: str, snap) -> None:
+        if snap is None:
+            store._keys.pop(key, None)
+        else:
+            values, tracker, independent = snap
+            store._keys[key] = KeyState(
+                values=list(values),
+                tracker=tracker,
+                independently_created=independent,
+            )
+
+    @staticmethod
+    def _reject(
+        report: MergeReport, key: str, raw, stage: str, error: Exception
+    ) -> None:
+        if raw is not None:
+            family_name, epoch = raw[0], raw[1]
+        else:
+            family_name, epoch = "unknown", -1
+        report.frames_rejected.append(
+            FrameRejected(
+                key=key,
+                family=family_name,
+                epoch=epoch,
+                stage=stage,
+                reason=str(error),
+            )
+        )
 
     def sync(self, first: StoreReplica, second: StoreReplica) -> MergeReport:
         """Two-way reconciliation of ``first`` and ``second`` over the wire.
 
         Equivalent to :meth:`StoreReplica.sync_with` except that causally
         EQUAL keys keep their trackers (metadata stability) and all causal
-        metadata round-trips the codec.
+        metadata round-trips the codec.  Under a faulty transport the sync
+        is *per-key transactional*: a key whose frames are lost or damaged
+        past the retry budget is either skipped untouched (request leg) or
+        rolled back on both sides (response leg); every other key of the
+        pairwise sync completes normally.
         """
         if first is second:
             raise ReplicationError("a store replica cannot synchronize with itself")
         report = MergeReport()
         keys = sorted(set(first._keys) | set(second._keys))
+        faulty = self.transport is not None
+        backup = None
+        if faulty:
+            backup = {
+                key: (
+                    self._snapshot(first._keys.get(key)),
+                    self._snapshot(second._keys.get(key)),
+                )
+                for key in keys
+            }
 
         # Request leg: second ships everything it holds to first.
         held = [(key, second._keys[key]) for key in keys if key in second._keys]
@@ -255,10 +511,19 @@ class WireSyncEngine:
                 report.values_taken += len(mine.values)
                 changed.append(key)
                 continue
+            if key not in received:
+                # The request-leg message carrying this key never made it
+                # past the retry budget: leave both sides untouched and
+                # let a later round heal the difference.
+                continue
             frame, raw = received[key]
             if mine is None:
                 # Replicate second -> first from the decoded wire copy.
-                holder = KernelTracker(_materialize(frame))
+                try:
+                    holder = KernelTracker(_materialize(frame))
+                except EncodingError as error:
+                    self._reject(report, key, raw, "request", error)
+                    continue
                 local, remote = holder.forked()
                 theirs.tracker = local
                 first._keys[key] = KeyState(values=list(theirs.values), tracker=remote)
@@ -280,7 +545,15 @@ class WireSyncEngine:
                 ):
                     self.equal_bytes_skips += 1
                     continue
-            remote_clock = _materialize(frame)
+            try:
+                remote_clock = _materialize(frame)
+            except EncodingError as error:
+                # One damaged frame costs this key this round, nothing
+                # more: the group's other frames and the sync's other
+                # keys proceed (and the intern table only ever admits
+                # successfully decoded clocks, so it is not poisoned).
+                self._reject(report, key, raw, "request", error)
+                continue
             mine_clock = mine.tracker.clock
             verdict_key = (id(mine_clock), id(remote_clock))
             if not independent and verdict_key in self._equal_verdicts:
@@ -307,8 +580,24 @@ class WireSyncEngine:
             first, second, [(key, second._keys[key]) for key in changed]
         )
         for key in changed:
-            frame, _ = returned[key]
-            second._keys[key].tracker = KernelTracker(_materialize(frame))
+            entry = returned.get(key)
+            if entry is not None:
+                frame, raw = entry
+                try:
+                    second._keys[key].tracker = KernelTracker(_materialize(frame))
+                    continue
+                except EncodingError as error:
+                    self._reject(report, key, raw, "response", error)
+            # The response leg for this key was lost or damaged past the
+            # retry budget.  Roll BOTH sides back to their pre-sync state:
+            # completing only one half of a join/fork would strand freshly
+            # split identifier space across an unfinished exchange (an I2
+            # hazard that can manufacture false orderings later).
+            mine_snap, theirs_snap = backup[key]
+            self._restore(first, key, mine_snap)
+            self._restore(second, key, theirs_snap)
+        self.frames_rejected += len(report.frames_rejected)
+        self.epoch_upgrades += report.epoch_upgrades
         return report
 
 
@@ -318,8 +607,14 @@ class AntiEntropy:
     Pass a :class:`WireSyncEngine` as ``engine`` to run every pairwise
     exchange over the kernel wire formats (batched streams or per-stamp
     envelopes); each :class:`RoundReport` then carries the round's real
-    message and byte counts.  Without an engine, stores reconcile in
-    memory exactly as before.
+    message, byte and fault counts.  Without an engine, stores reconcile
+    in memory exactly as before.
+
+    With ``compact_threshold_bits`` set, every round ends with a
+    decentralized re-rooting sweep: any key whose causal metadata exceeds
+    the threshold on some holder is compacted via :meth:`compact_key` --
+    the epoch-gossip protocol that replaces the frontier-wide synchronous
+    re-root of :mod:`repro.core.reroot` for replicated stores.
     """
 
     def __init__(
@@ -328,26 +623,63 @@ class AntiEntropy:
         *,
         rng: Optional[random.Random] = None,
         engine: Optional[WireSyncEngine] = None,
+        compact_threshold_bits: Optional[int] = None,
     ) -> None:
         self.nodes: List[MobileNode] = list(nodes)
         self._rng = rng if rng is not None else random.Random(0)
         self.engine = engine
+        self.compact_threshold_bits = compact_threshold_bits
         self.reports: List[RoundReport] = []
+        #: Successful epoch-bump compactions performed so far.
+        self.compactions = 0
+        #: Compaction attempts (a verify step may abort one harmlessly).
+        self.compaction_attempts = 0
+
+    @property
+    def transport(self) -> Optional[FaultyTransport]:
+        """The engine's faulty transport, when one is in play."""
+        return self.engine.transport if self.engine is not None else None
 
     def add_node(self, node: MobileNode) -> None:
         """Bring a new node into the gossip population."""
         self.nodes.append(node)
 
+    # -- crash / restart ---------------------------------------------------
+
+    def crash(self, node: MobileNode) -> None:
+        """Crash-stop ``node``: it stops gossiping and drops off the network."""
+        node.crash()
+        transport = self.transport
+        if transport is not None:
+            transport.crash(node.node_id)
+
+    def restart(self, node: MobileNode) -> None:
+        """Restart ``node``: it rejoins *empty* and re-replicates from peers."""
+        node.restart()
+        transport = self.transport
+        if transport is not None:
+            transport.restart(node.node_id)
+
+    # -- rounds ------------------------------------------------------------
+
     def run_round(self) -> RoundReport:
-        """Run one gossip round: every node tries to sync with one peer."""
+        """Run one gossip round: every live node tries to sync with one peer."""
         report = RoundReport(round_number=len(self.reports) + 1)
         engine = self.engine
         if engine is not None:
-            messages_before, bytes_before = engine.meter.snapshot()
+            meter = engine.meter
+            before = (
+                meter.messages,
+                meter.bytes_sent,
+                meter.bytes_delivered,
+                meter.fault_snapshot(),
+            )
         order = list(self.nodes)
         self._rng.shuffle(order)
         for node in order:
-            peers = [other for other in self.nodes if other is not node]
+            if not node.alive:
+                continue
+            peers = [other for other in self.nodes if other is not node and other.alive]
             if not peers:
                 continue
             reachable = [other for other in peers if node.can_reach(other)]
@@ -360,10 +692,22 @@ class AntiEntropy:
                 report.skipped_partitioned += 1
             else:
                 report.record(merge)
+        if self.compact_threshold_bits is not None:
+            self._auto_compact()
         if engine is not None:
-            messages_after, bytes_after = engine.meter.snapshot()
-            report.messages_sent = messages_after - messages_before
-            report.bytes_sent = bytes_after - bytes_before
+            meter = engine.meter
+            report.messages_sent = meter.messages - before[0]
+            report.bytes_sent = meter.bytes_sent - before[1]
+            delivered = meter.bytes_delivered - before[2]
+            dropped, duplicated, retried, corrupted, latency = before[3]
+            report.dropped = meter.dropped - dropped
+            report.duplicated = meter.duplicated - duplicated
+            report.retried = meter.retried - retried
+            report.corrupted = meter.corrupted - corrupted
+            report.retry_latency = meter.retry_latency - latency
+            report.goodput = (
+                delivered / report.bytes_sent if report.bytes_sent > 0 else 0.0
+            )
         self.reports.append(report)
         return report
 
@@ -376,19 +720,135 @@ class AntiEntropy:
                 self.nodes[0].network.advance()
         return results
 
+    # -- decentralized re-rooting (epoch gossip) ---------------------------
+
+    def _pairwise(self, node: MobileNode, other: MobileNode) -> MergeReport:
+        if self.engine is not None:
+            return self.engine.sync(node.store, other.store)
+        return node.store.sync_with(other.store)
+
+    def _auto_compact(self) -> None:
+        threshold = self.compact_threshold_bits
+        oversized: List[str] = []
+        seen: set = set()
+        for node in self.nodes:
+            if not node.alive:
+                continue
+            for key in node.store._keys:
+                if key in seen:
+                    continue
+                state = node.store._keys[key]
+                if state.tracker.size_in_bits() > threshold:
+                    oversized.append(key)
+                    seen.add(key)
+        for key in oversized:
+            self.compact_key(key)
+
+    def compact_key(
+        self, key: str, *, participants: Optional[Sequence[MobileNode]] = None
+    ) -> bool:
+        """Compact one key's causal metadata by bumping its epoch.
+
+        The sync-then-bump protocol: all live holders of ``key`` are first
+        synchronized to pairwise-EQUAL (two passes through one hub), the
+        common knowledge is *verified* -- identical sibling values, a
+        single shared epoch, every pair causally EQUAL -- and only then is
+        the epoch bumped: the version-stamp family re-roots the group
+        (:func:`~repro.core.reroot.reroot_group`, the paper's Section 7
+        collection), every other family re-seeds at the new epoch and
+        forks the seed into one identity per holder.  Verification instead
+        of assumption is what makes the protocol safe under faults: a
+        lossy transport can make a sync pass silently skip the key, in
+        which case the verify step fails and the compaction aborts
+        harmlessly (``False``) -- to be retried a later round.
+
+        The bump is sound because everything the old epoch could ever
+        discriminate is common knowledge at bump time: older-epoch
+        knowledge is causally dominated *by construction*, which is
+        exactly the fiat rule the merge's straggler upgrade applies.  A
+        holder excluded via ``participants`` is being *asserted* dominated
+        by the caller (e.g. a holder known quiescent on this key); the
+        default -- all live holders -- never needs that assertion.
+
+        Returns ``True`` when the epoch was bumped.
+        """
+        nodes = list(participants) if participants is not None else self.nodes
+        holders = [
+            node
+            for node in nodes
+            if node.alive and key in node.store._keys
+        ]
+        if not holders:
+            return False
+        if not all(
+            isinstance(node.store._keys[key].tracker, KernelTracker)
+            for node in holders
+        ):
+            # Epochs only exist for kernel-tracked stores; the in-memory
+            # baselines keep the frontier-wide synchronous re-root.
+            return False
+        for node in holders:
+            for other in holders:
+                if node is not other and not node.can_reach(other):
+                    return False
+        self.compaction_attempts += 1
+        hub = holders[0]
+        for _sweep in range(2):
+            for other in holders[1:]:
+                self._pairwise(hub, other)
+        states = [node.store._keys.get(key) for node in holders]
+        if any(
+            state is None or not isinstance(state.tracker, KernelTracker)
+            for state in states
+        ):
+            return False
+        epochs = {state.tracker.epoch for state in states}
+        if len(epochs) != 1:
+            return False
+        reference = sorted(repr(value) for value in states[0].values)
+        for state in states[1:]:
+            if sorted(repr(value) for value in state.values) != reference:
+                return False
+        trackers = [state.tracker for state in states]
+        for i in range(len(trackers)):
+            for j in range(i + 1, len(trackers)):
+                if trackers[i].compare(trackers[j]) is not Ordering.EQUAL:
+                    return False
+        new_epoch = epochs.pop() + 1
+        clocks = [state.tracker.clock for state in states]
+        family_name = clocks[0].family
+        if family_name == "version-stamp":
+            stamps = reroot_group([clock.stamp for clock in clocks])
+            fresh = [VersionStampClock(stamp, epoch=new_epoch) for stamp in stamps]
+        else:
+            # Everything since the causal past is common knowledge, so a
+            # fresh seed carries the same discriminating power; fork it
+            # breadth-first into one identity per holder.
+            queue = [kernel.make(family_name).with_epoch(new_epoch)]
+            while len(queue) < len(states):
+                left, right = queue.pop(0).fork()
+                queue.extend((left, right))
+            fresh = queue
+        for state, clock in zip(states, fresh):
+            state.tracker = KernelTracker(clock)
+            state.independently_created = False
+        self.compactions += 1
+        return True
+
     # -- convergence checks ------------------------------------------------------
 
     def converged(self, keys: Optional[Iterable[str]] = None) -> bool:
-        """True when every node holds the same siblings for every key."""
-        if not self.nodes:
+        """True when every live node holds the same siblings for every key."""
+        live = [node for node in self.nodes if node.alive]
+        if not live:
             return True
         if keys is None:
             keys = set()
-            for node in self.nodes:
+            for node in live:
                 keys |= set(node.store.keys())
         for key in keys:
             reference = None
-            for node in self.nodes:
+            for node in live:
                 values = sorted(repr(value) for value in node.store.get(key))
                 if reference is None:
                     reference = values

@@ -262,6 +262,10 @@ class KernelTracker(CausalityTracker):
     def size_in_bits(self) -> int:
         return self.clock.encoded_size_bits()
 
+    def with_epoch(self, epoch: int) -> "KernelTracker":
+        """The same knowledge re-tagged with another re-rooting epoch."""
+        return KernelTracker(self.clock.with_epoch(epoch))
+
     def to_bytes(self) -> bytes:
         """The clock's epoch-tagged wire envelope."""
         return self.clock.to_bytes()
