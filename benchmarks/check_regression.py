@@ -18,7 +18,11 @@ and a freshly measured one -- on the two tracked *speedup ratios*:
 * ``chaos.convergence_efficiency`` (fault-free rounds-to-convergence over
   rounds-to-convergence under the 10%-loss fault matrix -- a deterministic
   seeded count ratio, so any drift at all is a real behaviour change in
-  the retry/skip machinery, not noise).
+  the retry/skip machinery, not noise);
+* ``durability.durable_vs_memory_sync`` (write-churn anti-entropy
+  rounds/sec with journaling on over journaling off -- the committed
+  floor enforces the <= 10% journaling-overhead budget of the durable
+  store design).
 
 Ratios rather than absolute ops/sec are checked because both sides of each
 ratio run on the same machine in the same process, so the ratio is stable
@@ -60,7 +64,15 @@ JOIN_NORMALIZE_FRONTIER = "32"
 #: listed here (i.e. benchmarks newer than this file).  When a new section
 #: lands, add it to this set in the same PR that commits its first floor.
 ESTABLISHED_SECTIONS = frozenset(
-    {"join_normalize", "lockstep", "reroot", "codec", "replication", "chaos"}
+    {
+        "join_normalize",
+        "lockstep",
+        "reroot",
+        "codec",
+        "replication",
+        "chaos",
+        "durability",
+    }
 )
 
 
@@ -101,6 +113,7 @@ def check(committed, fresh, *, tolerance=DEFAULT_TOLERANCE):
         ("codec", "envelope_vs_json_roundtrip"),
         ("replication", "batched_vs_per_envelope"),
         ("chaos", "convergence_efficiency"),
+        ("durability", "durable_vs_memory_sync"),
     )
     for keys in tracked:
         name = ".".join(keys)

@@ -377,6 +377,20 @@ def _cmd_panasync(args: argparse.Namespace) -> int:
     raise AssertionError(f"unhandled panasync action {action!r}")  # pragma: no cover
 
 
+def _cmd_store(args: argparse.Namespace) -> int:
+    from .durability.inspect import format_report, inspect_path
+
+    if args.store_command == "inspect":
+        info = inspect_path(args.path)
+        print(format_report(info))
+        # Damage is described, not hidden -- and also signalled in the
+        # exit code so scripts can gate on store health.
+        return 0 if info.healthy else 2
+    raise AssertionError(
+        f"unhandled store action {args.store_command!r}"
+    )  # pragma: no cover
+
+
 # ---------------------------------------------------------------------------
 # parser
 # ---------------------------------------------------------------------------
@@ -505,6 +519,21 @@ def build_parser() -> argparse.ArgumentParser:
     merge_files.add_argument("--other-name")
     panasync_sub.add_parser("status", help="list tracked copies")
     panasync.set_defaults(handler=_cmd_panasync)
+
+    # store
+    store = subparsers.add_parser(
+        "store", help="work with durable store logs and snapshots"
+    )
+    store_sub = store.add_subparsers(dest="store_command", required=True)
+    inspect_cmd = store_sub.add_parser(
+        "inspect",
+        help="header-only dump of a durable store (families, epochs, record "
+        "counts, CRC status) without decoding any payload",
+    )
+    inspect_cmd.add_argument(
+        "path", help="store directory (file backend) or SQLite database file"
+    )
+    store.set_defaults(handler=_cmd_store)
 
     return parser
 

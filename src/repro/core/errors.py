@@ -22,6 +22,13 @@ which part of the system rejected an input:
   compared or joined (their histories are not directly comparable until the
   straggler is upgraded).
 * :class:`ReplicationError` -- errors in the replication substrate.
+* :class:`DurabilityError` -- a durable store log was misused (unsupported
+  tracker kind, unserializable value, backend misconfiguration, ...).
+* :class:`LogCorrupt` -- on-disk log or snapshot damage that recovery cannot
+  repair by truncating to the last CRC-valid record; damage *behind* the
+  valid prefix is reported, not raised (see
+  :mod:`repro.durability.recovery`), so this is reserved for structurally
+  unreadable artifacts (bad snapshot magic, impossible sequence numbers).
 * :class:`FaultInjectionError` -- a fault-injection plan or transport is
   misconfigured (rates outside ``[0, 1]``, malformed outage windows, ...).
 * :class:`SimulationError` -- malformed traces or workload parameters.
@@ -44,6 +51,8 @@ __all__ = [
     "UnknownClockFamily",
     "EpochMismatch",
     "ReplicationError",
+    "DurabilityError",
+    "LogCorrupt",
     "FaultInjectionError",
     "SimulationError",
 ]
@@ -129,6 +138,21 @@ class EpochMismatch(ReproError, ValueError):
 
 class ReplicationError(ReproError, RuntimeError):
     """The replication substrate was used incorrectly."""
+
+
+class DurabilityError(ReproError, RuntimeError):
+    """A durable store log was misconfigured or misused."""
+
+
+class LogCorrupt(DurabilityError, EncodingError):
+    """An on-disk log or snapshot is structurally unreadable.
+
+    Raised when recovery cannot even delimit a valid prefix: the snapshot
+    fails its magic/version/CRC checks, or the record framing is damaged
+    in a way truncation cannot resolve.  Damage *past* a CRC-valid prefix
+    of the journal is handled by truncate-and-report instead (the torn
+    tail is re-synced by anti-entropy, never silently accepted).
+    """
 
 
 class FaultInjectionError(ReproError, ValueError):

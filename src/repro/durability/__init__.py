@@ -1,0 +1,48 @@
+"""Durable log-structured persistence for replicated stores.
+
+The layer that lets a replica survive restarts (PR 7): an append-only
+journal of CRC-sealed records plus periodic compacted snapshots, behind
+one :class:`~repro.durability.log.DurableLog` interface with two
+backends (plain file, SQLite).  The snapshot *is* the wire state: every
+tracker persists through its canonical envelope codec grouped into the
+same batched ``"CS"`` streams the sync engine ships, so recovery is
+proven equal to the pre-crash configuration by the same canonical-bytes
+property the wire path relies on.
+
+* :mod:`repro.durability.records` -- the sealed record and snapshot codecs;
+* :mod:`repro.durability.log` -- the interface + plain-file backend;
+* :mod:`repro.durability.sqlite_log` -- the SQLite backend;
+* :mod:`repro.durability.store` -- :class:`StoreJournal`, the store-side
+  journaling and compaction driver;
+* :mod:`repro.durability.recovery` -- snapshot + journal-tail rebuild with
+  typed :class:`RecoveryReport` (torn tails truncate and re-sync, never
+  silently decode);
+* :mod:`repro.durability.inspect` -- header-only artifact inspection
+  (the ``repro store inspect`` subcommand).
+"""
+
+from .inspect import StoreInfo, format_report, inspect_path
+from .log import CRASH_POINTS, DurableLog, FileDurableLog, TailDamage
+from .records import KeyRecord, SnapshotGroup
+from .recovery import RecoveryReport, rebuild, recover_replica
+from .sqlite_log import SQLiteDurableLog
+from .store import BACKENDS, StoreJournal, open_log
+
+__all__ = [
+    "BACKENDS",
+    "CRASH_POINTS",
+    "DurableLog",
+    "FileDurableLog",
+    "SQLiteDurableLog",
+    "TailDamage",
+    "KeyRecord",
+    "SnapshotGroup",
+    "StoreJournal",
+    "StoreInfo",
+    "RecoveryReport",
+    "open_log",
+    "rebuild",
+    "recover_replica",
+    "inspect_path",
+    "format_report",
+]

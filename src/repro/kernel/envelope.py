@@ -180,10 +180,20 @@ def decode_envelope(data) -> KernelClock:
             f"{body - payload_size} trailing bytes after the declared payload"
         )
     try:
-        return entry.decoder(data[HEADER_SIZE:], packed >> 32)
+        clock = entry.decoder(data[HEADER_SIZE:], packed >> 32)
     except ReproError:
         raise
     except Exception as exc:  # noqa: BLE001 - codecs must not leak raw errors
         raise EncodingError(
             f"malformed {entry.name!r} payload: {exc}"
         ) from exc
+    # Seed the encode caches with the wire bytes just validated.  The
+    # payload codecs are canonical (decode-then-encode is the identity),
+    # so this is pure memoization -- and it makes re-encoding a received
+    # clock (re-shipping it, journaling it to a durable store) a cache
+    # hit instead of a fresh payload encode.
+    if clock._payload is None:
+        object.__setattr__(clock, "_payload", bytes(data[HEADER_SIZE:]))
+    if clock._wire is None:
+        object.__setattr__(clock, "_wire", bytes(data))
+    return clock

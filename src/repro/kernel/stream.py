@@ -297,7 +297,7 @@ class ClockStream:
 
     def _decode_payload(self, payload, index: int) -> KernelClock:
         try:
-            return self._decoder(payload, self._info.epoch)
+            clock = self._decoder(payload, self._info.epoch)
         except ReproError:
             raise
         except Exception as exc:  # noqa: BLE001 - codecs must not leak raw errors
@@ -305,6 +305,13 @@ class ClockStream:
                 f"malformed {self._info.family!r} payload in stream frame "
                 f"{index}: {exc}"
             ) from exc
+        # Canonical codecs make decode-then-encode the identity, so the
+        # frame bytes just decoded *are* the clock's payload encoding:
+        # seed the cache and re-shipping or journaling this clock skips
+        # the payload encoder entirely.
+        if clock._payload is None:
+            object.__setattr__(clock, "_payload", bytes(payload))
+        return clock
 
 
 def decode_stream(data, *, intern: Optional[InternTable] = None) -> ClockStream:

@@ -15,6 +15,10 @@ partition-prone environments.  This subpackage builds that environment:
   retry policy the sync engine degrades through.
 * :mod:`~repro.replication.node` / :mod:`~repro.replication.synchronizer` --
   mobile nodes and anti-entropy gossip on top of all of the above.
+
+Stores opened ``durable=True`` journal to :mod:`repro.durability` and
+survive crash-recover restarts (``MobileNode.restart(mode="recover")``);
+see that package for the log, snapshot and recovery machinery.
 """
 
 from .conflict import ConflictPolicy, KeepBoth, MergeWith, PreferNewest

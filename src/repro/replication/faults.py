@@ -97,6 +97,16 @@ class FaultPlan:
         counts -- while ``start <= transfers_so_far < end`` every message
         is dropped.  This is the scripted analogue of a radio blackout,
         independent of the probabilistic ``loss`` rate.
+    crash_restart:
+        Which crash model a restarted replica follows when the caller
+        does not choose one explicitly: ``"rejoin-empty"`` (crash-stop,
+        the default -- drop state, re-replicate from peers) or
+        ``"recover"`` (crash-recover -- rebuild the pre-crash state from
+        the node's durable log, possibly returning as an epoch straggler
+        for the epoch gossip to upgrade).  The transport itself only
+        gates connectivity; this knob rides the plan so one
+        ``(plan, seed)`` pair fully describes a chaos schedule,
+        recovery semantics included.
     """
 
     loss: float = 0.0
@@ -107,6 +117,10 @@ class FaultPlan:
     max_duplicates: int = 1
     latency: float = 0.0
     outages: Tuple[Tuple[int, int], ...] = ()
+    crash_restart: str = "rejoin-empty"
+
+    #: The crash models a restarted replica can follow.
+    RESTART_MODES = ("rejoin-empty", "recover")
 
     def __post_init__(self) -> None:
         _check_rate("loss", self.loss)
@@ -129,6 +143,11 @@ class FaultPlan:
                     f"outage windows are (start, end) with 0 <= start < end, "
                     f"got {window!r}"
                 )
+        if self.crash_restart not in self.RESTART_MODES:
+            raise FaultInjectionError(
+                f"crash_restart must be one of {self.RESTART_MODES}, "
+                f"got {self.crash_restart!r}"
+            )
 
     @classmethod
     def perfect(cls) -> "FaultPlan":
@@ -141,7 +160,13 @@ class FaultPlan:
         return cls(loss=loss)
 
     @classmethod
-    def chaos(cls, *, loss: float = 0.1, seed_everything: bool = True) -> "FaultPlan":
+    def chaos(
+        cls,
+        *,
+        loss: float = 0.1,
+        seed_everything: bool = True,
+        crash_restart: str = "rejoin-empty",
+    ) -> "FaultPlan":
         """A kitchen-sink plan used by the chaos soaks."""
         return cls(
             loss=loss,
@@ -150,6 +175,7 @@ class FaultPlan:
             corrupt=0.03,
             corrupt_bits=1,
             max_duplicates=2 if seed_everything else 1,
+            crash_restart=crash_restart,
         )
 
 

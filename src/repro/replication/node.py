@@ -46,9 +46,12 @@ class MobileNode:
         self.network = network
         self.sync_attempts = 0
         self.sync_failures = 0
-        #: Crash-stop flag: a dead node neither gossips nor answers peers.
+        #: Crash flag: a dead node neither gossips nor answers peers.
         self.alive = True
         self.crashes = 0
+        #: The :class:`~repro.durability.recovery.RecoveryReport` of the
+        #: most recent crash-recover restart (``None`` before the first).
+        self.last_recovery = None
 
     # -- construction ------------------------------------------------------
 
@@ -92,21 +95,72 @@ class MobileNode:
         return self.store.get(key)
 
     def crash(self) -> None:
-        """Crash-stop: keep the (now unreachable) state but stop operating."""
+        """Crash the node: it stops operating and drops off the network.
+
+        The process image dies with it -- a durable store's *uncommitted*
+        journal buffer is lost (committed records survive on disk), which
+        is exactly the window the flush-at-sync-completion barrier keeps
+        safe (only purely local writes can sit in it).
+        """
         self.alive = False
         self.crashes += 1
+        journal = self.store.journal
+        if journal is not None:
+            journal.simulate_crash()
 
-    def restart(self) -> None:
-        """Recover from a crash by rejoining *empty*.
+    def restart(self, *, mode: str = "rejoin-empty"):
+        """Come back from a crash under one of the two crash models.
 
-        Restoring the pre-crash store would resurrect identifier space
-        that post-crash forks elsewhere may already have split away (an I2
-        violation able to manufacture false orderings), so recovery drops
-        local state and re-replicates from peers -- each key flowing back
-        mints fresh identities through the normal replication fork.
+        ``mode="rejoin-empty"`` (crash-stop, the default): drop local
+        state and re-replicate from peers -- each key flowing back mints
+        fresh identities through the normal replication fork.  Always
+        sound, even for a purely in-memory store, because nothing old is
+        resurrected.
+
+        ``mode="recover"`` (crash-recover): rebuild the pre-crash store
+        from the node's durable log (snapshot + CRC-valid journal tail).
+        Sound because a crashed node shares no identifiers while down and
+        the journal is flushed at every sync completion, so the recovered
+        state is at worst missing purely local writes -- never holding a
+        half of somebody else's fork.  The node may come back as an epoch
+        straggler (peers compacted while it was down); the next sync's
+        epoch gossip upgrades it in-band.  Returns the
+        :class:`~repro.durability.recovery.RecoveryReport`.
+
+        Raises
+        ------
+        ReplicationError
+            On an unknown mode, or ``mode="recover"`` without a durable
+            store.
         """
-        self.store.reset()
+        if mode == "rejoin-empty":
+            self.store.reset()
+            self.alive = True
+            return None
+        if mode != "recover":
+            raise ReplicationError(
+                f"unknown restart mode {mode!r} "
+                f"(choose 'rejoin-empty' or 'recover')"
+            )
+        journal = self.store.journal
+        if journal is None:
+            raise ReplicationError(
+                f"node {self.node_id!r} cannot restart in recover mode: "
+                f"its store has no durable journal"
+            )
+        from ..durability.recovery import rebuild
+
+        self.store, report = rebuild(
+            journal.log,
+            name=self.store.name,
+            tracker_factory=self.store._tracker_factory,
+            policy=self.store._policy,
+            snapshot_every=journal.snapshot_every,
+        )
         self.alive = True
+        #: Report of the most recent crash-recover restart.
+        self.last_recovery = report
+        return report
 
     def can_reach(self, other: "MobileNode") -> bool:
         """Whether the network currently lets this node talk to ``other``."""

@@ -30,6 +30,19 @@ One consequence (shared with PANASYNC file copies): a logical key should be
 *created* at one replica and spread by synchronization.  Two replicas
 independently creating the same key cannot be causally related -- the store
 flags that situation as a conflict of independent origins.
+
+Durability (PR 7)
+-----------------
+A replica opened with ``durable=True`` (or recovered via
+:meth:`StoreReplica.recover`) journals the post-mutation state of every
+key it writes, merges, replicates or rolls back to an append-only
+:class:`~repro.durability.log.DurableLog` through a
+:class:`~repro.durability.store.StoreJournal`.  Local writes flush
+immediately; synchronization paths flush once at sync completion (the
+durability barrier that keeps recovery inside the paper's I2 invariant --
+see the recovery design record in ``ROADMAP.md``).  The store only duck
+-types the journal, so this module never imports the durability package
+at module level.
 """
 
 from __future__ import annotations
@@ -114,6 +127,28 @@ class StoreReplica:
     policy:
         Conflict policy applied when concurrent versions of a key meet;
         defaults to keeping all siblings.
+    durable:
+        Open a journaled replica: every accepted mutation is persisted to
+        the durable log at ``path`` so :meth:`recover` can rebuild the
+        replica after a crash.  Requires kernel trackers
+        (``KernelTracker.factory(<family>)``) -- the baselines have no
+        canonical byte form.
+    path:
+        Location of the backing log (a directory for the file backend,
+        a database file for SQLite).  Required with ``durable=True``.
+    backend:
+        ``"file"`` (default) or ``"sqlite"``.
+    fsync_every:
+        Device-sync batching forwarded to the log: ``None`` commits stop
+        at the OS page cache (the process-crash model), ``N`` fsyncs
+        every Nth flush.
+    snapshot_every:
+        Auto-compaction threshold in journal records (``None`` compacts
+        only at epoch bumps and explicit requests).
+    journal:
+        An already-constructed :class:`~repro.durability.store.
+        StoreJournal` to attach (used by recovery); mutually exclusive
+        with ``durable=True``.
     """
 
     def __init__(
@@ -122,11 +157,76 @@ class StoreReplica:
         *,
         tracker_factory=StampTracker,
         policy: Optional[ConflictPolicy] = None,
+        durable: bool = False,
+        path=None,
+        backend: str = "file",
+        fsync_every: Optional[int] = None,
+        snapshot_every: Optional[int] = None,
+        journal=None,
     ) -> None:
         self.name = name
         self._tracker_factory = tracker_factory
         self._policy = policy if policy is not None else KeepBoth()
         self._keys: Dict[str, KeyState] = {}
+        if durable and journal is None:
+            if path is None:
+                raise ReplicationError(
+                    "a durable store needs a path for its backing log"
+                )
+            from ..durability.store import StoreJournal, open_log
+
+            journal = StoreJournal(
+                open_log(path, backend=backend, fsync_every=fsync_every),
+                snapshot_every=snapshot_every,
+            )
+        #: The attached :class:`~repro.durability.store.StoreJournal`
+        #: (``None`` for a purely in-memory replica).
+        self.journal = journal
+
+    @classmethod
+    def recover(
+        cls,
+        path,
+        *,
+        name: str,
+        backend: str = "file",
+        tracker_factory=None,
+        policy: Optional[ConflictPolicy] = None,
+        fsync_every: Optional[int] = None,
+        snapshot_every: Optional[int] = None,
+    ):
+        """Rebuild a replica from the durable log at ``path``.
+
+        Returns ``(replica, report)``: the replica holds the pre-crash
+        values, trackers and epochs (snapshot + CRC-valid journal tail,
+        torn tails truncated and reported -- never silently decoded), and
+        the :class:`~repro.durability.recovery.RecoveryReport` says what
+        was replayed, skipped and cut.  The replica is re-attached to the
+        same log, so journaling continues where the crash interrupted it.
+        """
+        from ..durability.recovery import recover_replica
+
+        return recover_replica(
+            path,
+            name=name,
+            backend=backend,
+            tracker_factory=tracker_factory,
+            policy=policy,
+            fsync_every=fsync_every,
+            snapshot_every=snapshot_every,
+        )
+
+    # -- journaling hooks --------------------------------------------------
+
+    def _record(self, key: str) -> None:
+        """Journal the current (post-mutation) state of ``key``, if durable."""
+        if self.journal is not None:
+            self.journal.record_key(key, self._keys.get(key))
+
+    def _flush_journal(self) -> None:
+        """Commit journaled records (the sync-boundary durability barrier)."""
+        if self.journal is not None:
+            self.journal.flush()
 
     # -- inspection ------------------------------------------------------
 
@@ -194,6 +294,10 @@ class StoreReplica:
             self._keys[key] = state
         state.values = [value]
         state.tracker = state.tracker.updated()
+        if self.journal is not None:
+            self._record(key)
+            self.journal.flush()
+            self.journal.maybe_snapshot(self)
 
     def delete(self, key: str) -> None:
         """Remove ``key`` locally (modelled as writing a tombstone value)."""
@@ -209,12 +313,19 @@ class StoreReplica:
         by the normal replication fork when the key flows back in.
         """
         self._keys.clear()
+        if self.journal is not None:
+            self.journal.record_clear()
+            self.journal.flush()
 
     def fork(self, name: str, *, connected: bool = True) -> "StoreReplica":
         """Create a new store replica holding the same data, entirely locally.
 
         Every key's tracker is forked so both replicas keep distinct,
-        autonomous identities per key.
+        autonomous identities per key.  The clone starts in-memory (attach
+        a journal or open it durable separately); the *parent's* re-seated
+        trackers are journaled and flushed before the clone leaves this
+        call, so a post-fork crash can never resurrect the pre-fork
+        identities the clone now co-owns.
         """
         clone = StoreReplica(name, tracker_factory=self._tracker_factory, policy=self._policy)
         for key, state in self._keys.items():
@@ -226,6 +337,8 @@ class StoreReplica:
                 independently_created=False,
             )
             state.independently_created = False
+            self._record(key)
+        self._flush_journal()
         return clone
 
     # -- reconciliation ------------------------------------------------------
@@ -348,6 +461,30 @@ class StoreReplica:
         if other is self:
             raise ReplicationError("a store replica cannot synchronize with itself")
         report = MergeReport()
+        durable = self.journal is not None or other.journal is not None
         for key in sorted(set(self._keys) | set(other._keys)):
+            if not durable:
+                self._sync_key(key, other, report)
+                continue
+            mine_before = self._keys.get(key)
+            mine_tracker = mine_before.tracker if mine_before is not None else None
+            theirs_before = other._keys.get(key)
+            theirs_tracker = (
+                theirs_before.tracker if theirs_before is not None else None
+            )
             self._sync_key(key, other, report)
+            mine_after = self._keys.get(key)
+            if mine_after is not None and mine_after.tracker is not mine_tracker:
+                self._record(key)
+            theirs_after = other._keys.get(key)
+            if (
+                theirs_after is not None
+                and theirs_after.tracker is not theirs_tracker
+            ):
+                other._record(key)
+        # One flush per sync, on both journals: the barrier that makes a
+        # completed sync durable as a unit (see the I2 argument in the
+        # ROADMAP recovery record).
+        self._flush_journal()
+        other._flush_journal()
         return report

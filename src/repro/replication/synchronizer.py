@@ -579,6 +579,7 @@ class WireSyncEngine:
         returned = self._ship(
             first, second, [(key, second._keys[key]) for key in changed]
         )
+        rolled_back = set()
         for key in changed:
             entry = returned.get(key)
             if entry is not None:
@@ -596,6 +597,23 @@ class WireSyncEngine:
             mine_snap, theirs_snap = backup[key]
             self._restore(first, key, mine_snap)
             self._restore(second, key, theirs_snap)
+            rolled_back.add(key)
+        if first.journal is not None or second.journal is not None:
+            # Durable stores journal only what this sync actually changed
+            # (rolled-back keys are byte-identical to their already
+            # journaled pre-sync state), then flush once per side: the
+            # sync-completion durability barrier.  A crash mid-sync thus
+            # recovers to the pre-sync state -- exactly what the per-key
+            # rollback would have produced -- and a crash after the
+            # barrier recovers the completed sync; there is no state in
+            # between to resurrect.
+            for key in changed:
+                if key in rolled_back:
+                    continue
+                first._record(key)
+                second._record(key)
+            first._flush_journal()
+            second._flush_journal()
         self.frames_rejected += len(report.frames_rejected)
         self.epoch_upgrades += report.epoch_upgrades
         return report
@@ -653,10 +671,20 @@ class AntiEntropy:
         if transport is not None:
             transport.crash(node.node_id)
 
-    def restart(self, node: MobileNode) -> None:
-        """Restart ``node``: it rejoins *empty* and re-replicates from peers."""
-        node.restart()
+    def restart(self, node: MobileNode, *, mode: Optional[str] = None) -> None:
+        """Restart ``node`` under the chosen (or the plan's) crash model.
+
+        ``mode`` is ``"rejoin-empty"`` (crash-stop: drop state, re-replicate
+        from peers) or ``"recover"`` (crash-recover: rebuild the pre-crash
+        state from the node's durable log).  When omitted, the transport's
+        :attr:`~repro.replication.faults.FaultPlan.crash_restart` decides,
+        defaulting to rejoin-empty.
+        """
         transport = self.transport
+        if mode is None:
+            plan = transport.plan if transport is not None else None
+            mode = getattr(plan, "crash_restart", None) or "rejoin-empty"
+        node.restart(mode=mode)
         if transport is not None:
             transport.restart(node.node_id)
 
@@ -829,9 +857,20 @@ class AntiEntropy:
                 left, right = queue.pop(0).fork()
                 queue.extend((left, right))
             fresh = queue
-        for state, clock in zip(states, fresh):
+        for node, state, clock in zip(holders, states, fresh):
             state.tracker = KernelTracker(clock)
             state.independently_created = False
+            store = node.store
+            if store.journal is not None:
+                # The epoch bump is the natural log-truncation point: every
+                # journal record below it describes identifier space the
+                # re-root just retired, so the store journals its compact
+                # post-bump state and -- once enough tail has accumulated
+                # to pay for one -- snapshots and drops the old epoch's
+                # records (amortized: see StoreJournal.snapshot_on_bump).
+                store._record(key)
+                if not store.journal.snapshot_on_bump(store):
+                    store.journal.flush()
         self.compactions += 1
         return True
 

@@ -81,6 +81,22 @@ class CausalityTracker:
         """Whether forking may fail without connectivity to an id authority."""
         return False
 
+    def to_bytes(self) -> bytes:
+        """The tracker's canonical wire envelope.
+
+        Only :class:`KernelTracker` has one; the in-memory baselines
+        raise a typed error so the wire sync engine and the durable store
+        layer reject them up front instead of inventing a private pickle
+        (which would break the canonical-bytes property both rely on).
+        """
+        from ..core.errors import DurabilityError
+
+        raise DurabilityError(
+            f"{type(self).__name__} has no canonical byte form; wire sync "
+            f"and durable stores need KernelTracker "
+            f"(KernelTracker.factory(<family>))"
+        )
+
 
 class StampTracker(CausalityTracker):
     """Causality tracking with version stamps (the paper's mechanism)."""
