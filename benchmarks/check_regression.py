@@ -19,6 +19,10 @@ and a freshly measured one -- on the two tracked *speedup ratios*:
   rounds-to-convergence under the 10%-loss fault matrix -- a deterministic
   seeded count ratio, so any drift at all is a real behaviour change in
   the retry/skip machinery, not noise);
+* ``scale.convergence_efficiency`` (log2(replicas) over the async
+  service's rounds-to-convergence at 10^4 simulated replicas -- epidemic
+  gossip converges in ~log2(N) rounds, and this deterministic ratio
+  drops when the datacenter-scale service starts wasting rounds);
 * ``durability.durable_vs_memory_sync`` (write-churn anti-entropy
   rounds/sec with journaling on over journaling off -- the committed
   floor enforces the <= 10% journaling-overhead budget of the durable
@@ -71,6 +75,7 @@ ESTABLISHED_SECTIONS = frozenset(
         "codec",
         "replication",
         "chaos",
+        "scale",
         "durability",
     }
 )
@@ -113,6 +118,7 @@ def check(committed, fresh, *, tolerance=DEFAULT_TOLERANCE):
         ("codec", "envelope_vs_json_roundtrip"),
         ("replication", "batched_vs_per_envelope"),
         ("chaos", "convergence_efficiency"),
+        ("scale", "convergence_efficiency"),
         ("durability", "durable_vs_memory_sync"),
     )
     for keys in tracked:

@@ -142,6 +142,24 @@ CHAOS_MAX_ROUNDS = 200
 CHAOS_TRACKED_LOSS = 0.1
 CHAOS_FAMILY = "version-stamp"
 
+#: Scale benchmark shape: the async anti-entropy service drives this many
+#: simulated replicas to convergence on the virtual clock.  Everything is
+#: seeded (gossip schedule, initial writes, link jitter) and the reported
+#: numbers are counts and virtual-time figures -- never wall-clock -- so
+#: the section is bit-identical across machines and runs, quick mode
+#: included (same shape, so the committed floor always applies).  The
+#: tracked ratio is ``convergence_efficiency`` = log2(replicas) divided by
+#: rounds-to-convergence: epidemic gossip converges in ~log2(N) rounds, so
+#: ~1.0 is ideal and a drop means the service started wasting rounds.
+SCALE_REPLICAS = 10_000
+SCALE_KEYS = 4
+SCALE_SHARDS = 4
+SCALE_SEED = 0
+SCALE_MAX_ROUNDS = 64
+SCALE_LINK_LATENCY = 0.001
+SCALE_LINK_BANDWIDTH = 1e9
+SCALE_LINK_JITTER = 0.1
+
 #: Lockstep benchmark shape: long enough that histories hold hundreds of
 #: events, wide enough that the per-step cross-check dominates.
 LOCKSTEP_TRACE_STEPS = 500
@@ -668,6 +686,64 @@ def measure_chaos(loss_levels=CHAOS_LOSS_LEVELS):
     return section
 
 
+def measure_scale():
+    """Datacenter-scale convergence via the async anti-entropy service.
+
+    :data:`SCALE_REPLICAS` simulated replicas gossip the batched stream
+    format over the virtual-time event loop (overlap mode,
+    :data:`SCALE_SHARDS` key shards, millisecond links) until every
+    replica agrees.  All reported figures are deterministic: round and
+    byte *counts*, plus latency percentiles in *virtual* seconds -- the
+    wall-clock cost of the simulation never leaks into the snapshot.
+    """
+    import math
+
+    from repro.service import AntiEntropyService, LinkProfile, build_cluster
+
+    nodes, keys = build_cluster(SCALE_REPLICAS, keys=SCALE_KEYS, seed=SCALE_SEED)
+    service = AntiEntropyService(
+        nodes,
+        shards=SCALE_SHARDS,
+        seed=SCALE_SEED,
+        link=LinkProfile(
+            latency=SCALE_LINK_LATENCY,
+            bandwidth=SCALE_LINK_BANDWIDTH,
+            jitter=SCALE_LINK_JITTER,
+        ),
+    )
+    report = service.run(max_rounds=SCALE_MAX_ROUNDS)
+    if report.converged_after is None:
+        raise RuntimeError(
+            f"scale benchmark failed to converge within {SCALE_MAX_ROUNDS} rounds"
+        )
+    rounds_p = report.round_duration_percentiles()
+    legs_p = report.session_latency_percentiles()
+    return {
+        "replicas": SCALE_REPLICAS,
+        "keys": SCALE_KEYS,
+        "shards": SCALE_SHARDS,
+        "seed": SCALE_SEED,
+        "link_latency": SCALE_LINK_LATENCY,
+        "link_bandwidth": SCALE_LINK_BANDWIDTH,
+        "link_jitter": SCALE_LINK_JITTER,
+        "rounds_to_convergence": report.converged_after,
+        "virtual_seconds": report.virtual_seconds,
+        "messages": report.total_messages,
+        "bytes_sent": report.total_bytes,
+        "bytes_per_key": report.bytes_per_key(len(keys)),
+        "bytes_per_key_per_replica": report.bytes_per_key_per_replica(len(keys)),
+        "round_p50_virtual_seconds": rounds_p[0.5],
+        "round_p90_virtual_seconds": rounds_p[0.9],
+        "round_p99_virtual_seconds": rounds_p[0.99],
+        "transfer_leg_p50_virtual_seconds": legs_p[0.5],
+        "transfer_leg_p90_virtual_seconds": legs_p[0.9],
+        "transfer_leg_p99_virtual_seconds": legs_p[0.99],
+        "convergence_efficiency": (
+            math.log2(SCALE_REPLICAS) / report.converged_after
+        ),
+    }
+
+
 def _churn_elapsed(base, *, durable):
     """One write-churn run: build the population, time the fixed schedule.
 
@@ -866,6 +942,7 @@ def snapshot(
         replica_counts, repeats=repeats, min_time=min_time
     )
     data["chaos"] = measure_chaos()
+    data["scale"] = measure_scale()
     data["durability"] = measure_durability(
         durability_log_lengths, repeats=repeats, min_time=min_time
     )
@@ -893,12 +970,17 @@ def main(argv=None):
             "replicas tracked), and chaos (rounds-to-convergence and fault "
             "counters under a faulty transport at 0/10/30 percent loss, all "
             "deterministic seeded counts, with the clean-vs-10-percent "
-            "convergence-efficiency ratio tracked), and durability "
+            "convergence-efficiency ratio tracked), scale (the async "
+            f"anti-entropy service converging {SCALE_REPLICAS:,} simulated "
+            "replicas on virtual time: rounds, bytes/key and round/leg "
+            "latency percentiles, all deterministic, with the "
+            "log2(N)-per-round convergence-efficiency ratio tracked), "
+            "and durability "
             "(recovery records/sec vs journal length, snapshot bytes/key "
             "per clock family, and journaling overhead on write-churn sync "
             "rounds, with the durable-vs-in-memory ratio tracked). "
             "benchmarks/check_regression.py compares the join_normalize@32, "
-            "lockstep, reroot, codec, replication, chaos and durability "
+            "lockstep, reroot, codec, replication, chaos, scale and durability "
             "ratios of a fresh "
             "snapshot against the committed BENCH_ops.json and fails CI "
             "when one drops more than 30 percent below its floor (sections "
@@ -1007,6 +1089,15 @@ def main(argv=None):
     print(
         f"  chaos convergence efficiency @ {chaos['tracked_loss']} loss: "
         f"{chaos['convergence_efficiency']:.2f}"
+    )
+    scale = data["scale"]
+    print(
+        f"  scale @ {scale['replicas']:,} replicas x {scale['shards']} shards: "
+        f"{scale['rounds_to_convergence']} rounds "
+        f"({scale['virtual_seconds']:.3f} virtual s), "
+        f"{scale['bytes_per_key_per_replica']:.1f} B/key/replica, round p99 "
+        f"{scale['round_p99_virtual_seconds'] * 1000:.1f} ms, "
+        f"efficiency {scale['convergence_efficiency']:.2f}"
     )
     durability = data["durability"]
     for length, arm in durability["recovery"].items():

@@ -263,16 +263,49 @@ def _cmd_sync_bench(args: argparse.Namespace) -> int:
     if args.rounds < 1:
         print("error: --rounds must be at least 1", file=sys.stderr)
         return 1
-    if args.warmup < 0 or args.replicas < 2 or args.keys < 1:
+    if args.warmup < 0 or args.replicas < 2 or args.keys < 1 or args.repeats < 1:
         print(
-            "error: need --warmup >= 0, --replicas >= 2 and --keys >= 1",
+            "error: need --warmup >= 0, --replicas >= 2, --keys >= 1 "
+            "and --repeats >= 1",
             file=sys.stderr,
         )
         return 1
+
+    def timed_arm(family: str, batched: bool):
+        """One timed measurement of one arm; returns (elapsed, stats)."""
+        network = FullyConnectedNetwork()
+        nodes = [
+            MobileNode.first(
+                "n0", network, tracker_factory=KernelTracker.factory(family)
+            )
+        ]
+        for index in range(1, args.replicas):
+            nodes.append(nodes[-1].spawn_peer(f"n{index}"))
+        rng = random.Random(args.seed)
+        for index in range(args.keys):
+            rng.choice(nodes).write(f"key{index}", f"value{index}")
+        engine = WireSyncEngine(batched=batched)
+        gossip = AntiEntropy(nodes, rng=random.Random(args.seed + 1), engine=engine)
+        for _ in range(args.warmup):
+            gossip.run_round()
+        shipped = engine.stamps_shipped
+        messages, sent = engine.meter.snapshot()
+        start = time.perf_counter()
+        for _ in range(args.rounds):
+            gossip.run_round()
+        elapsed = time.perf_counter() - start
+        stats = (
+            (engine.stamps_shipped - shipped) / args.rounds,
+            (engine.meter.messages - messages) / args.rounds,
+            (engine.meter.bytes_sent - sent) / args.rounds,
+        )
+        return elapsed, stats
+
     families = kernel.families() if args.clock == "all" else [args.clock]
     print(
         f"steady-state anti-entropy: {args.replicas} replicas, "
-        f"{args.keys} keys, {args.rounds} timed rounds per arm"
+        f"{args.keys} keys, {args.rounds} timed rounds per arm, "
+        f"best of {args.repeats} interleaved repeats"
     )
     print(
         f"{'family':<16} {'mode':<13} {'rounds/s':>9} {'stamps/s':>10} "
@@ -280,40 +313,29 @@ def _cmd_sync_bench(args: argparse.Namespace) -> int:
     )
     worst = None
     for family in families:
-        rates = {}
+        # Best-of-N with the arms interleaved (the perf_snapshot.py idiom):
+        # a GC pause or scheduler stall lands on one repeat of one arm, not
+        # on a whole arm, so the min-over-repeats ratio cannot flake a
+        # --min-speedup gate the way a single perf_counter shot per arm can.
+        best = {}
+        for _ in range(args.repeats):
+            for batched in (True, False):
+                elapsed, stats = timed_arm(family, batched)
+                if batched not in best or elapsed < best[batched][0]:
+                    best[batched] = (elapsed, stats)
+        rates = {
+            batched: (args.rounds / elapsed if elapsed else float("inf"))
+            for batched, (elapsed, _) in best.items()
+        }
         for batched in (True, False):
-            network = FullyConnectedNetwork()
-            nodes = [
-                MobileNode.first(
-                    "n0", network, tracker_factory=KernelTracker.factory(family)
-                )
-            ]
-            for index in range(1, args.replicas):
-                nodes.append(nodes[-1].spawn_peer(f"n{index}"))
-            rng = random.Random(args.seed)
-            for index in range(args.keys):
-                rng.choice(nodes).write(f"key{index}", f"value{index}")
-            engine = WireSyncEngine(batched=batched)
-            gossip = AntiEntropy(
-                nodes, rng=random.Random(args.seed + 1), engine=engine
-            )
-            for _ in range(args.warmup):
-                gossip.run_round()
-            shipped = engine.stamps_shipped
-            messages, sent = engine.meter.snapshot()
-            start = time.perf_counter()
-            for _ in range(args.rounds):
-                gossip.run_round()
-            elapsed = time.perf_counter() - start
-            rate = args.rounds / elapsed if elapsed else float("inf")
-            stamps = (engine.stamps_shipped - shipped) / args.rounds
-            rates[batched] = rate
+            rate = rates[batched]
+            stamps, msgs, nbytes = best[batched][1]
             mode = "batched" if batched else "per-envelope"
             print(
                 f"{family:<16} {mode:<13} {rate:>9,.1f} "
                 f"{rate * stamps:>10,.0f} "
-                f"{(engine.meter.messages - messages) / args.rounds:>11,.1f} "
-                f"{(engine.meter.bytes_sent - sent) / args.rounds:>12,.0f} "
+                f"{msgs:>11,.1f} "
+                f"{nbytes:>12,.0f} "
                 + (f"{rates[True] / rates[False]:>8.1f}x" if not batched else f"{'':>8}")
             )
         speedup = rates[True] / rates[False]
@@ -326,6 +348,78 @@ def _cmd_sync_bench(args: argparse.Namespace) -> int:
             )
             return 1
         print(f"ok: worst batched speedup {worst:.2f}x")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# serve-sim subcommand
+# ---------------------------------------------------------------------------
+
+
+def _cmd_serve_sim(args: argparse.Namespace) -> int:
+    from .replication import FaultPlan, FaultyTransport
+    from .service import (
+        AntiEntropyService,
+        AsyncWireSyncEngine,
+        LinkProfile,
+        build_cluster,
+    )
+
+    nodes, key_names = build_cluster(
+        args.replicas, keys=args.keys, family=args.clock, seed=args.seed
+    )
+    transport = None
+    if args.loss > 0:
+        plan = FaultPlan(loss=args.loss)
+        transport = FaultyTransport(nodes[0].network, plan=plan, seed=args.seed)
+    engine = AsyncWireSyncEngine(transport=transport)
+    link = LinkProfile(
+        latency=args.latency, bandwidth=args.bandwidth, jitter=args.jitter
+    )
+    service = AntiEntropyService(
+        nodes,
+        engine=engine,
+        shards=args.shards,
+        link=link,
+        seed=args.seed,
+        lockstep=args.lockstep,
+    )
+    mode = "lockstep" if args.lockstep else "overlap"
+    print(
+        f"serve-sim: {args.replicas:,} replicas x {args.keys} keys "
+        f"({args.clock}), {args.shards} shard(s), {mode} mode, "
+        f"loss={args.loss:.2f}, latency={args.latency * 1e3:.1f}ms"
+    )
+    print(
+        f"{'round':>5} {'exchanges':>9} {'skipped':>7} {'messages':>9} "
+        f"{'bytes':>12} {'virtual s':>10} {'converged':>9}"
+    )
+
+    def show(metrics) -> None:
+        print(
+            f"{metrics.number:>5} {metrics.exchanges:>9,} {metrics.skipped:>7,} "
+            f"{metrics.messages:>9,} {metrics.bytes_sent:>12,} "
+            f"{metrics.virtual_duration:>10.4f} {str(metrics.converged):>9}"
+        )
+
+    report = service.run(max_rounds=args.max_rounds, on_round=show)
+    rounds_p = report.round_duration_percentiles()
+    session_p = report.session_latency_percentiles()
+    print(
+        f"total: {report.total_messages:,} messages, {report.total_bytes:,} bytes "
+        f"({report.bytes_per_key_per_replica(len(key_names)):.1f} B/key/replica), "
+        f"{report.virtual_seconds:.3f} virtual seconds"
+    )
+    print(
+        f"round duration p50/p90/p99: {rounds_p[0.5]:.4f}/{rounds_p[0.9]:.4f}/"
+        f"{rounds_p[0.99]:.4f}s; transfer-leg p50/p90/p99: "
+        f"{session_p[0.5] * 1e3:.2f}/{session_p[0.9] * 1e3:.2f}/"
+        f"{session_p[0.99] * 1e3:.2f}ms"
+    )
+    if report.converged_after is None:
+        print(f"FAIL: not converged after {args.max_rounds} rounds")
+        return 1
+    print(f"converged after round {report.converged_after}")
     return 0
 
 
@@ -490,10 +584,62 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sync_bench.add_argument("--seed", type=int, default=0, help="workload seed")
     sync_bench.add_argument(
+        "--repeats", type=int, default=3,
+        help="interleaved timing repeats per arm; the best (minimum) elapsed "
+        "time of each arm is what the speedup gate compares (default: 3)",
+    )
+    sync_bench.add_argument(
         "--min-speedup", type=float, default=None,
         help="exit non-zero when the worst batched speedup falls below this",
     )
     sync_bench.set_defaults(handler=_cmd_sync_bench)
+
+    # serve-sim
+    serve_sim = subparsers.add_parser(
+        "serve-sim",
+        help="drive the async anti-entropy service at datacenter scale on virtual time",
+    )
+    serve_sim.add_argument(
+        "--replicas", type=int, default=10_000,
+        help="simulated replica population (default: 10,000)",
+    )
+    serve_sim.add_argument(
+        "--keys", type=int, default=4, help="replicated keys (default: 4)"
+    )
+    serve_sim.add_argument(
+        "--clock", default="version-stamp", choices=kernel.families(),
+        help="clock family (default: version-stamp)",
+    )
+    serve_sim.add_argument(
+        "--shards", type=int, default=4,
+        help="key-range shards syncing independently (default: 4)",
+    )
+    serve_sim.add_argument(
+        "--loss", type=float, default=0.0,
+        help="message loss probability on the simulated fabric (default: 0)",
+    )
+    serve_sim.add_argument(
+        "--latency", type=float, default=0.001,
+        help="one-way link latency in virtual seconds (default: 1ms)",
+    )
+    serve_sim.add_argument(
+        "--bandwidth", type=float, default=1e9,
+        help="link bandwidth in bytes per virtual second (default: 1e9)",
+    )
+    serve_sim.add_argument(
+        "--jitter", type=float, default=0.1,
+        help="fractional uniform latency jitter (default: 0.1)",
+    )
+    serve_sim.add_argument("--seed", type=int, default=0, help="simulation seed")
+    serve_sim.add_argument(
+        "--max-rounds", type=int, default=64,
+        help="gossip-round budget before declaring failure (default: 64)",
+    )
+    serve_sim.add_argument(
+        "--lockstep", action="store_true",
+        help="serialize sessions in schedule order (the sync-equivalent mode)",
+    )
+    serve_sim.set_defaults(handler=_cmd_serve_sim)
 
     # panasync
     panasync = subparsers.add_parser("panasync", help="track dependencies among file copies")

@@ -69,6 +69,7 @@ from .stream import (
     STREAM_HEADER_SIZE,
     STREAM_MAGIC,
     ClockStream,
+    IncrementalStreamDecoder,
     InternTable,
     StreamInfo,
     decode_stream,
@@ -112,6 +113,7 @@ __all__ = [
     "encode_stream",
     "decode_stream",
     "stream_info",
+    "IncrementalStreamDecoder",
     "MechanismAdapter",
     "KernelClockAdapter",
     "default_adapters",

@@ -75,6 +75,7 @@ __all__ = [
     "StreamInfo",
     "InternTable",
     "ClockStream",
+    "IncrementalStreamDecoder",
     "encode_stream",
     "decode_stream",
     "stream_info",
@@ -351,3 +352,162 @@ def decode_stream(data, *, intern: Optional[InternTable] = None) -> ClockStream:
         )
     entry = family(info.family)
     return ClockStream(info, frames, entry.decoder, entry.tag, intern)
+
+
+class IncrementalStreamDecoder:
+    """Feed a stream's bytes as they arrive; validate as early as possible.
+
+    An asynchronous reader receives a ``"CS"`` stream in arbitrary chunks
+    (link MTU, bandwidth slices, socket reads).  :func:`decode_stream`
+    needs the whole buffer; this decoder accepts the bytes **incrementally**
+    via :meth:`feed` and raises the same typed rejections at the earliest
+    moment they are decidable:
+
+    * bad magic after 2 bytes, unsupported version after 3, an unknown
+      family tag after 4 -- a daemon drops a garbage transfer before the
+      body has even arrived;
+    * :attr:`info` is available as soon as the 12-byte header is complete
+      (the streaming peek of :func:`stream_info`), so the receiver can
+      classify the batch -- family, epoch, frame count -- mid-flight and
+      detect an epoch straggler early;
+    * the frame table is walked as bytes arrive: :attr:`frames_ready`
+      counts fully buffered frames, and trailing bytes beyond the declared
+      frames are rejected on the chunk that carries them.
+
+    :meth:`finish` returns the same lazy, intern-aware
+    :class:`ClockStream` that :func:`decode_stream` would have produced
+    for the concatenated bytes -- the two paths are equivalent by
+    construction, which is what lets the async replica daemon share the
+    synchronous engine's merge logic bit for bit.  A decoder that has
+    raised is spent: further use raises :class:`EnvelopeError`.
+    """
+
+    __slots__ = ("_buffer", "_info", "_entry", "_frames", "_pos", "_failed")
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+        self._info: Optional[StreamInfo] = None
+        self._entry = None
+        # Parsed frames as (start, end) offsets into the buffer; offsets
+        # (not memoryviews) because the bytearray reallocates as it grows.
+        self._frames: List[tuple] = []
+        self._pos = STREAM_HEADER_SIZE
+        self._failed = False
+
+    def _fail(self, error: EncodingError) -> "EncodingError":
+        self._failed = True
+        return error
+
+    @property
+    def info(self) -> Optional[StreamInfo]:
+        """The header fields, or ``None`` while the header is incomplete."""
+        return self._info
+
+    @property
+    def frames_ready(self) -> int:
+        """How many frames are fully buffered so far."""
+        return len(self._frames)
+
+    @property
+    def bytes_received(self) -> int:
+        """Total bytes fed so far."""
+        return len(self._buffer)
+
+    @property
+    def is_complete(self) -> bool:
+        """Whether every declared frame has fully arrived."""
+        return (
+            self._info is not None
+            and len(self._frames) == self._info.frame_count
+            and self._pos == len(self._buffer)
+        )
+
+    def feed(self, chunk) -> int:
+        """Absorb the next chunk of the stream; returns :attr:`frames_ready`.
+
+        Raises the typed rejection of the first malformed byte as soon as
+        the prefix received so far proves the stream bad -- the same error
+        :func:`decode_stream` would raise for any completion of it.
+        """
+        if self._failed:
+            raise EnvelopeError("this stream decoder already rejected its input")
+        if not isinstance(chunk, (bytes, bytearray, memoryview)):
+            raise self._fail(
+                EnvelopeError(
+                    f"streams are byte strings, got {type(chunk).__name__}"
+                )
+            )
+        self._buffer.extend(chunk)
+        buffer = self._buffer
+        if self._info is None:
+            # Early header validation: each field is checked the moment its
+            # bytes exist, without waiting for the full 12-byte header.
+            if len(buffer) >= 2 and bytes(buffer[:2]) != STREAM_MAGIC:
+                raise self._fail(
+                    EnvelopeMagicError(
+                        f"bad stream magic {bytes(buffer[:2])!r} "
+                        f"(expected {STREAM_MAGIC!r})"
+                    )
+                )
+            if len(buffer) >= 3:
+                version = buffer[2]
+                if version == 0 or version > STREAM_FORMAT_VERSION:
+                    raise self._fail(
+                        EnvelopeVersionError(
+                            f"stream format version {version} is not supported "
+                            f"(this library speaks versions "
+                            f"1..{STREAM_FORMAT_VERSION})"
+                        )
+                    )
+            if len(buffer) >= 4:
+                try:
+                    self._entry = family_by_tag(buffer[3])
+                except EncodingError as error:
+                    raise self._fail(error)
+            if len(buffer) < STREAM_HEADER_SIZE:
+                return 0
+            self._info = _stream_header(bytes(buffer[:STREAM_HEADER_SIZE]))
+        info = self._info
+        total = len(buffer)
+        # Walk as much of the frame table as the buffered bytes cover.
+        while len(self._frames) < info.frame_count:
+            pos = self._pos
+            if pos + 4 > total:
+                return len(self._frames)
+            size = int.from_bytes(buffer[pos : pos + 4], "big")
+            if pos + 4 + size > total:
+                return len(self._frames)
+            self._frames.append((pos + 4, pos + 4 + size))
+            self._pos = pos + 4 + size
+        if self._pos != total:
+            raise self._fail(
+                EnvelopeError(
+                    f"{total - self._pos} trailing bytes after the declared "
+                    f"{info.frame_count} stream frames"
+                )
+            )
+        return len(self._frames)
+
+    def finish(self, *, intern: Optional[InternTable] = None) -> ClockStream:
+        """The completed stream as a lazy :class:`ClockStream`.
+
+        Equivalent to ``decode_stream(b"".join(chunks), intern=intern)``;
+        raises :class:`EnvelopeTruncatedError` while frames are missing.
+        """
+        if self._failed:
+            raise EnvelopeError("this stream decoder already rejected its input")
+        info = self._info
+        if info is None:
+            raise EnvelopeTruncatedError(
+                f"stream header needs {STREAM_HEADER_SIZE} bytes, got "
+                f"{len(self._buffer)}"
+            )
+        if not self.is_complete:
+            index = len(self._frames)
+            raise EnvelopeTruncatedError(
+                f"stream truncated in frame {index} "
+                f"({info.frame_count} frames declared, {index} complete)"
+            )
+        view = memoryview(bytes(self._buffer))
+        frames = [view[start:end] for start, end in self._frames]
+        return ClockStream(info, frames, self._entry.decoder, self._entry.tag, intern)

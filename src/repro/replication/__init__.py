@@ -36,7 +36,13 @@ from .network import (
 from .node import MobileNode
 from .replica import Replica, SyncOutcome, Version
 from .store import FrameRejected, MergeReport, StoreReplica
-from .synchronizer import AntiEntropy, RoundReport, WireSyncEngine
+from .synchronizer import (
+    AntiEntropy,
+    RoundReport,
+    SleepEffect,
+    TransferEffect,
+    WireSyncEngine,
+)
 from .tracker import (
     CausalityTracker,
     DynamicVVTracker,
@@ -72,6 +78,8 @@ __all__ = [
     "FaultPlan",
     "FaultyTransport",
     "RetryPolicy",
+    "SleepEffect",
+    "TransferEffect",
     "MobileNode",
     "AntiEntropy",
     "RoundReport",

@@ -74,6 +74,9 @@ class NetworkMeter:
     #: Bytes of payloads the receiving engine accepted (first valid copy).
     bytes_delivered: int = 0
     per_pair: Dict[Tuple[str, str], Tuple[int, int]] = field(default_factory=dict)
+    #: Virtual seconds each transfer leg spent on the wire (async service
+    #: only; the synchronous engine moves bytes in zero simulated time).
+    transfer_latencies: List[float] = field(default_factory=list)
 
     def record(self, source: str, destination: str, nbytes: int, count: int = 1) -> None:
         """Record ``count`` messages totalling ``nbytes`` from source to destination."""
@@ -103,6 +106,29 @@ class NetworkMeter:
     def record_delivery(self, nbytes: int) -> None:
         """Record payload bytes the receiver accepted as valid."""
         self.bytes_delivered += nbytes
+
+    def record_transfer_latency(self, seconds: float) -> None:
+        """Record the virtual wire time of one transfer leg (async path)."""
+        self.transfer_latencies.append(seconds)
+
+    def latency_percentiles(
+        self, quantiles: Sequence[float] = (0.5, 0.9, 0.99)
+    ) -> Dict[float, float]:
+        """Nearest-rank percentiles of the recorded transfer latencies.
+
+        Returns ``quantile -> seconds`` (all zero when nothing was
+        recorded).  Nearest-rank on the sorted samples -- no
+        interpolation -- so the numbers are deterministic and directly
+        comparable across runs and machines.
+        """
+        samples = sorted(self.transfer_latencies)
+        if not samples:
+            return {q: 0.0 for q in quantiles}
+        last = len(samples) - 1
+        return {
+            q: samples[min(last, max(0, math.ceil(q * len(samples)) - 1))]
+            for q in quantiles
+        }
 
     def goodput(self) -> float:
         """Accepted payload bytes as a fraction of all bytes sent.
@@ -140,6 +166,7 @@ class NetworkMeter:
         self.retry_latency = 0.0
         self.bytes_delivered = 0
         self.per_pair.clear()
+        self.transfer_latencies.clear()
 
 
 class SimulatedNetwork:

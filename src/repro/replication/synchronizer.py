@@ -78,7 +78,16 @@ from __future__ import annotations
 import random
 import zlib
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    NamedTuple,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from .. import kernel
 from ..core.errors import EncodingError, ReplicationError
@@ -93,7 +102,41 @@ from .node import MobileNode
 from .store import FrameRejected, KeyState, MergeReport, StoreReplica
 from .tracker import KernelTracker
 
-__all__ = ["RoundReport", "AntiEntropy", "WireSyncEngine"]
+__all__ = [
+    "RoundReport",
+    "AntiEntropy",
+    "WireSyncEngine",
+    "SleepEffect",
+    "TransferEffect",
+]
+
+
+class SleepEffect(NamedTuple):
+    """A sans-io wire effect: the session waits out simulated time.
+
+    Emitted by :meth:`WireSyncEngine.session` for retry backoff.  The
+    synchronous driver ignores it (the meter already accounts the latency
+    as ``retry_latency``); an asynchronous driver sleeps it on the virtual
+    clock so backoff shapes the simulation's timeline.
+    """
+
+    seconds: float
+
+
+class TransferEffect(NamedTuple):
+    """A sans-io wire effect: one transfer attempt just hit the wire.
+
+    Emitted after the transport computed its deliveries and before the
+    receiver validates them -- the point where, on a real network, the
+    bytes would be in flight.  An asynchronous driver turns it into a
+    link-model delay (latency plus ``nbytes`` over bandwidth); the
+    synchronous driver ignores it.
+    """
+
+    source: str
+    destination: str
+    messages: int
+    nbytes: int
 
 
 @dataclass
@@ -294,22 +337,36 @@ class WireSyncEngine:
         destination: str,
         blobs: Sequence[bytes],
         validate: Callable[[int, bytes], object],
-    ) -> Dict[int, object]:
+    ):
         """Send ``blobs`` through the transport, retrying failed messages.
 
-        Returns ``blob index -> validated result``; an index missing from
-        the result exhausted the retry budget (lost or damaged on every
-        attempt) and the caller degrades without it.  ``validate`` is the
-        eager acceptance check: checksum-stripped payloads it rejects with
-        a typed :class:`EncodingError` count as not delivered and are
-        retried.  Duplicate copies of an already-accepted message are
-        discarded (idempotent re-delivery); reordering is absorbed by the
-        positional index riding with each copy.
+        A sans-io generator: it yields :class:`SleepEffect` (retry
+        backoff) and :class:`TransferEffect` (an attempt on the wire) and
+        *returns* ``blob index -> validated result`` via ``StopIteration``.
+        The synchronous driver exhausts it ignoring every effect; the
+        async service sleeps the effects on the virtual clock -- either
+        way the computation, RNG draws and meter counters are the same
+        code in the same order, which is what makes the two paths
+        lockstep-equal on identical schedules.
+
+        An index missing from the result exhausted the retry budget (lost
+        or damaged on every attempt) and the caller degrades without it.
+        ``validate`` is the eager acceptance check: checksum-stripped
+        payloads it rejects with a typed :class:`EncodingError` count as
+        not delivered and are retried.  Duplicate copies of an
+        already-accepted message are discarded (idempotent re-delivery);
+        reordering is absorbed by the positional index riding with each
+        copy.
         """
         results: Dict[int, object] = {}
         if self.transport is None:
-            for index, blob in enumerate(blobs):
+            total = 0
+            for blob in blobs:
                 self.meter.record(source, destination, len(blob))
+                total += len(blob)
+            if blobs:
+                yield TransferEffect(source, destination, len(blobs), total)
+            for index, blob in enumerate(blobs):
                 self.meter.record_delivery(len(blob))
                 results[index] = validate(index, blob)
             return results
@@ -324,11 +381,15 @@ class WireSyncEngine:
                     policy.delay(attempt - 1, self._retry_rng) for _ in pending
                 )
                 self.meter.record_retry(len(pending), latency)
+                yield SleepEffect(latency)
+            nbytes = 0
             for index in pending:
                 self.meter.record(source, destination, len(sealed[index]))
+                nbytes += len(sealed[index])
             deliveries = self.transport.transfer_batch(
                 source, destination, [sealed[index] for index in pending]
             )
+            yield TransferEffect(source, destination, len(pending), nbytes)
             for position, payload in deliveries:
                 index = pending[position]
                 if index in results:
@@ -346,17 +407,30 @@ class WireSyncEngine:
         self.deliveries_failed += len(pending)
         return results
 
+    def _decode_stream(self, body):
+        """Decode one delivered stream body (the async daemon's feed point).
+
+        The base engine decodes the assembled buffer in one call; the
+        service's :class:`~repro.service.engine.AsyncWireSyncEngine`
+        overrides this to feed the body through an
+        :class:`~repro.kernel.stream.IncrementalStreamDecoder` in
+        link-sized chunks, as an async read loop would.  Both return an
+        equivalent lazy ``ClockStream`` over the same intern table.
+        """
+        return decode_stream(memoryview(body), intern=self.intern)
+
     def _ship(
         self,
         sender: StoreReplica,
         receiver: StoreReplica,
         items: List[Tuple[str, KeyState]],
-    ) -> Dict[str, Tuple[object, object]]:
+    ):
         """Transfer the trackers of ``items`` from sender to receiver.
 
-        Returns ``key -> (decoded clock, raw frame payload)`` on the
-        receiving side; the raw payload feeds the canonical-bytes EQUAL
-        fast path, and the decoded clock is materialized lazily (a
+        A sans-io generator (effects as in :meth:`_deliver_batch`) whose
+        *return value* is ``key -> (decoded clock, raw frame payload)`` on
+        the receiving side; the raw payload feeds the canonical-bytes
+        EQUAL fast path, and the decoded clock is materialized lazily (a
         ``ClockStream`` index access) only for keys that need a real
         merge.  One stream per (family, epoch) group in batched mode, one
         envelope per stamp otherwise; either way the meter sees every
@@ -375,7 +449,7 @@ class WireSyncEngine:
             def validate_envelope(index: int, body: bytes):
                 return decode_envelope(body)
 
-            results = self._deliver_batch(
+            results = yield from self._deliver_batch(
                 sender.name, receiver.name, blobs, validate_envelope
             )
             for index, (key, _) in enumerate(items):
@@ -398,7 +472,7 @@ class WireSyncEngine:
 
         def validate_stream(index: int, body: bytes):
             (family_name, epoch), members = ordered[index]
-            stream = decode_stream(memoryview(body), intern=self.intern)
+            stream = self._decode_stream(body)
             # The session's control data (which keys, which group) rides a
             # reliable out-of-band channel; a delivered stream must match
             # its announcement, or bits were flipped in the header.
@@ -413,7 +487,7 @@ class WireSyncEngine:
                 )
             return stream
 
-        results = self._deliver_batch(
+        results = yield from self._deliver_batch(
             sender.name, receiver.name, blobs, validate_stream
         )
         for index, ((family_name, epoch), members) in enumerate(ordered):
@@ -465,7 +539,13 @@ class WireSyncEngine:
             )
         )
 
-    def sync(self, first: StoreReplica, second: StoreReplica) -> MergeReport:
+    def sync(
+        self,
+        first: StoreReplica,
+        second: StoreReplica,
+        *,
+        keys: Optional[Iterable[str]] = None,
+    ) -> MergeReport:
         """Two-way reconciliation of ``first`` and ``second`` over the wire.
 
         Equivalent to :meth:`StoreReplica.sync_with` except that causally
@@ -475,11 +555,51 @@ class WireSyncEngine:
         past the retry budget is either skipped untouched (request leg) or
         rolled back on both sides (response leg); every other key of the
         pairwise sync completes normally.
+
+        ``keys`` restricts the exchange to the named subset -- the
+        sharding hook: every key's merge is independent of every other
+        key's, so syncing each shard of the key space separately (in any
+        interleaving that keeps one shard's syncs ordered) produces
+        exactly the state of one unrestricted sync.  The datacenter-scale
+        service uses this to parallelize one logical exchange across
+        worker event loops.
+
+        This is the synchronous driver of :meth:`session`: it runs the
+        identical sans-io generator, ignoring the wire-timing effects.
+        """
+        session = self.session(first, second, keys=keys)
+        while True:
+            try:
+                next(session)
+            except StopIteration as stop:
+                return stop.value
+
+    def session(
+        self,
+        first: StoreReplica,
+        second: StoreReplica,
+        *,
+        keys: Optional[Iterable[str]] = None,
+    ):
+        """The sans-io pairwise sync: a generator of wire effects.
+
+        Yields :class:`SleepEffect` and :class:`TransferEffect` at every
+        point where a real network would spend time, and returns the
+        :class:`~repro.replication.store.MergeReport` via
+        ``StopIteration.value``.  All state mutation, RNG consumption and
+        meter accounting happen *inside* the generator, so any driver --
+        the synchronous :meth:`sync`, the virtual-time async service --
+        produces identical merges, fault schedules and counters for the
+        same call sequence; drivers differ only in what they do with the
+        effects.
         """
         if first is second:
             raise ReplicationError("a store replica cannot synchronize with itself")
         report = MergeReport()
-        keys = sorted(set(first._keys) | set(second._keys))
+        spanned = set(first._keys) | set(second._keys)
+        if keys is not None:
+            spanned &= set(keys)
+        keys = sorted(spanned)
         faulty = self.transport is not None
         backup = None
         if faulty:
@@ -493,7 +613,7 @@ class WireSyncEngine:
 
         # Request leg: second ships everything it holds to first.
         held = [(key, second._keys[key]) for key in keys if key in second._keys]
-        received = self._ship(second, first, held)
+        received = yield from self._ship(second, first, held)
 
         changed: List[str] = []
         for key in keys:
@@ -576,7 +696,7 @@ class WireSyncEngine:
                 self._equal_verdicts[verdict_key] = (mine_clock, remote_clock)
 
         # Response leg: only second-side trackers that changed go back.
-        returned = self._ship(
+        returned = yield from self._ship(
             first, second, [(key, second._keys[key]) for key in changed]
         )
         rolled_back = set()

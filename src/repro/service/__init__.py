@@ -1,0 +1,51 @@
+"""Datacenter-scale asynchronous anti-entropy on simulated time.
+
+This package turns the pairwise wire sync engine into a *service*: an
+asyncio replica daemon per simulated node, gossiping the existing batched
+``"CS"`` stream format over a discrete-event network model (configurable
+latency, bandwidth, jitter, loss and partitions) on a virtual clock -- no
+real sleeping -- so one machine drives 10^4-10^6 replicas to convergence.
+
+* :mod:`~repro.service.engine`   -- :class:`AsyncWireSyncEngine`, the wire
+  engine with incremental (chunked) stream decode;
+* :mod:`~repro.service.links`    -- :class:`LinkProfile` virtual-time link
+  costing;
+* :mod:`~repro.service.sharding` -- :class:`KeyShards` key-range sharding
+  and the shared :func:`shard_keys` helper;
+* :mod:`~repro.service.daemon`   -- :class:`ReplicaDaemon`, one node's
+  async session driver;
+* :mod:`~repro.service.cluster`  -- :class:`AntiEntropyService` (lockstep
+  and overlap modes), schedules, the synchronous reference executor and
+  the :func:`build_cluster` population builder.
+
+The service's lockstep mode is proven byte-identical to the synchronous
+:class:`~repro.replication.synchronizer.WireSyncEngine` on identical
+schedules -- see ``tests/service/``.
+"""
+
+from .cluster import (
+    AntiEntropyService,
+    RoundMetrics,
+    ServiceReport,
+    build_cluster,
+    gossip_schedule,
+    replay_schedule_sync,
+)
+from .daemon import ReplicaDaemon
+from .engine import AsyncWireSyncEngine
+from .links import LinkProfile
+from .sharding import KeyShards, shard_keys
+
+__all__ = [
+    "AntiEntropyService",
+    "AsyncWireSyncEngine",
+    "KeyShards",
+    "LinkProfile",
+    "ReplicaDaemon",
+    "RoundMetrics",
+    "ServiceReport",
+    "build_cluster",
+    "gossip_schedule",
+    "replay_schedule_sync",
+    "shard_keys",
+]

@@ -1,0 +1,475 @@
+"""The datacenter-scale anti-entropy service.
+
+:class:`AntiEntropyService` drives gossip rounds over thousands to a
+million simulated replicas on one machine: every replica is a
+:class:`~repro.service.daemon.ReplicaDaemon` on a
+:class:`~repro.sim.scheduler.VirtualTimeLoop`, sessions execute the
+engine's sans-io generator, and virtual time -- not wall time -- advances
+through link latency, bandwidth and retry backoff.
+
+Two execution modes:
+
+* **lockstep** -- sessions (and shard parts within a session) run strictly
+  sequentially in schedule order.  Because the sans-io generator performs
+  every state mutation, RNG draw and meter update itself, this mode is
+  *byte-identical* to :func:`replay_schedule_sync` driving the synchronous
+  engine over the same schedule, under the full fault matrix.  That is the
+  equivalence proof the scale results stand on.
+* **overlap** (default) -- one asyncio task per (session, shard part),
+  serialized only by per-(replica, shard) locks acquired in ascending
+  replica order (deadlock-free; shards share no key state, so cross-shard
+  parts never contend).  Deterministic for a fixed seed, and
+  convergence-equivalent to lockstep; round wall-clock in virtual time
+  becomes the *longest dependency chain*, not the sum of all sessions --
+  which is what "anti-entropy rounds parallelize across shards" means.
+
+Peer selection is O(1) per replica per round (a draw from the replica's
+connectivity group), never an O(N) reachability scan per node, so a round
+over 10^4-10^6 replicas costs O(N), not O(N^2).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..replication.network import FullyConnectedNetwork, NetworkMeter, SimulatedNetwork
+from ..replication.node import MobileNode
+from ..replication.store import MergeReport
+from ..replication.synchronizer import WireSyncEngine
+from ..replication.tracker import KernelTracker
+from ..sim.scheduler import run_virtual
+from .daemon import ReplicaDaemon
+from .engine import AsyncWireSyncEngine
+from .links import LinkProfile
+from .sharding import KeyShards, shard_keys
+
+__all__ = [
+    "AntiEntropyService",
+    "RoundMetrics",
+    "ServiceReport",
+    "build_cluster",
+    "gossip_schedule",
+    "replay_schedule_sync",
+]
+
+#: One gossip round: (initiator index, peer index) session pairs, in order.
+SyncSchedule = List[List[Tuple[int, int]]]
+
+
+@dataclass
+class RoundMetrics:
+    """What one service round did, in counters and virtual time."""
+
+    number: int
+    #: Sessions that actually ran (initiator could reach its peer).
+    exchanges: int = 0
+    #: Sessions skipped because the pair was partitioned or crashed.
+    skipped: int = 0
+    #: Shard parts skipped because the shard spanned no keys for the pair.
+    empty_parts: int = 0
+    #: Merge outcome folded over every session of the round.
+    merge: MergeReport = field(default_factory=MergeReport)
+    #: Transport messages / payload bytes attributed to this round.
+    messages: int = 0
+    bytes_sent: int = 0
+    #: Virtual seconds the round occupied (longest chain in overlap mode).
+    virtual_duration: float = 0.0
+    #: Whether the cluster was fully converged after this round.
+    converged: bool = False
+
+
+def _percentiles(
+    samples: Sequence[float], quantiles: Sequence[float]
+) -> Dict[float, float]:
+    """Nearest-rank percentiles (deterministic; zeros when empty)."""
+    ordered = sorted(samples)
+    if not ordered:
+        return {q: 0.0 for q in quantiles}
+    last = len(ordered) - 1
+    return {
+        q: ordered[min(last, max(0, math.ceil(q * len(ordered)) - 1))]
+        for q in quantiles
+    }
+
+
+@dataclass
+class ServiceReport:
+    """Summary of one :meth:`AntiEntropyService.run` invocation."""
+
+    replicas: int
+    shards: int
+    rounds: List[RoundMetrics]
+    #: First round after which the cluster was converged (None: never).
+    converged_after: Optional[int]
+    #: Total virtual seconds the run took on the simulated clock.
+    virtual_seconds: float
+    meter: NetworkMeter
+
+    @property
+    def total_exchanges(self) -> int:
+        return sum(r.exchanges for r in self.rounds)
+
+    @property
+    def total_messages(self) -> int:
+        return sum(r.messages for r in self.rounds)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(r.bytes_sent for r in self.rounds)
+
+    def bytes_per_key(self, key_count: int) -> float:
+        """Payload bytes spent per logical key over the whole run."""
+        return self.total_bytes / max(1, key_count)
+
+    def bytes_per_key_per_replica(self, key_count: int) -> float:
+        """Payload bytes per key per replica -- the scale-honest cost."""
+        return self.total_bytes / (max(1, key_count) * max(1, self.replicas))
+
+    def round_duration_percentiles(
+        self, quantiles: Sequence[float] = (0.5, 0.9, 0.99)
+    ) -> Dict[float, float]:
+        """Nearest-rank percentiles of per-round virtual durations."""
+        return _percentiles([r.virtual_duration for r in self.rounds], quantiles)
+
+    def session_latency_percentiles(
+        self, quantiles: Sequence[float] = (0.5, 0.9, 0.99)
+    ) -> Dict[float, float]:
+        """Tail latency of individual transfer legs, from the meter."""
+        return self.meter.latency_percentiles(quantiles)
+
+
+def gossip_schedule(replicas: int, rounds: int, *, seed: int = 0) -> SyncSchedule:
+    """A seeded random-peer gossip schedule over ``replicas`` indices.
+
+    Every round shuffles the initiator order and draws one uniform peer
+    per initiator (O(1) per replica).  The same schedule can be fed to
+    both :meth:`AntiEntropyService.run` and :func:`replay_schedule_sync`,
+    which is how the lockstep-equality tests pin the two paths together.
+    """
+    if replicas < 2:
+        raise ValueError(f"need at least two replicas, got {replicas}")
+    rng = random.Random(seed)
+    schedule: SyncSchedule = []
+    for _ in range(rounds):
+        order = list(range(replicas))
+        rng.shuffle(order)
+        row: List[Tuple[int, int]] = []
+        for initiator in order:
+            peer = rng.randrange(replicas)
+            while peer == initiator:
+                peer = rng.randrange(replicas)
+            row.append((initiator, peer))
+        schedule.append(row)
+    return schedule
+
+
+def replay_schedule_sync(
+    nodes: Sequence[MobileNode],
+    schedule: SyncSchedule,
+    engine: WireSyncEngine,
+    *,
+    shards: int = 1,
+    advance_network: bool = True,
+) -> MergeReport:
+    """Execute ``schedule`` with the synchronous engine driver.
+
+    This is the reference the async service's lockstep mode is proven
+    equal to: same sessions, same order, same per-shard key restriction
+    (via the shared :func:`~repro.service.sharding.shard_keys` helper),
+    so every transport call and RNG draw lines up one-for-one.
+    """
+    shard_map = KeyShards(shards)
+    merged = MergeReport()
+    for row in schedule:
+        for initiator, peer in row:
+            first, second = nodes[initiator], nodes[peer]
+            if not first.can_reach(second):
+                continue
+            for shard in range(shard_map.count):
+                part = shard_keys(first.store, second.store, shard_map, shard)
+                if part is not None and not part:
+                    continue
+                merged += engine.sync(first.store, second.store, keys=part)
+        if advance_network and nodes:
+            nodes[0].network.advance()
+    return merged
+
+
+def build_cluster(
+    replicas: int,
+    *,
+    keys: int = 4,
+    family: str = "version-stamp",
+    seed: int = 0,
+    network: Optional[SimulatedNetwork] = None,
+    writes_per_key: int = 1,
+) -> Tuple[List[MobileNode], List[str]]:
+    """Build a seeded population of replicas with divergent initial writes.
+
+    The first node seeds the system; every further replica forks the
+    previous one (coordination-free, so this works for all clock
+    families).  Each key then receives ``writes_per_key`` writes at
+    replicas drawn from a seeded RNG, giving the cluster something to
+    converge *from*.  Returns ``(nodes, key_names)``.
+    """
+    if replicas < 1:
+        raise ValueError(f"need at least one replica, got {replicas}")
+    if network is None:
+        network = FullyConnectedNetwork()
+    nodes = [
+        MobileNode.first("n0", network, tracker_factory=KernelTracker.factory(family))
+    ]
+    for index in range(1, replicas):
+        nodes.append(nodes[-1].spawn_peer(f"n{index}"))
+    rng = random.Random(seed)
+    names = [f"key{index}" for index in range(keys)]
+    for name in names:
+        for write in range(writes_per_key):
+            author = nodes[rng.randrange(len(nodes))]
+            author.write(name, f"{name}@{author.node_id}#{write}")
+    return nodes, names
+
+
+class AntiEntropyService:
+    """Asyncio anti-entropy over a population of replica daemons.
+
+    Parameters
+    ----------
+    nodes:
+        The replica population (see :func:`build_cluster`).
+    engine:
+        The wire engine shared by every session; defaults to a fresh
+        :class:`~repro.service.engine.AsyncWireSyncEngine` (incremental
+        stream decode).  Give it a
+        :class:`~repro.replication.faults.FaultyTransport` to gossip over
+        a lossy fabric.
+    shards:
+        Worker shards the key space is split into; shard parts of one
+        session run independently (and concurrently in overlap mode).
+    link:
+        The :class:`~repro.service.links.LinkProfile` costing transfer
+        legs in virtual time.
+    seed:
+        Seeds both the default gossip schedule and the link-jitter RNG
+        (the latter is separate from the transport's fault RNG by
+        construction, so link timing never perturbs fault schedules).
+    lockstep:
+        ``True`` serializes sessions in schedule order -- the mode that
+        is byte-identical to the synchronous reference.  ``False``
+        (default) overlaps sessions under per-(replica, shard) locks.
+    """
+
+    def __init__(
+        self,
+        nodes: Sequence[MobileNode],
+        *,
+        engine: Optional[WireSyncEngine] = None,
+        shards: int = 1,
+        link: Optional[LinkProfile] = None,
+        seed: int = 0,
+        lockstep: bool = False,
+    ) -> None:
+        self.daemons = [ReplicaDaemon(node, index) for index, node in enumerate(nodes)]
+        self.engine = engine if engine is not None else AsyncWireSyncEngine()
+        self.shards = KeyShards(shards)
+        self.link = link if link is not None else LinkProfile()
+        self.lockstep = lockstep
+        self._rng = random.Random(seed)
+        self._link_rng = random.Random(seed ^ 0x11A7C0DE)
+        #: Metrics of every round ever run through this service.
+        self.rounds: List[RoundMetrics] = []
+
+    @property
+    def network(self) -> Optional[SimulatedNetwork]:
+        return self.daemons[0].node.network if self.daemons else None
+
+    @property
+    def meter(self) -> NetworkMeter:
+        return self.engine.meter
+
+    # -- convergence -------------------------------------------------------
+
+    def converged(self, keys: Optional[Iterable[str]] = None) -> bool:
+        """True when every live replica holds the same siblings everywhere."""
+        live = [daemon.node for daemon in self.daemons if daemon.node.alive]
+        if not live:
+            return True
+        if keys is None:
+            spanned = set()
+            for node in live:
+                spanned |= set(node.store.keys())
+            keys = spanned
+        for key in sorted(keys):
+            reference = None
+            for node in live:
+                values = sorted(repr(value) for value in node.store.get(key))
+                if reference is None:
+                    reference = values
+                elif values != reference:
+                    return False
+        return True
+
+    # -- scheduling --------------------------------------------------------
+
+    def _peer_groups(self, live: List[int]) -> Dict[int, List[int]]:
+        """Connectivity groups as sorted index lists (O(N) when healthy)."""
+        transport = self.engine.transport
+        network = self.network
+
+        def uncrashed(indices: Iterable[int]) -> List[int]:
+            if transport is None:
+                return list(indices)
+            return [
+                index
+                for index in indices
+                if not transport.is_crashed(self.daemons[index].node.node_id)
+            ]
+
+        if type(network) is FullyConnectedNetwork:
+            members = uncrashed(live)
+            return {index: members for index in members}
+        index_of = {self.daemons[index].node.node_id: index for index in live}
+        groups: Dict[int, List[int]] = {}
+        for component in network.partitions(list(index_of)):
+            members = uncrashed(
+                sorted(index_of[node_id] for node_id in component if node_id in index_of)
+            )
+            for member in members:
+                groups[member] = members
+        return groups
+
+    def _schedule_round(self) -> List[Tuple[int, int]]:
+        """One seeded gossip round: each live replica picks one peer, O(1)."""
+        live = [daemon.index for daemon in self.daemons if daemon.node.alive]
+        if len(live) < 2:
+            return []
+        groups = self._peer_groups(live)
+        order = list(live)
+        self._rng.shuffle(order)
+        pairs: List[Tuple[int, int]] = []
+        for initiator in order:
+            members = groups.get(initiator)
+            if members is None or len(members) < 2:
+                continue
+            peer = members[self._rng.randrange(len(members))]
+            while peer == initiator:
+                peer = members[self._rng.randrange(len(members))]
+            pairs.append((initiator, peer))
+        return pairs
+
+    # -- execution ---------------------------------------------------------
+
+    async def _run_part(
+        self, first: ReplicaDaemon, second: ReplicaDaemon, shard: int
+    ) -> Optional[MergeReport]:
+        part = shard_keys(first.node.store, second.node.store, self.shards, shard)
+        if part is not None and not part:
+            return None
+        return await first.drive_session(
+            second, self.engine, keys=part, link=self.link, link_rng=self._link_rng
+        )
+
+    async def _run_part_locked(
+        self, first: ReplicaDaemon, second: ReplicaDaemon, shard: int
+    ) -> Optional[MergeReport]:
+        low, high = (first, second) if first.index < second.index else (second, first)
+        async with low.lock(shard):
+            async with high.lock(shard):
+                return await self._run_part(first, second, shard)
+
+    async def _run_round(
+        self, number: int, pairs: Sequence[Tuple[int, int]]
+    ) -> RoundMetrics:
+        loop = asyncio.get_running_loop()
+        metrics = RoundMetrics(number=number)
+        start = loop.time()
+        before_messages, before_bytes = self.meter.snapshot()
+        jobs: List[Tuple[ReplicaDaemon, ReplicaDaemon, int]] = []
+        for initiator, peer in pairs:
+            first, second = self.daemons[initiator], self.daemons[peer]
+            if not first.node.can_reach(second.node):
+                metrics.skipped += 1
+                continue
+            metrics.exchanges += 1
+            for shard in range(self.shards.count):
+                jobs.append((first, second, shard))
+        if self.lockstep:
+            results: List[Optional[MergeReport]] = []
+            for first, second, shard in jobs:
+                results.append(await self._run_part(first, second, shard))
+        else:
+            tasks = [
+                loop.create_task(self._run_part_locked(first, second, shard))
+                for first, second, shard in jobs
+            ]
+            results = [await task for task in tasks]
+        for report in results:
+            if report is None:
+                metrics.empty_parts += 1
+            else:
+                metrics.merge += report
+        after_messages, after_bytes = self.meter.snapshot()
+        metrics.messages = after_messages - before_messages
+        metrics.bytes_sent = after_bytes - before_bytes
+        metrics.virtual_duration = loop.time() - start
+        return metrics
+
+    def run(
+        self,
+        *,
+        max_rounds: Optional[int] = None,
+        schedule: Optional[SyncSchedule] = None,
+        until_converged: bool = True,
+        advance_network: bool = True,
+        on_round: Optional[Callable[[RoundMetrics], None]] = None,
+    ) -> ServiceReport:
+        """Run gossip rounds on a fresh virtual-time loop.
+
+        Either pass an explicit ``schedule`` (its length bounds the run)
+        or ``max_rounds`` to gossip on the service's seeded internal
+        schedule.  ``on_round`` fires after every round with its
+        :class:`RoundMetrics` -- the hook the lockstep tests use to
+        compare state digests round by round.
+        """
+        if schedule is None and max_rounds is None:
+            raise ValueError("pass either schedule or max_rounds")
+        total = len(schedule) if schedule is not None else max_rounds
+        run_rounds: List[RoundMetrics] = []
+
+        async def main() -> Optional[int]:
+            for daemon in self.daemons:
+                daemon.ensure_locks(self.shards.count)
+            converged_after: Optional[int] = None
+            for offset in range(total):
+                pairs = (
+                    list(schedule[offset])
+                    if schedule is not None
+                    else self._schedule_round()
+                )
+                metrics = await self._run_round(len(self.rounds) + 1, pairs)
+                metrics.converged = self.converged()
+                if metrics.converged and converged_after is None:
+                    converged_after = metrics.number
+                run_rounds.append(metrics)
+                self.rounds.append(metrics)
+                if on_round is not None:
+                    on_round(metrics)
+                if advance_network and self.network is not None:
+                    self.network.advance()
+                if until_converged and metrics.converged:
+                    break
+            return converged_after
+
+        converged_after, virtual_seconds = run_virtual(main())
+        return ServiceReport(
+            replicas=len(self.daemons),
+            shards=self.shards.count,
+            rounds=run_rounds,
+            converged_after=converged_after,
+            virtual_seconds=virtual_seconds,
+            meter=self.meter,
+        )

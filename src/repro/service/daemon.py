@@ -1,0 +1,78 @@
+"""The asyncio face of one simulated replica.
+
+A :class:`ReplicaDaemon` wraps a :class:`~repro.replication.node.MobileNode`
+and drives the engine's sans-io :meth:`~repro.replication.synchronizer.
+WireSyncEngine.session` generator on the virtual clock: every
+:class:`~repro.replication.synchronizer.TransferEffect` becomes an
+``asyncio.sleep`` for the link's virtual delay, every
+:class:`~repro.replication.synchronizer.SleepEffect` (retry backoff)
+sleeps its virtual seconds.  The generator itself performs *all* state
+mutation, RNG draws and meter accounting, so the merge outcome is
+identical to the synchronous driver's -- the daemon only decides when
+virtual time passes.
+
+Per-shard ``asyncio.Lock`` objects serialize concurrent sessions touching
+the same (replica, shard); they are created lazily *inside* the running
+loop (Python 3.9 binds primitives to the loop at construction time).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from typing import List, Optional
+
+from ..replication.node import MobileNode
+from ..replication.store import MergeReport
+from ..replication.synchronizer import SleepEffect, TransferEffect, WireSyncEngine
+from .links import LinkProfile
+
+__all__ = ["ReplicaDaemon"]
+
+
+class ReplicaDaemon:
+    """One replica's daemon: a mobile node plus its per-shard locks."""
+
+    __slots__ = ("node", "index", "_locks")
+
+    def __init__(self, node: MobileNode, index: int) -> None:
+        self.node = node
+        self.index = index
+        self._locks: Optional[List[asyncio.Lock]] = None
+
+    def lock(self, shard: int) -> asyncio.Lock:
+        """The lock guarding ``shard`` of this replica (created in-loop)."""
+        if self._locks is None:
+            raise RuntimeError("locks not initialised; call ensure_locks first")
+        return self._locks[shard]
+
+    def ensure_locks(self, shard_count: int) -> None:
+        """Create the per-shard locks; must run inside the event loop."""
+        if self._locks is None or len(self._locks) != shard_count:
+            self._locks = [asyncio.Lock() for _ in range(shard_count)]
+
+    async def drive_session(
+        self,
+        peer: "ReplicaDaemon",
+        engine: WireSyncEngine,
+        *,
+        keys: Optional[List[str]] = None,
+        link: LinkProfile,
+        link_rng: random.Random,
+    ) -> MergeReport:
+        """Run one anti-entropy session with ``peer`` on the virtual clock."""
+        session = engine.session(self.node.store, peer.node.store, keys=keys)
+        meter = engine.meter
+        while True:
+            try:
+                effect = next(session)
+            except StopIteration as stop:
+                return stop.value
+            if type(effect) is TransferEffect:
+                delay = link.leg_delay(effect.nbytes, link_rng)
+                meter.record_transfer_latency(delay)
+                if delay > 0:
+                    await asyncio.sleep(delay)
+            elif type(effect) is SleepEffect:
+                if effect.seconds > 0:
+                    await asyncio.sleep(effect.seconds)

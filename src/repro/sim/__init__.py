@@ -7,6 +7,8 @@
 * :mod:`~repro.sim.exhaustive` -- exhaustive model checking of all small
   executions (invariants + Proposition 5.1).
 * :mod:`~repro.sim.metrics` -- statistics containers used by the benchmarks.
+* :mod:`~repro.sim.scheduler` -- the discrete-event scheduler: a virtual-time
+  ``asyncio`` event loop (no real sleeping) driving :mod:`repro.service`.
 """
 
 from ..kernel.adapters import (
@@ -24,6 +26,7 @@ from ..kernel.adapters import (
 )
 from .exhaustive import ExhaustiveReport, explore
 from .metrics import ReductionAccumulator, Summary, summarize, SweepTable
+from .scheduler import VirtualTimeLoop, run_virtual
 from .runner import AgreementReport, LockstepRunner, SizeSample
 from .trace import OpKind, Operation, Trace, validate_trace
 from .workload import (
@@ -60,6 +63,8 @@ __all__ = [
     "default_adapters",
     "ExhaustiveReport",
     "explore",
+    "VirtualTimeLoop",
+    "run_virtual",
     "Summary",
     "summarize",
     "ReductionAccumulator",

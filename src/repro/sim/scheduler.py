@@ -1,0 +1,101 @@
+"""A discrete-event scheduler behind the standard ``asyncio`` surface.
+
+The datacenter-scale service (:mod:`repro.service`) needs thousands of
+replica daemons sleeping through simulated link latency, retry backoff and
+gossip intervals -- and a test suite that drives them cannot afford one
+real second of wall time per simulated second.  :class:`VirtualTimeLoop`
+is the discrete-event answer: a real ``asyncio`` event loop whose clock is
+**virtual**.  Whenever every runnable callback has run and only timers
+remain, the loop jumps its clock straight to the earliest deadline instead
+of blocking in the selector.  ``await asyncio.sleep(3600)`` therefore
+costs microseconds of wall time while still ordering events exactly as a
+wall clock would, and ``loop.time()`` reads the simulation's own clock.
+
+Determinism is the point, not a side effect: the loop is single-threaded,
+timers break ties by insertion order (the standard ``asyncio`` heap), and
+nothing here consults the OS clock or an unseeded RNG -- so a simulation
+driven only by virtual sleeps and seeded RNGs replays *identically*, event
+for event.  That property is what lets the async anti-entropy service be
+proven lockstep-equal to the synchronous engine and what keeps the
+``scale`` bench section's numbers machine-independent.
+
+:func:`run_virtual` is the ``asyncio.run`` analogue: run one coroutine on
+a fresh virtual-time loop and return ``(result, virtual_elapsed)``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Awaitable, Tuple, TypeVar
+
+__all__ = ["VirtualTimeLoop", "run_virtual"]
+
+T = TypeVar("T")
+
+
+class VirtualTimeLoop(asyncio.SelectorEventLoop):
+    """A selector event loop running on simulated time.
+
+    ``time()`` returns the virtual clock, which starts at ``0.0`` and only
+    moves when the loop is otherwise idle: with no ready callbacks and at
+    least one scheduled timer, the clock jumps to the earliest timer's
+    deadline, making that timer due immediately.  Every ``asyncio``
+    primitive layered on timers -- ``sleep``, ``wait_for`` timeouts,
+    ``Condition`` waits -- therefore runs at full speed in wall time while
+    keeping its exact virtual-time semantics and ordering.
+
+    Real I/O still works (the selector is polled with a zero timeout when
+    a jump happens), but a simulation that *waits* on external I/O would
+    block the virtual clock -- the intended use is pure in-process
+    simulation where every wait is a timer.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._virtual_now = 0.0
+
+    def time(self) -> float:
+        """The current virtual time in seconds (starts at 0.0)."""
+        return self._virtual_now
+
+    @property
+    def virtual_now(self) -> float:
+        """Alias of :meth:`time`, for readers of simulation code."""
+        return self._virtual_now
+
+    def advance_to(self, when: float) -> None:
+        """Manually advance the clock (never backwards)."""
+        if when > self._virtual_now:
+            self._virtual_now = when
+
+    def _run_once(self) -> None:
+        # The discrete-event jump: nothing is runnable right now and the
+        # earliest timer lies in the future, so make it the present.  The
+        # base implementation then computes a zero selector timeout and
+        # fires the timer on this very iteration.  (A cancelled handle at
+        # the heap head is harmless: the clock jumps at most too early,
+        # never backwards, and the base loop pops cancelled heads.)
+        if not self._ready and self._scheduled:
+            deadline = self._scheduled[0]._when
+            if deadline > self._virtual_now:
+                self._virtual_now = deadline
+        super()._run_once()
+
+
+def run_virtual(main: Awaitable[T]) -> Tuple[T, float]:
+    """Run ``main`` to completion on a fresh :class:`VirtualTimeLoop`.
+
+    Returns ``(result, virtual_elapsed)`` where ``virtual_elapsed`` is the
+    loop's clock when the coroutine finished -- the simulation's total
+    virtual duration.  The loop is closed (and the thread's event-loop
+    slot restored) before returning, so successive simulations are fully
+    isolated: each starts at virtual time 0 with a fresh timer heap.
+    """
+    loop = VirtualTimeLoop()
+    try:
+        asyncio.set_event_loop(loop)
+        result: Any = loop.run_until_complete(main)
+        return result, loop.time()
+    finally:
+        asyncio.set_event_loop(None)
+        loop.close()

@@ -149,6 +149,75 @@ class TestPanasyncCommands:
         assert main(["panasync", "--repository", str(repo), "compare", "f.txt", str(other)]) == 2
 
 
+class TestSyncBenchCommand:
+    def test_reports_min_over_repeats(self, capsys):
+        assert (
+            main(
+                [
+                    "sync-bench", "--clock", "itc", "--replicas", "4", "--keys", "4",
+                    "--rounds", "3", "--warmup", "1", "--repeats", "2",
+                ]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "best of 2 interleaved repeats" in output
+
+    def test_min_speedup_gate_cannot_be_beaten_by_one_lucky_shot(self, capsys):
+        # An absurd threshold must fail deterministically.
+        assert (
+            main(
+                [
+                    "sync-bench", "--clock", "itc", "--replicas", "4", "--keys", "4",
+                    "--rounds", "3", "--warmup", "1", "--repeats", "2",
+                    "--min-speedup", "1e9",
+                ]
+            )
+            == 1
+        )
+        assert "FAIL" in capsys.readouterr().out
+
+
+class TestServeSimCommand:
+    def test_small_cluster_converges(self, capsys):
+        assert (
+            main(
+                [
+                    "serve-sim", "--replicas", "64", "--keys", "3",
+                    "--shards", "2", "--max-rounds", "32",
+                ]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "converged after round" in output
+        assert "virtual seconds" in output
+
+    def test_lossy_lockstep_run(self, capsys):
+        assert (
+            main(
+                [
+                    "serve-sim", "--replicas", "32", "--keys", "2", "--loss", "0.2",
+                    "--lockstep", "--shards", "1", "--max-rounds", "40",
+                ]
+            )
+            == 0
+        )
+        assert "lockstep mode" in capsys.readouterr().out
+
+    def test_round_budget_exhaustion_fails(self, capsys):
+        assert (
+            main(
+                [
+                    "serve-sim", "--replicas", "32", "--keys", "3",
+                    "--max-rounds", "1",
+                ]
+            )
+            == 1
+        )
+        assert "FAIL" in capsys.readouterr().out
+
+
 class TestParser:
     def test_requires_a_command(self):
         with pytest.raises(SystemExit):

@@ -1,0 +1,91 @@
+"""Tests for the virtual-time event loop (:mod:`repro.sim.scheduler`)."""
+
+import asyncio
+import time
+
+import pytest
+
+from repro.sim.scheduler import VirtualTimeLoop, run_virtual
+
+
+class TestVirtualTimeLoop:
+    def test_clock_starts_at_zero(self):
+        loop = VirtualTimeLoop()
+        try:
+            assert loop.time() == 0.0
+            assert loop.virtual_now == 0.0
+        finally:
+            loop.close()
+
+    def test_sleep_advances_virtual_not_wall_time(self):
+        async def main():
+            loop = asyncio.get_running_loop()
+            await asyncio.sleep(3600.0)
+            return loop.time()
+
+        wall_start = time.monotonic()
+        virtual_end, elapsed = run_virtual(main())
+        wall = time.monotonic() - wall_start
+        assert virtual_end == pytest.approx(3600.0)
+        assert elapsed == pytest.approx(3600.0)
+        # An hour of simulated time must cost (far) less than a second.
+        assert wall < 1.0
+
+    def test_concurrent_sleepers_overlap(self):
+        async def sleeper(seconds):
+            await asyncio.sleep(seconds)
+
+        async def main():
+            await asyncio.gather(*(sleeper(10.0) for _ in range(50)))
+
+        _, elapsed = run_virtual(main())
+        # Fifty concurrent 10s sleeps take 10 virtual seconds, not 500.
+        assert elapsed == pytest.approx(10.0)
+
+    def test_timer_ordering_is_deterministic(self):
+        def trace_run():
+            events = []
+
+            async def task(name, delay):
+                await asyncio.sleep(delay)
+                events.append((name, asyncio.get_running_loop().time()))
+
+            async def main():
+                await asyncio.gather(
+                    task("c", 0.3), task("a", 0.1), task("b", 0.2), task("a2", 0.1)
+                )
+
+            run_virtual(main())
+            return events
+
+        first = trace_run()
+        second = trace_run()
+        assert first == second
+        assert [name for name, _ in first] == ["a", "a2", "b", "c"]
+
+    def test_nested_sleeps_accumulate(self):
+        async def main():
+            for _ in range(1000):
+                await asyncio.sleep(0.5)
+            return asyncio.get_running_loop().time()
+
+        virtual_end, elapsed = run_virtual(main())
+        assert virtual_end == pytest.approx(500.0)
+        assert elapsed == pytest.approx(500.0)
+
+    def test_result_is_returned(self):
+        async def main():
+            await asyncio.sleep(1.0)
+            return "done"
+
+        result, _ = run_virtual(main())
+        assert result == "done"
+
+    def test_run_virtual_restores_event_loop_policy(self):
+        async def main():
+            return 1
+
+        run_virtual(main())
+        # No dangling loop is left installed.
+        with pytest.raises(RuntimeError):
+            asyncio.get_running_loop()

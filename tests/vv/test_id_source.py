@@ -60,6 +60,30 @@ class TestRandomIdSource:
     def test_bits_property(self):
         assert RandomIdSource(bits=8).bits == 8
 
+    def test_default_is_deterministic(self):
+        # Regression: the default used to be an unseeded random.Random(),
+        # which made replica-id allocation unreproducible run to run.
+        first = [RandomIdSource(bits=32).allocate() for _ in range(8)]
+        second = [RandomIdSource(bits=32).allocate() for _ in range(8)]
+        assert first == second
+
+    def test_seed_replays_identically(self):
+        for seed in (0, 1, 0xBEEF):
+            first = RandomIdSource(bits=24, seed=seed)
+            second = RandomIdSource(bits=24, seed=seed)
+            assert [first.allocate() for _ in range(16)] == [
+                second.allocate() for _ in range(16)
+            ]
+
+    def test_distinct_seeds_diverge(self):
+        assert RandomIdSource(bits=32, seed=1).allocate() != RandomIdSource(
+            bits=32, seed=2
+        ).allocate()
+
+    def test_rng_and_seed_are_mutually_exclusive(self):
+        with pytest.raises(ValueError):
+            RandomIdSource(bits=8, rng=random.Random(1), seed=2)
+
 
 class TestPreassignedIdSource:
     def test_hands_out_pool_in_order(self):
