@@ -23,6 +23,10 @@ and a freshly measured one -- on the two tracked *speedup ratios*:
   service's rounds-to-convergence at 10^4 simulated replicas -- epidemic
   gossip converges in ~log2(N) rounds, and this deterministic ratio
   drops when the datacenter-scale service starts wasting rounds);
+* ``contracts.check_vs_compare`` (per-spec causal ordering contract
+  check evaluations/sec over the bare tracker comparison each check
+  wraps, both arms in-process on a converged population -- the floor
+  pins the enforcement layer's per-comparison overhead);
 * ``durability.durable_vs_memory_sync`` (write-churn anti-entropy
   rounds/sec with journaling on over journaling off -- the committed
   floor enforces the <= 10% journaling-overhead budget of the durable
@@ -76,6 +80,7 @@ ESTABLISHED_SECTIONS = frozenset(
         "replication",
         "chaos",
         "scale",
+        "contracts",
         "durability",
     }
 )
@@ -119,6 +124,7 @@ def check(committed, fresh, *, tolerance=DEFAULT_TOLERANCE):
         ("replication", "batched_vs_per_envelope"),
         ("chaos", "convergence_efficiency"),
         ("scale", "convergence_efficiency"),
+        ("contracts", "check_vs_compare"),
         ("durability", "durable_vs_memory_sync"),
     )
     for keys in tracked:

@@ -54,6 +54,16 @@ Measures three things:
   per-envelope rounds-per-second ratio at 32 replicas (both arms
   in-process).
 
+* a **contracts** benchmark (``contracts``): the causal ordering
+  contract layer (:mod:`repro.contracts`) evaluated in its passing
+  steady state on a converged gossip population -- per-spec check
+  evaluations/sec vs the bare tracker comparison each check wraps, with
+  the tracked ratio ``check_vs_compare`` pinning the enforcement
+  layer's per-comparison overhead (both arms in-process, so the ratio
+  transfers across machines) -- plus the provenance replay rate of
+  :func:`repro.contracts.provenance.reconstruct` over a scripted
+  lost-leg sync history;
+
 * a **durability** benchmark (``durability``): recovery time against
   journals of several lengths (worst case: no snapshot, full replay),
   compacted-snapshot bytes per key for every clock family (the snapshot
@@ -175,6 +185,22 @@ REROOT_CHAIN_STEPS = 42
 REROOT_SOAK_STEPS = 1500
 REROOT_REPLICAS = 4
 REROOT_THRESHOLD_BITS = 256
+
+#: Contracts benchmark shape.  The enforcement arm drives a converged
+#: gossip population (every export already propagated, so checks pass and
+#: no reports are allocated) and times ``ContractChecker.check`` in
+#: per-spec evaluations/sec against the bare tracker comparison the
+#: checker wraps -- both arms in-process, so the tracked ratio
+#: ``check_vs_compare`` is the enforcement layer's overhead per
+#: comparison and transfers across runner hardware.  The provenance arm
+#: replays :func:`repro.contracts.provenance.reconstruct` over a scripted
+#: sync history whose target never appears (the full-replay worst case).
+CONTRACTS_FAMILY = "version-stamp"
+CONTRACTS_REPLICAS = 4
+CONTRACTS_FRESHNESS_LAG = 4
+CONTRACTS_WARMUP_WRITES = 8
+CONTRACTS_PROVENANCE_EXCHANGES = 256
+CONTRACTS_PROVENANCE_PEERS = 8
 
 #: Durability benchmark shape.  Recovery is timed against journals of
 #: these lengths (records); the snapshot arm measures compacted bytes per
@@ -827,6 +853,126 @@ def _measure_sync_overhead(root, *, repeats):
     )
 
 
+def measure_contracts(*, repeats, min_time):
+    """Contract enforcement overhead and provenance reconstruction rate.
+
+    The enforcement arm builds a :data:`CONTRACTS_REPLICAS`-replica
+    population, propagates :data:`CONTRACTS_WARMUP_WRITES` exports until
+    the consumer holds the latest one, then times
+    :meth:`~repro.contracts.checker.ContractChecker.check` over an
+    observes and a bounded-freshness contract in the steady (passing)
+    state -- the rate a store pays to evaluate contracts on every
+    operation boundary.  The baseline arm times the single bare
+    ``stale_or_concurrent`` tracker comparison the checker wraps, on the
+    same live observer forks; the tracked ratio ``check_vs_compare``
+    divides the two per-comparison rates, so a drop means the dispatch,
+    log-lookup and report machinery around the comparison got heavier.
+
+    The provenance arm scripts :data:`CONTRACTS_PROVENANCE_EXCHANGES`
+    exchange records (one in five a lost leg) whose target replica never
+    appears, forcing :func:`~repro.contracts.provenance.reconstruct` to
+    replay the whole window every call, and reports traces/sec and
+    records/sec.
+    """
+    import random
+
+    from repro.contracts import ContractChecker, ContractSpec, reconstruct
+    from repro.replication import SyncHistory
+
+    network = FullyConnectedNetwork()
+    factory = KernelTracker.factory(CONTRACTS_FAMILY)
+    writer = MobileNode.first("writer", network, tracker_factory=factory)
+    nodes = [writer] + [
+        writer.spawn_peer(f"r{index}")
+        for index in range(CONTRACTS_REPLICAS - 1)
+    ]
+    consumer = nodes[-1].store
+    history = SyncHistory(maxlen=512)
+    engine = WireSyncEngine(history=history)
+    specs = [
+        ContractSpec(
+            name="observes", kind="observes",
+            source="export", target="consume", key="k",
+        ),
+        ContractSpec(
+            name="freshness", kind="freshness-within-k-events",
+            source="export", target="consume", key="k",
+            max_lag=CONTRACTS_FRESHNESS_LAG,
+        ),
+    ]
+    checker = ContractChecker(specs, history=history)
+    checker.watch_writes(writer.store, "export")
+    gossip = AntiEntropy(
+        nodes,
+        rng=random.Random(5),
+        engine=engine,
+        compact_threshold_bits=384,
+    )
+    for generation in range(CONTRACTS_WARMUP_WRITES):
+        writer.write("k", generation)
+        gossip.run_round()
+    violations = checker.check("consume", consumer, raise_on_violation=False)
+    if violations:
+        raise RuntimeError(
+            "contracts benchmark population failed to reach the passing "
+            f"steady state: {[v.summary() for v in violations]}"
+        )
+    check_rate = _best_rate(
+        lambda: checker.check("consume", consumer, raise_on_violation=False),
+        len(specs), repeats=repeats, min_time=min_time,
+    )
+    target = consumer.observe("k")
+    record = writer.store.observe("k")
+    compare_rate = _best_rate(
+        lambda: target.stale_or_concurrent(record), 1,
+        repeats=repeats, min_time=min_time,
+    )
+
+    trace_history = SyncHistory(maxlen=CONTRACTS_PROVENANCE_EXCHANGES)
+    peers = [f"n{index}" for index in range(CONTRACTS_PROVENANCE_PEERS)]
+    rng = random.Random(9)
+    for seq in range(CONTRACTS_PROVENANCE_EXCHANGES):
+        first, second = rng.sample(peers, 2)
+        lost = seq % 5 == 0
+        trace_history.append(
+            first=first,
+            second=second,
+            keys_synced=() if lost else ("k",),
+            keys_lost=(("k", "request-lost"),) if lost else (),
+            messages=2,
+            bytes_sent=64,
+            dropped=1 if lost else 0,
+            duplicated=0,
+            retried=1 if lost else 0,
+            corrupted=0,
+            deliveries_failed=1 if lost else 0,
+        )
+    trace_rate = _best_rate(
+        lambda: reconstruct(
+            trace_history,
+            key="k",
+            source_replica=peers[0],
+            target_replica="absent",
+            since_seq=0,
+        ),
+        1, repeats=repeats, min_time=min_time,
+    )
+    return {
+        "family": CONTRACTS_FAMILY,
+        "replicas": CONTRACTS_REPLICAS,
+        "specs": len(specs),
+        "check_ops_per_sec": check_rate,
+        "compare_ops_per_sec": compare_rate,
+        "check_vs_compare": check_rate / compare_rate if compare_rate else None,
+        "provenance": {
+            "exchanges": CONTRACTS_PROVENANCE_EXCHANGES,
+            "peers": CONTRACTS_PROVENANCE_PEERS,
+            "traces_per_sec": trace_rate,
+            "records_per_sec": trace_rate * CONTRACTS_PROVENANCE_EXCHANGES,
+        },
+    }
+
+
 def measure_durability(log_lengths, *, repeats, min_time):
     """Recovery time, snapshot density and journaling overhead.
 
@@ -943,6 +1089,7 @@ def snapshot(
     )
     data["chaos"] = measure_chaos()
     data["scale"] = measure_scale()
+    data["contracts"] = measure_contracts(repeats=repeats, min_time=min_time)
     data["durability"] = measure_durability(
         durability_log_lengths, repeats=repeats, min_time=min_time
     )
@@ -975,13 +1122,16 @@ def main(argv=None):
             "replicas on virtual time: rounds, bytes/key and round/leg "
             "latency percentiles, all deterministic, with the "
             "log2(N)-per-round convergence-efficiency ratio tracked), "
+            "contracts (causal ordering contract checks/sec vs the bare "
+            "tracker comparison they wrap, ratio tracked, plus provenance "
+            "reconstruction traces/sec over a scripted lost-leg history), "
             "and durability "
             "(recovery records/sec vs journal length, snapshot bytes/key "
             "per clock family, and journaling overhead on write-churn sync "
             "rounds, with the durable-vs-in-memory ratio tracked). "
             "benchmarks/check_regression.py compares the join_normalize@32, "
-            "lockstep, reroot, codec, replication, chaos, scale and durability "
-            "ratios of a fresh "
+            "lockstep, reroot, codec, replication, chaos, scale, contracts "
+            "and durability ratios of a fresh "
             "snapshot against the committed BENCH_ops.json and fails CI "
             "when one drops more than 30 percent below its floor (sections "
             "absent from the committed snapshot are skipped, so a PR adding "
@@ -1098,6 +1248,14 @@ def main(argv=None):
         f"{scale['bytes_per_key_per_replica']:.1f} B/key/replica, round p99 "
         f"{scale['round_p99_virtual_seconds'] * 1000:.1f} ms, "
         f"efficiency {scale['convergence_efficiency']:.2f}"
+    )
+    contracts = data["contracts"]
+    print(
+        f"  contracts: {contracts['check_ops_per_sec']:,.0f} spec-checks/s "
+        f"vs {contracts['compare_ops_per_sec']:,.0f} bare compares/s "
+        f"-> {contracts['check_vs_compare']:.2f}x; provenance "
+        f"{contracts['provenance']['traces_per_sec']:,.0f} traces/s over "
+        f"{contracts['provenance']['exchanges']} exchanges"
     )
     durability = data["durability"]
     for length, arm in durability["recovery"].items():

@@ -32,6 +32,10 @@ which part of the system rejected an input:
 * :class:`FaultInjectionError` -- a fault-injection plan or transport is
   misconfigured (rates outside ``[0, 1]``, malformed outage windows, ...).
 * :class:`SimulationError` -- malformed traces or workload parameters.
+* :class:`ContractError` -- an ordering contract is malformed or misused
+  (unknown kind, missing freshness bound, duplicate names, ...); its
+  subclass :class:`repro.contracts.ContractViolation` is the typed
+  enforcement failure carrying a machine-readable violation report.
 """
 
 from __future__ import annotations
@@ -55,6 +59,7 @@ __all__ = [
     "LogCorrupt",
     "FaultInjectionError",
     "SimulationError",
+    "ContractError",
 ]
 
 
@@ -161,3 +166,15 @@ class FaultInjectionError(ReproError, ValueError):
 
 class SimulationError(ReproError, ValueError):
     """A trace or workload specification is invalid."""
+
+
+class ContractError(ReproError, ValueError):
+    """An ordering contract is malformed or used incorrectly.
+
+    Raised by :mod:`repro.contracts` for specification problems (unknown
+    contract kind, a freshness contract without its event bound, duplicate
+    contract names, recording an operation no contract mentions).  The
+    *enforcement* failure -- a contract that was checked and found broken
+    -- is the subclass :class:`repro.contracts.ContractViolation`, which
+    carries the machine-readable violation report.
+    """

@@ -33,6 +33,7 @@ from .network import (
     ScheduledNetwork,
     SimulatedNetwork,
 )
+from .history import ExchangeRecord, SyncHistory
 from .node import MobileNode
 from .replica import Replica, SyncOutcome, Version
 from .store import FrameRejected, MergeReport, StoreReplica
@@ -84,4 +85,6 @@ __all__ = [
     "AntiEntropy",
     "RoundReport",
     "WireSyncEngine",
+    "SyncHistory",
+    "ExchangeRecord",
 ]

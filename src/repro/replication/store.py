@@ -168,6 +168,12 @@ class StoreReplica:
         self._tracker_factory = tracker_factory
         self._policy = policy if policy is not None else KeepBoth()
         self._keys: Dict[str, KeyState] = {}
+        # Write observers, called as fn(replica, key) after every local
+        # put.  This is the contracts layer's producer-side hook
+        # (ContractChecker.watch_writes snapshots the key's tracker the
+        # moment an export lands), kept generic so other consumers can
+        # observe local mutations without subclassing the store.
+        self._put_listeners: List = []
         if durable and journal is None:
             if path is None:
                 raise ReplicationError(
@@ -298,6 +304,47 @@ class StoreReplica:
             self._record(key)
             self.journal.flush()
             self.journal.maybe_snapshot(self)
+        for listener in self._put_listeners:
+            listener(self, key)
+
+    def add_put_listener(self, listener) -> None:
+        """Observe local writes: ``listener(replica, key)`` after each put.
+
+        Listeners fire after the write is applied (and journaled, when
+        durable), so they see the post-write tracker -- the snapshot an
+        ordering contract needs for "the producer's latest export".
+        """
+        self._put_listeners.append(listener)
+
+    def observe(self, key: str) -> CausalityTracker:
+        """Mint a live observer of ``key``'s current causal state.
+
+        Forks the key's tracker: one half stays in the store, the other
+        is returned for the caller to keep.  The observer is causally
+        EQUAL to the key's state at observation time and is never updated
+        or joined, so a later ``current.dominates(observer)`` answers
+        "has ``current`` seen everything this key had seen by then?".
+
+        Callers must hold a *live fork*, never a plain copy of the
+        tracker: version stamps only order coexisting stamps, and the
+        frontier-relative normalization applied by later joins discards
+        exactly the history a retired copy would still be relying on --
+        a copied stamp can end up spuriously "ahead" of replicas that
+        causally dominate it.  Forking registers the observer in the
+        key's identity space, which the normalization then provably
+        cannot collapse away.
+        """
+        state = self._keys.get(key)
+        if state is None:
+            raise ReplicationError(
+                f"key {key!r} is not stored on replica {self.name!r}"
+            )
+        local, observer = state.tracker.forked()
+        state.tracker = local
+        if self.journal is not None:
+            self._record(key)
+            self.journal.flush()
+        return observer
 
     def delete(self, key: str) -> None:
         """Remove ``key`` locally (modelled as writing a tombstone value)."""

@@ -97,6 +97,7 @@ from ..kernel.clocks import VersionStampClock
 from ..kernel.envelope import decode_envelope
 from ..kernel.stream import InternTable, decode_stream, encode_stream
 from .faults import FaultyTransport, RetryPolicy
+from .history import SyncHistory
 from .network import NetworkMeter
 from .node import MobileNode
 from .store import FrameRejected, KeyState, MergeReport, StoreReplica
@@ -109,6 +110,7 @@ __all__ = [
     "SleepEffect",
     "TransferEffect",
 ]
+# SyncHistory/ExchangeRecord live in .history; re-exported by the package.
 
 
 class SleepEffect(NamedTuple):
@@ -223,6 +225,14 @@ class WireSyncEngine:
         exercise the skip-and-report path.
     retry_seed:
         Seed of the jitter RNG, so retry schedules are reproducible.
+    history:
+        Optional :class:`~repro.replication.history.SyncHistory` -- a
+        bounded ring buffer that receives one
+        :class:`~repro.replication.history.ExchangeRecord` per completed
+        session (which keys completed, which were lost to faults, the
+        exchange's fault-counter deltas).  This is what contract
+        provenance reconstruction walks; without it the engine keeps the
+        pre-existing transient reporting only.
 
     Both modes run the identical merge logic
     (:meth:`StoreReplica._merge_key_states` with ``refork_equal=False``),
@@ -247,6 +257,7 @@ class WireSyncEngine:
         retry: Optional[RetryPolicy] = None,
         verify_checksums: bool = True,
         retry_seed: int = 0x5EED,
+        history: Optional[SyncHistory] = None,
     ) -> None:
         self.batched = batched
         self.meter = meter if meter is not None else NetworkMeter()
@@ -254,6 +265,7 @@ class WireSyncEngine:
         self.transport = transport
         self.retry = retry if retry is not None else RetryPolicy()
         self.verify_checksums = verify_checksums
+        self.history = history
         self._retry_rng = random.Random(retry_seed)
         if transport is not None and transport.meter is None:
             # One meter carries the whole fault economy: the transport
@@ -596,6 +608,12 @@ class WireSyncEngine:
         if first is second:
             raise ReplicationError("a store replica cannot synchronize with itself")
         report = MergeReport()
+        history = self.history
+        if history is not None:
+            meter = self.meter
+            before_messages, before_bytes = meter.snapshot()
+            before_faults = meter.fault_snapshot()
+            before_failed = self.deliveries_failed
         spanned = set(first._keys) | set(second._keys)
         if keys is not None:
             spanned &= set(keys)
@@ -616,6 +634,7 @@ class WireSyncEngine:
         received = yield from self._ship(second, first, held)
 
         changed: List[str] = []
+        request_lost: List[str] = []
         for key in keys:
             mine = first._keys.get(key)
             theirs = second._keys.get(key)
@@ -635,6 +654,7 @@ class WireSyncEngine:
                 # The request-leg message carrying this key never made it
                 # past the retry budget: leave both sides untouched and
                 # let a later round heal the difference.
+                request_lost.append(key)
                 continue
             frame, raw = received[key]
             if mine is None:
@@ -736,6 +756,39 @@ class WireSyncEngine:
             second._flush_journal()
         self.frames_rejected += len(report.frames_rejected)
         self.epoch_upgrades += report.epoch_upgrades
+        if history is not None:
+            # One ExchangeRecord per session: which keys completed (both
+            # sides now share the combined knowledge), which were lost to
+            # faults and why, plus this session's fault-counter deltas --
+            # the raw material contract provenance reconstruction walks.
+            lost: List[Tuple[str, str]] = [
+                (key, "request-lost") for key in request_lost
+            ]
+            lost.extend((key, "response-lost") for key in sorted(rolled_back))
+            lost.extend(
+                (frame.key, f"rejected:{frame.stage}: {frame.reason}")
+                for frame in report.frames_rejected
+            )
+            lost_keys = {key for key, _ in lost}
+            meter = self.meter
+            after_messages, after_bytes = meter.snapshot()
+            dropped, duplicated, retried, corrupted, _ = (
+                after - before
+                for after, before in zip(meter.fault_snapshot(), before_faults)
+            )
+            history.append(
+                first=first.name,
+                second=second.name,
+                keys_synced=tuple(k for k in keys if k not in lost_keys),
+                keys_lost=tuple(lost),
+                messages=after_messages - before_messages,
+                bytes_sent=after_bytes - before_bytes,
+                dropped=int(dropped),
+                duplicated=int(duplicated),
+                retried=int(retried),
+                corrupted=int(corrupted),
+                deliveries_failed=self.deliveries_failed - before_failed,
+            )
         return report
 
 
@@ -762,11 +815,17 @@ class AntiEntropy:
         rng: Optional[random.Random] = None,
         engine: Optional[WireSyncEngine] = None,
         compact_threshold_bits: Optional[int] = None,
+        checker=None,
     ) -> None:
         self.nodes: List[MobileNode] = list(nodes)
         self._rng = rng if rng is not None else random.Random(0)
         self.engine = engine
         self.compact_threshold_bits = compact_threshold_bits
+        #: Optional :class:`~repro.contracts.ContractChecker` scanned at
+        #: the end of every round (duck-typed: anything with ``scan()``),
+        #: so ordering contracts are evaluated inline with gossip instead
+        #: of only at explicit operation boundaries.
+        self.checker = checker
         self.reports: List[RoundReport] = []
         #: Successful epoch-bump compactions performed so far.
         self.compactions = 0
@@ -814,6 +873,8 @@ class AntiEntropy:
         """Run one gossip round: every live node tries to sync with one peer."""
         report = RoundReport(round_number=len(self.reports) + 1)
         engine = self.engine
+        if engine is not None and engine.history is not None:
+            engine.history.mark_round(report.round_number)
         if engine is not None:
             meter = engine.meter
             before = (
@@ -857,6 +918,8 @@ class AntiEntropy:
                 delivered / report.bytes_sent if report.bytes_sent > 0 else 0.0
             )
         self.reports.append(report)
+        if self.checker is not None:
+            self.checker.scan()
         return report
 
     def run(self, rounds: int, *, advance_network: bool = True) -> List[RoundReport]:

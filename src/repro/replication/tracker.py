@@ -72,6 +72,30 @@ class CausalityTracker:
         """Compare update knowledge with another tracker of the same kind."""
         raise NotImplementedError
 
+    def dominates(self, other: "CausalityTracker") -> bool:
+        """True when this tracker has seen everything ``other`` has.
+
+        ``EQUAL`` and ``AFTER`` both dominate -- this is the check a
+        consumer wants for "have I observed that state?", without
+        pattern-matching :class:`~repro.core.order.Ordering` by hand.
+        """
+        return self.compare(other).dominates
+
+    def stale_or_concurrent(self, other: "CausalityTracker") -> Optional[str]:
+        """How this tracker fails to dominate ``other``, if it does.
+
+        Returns ``None`` when this tracker dominates ``other``,
+        ``"stale"`` when it is strictly dominated (it has seen only a
+        causal prefix of ``other``'s knowledge), and ``"concurrent"``
+        when the two trackers have each seen updates the other missed.
+        The contract checker uses the distinction to report *why* an
+        ordering contract failed, not merely that it did.
+        """
+        relation = self.compare(other)
+        if relation.dominates:
+            return None
+        return "stale" if relation is Ordering.BEFORE else "concurrent"
+
     def size_in_bits(self) -> int:
         """Approximate encoded size, for the space benchmarks."""
         raise NotImplementedError

@@ -261,6 +261,11 @@ class AntiEntropyService:
         ``True`` serializes sessions in schedule order -- the mode that
         is byte-identical to the synchronous reference.  ``False``
         (default) overlaps sessions under per-(replica, shard) locks.
+    checker:
+        Optional :class:`~repro.contracts.ContractChecker` (duck-typed:
+        anything with ``scan()``).  Every daemon scans it after each
+        session it initiates, and the service scans once more at the end
+        of every round -- contracts are enforced inline with gossip.
     """
 
     def __init__(
@@ -272,8 +277,13 @@ class AntiEntropyService:
         link: Optional[LinkProfile] = None,
         seed: int = 0,
         lockstep: bool = False,
+        checker=None,
     ) -> None:
-        self.daemons = [ReplicaDaemon(node, index) for index, node in enumerate(nodes)]
+        self.checker = checker
+        self.daemons = [
+            ReplicaDaemon(node, index, checker=checker)
+            for index, node in enumerate(nodes)
+        ]
         self.engine = engine if engine is not None else AsyncWireSyncEngine()
         self.shards = KeyShards(shards)
         self.link = link if link is not None else LinkProfile()
@@ -386,6 +396,8 @@ class AntiEntropyService:
     ) -> RoundMetrics:
         loop = asyncio.get_running_loop()
         metrics = RoundMetrics(number=number)
+        if self.engine.history is not None:
+            self.engine.history.mark_round(number)
         start = loop.time()
         before_messages, before_bytes = self.meter.snapshot()
         jobs: List[Tuple[ReplicaDaemon, ReplicaDaemon, int]] = []
@@ -451,6 +463,8 @@ class AntiEntropyService:
                     else self._schedule_round()
                 )
                 metrics = await self._run_round(len(self.rounds) + 1, pairs)
+                if self.checker is not None:
+                    self.checker.scan()
                 metrics.converged = self.converged()
                 if metrics.converged and converged_after is None:
                     converged_after = metrics.number

@@ -33,12 +33,17 @@ __all__ = ["ReplicaDaemon"]
 class ReplicaDaemon:
     """One replica's daemon: a mobile node plus its per-shard locks."""
 
-    __slots__ = ("node", "index", "_locks")
+    __slots__ = ("node", "index", "_locks", "checker")
 
-    def __init__(self, node: MobileNode, index: int) -> None:
+    def __init__(self, node: MobileNode, index: int, *, checker=None) -> None:
         self.node = node
         self.index = index
         self._locks: Optional[List[asyncio.Lock]] = None
+        #: Optional :class:`~repro.contracts.ContractChecker` (duck-typed:
+        #: anything with ``scan()``) evaluated right after every session
+        #: this daemon initiates -- per-session contract granularity, so a
+        #: violation is pinned to the exchange that failed to cure it.
+        self.checker = checker
 
     def lock(self, shard: int) -> asyncio.Lock:
         """The lock guarding ``shard`` of this replica (created in-loop)."""
@@ -67,6 +72,8 @@ class ReplicaDaemon:
             try:
                 effect = next(session)
             except StopIteration as stop:
+                if self.checker is not None:
+                    self.checker.scan()
                 return stop.value
             if type(effect) is TransferEffect:
                 delay = link.leg_delay(effect.nbytes, link_rng)

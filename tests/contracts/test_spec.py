@@ -1,0 +1,78 @@
+"""Validation semantics of the declarative contract specs."""
+
+import pytest
+
+from repro.contracts import ContractKind, ContractSpec
+from repro.core.errors import ContractError, ReproError
+
+
+class TestContractKind:
+    def test_parse_accepts_enum_and_value_strings(self):
+        assert ContractKind.parse(ContractKind.OBSERVES) is ContractKind.OBSERVES
+        assert ContractKind.parse("observes") is ContractKind.OBSERVES
+        assert ContractKind.parse("happened-before") is ContractKind.HAPPENED_BEFORE
+        assert ContractKind.parse("mutual-exclusion") is ContractKind.MUTUAL_EXCLUSION
+        assert (
+            ContractKind.parse("freshness-within-k-events") is ContractKind.FRESHNESS
+        )
+
+    def test_parse_rejects_unknown_kind(self):
+        with pytest.raises(ContractError) as excinfo:
+            ContractKind.parse("eventually-consistent-ish")
+        assert "known kinds" in str(excinfo.value)
+
+    def test_contract_error_is_typed(self):
+        with pytest.raises(ReproError):
+            ContractKind.parse("nope")
+        with pytest.raises(ValueError):
+            ContractKind.parse("nope")
+
+
+class TestContractSpec:
+    def _spec(self, **overrides):
+        fields = dict(
+            name="c", kind="observes", source="export", target="train", key="k"
+        )
+        fields.update(overrides)
+        return ContractSpec(**fields)
+
+    def test_kind_string_is_coerced(self):
+        assert self._spec().kind is ContractKind.OBSERVES
+
+    @pytest.mark.parametrize("field", ["name", "source", "target", "key"])
+    def test_rejects_empty_strings(self, field):
+        with pytest.raises(ContractError):
+            self._spec(**{field: ""})
+
+    def test_rejects_source_equal_target(self):
+        with pytest.raises(ContractError) as excinfo:
+            self._spec(target="export")
+        assert "distinct operations" in str(excinfo.value)
+
+    def test_freshness_requires_max_lag(self):
+        with pytest.raises(ContractError):
+            self._spec(kind="freshness-within-k-events")
+
+    @pytest.mark.parametrize("bad", [0, -1, 2.5, True, "3"])
+    def test_freshness_rejects_bad_max_lag(self, bad):
+        with pytest.raises(ContractError):
+            self._spec(kind="freshness-within-k-events", max_lag=bad)
+
+    def test_freshness_accepts_valid_bound(self):
+        spec = self._spec(kind="freshness-within-k-events", max_lag=3)
+        assert spec.max_lag == 3
+
+    @pytest.mark.parametrize(
+        "kind", ["observes", "happened-before", "mutual-exclusion"]
+    )
+    def test_other_kinds_reject_max_lag(self, kind):
+        with pytest.raises(ContractError):
+            self._spec(kind=kind, max_lag=2)
+
+    def test_describe_mentions_operations_and_key(self):
+        line = self._spec().describe()
+        assert "train" in line and "export" in line and "'k'" in line
+        bounded = self._spec(
+            kind="freshness-within-k-events", max_lag=2
+        ).describe()
+        assert "at most 2" in bounded

@@ -107,12 +107,50 @@ class TestKernelCommands:
         for family in ("version-stamp", "itc", "vv-dynamic", "causal-history"):
             assert family in output
 
+    def test_families_prints_the_frozen_wire_tag_table(self, capsys):
+        # The one-byte wire tags are a compatibility contract: decoders in
+        # the wild dispatch on them, so the table is pinned here exactly.
+        assert main(["kernel", "families"]) == 0
+        lines = capsys.readouterr().out.splitlines()
+        assert lines[0].split() == ["tag", "family", "description"]
+        table = {
+            int(line.split()[0]): line.split()[1] for line in lines[1:]
+        }
+        assert table == {
+            1: "version-stamp",
+            2: "itc",
+            3: "vv-dynamic",
+            4: "causal-history",
+        }
+
     @pytest.mark.parametrize("family", ["version-stamp", "itc", "vv-dynamic"])
     def test_roundtrip(self, family, capsys):
         assert main(["kernel", "roundtrip", "--clock", family, "--epoch", "5"]) == 0
         output = capsys.readouterr().out
         assert "epoch:    5" in output
         assert "restored == original: True" in output
+
+
+class TestContractsCommands:
+    def test_demo_violation_exits_2_with_provenance(self, capsys):
+        assert main(["contracts", "demo"]) == 2
+        output = capsys.readouterr().out
+        assert "contract 'train-sees-latest-export' violated" in output
+        assert "is stale on key 'dataset'" in output
+        # The provenance trace names the sync paths that should have
+        # carried the export, with the fault counters that destroyed them.
+        assert "sync paths that should have carried it" in output
+        assert "pipeline-a <-> " in output
+        assert "dropped=" in output and "gave_up=" in output
+
+    def test_demo_propagated_exits_0(self, capsys):
+        assert main(["contracts", "demo", "--rounds", "12"]) == 0
+        assert "contract holds" in capsys.readouterr().out
+
+    @pytest.mark.parametrize("family", ["itc", "causal-history"])
+    def test_demo_is_family_generic(self, family, capsys):
+        assert main(["contracts", "demo", "--clock", family]) == 2
+        assert "violated" in capsys.readouterr().out
 
 
 class TestPanasyncCommands:
