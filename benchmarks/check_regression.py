@@ -19,6 +19,11 @@ and a freshly measured one -- on the two tracked *speedup ratios*:
   rounds-to-convergence under the 10%-loss fault matrix -- a deterministic
   seeded count ratio, so any drift at all is a real behaviour change in
   the retry/skip machinery, not noise);
+* ``health.grey_resilience`` (virtual time for a degraded seeded run with
+  the accrual health layer *off* over the same run with detection,
+  adaptive deadlines, circuit breakers and hedging *on* -- a
+  deterministic virtual-time ratio measuring how much simulated time the
+  defensive layer claws back from grey failures);
 * ``scale.convergence_efficiency`` (log2(replicas) over the async
   service's rounds-to-convergence at 10^4 simulated replicas -- epidemic
   gossip converges in ~log2(N) rounds, and this deterministic ratio
@@ -79,6 +84,7 @@ ESTABLISHED_SECTIONS = frozenset(
         "codec",
         "replication",
         "chaos",
+        "health",
         "scale",
         "contracts",
         "durability",
@@ -123,6 +129,7 @@ def check(committed, fresh, *, tolerance=DEFAULT_TOLERANCE):
         ("codec", "envelope_vs_json_roundtrip"),
         ("replication", "batched_vs_per_envelope"),
         ("chaos", "convergence_efficiency"),
+        ("health", "grey_resilience"),
         ("scale", "convergence_efficiency"),
         ("contracts", "check_vs_compare"),
         ("durability", "durable_vs_memory_sync"),

@@ -170,6 +170,29 @@ SCALE_LINK_LATENCY = 0.001
 SCALE_LINK_BANDWIDTH = 1e9
 SCALE_LINK_JITTER = 0.1
 
+#: Health benchmark shape: the grey-failure counterpart of the chaos
+#: section.  Three arms of the same seeded write schedule -- a healthy
+#: baseline, a degraded run with the accrual health layer off (the
+#: control) and a degraded run with detection, deadlines, breakers and
+#: hedging on (protected) -- each driven to convergence on the virtual
+#: clock.  All reported figures are counts and virtual-time totals, so
+#: the section is bit-identical across machines and runs, quick mode
+#: included (same shape, so the committed floor always applies).  The
+#: tracked ratio is ``grey_resilience`` = control virtual time divided by
+#: protected virtual time: how much simulated time the defensive layer
+#: claws back from the grey weather; a drop means the detection/hedging
+#: machinery got worse at routing around degraded peers.
+HEALTH_REPLICAS = 10
+HEALTH_KEYS = 4
+HEALTH_WRITE_ROUNDS = 40
+HEALTH_WRITES_PER_ROUND = 10
+HEALTH_SETTLE_ROUNDS = 120
+HEALTH_WRITERS = 2
+HEALTH_SEED = 6600
+HEALTH_LINK_LATENCY = 0.05
+HEALTH_COMPACT_THRESHOLD_BITS = 512
+HEALTH_FAMILY = "version-stamp"
+
 #: Lockstep benchmark shape: long enough that histories hold hundreds of
 #: events, wide enough that the per-step cross-check dominates.
 LOCKSTEP_TRACE_STEPS = 500
@@ -770,6 +793,153 @@ def measure_scale():
     }
 
 
+def _health_arm(*, degrade, health, hedge):
+    """One seeded grey-weather run; returns deterministic observables.
+
+    The structure mirrors ``tests/service/test_grey_soak.py``: a clean
+    pre-phase seeds every key everywhere, a maintenance re-rooting sweep
+    runs once per service round (version stamps grow exponentially under
+    sync churn -- the paper's core motivation -- and would overflow the
+    wire format without it), then the cluster settles to convergence.
+    """
+    import random
+
+    from repro.replication import DegradationPlan
+    from repro.service import (
+        AntiEntropyService,
+        AsyncWireSyncEngine,
+        HealthConfig,
+        LinkProfile,
+        build_cluster,
+    )
+
+    seed = HEALTH_SEED
+    nodes, names = build_cluster(
+        HEALTH_REPLICAS,
+        keys=HEALTH_KEYS,
+        family=HEALTH_FAMILY,
+        seed=seed,
+        writes_per_key=0,
+    )
+    plan = FaultPlan(degradation=DegradationPlan.grey() if degrade else None)
+    transport = FaultyTransport(nodes[0].network, plan=plan, seed=seed)
+    service = AntiEntropyService(
+        nodes,
+        engine=AsyncWireSyncEngine(transport=transport),
+        link=LinkProfile(latency=HEALTH_LINK_LATENCY),
+        seed=seed,
+        health=(
+            HealthConfig(min_samples=3, min_deadline=1.0, max_deadline=20.0)
+            if health
+            else None
+        ),
+        hedge=hedge,
+    )
+    maintenance = AntiEntropy(
+        nodes,
+        rng=random.Random(seed + 1),
+        engine=WireSyncEngine(),
+        compact_threshold_bits=HEALTH_COMPACT_THRESHOLD_BITS,
+    )
+    for name in names:
+        nodes[0].write(name, f"seed-{name}")
+    for _ in range(40):
+        maintenance.run_round()
+        if maintenance.converged():
+            break
+    if not maintenance.converged():
+        raise RuntimeError("health benchmark pre-phase failed to converge")
+
+    ops = random.Random(seed + 2)
+    step = 0
+    detection_round = None
+
+    def sweep_and_inject(metrics):
+        nonlocal step, detection_round
+        if detection_round is None and metrics.timeouts > 0:
+            detection_round = metrics.number
+        maintenance.run_round()
+        for _ in range(HEALTH_WRITES_PER_ROUND):
+            nodes[ops.randrange(HEALTH_WRITERS)].write(
+                ops.choice(names), f"s{step}"
+            )
+            step += 1
+
+    write = service.run(
+        max_rounds=HEALTH_WRITE_ROUNDS,
+        until_converged=False,
+        on_round=sweep_and_inject,
+    )
+    maintenance.run_round()
+    settle = service.run(
+        max_rounds=HEALTH_SETTLE_ROUNDS,
+        until_converged=True,
+        on_round=lambda metrics: maintenance.run_round(),
+    )
+    if settle.converged_after is None:
+        raise RuntimeError(
+            "health benchmark arm failed to converge within "
+            f"{HEALTH_SETTLE_ROUNDS} settle rounds"
+        )
+    counters = service.health.counters() if service.health is not None else {}
+    return {
+        "virtual_seconds": write.virtual_seconds + settle.virtual_seconds,
+        "settle_rounds": len(settle.rounds),
+        "detection_latency_rounds": detection_round,
+        "timeouts": counters.get("timeouts", 0),
+        "hedges": counters.get("hedges", 0),
+        "hedge_wins": counters.get("hedge_wins", 0),
+        "breaker_skips": counters.get("breaker_skips", 0),
+    }
+
+
+def measure_health():
+    """Grey-failure resilience of the defensive anti-entropy service.
+
+    Reported per arm: total virtual seconds to drive the seeded write
+    schedule and settle to convergence, settle-phase round count, the
+    round at which the accrual detector first cut a session off
+    (detection latency), and the timeout/hedge/breaker counters.  The
+    section-level figures: ``hedge_rate`` (hedges per timeout in the
+    protected arm), ``convergence_slowdown_vs_healthy`` (protected over
+    healthy virtual time -- the price of the grey weather *with* the
+    defense up) and the tracked ``grey_resilience`` ratio (control over
+    protected virtual time -- what the defense saves).
+    """
+    healthy = _health_arm(degrade=False, health=True, hedge=True)
+    control = _health_arm(degrade=True, health=False, hedge=False)
+    protected = _health_arm(degrade=True, health=True, hedge=True)
+    if healthy["timeouts"] or healthy["breaker_skips"]:
+        raise RuntimeError(
+            "health benchmark healthy arm tripped the detector "
+            "(false positives make the ratio meaningless)"
+        )
+    return {
+        "replicas": HEALTH_REPLICAS,
+        "keys": HEALTH_KEYS,
+        "seed": HEALTH_SEED,
+        "family": HEALTH_FAMILY,
+        "write_rounds": HEALTH_WRITE_ROUNDS,
+        "writes_per_round": HEALTH_WRITES_PER_ROUND,
+        "link_latency": HEALTH_LINK_LATENCY,
+        "healthy": healthy,
+        "control": control,
+        "protected": protected,
+        "detection_latency_rounds": protected["detection_latency_rounds"],
+        "hedge_rate": (
+            protected["hedges"] / protected["timeouts"]
+            if protected["timeouts"]
+            else None
+        ),
+        "convergence_slowdown_vs_healthy": (
+            protected["virtual_seconds"] / healthy["virtual_seconds"]
+        ),
+        "grey_resilience": (
+            control["virtual_seconds"] / protected["virtual_seconds"]
+        ),
+    }
+
+
 def _churn_elapsed(base, *, durable):
     """One write-churn run: build the population, time the fixed schedule.
 
@@ -1088,6 +1258,7 @@ def snapshot(
         replica_counts, repeats=repeats, min_time=min_time
     )
     data["chaos"] = measure_chaos()
+    data["health"] = measure_health()
     data["scale"] = measure_scale()
     data["contracts"] = measure_contracts(repeats=repeats, min_time=min_time)
     data["durability"] = measure_durability(
@@ -1117,7 +1288,12 @@ def main(argv=None):
             "replicas tracked), and chaos (rounds-to-convergence and fault "
             "counters under a faulty transport at 0/10/30 percent loss, all "
             "deterministic seeded counts, with the clean-vs-10-percent "
-            "convergence-efficiency ratio tracked), scale (the async "
+            "convergence-efficiency ratio tracked), health (grey-failure "
+            "resilience: a seeded degraded run with the accrual health "
+            "layer on vs off vs a healthy baseline, reporting detection "
+            "latency in rounds, hedge rate and the convergence slowdown, "
+            "with the control-vs-protected grey-resilience ratio tracked), "
+            "scale (the async "
             f"anti-entropy service converging {SCALE_REPLICAS:,} simulated "
             "replicas on virtual time: rounds, bytes/key and round/leg "
             "latency percentiles, all deterministic, with the "
@@ -1130,7 +1306,8 @@ def main(argv=None):
             "per clock family, and journaling overhead on write-churn sync "
             "rounds, with the durable-vs-in-memory ratio tracked). "
             "benchmarks/check_regression.py compares the join_normalize@32, "
-            "lockstep, reroot, codec, replication, chaos, scale, contracts "
+            "lockstep, reroot, codec, replication, chaos, health, scale, "
+            "contracts "
             "and durability ratios of a fresh "
             "snapshot against the committed BENCH_ops.json and fails CI "
             "when one drops more than 30 percent below its floor (sections "
@@ -1239,6 +1416,16 @@ def main(argv=None):
     print(
         f"  chaos convergence efficiency @ {chaos['tracked_loss']} loss: "
         f"{chaos['convergence_efficiency']:.2f}"
+    )
+    health = data["health"]
+    print(
+        f"  health: detection in {health['detection_latency_rounds']} rounds, "
+        f"hedge rate {health['hedge_rate']:.2f}, slowdown vs healthy "
+        f"{health['convergence_slowdown_vs_healthy']:.2f}x, grey resilience "
+        f"{health['grey_resilience']:.2f}x "
+        f"({health['protected']['timeouts']} timeouts, "
+        f"{health['protected']['hedges']} hedges, "
+        f"{health['protected']['hedge_wins']} wins)"
     )
     scale = data["scale"]
     print(

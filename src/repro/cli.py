@@ -358,7 +358,9 @@ def _cmd_sync_bench(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve_sim(args: argparse.Namespace) -> int:
-    from .replication import FaultPlan, FaultyTransport
+    import json as json_module
+
+    from .replication import DegradationPlan, FaultPlan, FaultyTransport
     from .service import (
         AntiEntropyService,
         AsyncWireSyncEngine,
@@ -369,9 +371,14 @@ def _cmd_serve_sim(args: argparse.Namespace) -> int:
     nodes, key_names = build_cluster(
         args.replicas, keys=args.keys, family=args.clock, seed=args.seed
     )
+    degradation = (
+        DegradationPlan.grey(slow_fraction=args.degraded)
+        if args.degraded > 0
+        else None
+    )
     transport = None
-    if args.loss > 0:
-        plan = FaultPlan(loss=args.loss)
+    if args.loss > 0 or degradation is not None:
+        plan = FaultPlan(loss=args.loss, degradation=degradation)
         transport = FaultyTransport(nodes[0].network, plan=plan, seed=args.seed)
     engine = AsyncWireSyncEngine(transport=transport)
     link = LinkProfile(
@@ -384,17 +391,26 @@ def _cmd_serve_sim(args: argparse.Namespace) -> int:
         link=link,
         seed=args.seed,
         lockstep=args.lockstep,
+        health=args.health,
+        hedge=args.hedge,
     )
-    mode = "lockstep" if args.lockstep else "overlap"
-    print(
-        f"serve-sim: {args.replicas:,} replicas x {args.keys} keys "
-        f"({args.clock}), {args.shards} shard(s), {mode} mode, "
-        f"loss={args.loss:.2f}, latency={args.latency * 1e3:.1f}ms"
-    )
-    print(
-        f"{'round':>5} {'exchanges':>9} {'skipped':>7} {'messages':>9} "
-        f"{'bytes':>12} {'virtual s':>10} {'converged':>9}"
-    )
+    quiet = args.json
+    if not quiet:
+        mode = "lockstep" if args.lockstep else "overlap"
+        extras = ""
+        if args.health:
+            extras += ", health on" + (" + hedging" if args.hedge else "")
+        if degradation is not None:
+            extras += f", {args.degraded:.0%} nodes grey-degraded"
+        print(
+            f"serve-sim: {args.replicas:,} replicas x {args.keys} keys "
+            f"({args.clock}), {args.shards} shard(s), {mode} mode, "
+            f"loss={args.loss:.2f}, latency={args.latency * 1e3:.1f}ms{extras}"
+        )
+        print(
+            f"{'round':>5} {'exchanges':>9} {'skipped':>7} {'messages':>9} "
+            f"{'bytes':>12} {'virtual s':>10} {'converged':>9}"
+        )
 
     def show(metrics) -> None:
         print(
@@ -403,7 +419,12 @@ def _cmd_serve_sim(args: argparse.Namespace) -> int:
             f"{metrics.virtual_duration:>10.4f} {str(metrics.converged):>9}"
         )
 
-    report = service.run(max_rounds=args.max_rounds, on_round=show)
+    report = service.run(
+        max_rounds=args.max_rounds, on_round=None if quiet else show
+    )
+    if args.json:
+        print(json_module.dumps(report.as_dict(), indent=2, sort_keys=True))
+        return 0 if report.converged_after is not None else 1
     rounds_p = report.round_duration_percentiles()
     session_p = report.session_latency_percentiles()
     print(
@@ -417,11 +438,42 @@ def _cmd_serve_sim(args: argparse.Namespace) -> int:
         f"{session_p[0.5] * 1e3:.2f}/{session_p[0.9] * 1e3:.2f}/"
         f"{session_p[0.99] * 1e3:.2f}ms"
     )
+    if report.health is not None:
+        health = report.health
+        print(
+            f"health: {health['timeouts']} timeout(s), "
+            f"{health['breaker_opens']} breaker open(s), "
+            f"{health['breaker_skips']} breaker skip(s), "
+            f"{health['hedges']} hedge(s) ({health['hedge_wins']} won), "
+            f"{health['redraws']} weighted redraw(s)"
+        )
+    if args.health_table and service.health is not None:
+        _print_health_table(service)
     if report.converged_after is None:
         print(f"FAIL: not converged after {args.max_rounds} rounds")
         return 1
     print(f"converged after round {report.converged_after}")
     return 0
+
+
+def _print_health_table(service) -> None:
+    """The per-replica suspicion / circuit / deadline table."""
+    rows = service.health.table()
+    if not rows:
+        print("health table: no peers observed")
+        return
+    print(
+        f"{'replica':>10} {'samples':>7} {'mean ms':>9} {'deadline s':>10} "
+        f"{'suspicion':>9} {'weight':>6} {'circuit':>9} {'timeouts':>8}"
+    )
+    for row in rows:
+        node_id = service.daemons[row["peer"]].node.node_id
+        print(
+            f"{node_id:>10} {row['samples']:>7} "
+            f"{row['mean_latency'] * 1e3:>9.2f} {row['deadline']:>10.3f} "
+            f"{row['suspicion']:>9.2f} {row['weight']:>6.2f} "
+            f"{row['circuit']:>9} {row['timeouts']:>8}"
+        )
 
 
 # ---------------------------------------------------------------------------
@@ -739,6 +791,29 @@ def build_parser() -> argparse.ArgumentParser:
     serve_sim.add_argument(
         "--lockstep", action="store_true",
         help="serialize sessions in schedule order (the sync-equivalent mode)",
+    )
+    serve_sim.add_argument(
+        "--health", action="store_true",
+        help="enable the grey-failure health layer (accrual detection, "
+        "adaptive deadlines, circuit breakers, weighted peer draw)",
+    )
+    serve_sim.add_argument(
+        "--hedge", action="store_true",
+        help="with --health: launch a backup session against the healthiest "
+        "other peer when a primary session times out",
+    )
+    serve_sim.add_argument(
+        "--degraded", type=float, default=0.0,
+        help="fraction of replicas grey-degraded 10-100x (slow, stuck, "
+        "flapping); implies a fault transport (default: 0)",
+    )
+    serve_sim.add_argument(
+        "--health-table", action="store_true",
+        help="print the per-replica suspicion/circuit/deadline table after the run",
+    )
+    serve_sim.add_argument(
+        "--json", action="store_true",
+        help="emit the full service report (health counters included) as JSON",
     )
     serve_sim.set_defaults(handler=_cmd_serve_sim)
 

@@ -22,6 +22,9 @@ which part of the system rejected an input:
   compared or joined (their histories are not directly comparable until the
   straggler is upgraded).
 * :class:`ReplicationError` -- errors in the replication substrate.
+* :class:`SessionTimeout` -- an anti-entropy session exceeded its
+  (adaptive) deadline and was aborted; the per-key transactional rollback
+  guarantees the aborted session left no half-merged state behind.
 * :class:`DurabilityError` -- a durable store log was misused (unsupported
   tracker kind, unserializable value, backend misconfiguration, ...).
 * :class:`LogCorrupt` -- on-disk log or snapshot damage that recovery cannot
@@ -55,6 +58,7 @@ __all__ = [
     "UnknownClockFamily",
     "EpochMismatch",
     "ReplicationError",
+    "SessionTimeout",
     "DurabilityError",
     "LogCorrupt",
     "FaultInjectionError",
@@ -143,6 +147,32 @@ class EpochMismatch(ReproError, ValueError):
 
 class ReplicationError(ReproError, RuntimeError):
     """The replication substrate was used incorrectly."""
+
+
+class SessionTimeout(ReplicationError):
+    """An anti-entropy session exceeded its deadline and was aborted.
+
+    Raised by the session driver (never by the engine's synchronous
+    path, which has no clock) after it threw
+    :class:`~repro.replication.synchronizer.SessionAbort` into the
+    session generator.  By the time this propagates, the generator has
+    already rolled both replicas back to their pre-session state via the
+    per-key transactional snapshots -- a timed-out session never leaves
+    a half-merged key behind, so retrying against the same or a
+    different peer (hedging) is always safe.
+    """
+
+    def __init__(
+        self, initiator: str, peer: str, deadline: float, elapsed: float
+    ) -> None:
+        super().__init__(
+            f"session {initiator!r} -> {peer!r} aborted after "
+            f"{elapsed:.3f}s of virtual time (deadline {deadline:.3f}s)"
+        )
+        self.initiator = initiator
+        self.peer = peer
+        self.deadline = deadline
+        self.elapsed = elapsed
 
 
 class DurabilityError(ReproError, RuntimeError):

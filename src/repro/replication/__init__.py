@@ -13,6 +13,9 @@ partition-prone environments.  This subpackage builds that environment:
 * :mod:`~repro.replication.faults` -- fault-injecting transport (loss,
   duplication, reordering, corruption, outages, crash/restart) plus the
   retry policy the sync engine degrades through.
+* :mod:`~repro.replication.degradation` -- grey-failure injection (slow
+  nodes, stuck sessions, flapping links, throttle windows): replicas that
+  are alive but degraded, for the service's health layer to route around.
 * :mod:`~repro.replication.node` / :mod:`~repro.replication.synchronizer` --
   mobile nodes and anti-entropy gossip on top of all of the above.
 
@@ -22,9 +25,11 @@ see that package for the log, snapshot and recovery machinery.
 """
 
 from .conflict import ConflictPolicy, KeepBoth, MergeWith, PreferNewest
+from .degradation import DegradationPlan, DegradationState
 from .faults import FaultPlan, FaultyTransport, RetryPolicy
 from .network import (
     FullyConnectedNetwork,
+    LatencyPercentiles,
     NetworkMeter,
     NodePosition,
     PartitionSchedule,
@@ -40,6 +45,7 @@ from .store import FrameRejected, MergeReport, StoreReplica
 from .synchronizer import (
     AntiEntropy,
     RoundReport,
+    SessionAbort,
     SleepEffect,
     TransferEffect,
     WireSyncEngine,
@@ -76,9 +82,13 @@ __all__ = [
     "ProximityNetwork",
     "NodePosition",
     "NetworkMeter",
+    "LatencyPercentiles",
     "FaultPlan",
     "FaultyTransport",
     "RetryPolicy",
+    "DegradationPlan",
+    "DegradationState",
+    "SessionAbort",
     "SleepEffect",
     "TransferEffect",
     "MobileNode",

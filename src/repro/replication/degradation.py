@@ -1,0 +1,261 @@
+"""Grey-failure injection: replicas that are alive but degraded.
+
+The fault matrix of :mod:`repro.replication.faults` models *fail-stop*
+behaviour -- messages vanish, nodes crash -- but the failure mode that
+dominates at datacenter scale is the **grey failure**: a replica or link
+that is alive, answering, and slow.  A throttled NIC, a node swapping
+itself to death, a flapping top-of-rack link -- none of them drop off the
+membership list, yet each one stretches every gossip round that touches
+it.  This module makes that regime injectable:
+
+* :class:`DegradationPlan` -- a declarative, seeded description of the
+  grey modes: which fraction of nodes run slow and by how much, scheduled
+  bandwidth-throttling windows, stuck-session hangs (a transfer leg that
+  hangs for tens of virtual seconds and delivers nothing), and flapping
+  links (a periodic up/down duty cycle per afflicted node);
+* :class:`DegradationState` -- the plan resolved over a concrete node
+  population: per-node slowdown factors, flap phases, and the grey RNG.
+
+Two invariants anchor the design:
+
+1. **Timing-only modes never touch state.**  Slowdowns, throttling
+   windows and flapping waits only *scale or delay* a transfer leg's
+   virtual-time cost; the bytes delivered, the merge outcome and every
+   fault-RNG draw are identical with the modes on or off.  Only the
+   stuck-session hang affects delivery (the hung leg's messages are
+   lost for that attempt, to be retried or healed by a later round).
+2. **The grey RNG is its own seeded stream.**  Degradation decisions
+   (which nodes degrade, their factors, stuck draws) come from a
+   dedicated :class:`random.Random`, never from the transport's fault
+   RNG or the service's link RNG -- so enabling degradation can never
+   silently shift an existing fault or jitter schedule.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..core.errors import FaultInjectionError
+
+__all__ = ["DegradationPlan", "DegradationState", "GREY_SEED_SALT"]
+
+#: XORed into the owning transport's seed to derive the grey RNG stream,
+#: keeping it disjoint from the fault RNG seeded with the raw seed.
+GREY_SEED_SALT = 0x617E7FA1
+
+
+def _check_fraction(name: str, value: float) -> None:
+    if not 0.0 <= value <= 1.0:
+        raise FaultInjectionError(f"{name} must be within [0, 1], got {value}")
+
+
+@dataclass(frozen=True)
+class DegradationPlan:
+    """A declarative description of grey failure across a population.
+
+    Attributes
+    ----------
+    slow_fraction:
+        Fraction of nodes that run degraded.  Which nodes are afflicted
+        is drawn once from the grey RNG when the plan is resolved.
+    slow_factor:
+        ``(low, high)`` range the per-node slowdown multiplier is drawn
+        from; every transfer leg touching a degraded node costs its
+        normal virtual-time delay times the larger endpoint factor.
+    stuck_rate:
+        Per-attempt probability that a transfer leg touching a degraded
+        node *hangs*: the attempt costs :attr:`stuck_seconds` of virtual
+        time and delivers nothing (the engine's retry budget and later
+        rounds heal the difference).  This is the one grey mode that
+        affects delivery, not just timing.
+    stuck_seconds:
+        How long one stuck leg hangs, in virtual seconds.
+    flap_fraction:
+        Fraction of *degraded* nodes whose links additionally flap: the
+        link is down for part of a periodic cycle, and a leg arriving
+        during a down phase waits (alive, not lost) until the next up
+        phase.
+    flap_period / flap_duty:
+        Length of one flap cycle in virtual seconds, and the fraction of
+        the cycle the link is *up*.  Each flapping node gets a seeded
+        phase offset so the population does not flap in unison.
+    throttle_windows:
+        Scheduled bandwidth-throttling windows ``(start, end, divisor)``
+        in virtual seconds: while ``start <= now < end`` every leg's
+        delay is multiplied by ``divisor`` (a cluster-wide congestion
+        event, e.g. a backup job saturating the fabric).
+    """
+
+    slow_fraction: float = 0.0
+    slow_factor: Tuple[float, float] = (10.0, 100.0)
+    stuck_rate: float = 0.0
+    stuck_seconds: float = 30.0
+    flap_fraction: float = 0.0
+    flap_period: float = 1.0
+    flap_duty: float = 0.5
+    throttle_windows: Tuple[Tuple[float, float, float], ...] = ()
+
+    def __post_init__(self) -> None:
+        _check_fraction("slow_fraction", self.slow_fraction)
+        _check_fraction("stuck_rate", self.stuck_rate)
+        _check_fraction("flap_fraction", self.flap_fraction)
+        _check_fraction("flap_duty", self.flap_duty)
+        low, high = self.slow_factor
+        if low < 1.0 or high < low:
+            raise FaultInjectionError(
+                f"slow_factor must be (low, high) with 1 <= low <= high, "
+                f"got {self.slow_factor!r}"
+            )
+        if self.stuck_seconds <= 0:
+            raise FaultInjectionError(
+                f"stuck_seconds must be positive, got {self.stuck_seconds}"
+            )
+        if self.flap_period <= 0:
+            raise FaultInjectionError(
+                f"flap_period must be positive, got {self.flap_period}"
+            )
+        for window in self.throttle_windows:
+            if len(window) != 3 or window[0] < 0 or window[1] <= window[0]:
+                raise FaultInjectionError(
+                    f"throttle windows are (start, end, divisor) with "
+                    f"0 <= start < end, got {window!r}"
+                )
+            if window[2] < 1.0:
+                raise FaultInjectionError(
+                    f"a throttle divisor must be >= 1, got {window[2]}"
+                )
+
+    @classmethod
+    def grey(cls, *, slow_fraction: float = 0.3) -> "DegradationPlan":
+        """The grey-chaos preset: slow nodes, stuck legs, some flapping."""
+        return cls(
+            slow_fraction=slow_fraction,
+            slow_factor=(10.0, 100.0),
+            stuck_rate=0.25,
+            stuck_seconds=30.0,
+            flap_fraction=0.34,
+            flap_period=2.0,
+            flap_duty=0.5,
+        )
+
+    def resolve(
+        self, node_ids: Iterable[str], *, seed: int = 0
+    ) -> "DegradationState":
+        """Assign concrete per-node degradation from the grey RNG."""
+        return DegradationState(self, list(node_ids), seed=seed)
+
+
+class DegradationState:
+    """A :class:`DegradationPlan` resolved over a concrete population.
+
+    Construction draws, from the dedicated grey RNG, which nodes are
+    degraded, their slowdown factors and (for the flapping subset) their
+    phase offsets.  After that the only randomness left is the per-leg
+    stuck draw; everything else is a pure function of the endpoints and
+    the virtual clock, so the timing-only modes replay identically.
+    """
+
+    __slots__ = (
+        "plan",
+        "rng",
+        "factors",
+        "flap_phase",
+        "stuck_legs",
+        "stuck_seconds_total",
+    )
+
+    def __init__(
+        self, plan: DegradationPlan, node_ids: List[str], *, seed: int = 0
+    ) -> None:
+        self.plan = plan
+        #: The grey RNG: a stream of its own, never the fault or link RNG.
+        self.rng = random.Random(seed ^ GREY_SEED_SALT)
+        self.factors: Dict[str, float] = {}
+        self.flap_phase: Dict[str, float] = {}
+        #: Stuck legs injected so far, and the virtual time they hung.
+        self.stuck_legs = 0
+        self.stuck_seconds_total = 0.0
+        if plan.slow_fraction > 0 and node_ids:
+            count = max(1, round(plan.slow_fraction * len(node_ids)))
+            degraded = self.rng.sample(sorted(node_ids), min(count, len(node_ids)))
+            low, high = plan.slow_factor
+            for node in degraded:
+                self.factors[node] = self.rng.uniform(low, high)
+            if plan.flap_fraction > 0:
+                flappers = max(0, round(plan.flap_fraction * len(degraded)))
+                for node in self.rng.sample(degraded, flappers):
+                    self.flap_phase[node] = self.rng.uniform(0.0, plan.flap_period)
+
+    # -- introspection -----------------------------------------------------
+
+    def degraded_nodes(self) -> List[str]:
+        """Node ids afflicted with a slowdown factor, sorted."""
+        return sorted(self.factors)
+
+    def factor_of(self, node: str) -> float:
+        """The slowdown multiplier of ``node`` (1.0 when healthy)."""
+        return self.factors.get(node, 1.0)
+
+    def is_degraded(self, node: str) -> bool:
+        return node in self.factors
+
+    # -- timing-only shaping ----------------------------------------------
+
+    def throttle_divisor(self, now: float) -> float:
+        """The bandwidth-throttle multiplier in force at virtual ``now``."""
+        divisor = 1.0
+        for start, end, window_divisor in self.plan.throttle_windows:
+            if start <= now < end:
+                divisor *= window_divisor
+        return divisor
+
+    def flap_wait(self, node: str, now: float) -> float:
+        """Virtual seconds until ``node``'s flapping link is next up."""
+        phase_offset = self.flap_phase.get(node)
+        if phase_offset is None:
+            return 0.0
+        period = self.plan.flap_period
+        up = self.plan.flap_duty * period
+        phase = (now + phase_offset) % period
+        if phase < up:
+            return 0.0
+        return period - phase
+
+    def shape_leg(
+        self, source: str, destination: str, delay: float, *, now: float
+    ) -> float:
+        """The virtual-time cost of one leg after grey shaping.
+
+        Pure timing: multiplies ``delay`` by the slower endpoint's factor
+        and any active throttle window, then adds the wait until both
+        endpoints' flapping links are up.  No RNG is consumed and no
+        delivery decision is made here, so shaping on vs. off cannot
+        perturb fault schedules or merge outcomes.
+        """
+        factor = max(self.factor_of(source), self.factor_of(destination))
+        shaped = delay * factor * self.throttle_divisor(now)
+        wait = max(self.flap_wait(source, now), self.flap_wait(destination, now))
+        return shaped + wait
+
+    # -- the one state-affecting mode --------------------------------------
+
+    def stuck_hang(self, source: str, destination: str) -> float:
+        """Draw whether this leg attempt hangs; returns the hang seconds.
+
+        Consumes one grey-RNG draw **only** when an endpoint is degraded
+        and the plan has a stuck rate -- healthy legs cost no randomness,
+        so a population with degradation resolved but nobody degraded
+        replays byte-identically to one without degradation at all.
+        """
+        plan = self.plan
+        if plan.stuck_rate <= 0:
+            return 0.0
+        if source not in self.factors and destination not in self.factors:
+            return 0.0
+        if self.rng.random() >= plan.stuck_rate:
+            return 0.0
+        self.stuck_legs += 1
+        self.stuck_seconds_total += plan.stuck_seconds
+        return plan.stuck_seconds

@@ -48,6 +48,7 @@ from dataclasses import dataclass, field
 from typing import Iterable, List, Optional, Sequence, Set, Tuple
 
 from ..core.errors import FaultInjectionError
+from .degradation import DegradationPlan, DegradationState
 from .network import NetworkMeter, SimulatedNetwork
 
 __all__ = [
@@ -97,6 +98,15 @@ class FaultPlan:
         counts -- while ``start <= transfers_so_far < end`` every message
         is dropped.  This is the scripted analogue of a radio blackout,
         independent of the probabilistic ``loss`` rate.
+    degradation:
+        Optional grey-failure plan
+        (:class:`~repro.replication.degradation.DegradationPlan`): nodes
+        that are alive but slow, stuck or flapping.  The transport only
+        executes the plan's one state-affecting mode (stuck-session
+        hangs, which lose the hung leg's deliveries); the timing-only
+        shaping is applied by whoever drives the session's effects, so
+        the fault RNG stream stays byte-identical with degradation on or
+        off.
     crash_restart:
         Which crash model a restarted replica follows when the caller
         does not choose one explicitly: ``"rejoin-empty"`` (crash-stop,
@@ -117,6 +127,7 @@ class FaultPlan:
     max_duplicates: int = 1
     latency: float = 0.0
     outages: Tuple[Tuple[int, int], ...] = ()
+    degradation: Optional[DegradationPlan] = None
     crash_restart: str = "rejoin-empty"
 
     #: The crash models a restarted replica can follow.
@@ -243,6 +254,9 @@ class FaultyTransport:
         self.network = network
         self.plan = plan if plan is not None else FaultPlan()
         self._rng = random.Random(seed)
+        #: Retained so :meth:`ensure_degradation` can derive the grey RNG
+        #: stream (seed XOR salt) without touching the fault RNG above.
+        self.seed = seed
         #: Meter receiving drop/duplicate/corrupt ground truth; the wire
         #: sync engine points this at its own meter when it adopts the
         #: transport, so one object carries the whole fault economy.
@@ -250,6 +264,12 @@ class FaultyTransport:
         self._crashed: Set[str] = set()
         #: Total transfer attempts seen (the clock outage windows run on).
         self.transfers = 0
+        #: The plan's grey modes resolved over a node population (see
+        #: :meth:`ensure_degradation`); ``None`` until resolved.
+        self.degradation: Optional[DegradationState] = None
+        #: Virtual seconds of stuck-session hang charged by the last
+        #: transfer, stashed for the effect driver to sleep off.
+        self._pending_hang = 0.0
 
     # -- connectivity (SimulatedNetwork-compatible surface) ---------------
 
@@ -291,6 +311,34 @@ class FaultyTransport:
     def crashed(self) -> Set[str]:
         """A copy of the currently crashed node set."""
         return set(self._crashed)
+
+    # -- grey failure ------------------------------------------------------
+
+    def ensure_degradation(
+        self, node_ids: Iterable[str]
+    ) -> Optional[DegradationState]:
+        """Resolve the plan's grey modes over ``node_ids`` (idempotent).
+
+        The resolved state is cached; the grey RNG it owns is seeded from
+        this transport's seed XOR a salt, so it is a stream of its own --
+        resolving degradation never advances the fault RNG.
+        """
+        if self.degradation is None and self.plan.degradation is not None:
+            self.degradation = self.plan.degradation.resolve(
+                node_ids, seed=self.seed
+            )
+        return self.degradation
+
+    def take_pending_hang(self) -> float:
+        """Stuck-hang seconds charged by the last transfer, then cleared.
+
+        The transport decides *whether* a leg hangs (a grey-RNG draw at
+        delivery time); the effect driver calls this after each transfer
+        to learn how much virtual time the hang costs and sleeps it.
+        """
+        hang = self._pending_hang
+        self._pending_hang = 0.0
+        return hang
 
     # -- fault machinery ---------------------------------------------------
 
@@ -349,6 +397,17 @@ class FaultyTransport:
             if self.meter is not None:
                 self.meter.record_drop(len(blobs))
             return []
+        if self.degradation is not None and blobs:
+            hang = self.degradation.stuck_hang(source, destination)
+            if hang > 0.0:
+                # A stuck session: the leg hangs for `hang` virtual
+                # seconds and delivers nothing this attempt.  The hang
+                # time is stashed for the effect driver; the engine's
+                # retry budget and later rounds heal the lost bytes.
+                self._pending_hang += hang
+                if self.meter is not None:
+                    self.meter.record_drop(len(blobs))
+                return []
         deliveries: List[Tuple[int, bytes]] = []
         for index, blob in enumerate(blobs):
             for payload in self._deliver_copies(blob):

@@ -36,7 +36,31 @@ __all__ = [
     "ProximityNetwork",
     "NodePosition",
     "NetworkMeter",
+    "LatencyPercentiles",
 ]
+
+
+class LatencyPercentiles(Dict[float, float]):
+    """Typed result of :meth:`NetworkMeter.latency_percentiles`.
+
+    A plain ``quantile -> seconds`` mapping (so existing ``[0.5]``
+    subscripting keeps working) that additionally carries how many
+    samples backed it.  ``samples == 0`` is the typed empty result: every
+    requested quantile maps to ``0.0`` and :attr:`empty` is true -- a
+    meter that never saw an async transfer reports "no data" instead of
+    crashing or smuggling zeros that read like measurements.
+    """
+
+    __slots__ = ("samples",)
+
+    def __init__(self, values: Dict[float, float], samples: int) -> None:
+        super().__init__(values)
+        self.samples = samples
+
+    @property
+    def empty(self) -> bool:
+        """Whether this result was computed from zero samples."""
+        return self.samples == 0
 
 
 @dataclass
@@ -113,22 +137,29 @@ class NetworkMeter:
 
     def latency_percentiles(
         self, quantiles: Sequence[float] = (0.5, 0.9, 0.99)
-    ) -> Dict[float, float]:
+    ) -> "LatencyPercentiles":
         """Nearest-rank percentiles of the recorded transfer latencies.
 
-        Returns ``quantile -> seconds`` (all zero when nothing was
-        recorded).  Nearest-rank on the sorted samples -- no
-        interpolation -- so the numbers are deterministic and directly
-        comparable across runs and machines.
+        Returns a :class:`LatencyPercentiles` mapping ``quantile ->
+        seconds`` carrying its sample count; with zero samples it is the
+        typed empty result (every quantile ``0.0``, ``empty`` true)
+        rather than a crash or indistinguishable zeros.  Nearest-rank on
+        the sorted samples -- no interpolation -- so the numbers are
+        deterministic and directly comparable across runs and machines:
+        one sample answers every quantile, and the p99 of two samples is
+        the larger one (``ceil(0.99 * 2) - 1 == 1``).
         """
         samples = sorted(self.transfer_latencies)
         if not samples:
-            return {q: 0.0 for q in quantiles}
+            return LatencyPercentiles({q: 0.0 for q in quantiles}, 0)
         last = len(samples) - 1
-        return {
-            q: samples[min(last, max(0, math.ceil(q * len(samples)) - 1))]
-            for q in quantiles
-        }
+        return LatencyPercentiles(
+            {
+                q: samples[min(last, max(0, math.ceil(q * len(samples)) - 1))]
+                for q in quantiles
+            },
+            len(samples),
+        )
 
     def goodput(self) -> float:
         """Accepted payload bytes as a fraction of all bytes sent.

@@ -109,8 +109,25 @@ __all__ = [
     "WireSyncEngine",
     "SleepEffect",
     "TransferEffect",
+    "SessionAbort",
 ]
 # SyncHistory/ExchangeRecord live in .history; re-exported by the package.
+
+
+class SessionAbort(Exception):
+    """Thrown *into* a running session generator to cancel it cleanly.
+
+    A driver that decides a session must not continue -- the async
+    daemon's deadline enforcement -- calls ``session.throw(SessionAbort())``
+    at the suspended wire effect.  Every yield of the session generator
+    sits inside a transfer leg, so the abort surfaces at one of the two
+    ``_ship`` calls; the generator restores both replicas from the
+    session's transactional snapshots and re-raises, guaranteeing the
+    aborted session left no half-merged key behind (the same I2-hazard
+    discipline the response-loss rollback follows).  The driver then
+    reports the abort as a typed
+    :class:`~repro.core.errors.SessionTimeout`.
+    """
 
 
 class SleepEffect(NamedTuple):
@@ -533,6 +550,12 @@ class WireSyncEngine:
                 independently_created=independent,
             )
 
+    def _restore_session(self, first: StoreReplica, second: StoreReplica, backup) -> None:
+        """Roll every snapshotted key on both sides back to pre-session state."""
+        for key, (mine_snap, theirs_snap) in backup.items():
+            self._restore(first, key, mine_snap)
+            self._restore(second, key, theirs_snap)
+
     @staticmethod
     def _reject(
         report: MergeReport, key: str, raw, stage: str, error: Exception
@@ -592,6 +615,7 @@ class WireSyncEngine:
         second: StoreReplica,
         *,
         keys: Optional[Iterable[str]] = None,
+        abortable: bool = False,
     ):
         """The sans-io pairwise sync: a generator of wire effects.
 
@@ -604,6 +628,14 @@ class WireSyncEngine:
         produces identical merges, fault schedules and counters for the
         same call sequence; drivers differ only in what they do with the
         effects.
+
+        ``abortable`` opts the session into deadline cancellation: the
+        transactional snapshots are taken even on a perfect transport,
+        so a driver may ``throw(SessionAbort())`` at any yielded effect
+        and both replicas roll back to their pre-session state before
+        the abort propagates.  The flag exists because snapshots cost
+        memory proportional to the key subset -- drivers without a
+        deadline keep the old zero-overhead path.
         """
         if first is second:
             raise ReplicationError("a store replica cannot synchronize with itself")
@@ -620,7 +652,7 @@ class WireSyncEngine:
         keys = sorted(spanned)
         faulty = self.transport is not None
         backup = None
-        if faulty:
+        if faulty or abortable:
             backup = {
                 key: (
                     self._snapshot(first._keys.get(key)),
@@ -629,9 +661,16 @@ class WireSyncEngine:
                 for key in keys
             }
 
-        # Request leg: second ships everything it holds to first.
+        # Request leg: second ships everything it holds to first.  An
+        # abort thrown at one of this leg's effects arrives before any
+        # merge ran; the restore is then a no-op, kept for uniformity.
         held = [(key, second._keys[key]) for key in keys if key in second._keys]
-        received = yield from self._ship(second, first, held)
+        try:
+            received = yield from self._ship(second, first, held)
+        except SessionAbort:
+            if backup is not None:
+                self._restore_session(first, second, backup)
+            raise
 
         changed: List[str] = []
         request_lost: List[str] = []
@@ -716,9 +755,18 @@ class WireSyncEngine:
                 self._equal_verdicts[verdict_key] = (mine_clock, remote_clock)
 
         # Response leg: only second-side trackers that changed go back.
-        returned = yield from self._ship(
-            first, second, [(key, second._keys[key]) for key in changed]
-        )
+        # An abort here lands after the merge mutated both sides: restore
+        # every snapshotted key so the cancelled session is a no-op (no
+        # journal record has been written yet -- journaling happens after
+        # this leg completes -- so a crash-after-abort recovers cleanly).
+        try:
+            returned = yield from self._ship(
+                first, second, [(key, second._keys[key]) for key in changed]
+            )
+        except SessionAbort:
+            if backup is not None:
+                self._restore_session(first, second, backup)
+            raise
         rolled_back = set()
         for key in changed:
             entry = returned.get(key)

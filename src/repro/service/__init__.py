@@ -13,7 +13,11 @@ real sleeping -- so one machine drives 10^4-10^6 replicas to convergence.
 * :mod:`~repro.service.sharding` -- :class:`KeyShards` key-range sharding
   and the shared :func:`shard_keys` helper;
 * :mod:`~repro.service.daemon`   -- :class:`ReplicaDaemon`, one node's
-  async session driver;
+  async session driver (with deadline enforcement and grey shaping);
+* :mod:`~repro.service.health`   -- the grey-failure resilience layer:
+  :class:`HealthMonitor` accrual failure detection, adaptive per-peer
+  deadlines, :class:`CircuitBreaker` gating and the health-weighted
+  gossip draw;
 * :mod:`~repro.service.cluster`  -- :class:`AntiEntropyService` (lockstep
   and overlap modes), schedules, the synchronous reference executor and
   the :func:`build_cluster` population builder.
@@ -33,14 +37,19 @@ from .cluster import (
 )
 from .daemon import ReplicaDaemon
 from .engine import AsyncWireSyncEngine
+from .health import CircuitBreaker, HealthConfig, HealthMonitor, PeerHealth
 from .links import LinkProfile
 from .sharding import KeyShards, shard_keys
 
 __all__ = [
     "AntiEntropyService",
     "AsyncWireSyncEngine",
+    "CircuitBreaker",
+    "HealthConfig",
+    "HealthMonitor",
     "KeyShards",
     "LinkProfile",
+    "PeerHealth",
     "ReplicaDaemon",
     "RoundMetrics",
     "ServiceReport",

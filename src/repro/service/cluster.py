@@ -36,14 +36,17 @@ import random
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
+from ..core.errors import SessionTimeout
+from ..replication.degradation import DegradationState
 from ..replication.network import FullyConnectedNetwork, NetworkMeter, SimulatedNetwork
 from ..replication.node import MobileNode
 from ..replication.store import MergeReport
 from ..replication.synchronizer import WireSyncEngine
 from ..replication.tracker import KernelTracker
-from ..sim.scheduler import run_virtual
+from ..sim.scheduler import run_virtual, virtual_time
 from .daemon import ReplicaDaemon
 from .engine import AsyncWireSyncEngine
+from .health import HealthConfig, HealthMonitor
 from .links import LinkProfile
 from .sharding import KeyShards, shard_keys
 
@@ -80,6 +83,12 @@ class RoundMetrics:
     virtual_duration: float = 0.0
     #: Whether the cluster was fully converged after this round.
     converged: bool = False
+    #: Sessions aborted at their adaptive deadline (health layer on).
+    timeouts: int = 0
+    #: Sessions refused by an open per-peer circuit breaker.
+    breaker_skips: int = 0
+    #: Hedged (backup-peer) sessions launched after a primary timeout.
+    hedges: int = 0
 
 
 def _percentiles(
@@ -108,6 +117,9 @@ class ServiceReport:
     #: Total virtual seconds the run took on the simulated clock.
     virtual_seconds: float
     meter: NetworkMeter
+    #: Aggregate health counters (``HealthMonitor.counters()``) captured
+    #: when the run finished; ``None`` when the health layer was off.
+    health: Optional[Dict[str, int]] = None
 
     @property
     def total_exchanges(self) -> int:
@@ -120,6 +132,18 @@ class ServiceReport:
     @property
     def total_bytes(self) -> int:
         return sum(r.bytes_sent for r in self.rounds)
+
+    @property
+    def total_timeouts(self) -> int:
+        return sum(r.timeouts for r in self.rounds)
+
+    @property
+    def total_breaker_skips(self) -> int:
+        return sum(r.breaker_skips for r in self.rounds)
+
+    @property
+    def total_hedges(self) -> int:
+        return sum(r.hedges for r in self.rounds)
 
     def bytes_per_key(self, key_count: int) -> float:
         """Payload bytes spent per logical key over the whole run."""
@@ -140,6 +164,58 @@ class ServiceReport:
     ) -> Dict[float, float]:
         """Tail latency of individual transfer legs, from the meter."""
         return self.meter.latency_percentiles(quantiles)
+
+    def as_dict(self) -> Dict[str, object]:
+        """A JSON-serializable view of the whole run (``--json`` output).
+
+        Everything a dashboard or regression script needs: totals, the
+        fault economy, per-round counters, tail percentiles and -- when
+        the health layer ran -- its aggregate counters.
+        """
+        meter = self.meter
+        return {
+            "replicas": self.replicas,
+            "shards": self.shards,
+            "converged_after": self.converged_after,
+            "virtual_seconds": self.virtual_seconds,
+            "totals": {
+                "exchanges": self.total_exchanges,
+                "messages": self.total_messages,
+                "bytes_sent": self.total_bytes,
+                "timeouts": self.total_timeouts,
+                "breaker_skips": self.total_breaker_skips,
+                "hedges": self.total_hedges,
+            },
+            "faults": {
+                "dropped": meter.dropped,
+                "duplicated": meter.duplicated,
+                "retried": meter.retried,
+                "corrupted": meter.corrupted,
+                "retry_latency": meter.retry_latency,
+            },
+            "round_duration_percentiles": {
+                str(q): v for q, v in self.round_duration_percentiles().items()
+            },
+            "session_latency_percentiles": {
+                str(q): v for q, v in self.session_latency_percentiles().items()
+            },
+            "health": self.health,
+            "rounds": [
+                {
+                    "number": r.number,
+                    "exchanges": r.exchanges,
+                    "skipped": r.skipped,
+                    "timeouts": r.timeouts,
+                    "breaker_skips": r.breaker_skips,
+                    "hedges": r.hedges,
+                    "messages": r.messages,
+                    "bytes_sent": r.bytes_sent,
+                    "virtual_duration": r.virtual_duration,
+                    "converged": r.converged,
+                }
+                for r in self.rounds
+            ],
+        }
 
 
 def gossip_schedule(replicas: int, rounds: int, *, seed: int = 0) -> SyncSchedule:
@@ -266,6 +342,22 @@ class AntiEntropyService:
         anything with ``scan()``).  Every daemon scans it after each
         session it initiates, and the service scans once more at the end
         of every round -- contracts are enforced inline with gossip.
+    health:
+        Enables the grey-failure resilience layer: pass ``True`` for the
+        default :class:`~repro.service.health.HealthConfig` or a config
+        instance to tune it.  The service then derives adaptive per-peer
+        session deadlines from observed latencies, aborts sessions that
+        cross them (transactionally -- a timed-out session never
+        half-merges), gates peers behind per-peer circuit breakers and
+        weights the gossip draw by accrued suspicion.  The monitor's RNG
+        is seeded from ``seed`` XOR a salt -- a stream of its own, so on
+        a healthy cluster the detector on vs. off is byte-identical.
+    hedge:
+        With the health layer on, launch a backup session against the
+        healthiest other peer whenever a primary session times out.
+        Sound because pairwise syncs are idempotent (canonical bytes
+        make duplicate deliveries EQUAL-skips) and aborted sessions roll
+        back fully -- hedging can only add convergence, never diverge.
     """
 
     def __init__(
@@ -278,6 +370,8 @@ class AntiEntropyService:
         seed: int = 0,
         lockstep: bool = False,
         checker=None,
+        health=None,
+        hedge: bool = False,
     ) -> None:
         self.checker = checker
         self.daemons = [
@@ -290,6 +384,24 @@ class AntiEntropyService:
         self.lockstep = lockstep
         self._rng = random.Random(seed)
         self._link_rng = random.Random(seed ^ 0x11A7C0DE)
+        if health:
+            config = health if isinstance(health, HealthConfig) else None
+            self.health: Optional[HealthMonitor] = HealthMonitor(
+                config=config, seed=seed
+            )
+        else:
+            self.health = None
+        self.hedge = bool(hedge) and self.health is not None
+        #: The transport's grey modes resolved over this population
+        #: (``None`` without a transport or degradation plan).
+        transport = self.engine.transport
+        self.degradation: Optional[DegradationState] = (
+            transport.ensure_degradation(
+                [daemon.node.node_id for daemon in self.daemons]
+            )
+            if transport is not None
+            else None
+        )
         #: Metrics of every round ever run through this service.
         self.rounds: List[RoundMetrics] = []
 
@@ -368,28 +480,137 @@ class AntiEntropyService:
             peer = members[self._rng.randrange(len(members))]
             while peer == initiator:
                 peer = members[self._rng.randrange(len(members))]
+            if self.health is not None:
+                # Health-weighted accept/reject on top of the uniform
+                # draw: the schedule RNG's consumption is identical with
+                # the monitor on or off (redraws come from the monitor's
+                # own stream, and quiet peers skip it entirely).
+                peer = self.health.select(members, initiator, peer)
             pairs.append((initiator, peer))
         return pairs
 
     # -- execution ---------------------------------------------------------
 
     async def _run_part(
-        self, first: ReplicaDaemon, second: ReplicaDaemon, shard: int
+        self,
+        first: ReplicaDaemon,
+        second: ReplicaDaemon,
+        shard: int,
+        deadline: Optional[float] = None,
     ) -> Optional[MergeReport]:
         part = shard_keys(first.node.store, second.node.store, self.shards, shard)
         if part is not None and not part:
             return None
-        return await first.drive_session(
-            second, self.engine, keys=part, link=self.link, link_rng=self._link_rng
+        start = virtual_time()
+        report = await first.drive_session(
+            second,
+            self.engine,
+            keys=part,
+            link=self.link,
+            link_rng=self._link_rng,
+            deadline=deadline,
+            degradation=self.degradation,
         )
+        if self.health is not None:
+            # Observed here -- with the locks already held -- so the
+            # latency fed to the accrual model is the peer's wire time,
+            # not local lock-queueing delay (which would make a busy but
+            # healthy cluster look grey).
+            self.health.observe_success(second.index, virtual_time() - start)
+        return report
 
     async def _run_part_locked(
-        self, first: ReplicaDaemon, second: ReplicaDaemon, shard: int
+        self,
+        first: ReplicaDaemon,
+        second: ReplicaDaemon,
+        shard: int,
+        deadline: Optional[float] = None,
     ) -> Optional[MergeReport]:
         low, high = (first, second) if first.index < second.index else (second, first)
         async with low.lock(shard):
             async with high.lock(shard):
-                return await self._run_part(first, second, shard)
+                return await self._run_part(first, second, shard, deadline)
+
+    async def _run_hedge(
+        self,
+        first: ReplicaDaemon,
+        primary: ReplicaDaemon,
+        shard: int,
+        metrics: RoundMetrics,
+    ) -> Optional[MergeReport]:
+        """Launch one backup session after a primary timeout.
+
+        Runs strictly *after* the timed-out session released its locks
+        (lock acquisition stays in ascending replica order, so hedging
+        cannot deadlock the overlap mode).  The backup peer is the
+        healthiest reachable alternative; soundness rests on sync
+        idempotence -- a hedge can only move knowledge, never diverge.
+        """
+        health = self.health
+        candidates = [
+            daemon.index
+            for daemon in self.daemons
+            if daemon.node.alive and first.node.can_reach(daemon.node)
+        ]
+        backup_index = health.hedge_candidate(
+            candidates, (first.index, primary.index)
+        )
+        if backup_index is None:
+            return None
+        health.hedges += 1
+        metrics.hedges += 1
+        backup = self.daemons[backup_index]
+        deadline = health.deadline(backup_index)
+        runner = self._run_part if self.lockstep else self._run_part_locked
+        try:
+            report = await runner(first, backup, shard, deadline)
+        except SessionTimeout:
+            metrics.timeouts += 1
+            health.observe_timeout(backup_index, virtual_time())
+            return None
+        if report is None:
+            metrics.empty_parts += 1
+        else:
+            health.hedge_wins += 1
+        return report
+
+    async def _run_job(
+        self,
+        first: ReplicaDaemon,
+        second: ReplicaDaemon,
+        shard: int,
+        metrics: RoundMetrics,
+    ) -> Optional[MergeReport]:
+        """One (pair, shard) part under the defensive-driving policy.
+
+        Without the health layer this is exactly the old direct call.
+        With it: the peer's circuit gates the session, its adaptive
+        deadline bounds it, a timeout feeds the accrual detector and --
+        when hedging is on -- triggers one backup session against the
+        healthiest other peer.
+        """
+        health = self.health
+        runner = self._run_part if self.lockstep else self._run_part_locked
+        if health is None:
+            report = await runner(first, second, shard)
+            if report is None:
+                metrics.empty_parts += 1
+            return report
+        if not health.allow(second.index, virtual_time()):
+            metrics.breaker_skips += 1
+            return None
+        deadline = health.deadline(second.index)
+        try:
+            report = await runner(first, second, shard, deadline)
+        except SessionTimeout:
+            metrics.timeouts += 1
+            health.observe_timeout(second.index, virtual_time())
+            if self.hedge:
+                return await self._run_hedge(first, second, shard, metrics)
+            return None
+        if report is None:
+            metrics.empty_parts += 1
+        return report
 
     async def _run_round(
         self, number: int, pairs: Sequence[Tuple[int, int]]
@@ -412,18 +633,18 @@ class AntiEntropyService:
         if self.lockstep:
             results: List[Optional[MergeReport]] = []
             for first, second, shard in jobs:
-                results.append(await self._run_part(first, second, shard))
+                results.append(await self._run_job(first, second, shard, metrics))
         else:
             tasks = [
-                loop.create_task(self._run_part_locked(first, second, shard))
+                loop.create_task(self._run_job(first, second, shard, metrics))
                 for first, second, shard in jobs
             ]
             results = [await task for task in tasks]
         for report in results:
-            if report is None:
-                metrics.empty_parts += 1
-            else:
+            if report is not None:
                 metrics.merge += report
+        if self.health is not None:
+            self.health.decay_round()
         after_messages, after_bytes = self.meter.snapshot()
         metrics.messages = after_messages - before_messages
         metrics.bytes_sent = after_bytes - before_bytes
@@ -486,4 +707,5 @@ class AntiEntropyService:
             converged_after=converged_after,
             virtual_seconds=virtual_seconds,
             meter=self.meter,
+            health=self.health.counters() if self.health is not None else None,
         )

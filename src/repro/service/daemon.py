@@ -11,6 +11,18 @@ mutation, RNG draws and meter accounting, so the merge outcome is
 identical to the synchronous driver's -- the daemon only decides when
 virtual time passes.
 
+Defensive driving (the grey-failure layer): given a ``deadline``, the
+daemon tracks the session's spent virtual time across effects and, the
+moment the next wait would cross the deadline, sleeps only the remainder,
+throws :class:`~repro.replication.synchronizer.SessionAbort` into the
+generator (which rolls both replicas back to their pre-session state) and
+raises a typed :class:`~repro.core.errors.SessionTimeout`.  Given a
+resolved :class:`~repro.replication.degradation.DegradationState`, each
+transfer leg's delay is additionally shaped by the grey modes (slowdown
+factors, throttle windows, flap waits) and any stuck-session hang the
+transport charged is slept off -- timing only; the bytes and merges are
+untouched.
+
 Per-shard ``asyncio.Lock`` objects serialize concurrent sessions touching
 the same (replica, shard); they are created lazily *inside* the running
 loop (Python 3.9 binds primitives to the loop at construction time).
@@ -22,9 +34,16 @@ import asyncio
 import random
 from typing import List, Optional
 
+from ..core.errors import SessionTimeout
+from ..replication.degradation import DegradationState
 from ..replication.node import MobileNode
 from ..replication.store import MergeReport
-from ..replication.synchronizer import SleepEffect, TransferEffect, WireSyncEngine
+from ..replication.synchronizer import (
+    SessionAbort,
+    SleepEffect,
+    TransferEffect,
+    WireSyncEngine,
+)
 from .links import LinkProfile
 
 __all__ = ["ReplicaDaemon"]
@@ -33,12 +52,13 @@ __all__ = ["ReplicaDaemon"]
 class ReplicaDaemon:
     """One replica's daemon: a mobile node plus its per-shard locks."""
 
-    __slots__ = ("node", "index", "_locks", "checker")
+    __slots__ = ("node", "index", "_locks", "_locks_loop", "checker")
 
     def __init__(self, node: MobileNode, index: int, *, checker=None) -> None:
         self.node = node
         self.index = index
         self._locks: Optional[List[asyncio.Lock]] = None
+        self._locks_loop: Optional[asyncio.AbstractEventLoop] = None
         #: Optional :class:`~repro.contracts.ContractChecker` (duck-typed:
         #: anything with ``scan()``) evaluated right after every session
         #: this daemon initiates -- per-session contract granularity, so a
@@ -52,9 +72,22 @@ class ReplicaDaemon:
         return self._locks[shard]
 
     def ensure_locks(self, shard_count: int) -> None:
-        """Create the per-shard locks; must run inside the event loop."""
-        if self._locks is None or len(self._locks) != shard_count:
+        """Create the per-shard locks; must run inside the event loop.
+
+        Locks are rebuilt whenever the running loop changed: every
+        :meth:`~repro.service.cluster.AntiEntropyService.run` starts a
+        fresh virtual-time loop, and asyncio primitives stay bound to the
+        loop they were first awaited on.  No session is ever in flight
+        between runs, so replacing the locks is safe.
+        """
+        loop = asyncio.get_running_loop()
+        if (
+            self._locks is None
+            or len(self._locks) != shard_count
+            or self._locks_loop is not loop
+        ):
             self._locks = [asyncio.Lock() for _ in range(shard_count)]
+            self._locks_loop = loop
 
     async def drive_session(
         self,
@@ -64,10 +97,29 @@ class ReplicaDaemon:
         keys: Optional[List[str]] = None,
         link: LinkProfile,
         link_rng: random.Random,
+        deadline: Optional[float] = None,
+        degradation: Optional[DegradationState] = None,
     ) -> MergeReport:
-        """Run one anti-entropy session with ``peer`` on the virtual clock."""
-        session = engine.session(self.node.store, peer.node.store, keys=keys)
+        """Run one anti-entropy session with ``peer`` on the virtual clock.
+
+        ``deadline`` bounds the session's *virtual* duration: when the
+        next wait would cross it, the remainder is slept (so the timeout
+        itself costs honest virtual time), the session generator is
+        aborted -- rolling both replicas back -- and
+        :class:`~repro.core.errors.SessionTimeout` is raised.
+        ``degradation`` applies grey shaping to every transfer leg and
+        sleeps off stuck-session hangs charged by the transport.
+        """
+        session = engine.session(
+            self.node.store,
+            peer.node.store,
+            keys=keys,
+            abortable=deadline is not None,
+        )
         meter = engine.meter
+        loop = asyncio.get_running_loop()
+        transport = engine.transport if degradation is not None else None
+        start = loop.time()
         while True:
             try:
                 effect = next(session)
@@ -76,10 +128,41 @@ class ReplicaDaemon:
                     self.checker.scan()
                 return stop.value
             if type(effect) is TransferEffect:
-                delay = link.leg_delay(effect.nbytes, link_rng)
+                now = loop.time()
+                delay = link.leg_delay(effect.nbytes, link_rng, now=now)
+                if degradation is not None:
+                    delay = degradation.shape_leg(
+                        effect.source, effect.destination, delay, now=now
+                    )
+                if transport is not None:
+                    # A stuck-session hang: the transport already dropped
+                    # the leg's deliveries; the daemon pays the hang time.
+                    delay += transport.take_pending_hang()
                 meter.record_transfer_latency(delay)
-                if delay > 0:
-                    await asyncio.sleep(delay)
+                wait = delay
             elif type(effect) is SleepEffect:
-                if effect.seconds > 0:
-                    await asyncio.sleep(effect.seconds)
+                wait = effect.seconds
+            else:
+                wait = 0.0
+            if deadline is not None:
+                remaining = deadline - (loop.time() - start)
+                if wait >= remaining:
+                    # The deadline lands inside this wait: spend what is
+                    # left of the budget, then cancel the session.  The
+                    # generator restores both replicas before the abort
+                    # propagates, so a timed-out session never
+                    # half-merges.
+                    if remaining > 0:
+                        await asyncio.sleep(remaining)
+                    try:
+                        session.throw(SessionAbort())
+                    except (SessionAbort, StopIteration):
+                        pass
+                    raise SessionTimeout(
+                        self.node.node_id,
+                        peer.node.node_id,
+                        deadline,
+                        loop.time() - start,
+                    )
+            if wait > 0:
+                await asyncio.sleep(wait)

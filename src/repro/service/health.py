@@ -1,0 +1,405 @@
+"""Accrual failure detection and health-aware routing for the service.
+
+At datacenter scale the failure mode that dominates is not the crashed
+replica (the transport already models that) but the **grey** one: alive,
+reachable, and 10-100x slow.  One such node inflates every gossip round
+that touches it, because sessions have no deadline and peers are drawn
+uniformly.  This module is the detection half of the grey-failure
+resilience layer:
+
+* :class:`PeerHealth` -- a per-peer latency history with a
+  phi-accrual-style suspicion score: each observed session latency is
+  scored by how improbable it is under a normal model of the peer's own
+  history (``phi = -log10(survival probability)``), so suspicion *accrues*
+  with evidence instead of tripping a binary timeout.  The same history
+  yields the peer's **adaptive deadline** (mean plus a few standard
+  deviations, clamped) -- slow-but-steady peers earn long deadlines,
+  fast peers are cut off quickly when they stall.
+* :class:`CircuitBreaker` -- the classic closed / open / half-open
+  automaton on the *virtual* clock: enough consecutive timeouts open the
+  circuit, a cool-down later one probe session is allowed through, and a
+  success snaps the circuit closed again.
+* :class:`HealthMonitor` -- the service-wide registry tying the pieces
+  together: suspicion-decayed peer weights for the health-aware gossip
+  draw (suspected peers are drawn with decaying probability but **never
+  zero**, so a suspected-but-healthy partition still converges and the
+  epoch straggler-upgrade path still fires), hedge-peer selection, and
+  the counters the service report and ``--health-table`` surface.
+
+Determinism: everything runs on virtual time and the monitor owns a
+dedicated seeded RNG (:data:`HEALTH_SEED_SALT` XORed into the service
+seed) used *only* for the rejection-sampling step of the weighted draw.
+The fast path -- every candidate at weight 1.0 -- consumes **no** health
+RNG at all, so on a healthy cluster the detector being on or off yields
+byte-identical gossip schedules, fault schedules and merges; the
+isolation tests pin this down.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "HealthConfig",
+    "PeerHealth",
+    "CircuitBreaker",
+    "HealthMonitor",
+    "HEALTH_SEED_SALT",
+]
+
+#: XORed into the service seed to derive the health RNG stream, keeping
+#: it disjoint from the schedule RNG (raw seed), the link-jitter RNG and
+#: the transport's fault RNG.
+HEALTH_SEED_SALT = 0x48EA17F1
+
+
+@dataclass(frozen=True)
+class HealthConfig:
+    """Tuning knobs of the accrual detector, breaker and weighted draw.
+
+    The defaults are deliberately conservative: a healthy cluster under
+    moderate fault-injected retry noise should never trip a deadline or
+    leave the weight-1.0 fast path, so enabling health monitoring is
+    observation-only until something is genuinely degraded.
+    """
+
+    #: Latency samples kept per peer (the accrual model's window).
+    window: int = 20
+    #: Observations required before phi scoring and adaptive deadlines
+    #: activate; until then the deadline is :attr:`max_deadline`.
+    min_samples: int = 5
+    #: Suspicion added per session timeout (on top of accrued phi).
+    timeout_suspicion: float = 3.0
+    #: Per-round multiplicative suspicion decay -- how fast a recovered
+    #: peer is forgiven.
+    decay: float = 0.7
+    #: Suspicion at or below this keeps the peer's weight at exactly 1.0
+    #: (the no-RNG fast path of the weighted draw).
+    quiet_suspicion: float = 1.0
+    #: Floor of the draw weight: a suspected peer is drawn with decaying
+    #: probability but never zero.
+    min_weight: float = 0.05
+    #: Bound on rejection-sampling redraws per selection.
+    max_redraws: int = 8
+    #: Adaptive deadline = clamp(mean + deadline_sigmas * std, ...).
+    deadline_sigmas: float = 4.0
+    min_deadline: float = 1e-3
+    max_deadline: float = 120.0
+    #: Consecutive timeouts that open a peer's circuit.
+    breaker_failures: int = 3
+    #: Virtual seconds an open circuit waits before its half-open probe.
+    breaker_cooldown: float = 5.0
+    #: Cooldown multiplier applied every time a probe fails.
+    breaker_backoff: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.window < 2 or self.min_samples < 2:
+            raise ValueError("window and min_samples must be at least 2")
+        if not 0.0 < self.decay <= 1.0:
+            raise ValueError(f"decay must be in (0, 1], got {self.decay}")
+        if not 0.0 < self.min_weight <= 1.0:
+            raise ValueError(
+                f"min_weight must be in (0, 1], got {self.min_weight}"
+            )
+        if self.min_deadline <= 0 or self.max_deadline < self.min_deadline:
+            raise ValueError("need 0 < min_deadline <= max_deadline")
+        if self.breaker_failures < 1:
+            raise ValueError("breaker_failures must be at least 1")
+        if self.breaker_cooldown <= 0 or self.breaker_backoff < 1.0:
+            raise ValueError("need breaker_cooldown > 0 and backoff >= 1")
+
+
+class CircuitBreaker:
+    """Closed / open / half-open session gating on the virtual clock."""
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+    __slots__ = ("config", "state", "failures", "cooldown", "open_until", "probing", "opens")
+
+    def __init__(self, config: HealthConfig) -> None:
+        self.config = config
+        self.state = self.CLOSED
+        #: Consecutive failures while closed.
+        self.failures = 0
+        self.cooldown = config.breaker_cooldown
+        self.open_until = 0.0
+        #: Whether the half-open probe session is currently in flight.
+        self.probing = False
+        #: Times this circuit has transitioned closed -> open.
+        self.opens = 0
+
+    def allow(self, now: float) -> bool:
+        """Whether a session may start at virtual ``now``.
+
+        An open circuit whose cool-down has elapsed transitions to
+        half-open and admits exactly one probe; further sessions are
+        refused until the probe reports back.
+        """
+        if self.state == self.CLOSED:
+            return True
+        if self.state == self.OPEN:
+            if now >= self.open_until:
+                self.state = self.HALF_OPEN
+                self.probing = True
+                return True
+            return False
+        if not self.probing:
+            self.probing = True
+            return True
+        return False
+
+    def record_success(self) -> None:
+        """A session completed: snap closed and forget the failure run."""
+        self.state = self.CLOSED
+        self.failures = 0
+        self.probing = False
+        self.cooldown = self.config.breaker_cooldown
+
+    def record_failure(self, now: float) -> None:
+        """A session timed out at virtual ``now``."""
+        if self.state == self.HALF_OPEN:
+            # The probe failed: reopen, and back the cool-down off so a
+            # persistently sick peer costs ever fewer probe sessions.
+            self.cooldown *= self.config.breaker_backoff
+            self._open(now)
+            return
+        self.failures += 1
+        if self.state == self.CLOSED and self.failures >= self.config.breaker_failures:
+            self._open(now)
+
+    def _open(self, now: float) -> None:
+        self.state = self.OPEN
+        self.open_until = now + self.cooldown
+        self.probing = False
+        self.opens += 1
+
+
+class PeerHealth:
+    """One peer's latency history, accrued suspicion and circuit."""
+
+    __slots__ = ("config", "history", "suspicion", "timeouts", "successes", "breaker")
+
+    def __init__(self, config: HealthConfig) -> None:
+        self.config = config
+        self.history: Deque[float] = deque(maxlen=config.window)
+        #: The accrued phi score; decays per round, spikes on timeouts.
+        self.suspicion = 0.0
+        self.timeouts = 0
+        self.successes = 0
+        self.breaker = CircuitBreaker(config)
+
+    # -- the normal model of this peer's own history -----------------------
+
+    def _moments(self) -> Tuple[float, float]:
+        history = self.history
+        mean = sum(history) / len(history)
+        variance = sum((x - mean) ** 2 for x in history) / len(history)
+        # Floor the deviation so a perfectly steady history still admits
+        # some spread (phi would otherwise explode on the first jitter).
+        std = max(math.sqrt(variance), 0.1 * mean, 1e-9)
+        return mean, std
+
+    def phi(self, latency: float) -> float:
+        """The accrual score of one observed latency.
+
+        ``-log10`` of the probability that a latency at least this large
+        arises under a normal model of the peer's recent history: phi 1
+        means "one in ten", phi 3 "one in a thousand".  Zero until the
+        history holds :attr:`HealthConfig.min_samples` observations.
+        """
+        if len(self.history) < self.config.min_samples:
+            return 0.0
+        mean, std = self._moments()
+        z = (latency - mean) / std
+        if z <= 0.0:
+            return 0.0
+        survival = 0.5 * math.erfc(z / math.sqrt(2.0))
+        return -math.log10(max(survival, 1e-15))
+
+    def deadline(self) -> float:
+        """This peer's adaptive session deadline, from its own history."""
+        config = self.config
+        if len(self.history) < config.min_samples:
+            return config.max_deadline
+        mean, std = self._moments()
+        return min(
+            config.max_deadline,
+            max(config.min_deadline, mean + config.deadline_sigmas * std),
+        )
+
+    def weight(self) -> float:
+        """The gossip-draw weight: 1.0 when quiet, decaying, never zero."""
+        config = self.config
+        excess = self.suspicion - config.quiet_suspicion
+        if excess <= 0.0:
+            return 1.0
+        return max(config.min_weight, 2.0 ** -excess)
+
+    # -- observations ------------------------------------------------------
+
+    def observe_success(self, latency: float) -> None:
+        """Fold one completed session's virtual latency into the model."""
+        self.successes += 1
+        score = self.phi(latency)
+        self.history.append(latency)
+        self.suspicion = max(self.suspicion * self.config.decay, score)
+        self.breaker.record_success()
+
+    def observe_timeout(self, now: float) -> None:
+        """A session against this peer hit its deadline at virtual ``now``."""
+        self.timeouts += 1
+        self.suspicion += self.config.timeout_suspicion
+        self.breaker.record_failure(now)
+
+
+class HealthMonitor:
+    """The service-wide health registry, keyed by peer index.
+
+    Owns the dedicated health RNG (seed XOR :data:`HEALTH_SEED_SALT`) and
+    every per-peer :class:`PeerHealth`.  Peers are materialized lazily,
+    so a 10^4-replica service only pays for the peers actually gossiped
+    with -- O(N) state, never O(N^2).
+    """
+
+    def __init__(
+        self, *, config: Optional[HealthConfig] = None, seed: int = 0
+    ) -> None:
+        self.config = config if config is not None else HealthConfig()
+        self.rng = random.Random(seed ^ HEALTH_SEED_SALT)
+        self.peers: Dict[int, PeerHealth] = {}
+        #: Sessions refused by an open circuit.
+        self.breaker_skips = 0
+        #: Redraws taken by the weighted gossip draw.
+        self.redraws = 0
+        #: Hedged (backup) sessions launched after a primary timeout.
+        self.hedges = 0
+        #: Hedged sessions that themselves completed successfully.
+        self.hedge_wins = 0
+
+    def peer(self, index: int) -> PeerHealth:
+        entry = self.peers.get(index)
+        if entry is None:
+            entry = self.peers[index] = PeerHealth(self.config)
+        return entry
+
+    # -- session gating ----------------------------------------------------
+
+    def allow(self, index: int, now: float) -> bool:
+        """Circuit-breaker gate for a session against peer ``index``."""
+        entry = self.peers.get(index)
+        if entry is None:
+            return True
+        if entry.breaker.allow(now):
+            return True
+        self.breaker_skips += 1
+        return False
+
+    def deadline(self, index: int) -> float:
+        entry = self.peers.get(index)
+        return self.config.max_deadline if entry is None else entry.deadline()
+
+    def observe_success(self, index: int, latency: float) -> None:
+        self.peer(index).observe_success(latency)
+
+    def observe_timeout(self, index: int, now: float) -> None:
+        self.peer(index).observe_timeout(now)
+
+    def weight(self, index: int) -> float:
+        entry = self.peers.get(index)
+        return 1.0 if entry is None else entry.weight()
+
+    def decay_round(self) -> None:
+        """Per-round suspicion decay: recovered peers earn their way back."""
+        decay = self.config.decay
+        for entry in self.peers.values():
+            entry.suspicion *= decay
+
+    # -- health-aware peer selection ---------------------------------------
+
+    def select(self, members: Sequence[int], initiator: int, drawn: int) -> int:
+        """Health-weighted acceptance of a uniformly drawn gossip peer.
+
+        ``drawn`` is the caller's uniform O(1) draw from its *own*
+        schedule RNG; this method accepts it with probability equal to
+        its weight, redrawing (bounded) from the health RNG otherwise.
+        A candidate at weight 1.0 is accepted without consuming any
+        health RNG -- the fast path that keeps a healthy cluster's
+        schedule byte-identical with the detector on or off.  The redraw
+        bound plus the weight floor mean every reachable peer keeps a
+        nonzero draw probability: suspicion delays gossip with a grey
+        peer, it never excommunicates it.
+        """
+        peer = drawn
+        rng = self.rng
+        for _ in range(self.config.max_redraws):
+            weight = self.weight(peer)
+            if weight >= 1.0 or rng.random() < weight:
+                return peer
+            self.redraws += 1
+            peer = members[rng.randrange(len(members))]
+            while peer == initiator:
+                peer = members[rng.randrange(len(members))]
+        return peer
+
+    def hedge_candidate(
+        self, indices: Sequence[int], exclude: Sequence[int]
+    ) -> Optional[int]:
+        """The healthiest backup peer for a hedged session, or ``None``.
+
+        Deterministic (argmax weight, lowest index wins ties; no RNG):
+        a hedge exists to dodge a peer that just proved slow, so it goes
+        straight to the best-believed alternative.
+        """
+        excluded = set(exclude)
+        best: Optional[int] = None
+        best_weight = -1.0
+        for index in indices:
+            if index in excluded:
+                continue
+            weight = self.weight(index)
+            if weight > best_weight:
+                best, best_weight = index, weight
+        return best
+
+    # -- reporting ---------------------------------------------------------
+
+    def counters(self) -> Dict[str, int]:
+        """Aggregate health counters (the service report's health block)."""
+        return {
+            "peers_tracked": len(self.peers),
+            "sessions_observed": sum(p.successes for p in self.peers.values()),
+            "timeouts": sum(p.timeouts for p in self.peers.values()),
+            "breaker_opens": sum(p.breaker.opens for p in self.peers.values()),
+            "breaker_skips": self.breaker_skips,
+            "redraws": self.redraws,
+            "hedges": self.hedges,
+            "hedge_wins": self.hedge_wins,
+        }
+
+    def table(self) -> List[Dict[str, object]]:
+        """Per-peer health rows (sorted by index) for ``--health-table``."""
+        rows: List[Dict[str, object]] = []
+        for index in sorted(self.peers):
+            entry = self.peers[index]
+            mean = (
+                sum(entry.history) / len(entry.history) if entry.history else 0.0
+            )
+            rows.append(
+                {
+                    "peer": index,
+                    "samples": len(entry.history),
+                    "mean_latency": mean,
+                    "deadline": entry.deadline(),
+                    "suspicion": entry.suspicion,
+                    "weight": entry.weight(),
+                    "circuit": entry.breaker.state,
+                    "timeouts": entry.timeouts,
+                }
+            )
+        return rows

@@ -28,7 +28,7 @@ from __future__ import annotations
 import asyncio
 from typing import Any, Awaitable, Tuple, TypeVar
 
-__all__ = ["VirtualTimeLoop", "run_virtual"]
+__all__ = ["VirtualTimeLoop", "run_virtual", "virtual_time"]
 
 T = TypeVar("T")
 
@@ -80,6 +80,23 @@ class VirtualTimeLoop(asyncio.SelectorEventLoop):
             if deadline > self._virtual_now:
                 self._virtual_now = deadline
         super()._run_once()
+
+
+def virtual_time(default: float = 0.0) -> float:
+    """The running event loop's clock, or ``default`` outside a loop.
+
+    The health layer stamps breaker cool-downs, session deadlines and
+    hedge decisions with this: inside a :class:`VirtualTimeLoop` it reads
+    the simulation clock, inside a plain loop the wall clock, and from
+    synchronous code (the reference sync driver, unit tests poking the
+    breaker directly) it returns ``default`` instead of raising -- the
+    callers that care about real time are always inside a loop.
+    """
+    try:
+        loop = asyncio.get_running_loop()
+    except RuntimeError:
+        return default
+    return loop.time()
 
 
 def run_virtual(main: Awaitable[T]) -> Tuple[T, float]:

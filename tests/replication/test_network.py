@@ -7,6 +7,8 @@ import pytest
 from repro.core.errors import ReplicationError
 from repro.replication.network import (
     FullyConnectedNetwork,
+    LatencyPercentiles,
+    NetworkMeter,
     NodePosition,
     PartitionSchedule,
     PartitionedNetwork,
@@ -138,3 +140,48 @@ class TestProximityNetwork:
             ProximityNetwork(arena=-1)
         with pytest.raises(ReplicationError):
             ProximityNetwork(radio_range=0)
+
+
+class TestLatencyPercentiles:
+    """Nearest-rank tail percentiles and the typed empty result."""
+
+    def test_empty_meter_returns_typed_empty_result(self):
+        result = NetworkMeter().latency_percentiles()
+        assert isinstance(result, LatencyPercentiles)
+        assert result.empty
+        assert result.samples == 0
+        assert result == {0.5: 0.0, 0.9: 0.0, 0.99: 0.0}
+
+    def test_single_sample_answers_every_quantile(self):
+        meter = NetworkMeter()
+        meter.record_transfer_latency(0.25)
+        result = meter.latency_percentiles((0.01, 0.5, 0.99, 1.0))
+        assert not result.empty
+        assert result.samples == 1
+        assert all(value == 0.25 for value in result.values())
+
+    def test_p99_of_two_samples_is_the_larger(self):
+        meter = NetworkMeter()
+        meter.record_transfer_latency(0.1)
+        meter.record_transfer_latency(0.9)
+        result = meter.latency_percentiles((0.5, 0.99))
+        assert result.samples == 2
+        assert result[0.5] == 0.1  # ceil(0.5 * 2) - 1 == 0
+        assert result[0.99] == 0.9  # ceil(0.99 * 2) - 1 == 1
+
+    def test_nearest_rank_on_a_known_population(self):
+        meter = NetworkMeter()
+        for value in (5.0, 1.0, 3.0, 2.0, 4.0):
+            meter.record_transfer_latency(value)
+        result = meter.latency_percentiles((0.5, 0.9, 0.99))
+        assert result[0.5] == 3.0
+        assert result[0.9] == 5.0
+        assert result[0.99] == 5.0
+        assert result.samples == 5
+
+    def test_subscripting_stays_dict_compatible(self):
+        meter = NetworkMeter()
+        meter.record_transfer_latency(1.5)
+        result = meter.latency_percentiles()
+        assert result[0.5] == 1.5
+        assert sorted(result) == [0.5, 0.9, 0.99]
